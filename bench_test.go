@@ -1,0 +1,287 @@
+// Benchmarks regenerating every table and figure in the paper's
+// evaluation (§4) plus the introduction's numbers. Each benchmark runs
+// the corresponding experiment end to end and reports the headline
+// quantities via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// prints the same series the paper does. Shapes, not absolute numbers,
+// are the reproduction target (see EXPERIMENTS.md).
+package indexmerge
+
+import (
+	"testing"
+
+	"indexmerge/internal/experiments"
+)
+
+// benchLabs builds the three databases at a bench-friendly scale.
+func benchLabs(b *testing.B) []*experiments.Lab {
+	b.Helper()
+	labs, err := experiments.StandardLabs(experiments.LabOptions{Scale: 0.5, WorkloadQueries: 30, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return labs
+}
+
+func benchTPCD(b *testing.B) *experiments.Lab {
+	b.Helper()
+	lab, err := experiments.NewTPCDLab(experiments.LabOptions{Scale: 0.5, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return lab
+}
+
+// BenchmarkIntroQ1Q3 regenerates the introduction's motivating example:
+// merging the TPC-D Q1 and Q3 covering indexes (paper: storage −38%,
+// maintenance −22%, query cost +3%).
+func BenchmarkIntroQ1Q3(b *testing.B) {
+	lab := benchTPCD(b)
+	var res *experiments.IntroQ1Q3Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunIntroQ1Q3(lab)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*res.StorageReduction(), "storage-saved-%")
+	b.ReportMetric(100*res.MaintenanceReduction(), "maint-saved-%")
+	b.ReportMetric(100*res.QueryCostIncrease(), "qcost-increase-%")
+}
+
+// BenchmarkIntroTPCD17 regenerates the 17-query study (paper: 5× data
+// → 2.3× data at ≈5% cost increase).
+func BenchmarkIntroTPCD17(b *testing.B) {
+	lab := benchTPCD(b)
+	var res *experiments.IntroTPCD17Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunIntroTPCD17(lab, 0.10)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.TunedRatio, "tuned-x-data")
+	b.ReportMetric(res.MergedRatio, "merged-x-data")
+	b.ReportMetric(100*res.CostIncrease, "cost-increase-%")
+}
+
+// BenchmarkFigure5 regenerates Figure 5 (quality of Greedy): storage
+// reduction for Exhaustive, Greedy-Cost-Opt and Greedy-Cost-None at
+// N=5, 10% cost constraint, complex workload, all three databases.
+func BenchmarkFigure5(b *testing.B) {
+	labs := benchLabs(b)
+	var rows []experiments.SearchComparisonRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RunSearchComparison(labs, experiments.Fig5N, experiments.Fig5Constraint)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var ex, gco, gcn float64
+	for _, r := range rows {
+		ex += 100 * r.ExhaustiveReduction / float64(len(rows))
+		gco += 100 * r.GreedyOptReduction / float64(len(rows))
+		gcn += 100 * r.GreedyNoneReduction / float64(len(rows))
+	}
+	b.ReportMetric(ex, "exhaustive-%")
+	b.ReportMetric(gco, "greedy-opt-%")
+	b.ReportMetric(gcn, "greedy-none-%")
+}
+
+// BenchmarkFigure6 regenerates Figure 6 (running time of Greedy as a
+// fraction of Exhaustive) from the same runs as Figure 5.
+func BenchmarkFigure6(b *testing.B) {
+	labs := benchLabs(b)
+	var rows []experiments.SearchComparisonRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RunSearchComparison(labs, experiments.Fig5N, experiments.Fig5Constraint)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var gcoPct float64
+	var evalRatio float64
+	n := 0.0
+	for _, r := range rows {
+		if r.ExhaustiveTime > 0 {
+			gcoPct += 100 * float64(r.GreedyOptTime) / float64(r.ExhaustiveTime)
+			n++
+		}
+		if r.ExhaustiveEvals > 0 {
+			evalRatio += 100 * float64(r.GreedyOptEvals) / float64(r.ExhaustiveEvals)
+		}
+	}
+	if n > 0 {
+		b.ReportMetric(gcoPct/n, "greedy-time-%of-exhaustive")
+		b.ReportMetric(evalRatio/n, "greedy-evals-%of-exhaustive")
+	}
+}
+
+// BenchmarkFigure7 regenerates Figure 7 (MergePair procedures):
+// storage reduction under Greedy-Cost-Opt with MergePair-Exhaustive,
+// MergePair-Cost and MergePair-Syntactic.
+func BenchmarkFigure7(b *testing.B) {
+	labs := benchLabs(b)
+	var rows []experiments.MergePairComparisonRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RunMergePairComparison(labs, experiments.Fig5N, experiments.Fig5Constraint)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var ex, cost, syn float64
+	for _, r := range rows {
+		ex += 100 * r.ExhaustiveReduction / float64(len(rows))
+		cost += 100 * r.CostReduction / float64(len(rows))
+		syn += 100 * r.SyntacticReduction / float64(len(rows))
+	}
+	b.ReportMetric(ex, "mp-exhaustive-%")
+	b.ReportMetric(cost, "mp-cost-%")
+	b.ReportMetric(syn, "mp-syntactic-%")
+}
+
+// BenchmarkFigure8 regenerates Figure 8 (reduction in index
+// maintenance cost): 1% batch inserts into the two largest tables
+// under initial vs merged configurations, cost constraint 20%,
+// N ∈ {5, 10, 15} (the paper sweeps to 30; the bench keeps the sweep
+// short — cmd/experiments runs the full one).
+func BenchmarkFigure8(b *testing.B) {
+	labs := benchLabs(b)
+	var rows []experiments.MaintenanceRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RunMaintenanceComparison(labs, []int{5, 10, 15}, experiments.Fig8Constraint)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var red float64
+	for _, r := range rows {
+		red += 100 * r.Reduction() / float64(len(rows))
+	}
+	b.ReportMetric(red, "maint-saved-%")
+}
+
+// BenchmarkAblationPrefixChoice measures MergePair-Cost's leading-
+// prefix heuristic against its reversal (DESIGN.md ablation).
+func BenchmarkAblationPrefixChoice(b *testing.B) {
+	labs := benchLabs(b)
+	var rows []experiments.AblationRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RunAblationPrefixChoice(labs, experiments.Fig5N, experiments.Fig5Constraint)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var base, variant float64
+	for _, r := range rows {
+		base += 100 * r.BaselineReduction / float64(len(rows))
+		variant += 100 * r.VariantReduction / float64(len(rows))
+	}
+	b.ReportMetric(base, "seek-leading-%")
+	b.ReportMetric(variant, "reversed-%")
+}
+
+// BenchmarkAblationGreedyOrder measures the greedy inner-loop ranking
+// choice: storage-reduction-descending (paper) vs width-growth-ascending.
+func BenchmarkAblationGreedyOrder(b *testing.B) {
+	labs := benchLabs(b)
+	var rows []experiments.AblationRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RunAblationGreedyOrder(labs, experiments.Fig5N, experiments.Fig5Constraint)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var base, variant float64
+	for _, r := range rows {
+		base += 100 * r.BaselineReduction / float64(len(rows))
+		variant += 100 * r.VariantReduction / float64(len(rows))
+	}
+	b.ReportMetric(base, "by-storage-%")
+	b.ReportMetric(variant, "by-growth-%")
+}
+
+// BenchmarkAblationPrefilter measures the §3.5.3 external-cost
+// pre-filter: optimizer invocations with and without it.
+func BenchmarkAblationPrefilter(b *testing.B) {
+	labs := benchLabs(b)
+	var rows []experiments.AblationRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RunAblationPrefilter(labs, experiments.Fig5N, experiments.Fig5Constraint)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var baseCalls, varCalls float64
+	for _, r := range rows {
+		baseCalls += float64(r.BaselineExtra)
+		varCalls += float64(r.VariantExtra)
+	}
+	b.ReportMetric(baseCalls, "opt-calls-nofilter")
+	b.ReportMetric(varCalls, "opt-calls-prefilter")
+}
+
+// BenchmarkCostMinimalDual measures the extension: the Cost-Minimal
+// dual's storage/cost frontier at a 60% budget.
+func BenchmarkCostMinimalDual(b *testing.B) {
+	labs := benchLabs(b)
+	var rows []experiments.DualRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RunCostMinimal(labs[:1], 10, []float64{0.6})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(100*r.StorageFrac, "storage-%of-initial")
+		b.ReportMetric(100*r.CostIncrease, "cost-increase-%")
+	}
+}
+
+// BenchmarkWorkloadCompression measures §3.5.3 workload compression:
+// optimizer calls and merge quality, full workload vs top-10 queries.
+func BenchmarkWorkloadCompression(b *testing.B) {
+	labs := benchLabs(b)
+	var rows []experiments.CompressionRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RunWorkloadCompression(labs, experiments.Fig5N, 10, experiments.Fig5Constraint)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var fullCalls, smallCalls, fullRed, smallRed float64
+	for _, r := range rows {
+		fullCalls += float64(r.FullCalls)
+		smallCalls += float64(r.CompressedCalls)
+		fullRed += 100 * r.FullReduction / float64(len(rows))
+		smallRed += 100 * r.CompressedReduction / float64(len(rows))
+	}
+	b.ReportMetric(fullCalls, "opt-calls-full")
+	b.ReportMetric(smallCalls, "opt-calls-topk")
+	b.ReportMetric(fullRed, "saved-full-%")
+	b.ReportMetric(smallRed, "saved-topk-%")
+}

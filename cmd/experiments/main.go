@@ -1,0 +1,148 @@
+// Command experiments regenerates every table and figure from the
+// paper's evaluation (§4) and the introduction's motivating numbers,
+// printing the same rows/series the paper reports.
+//
+// Usage:
+//
+//	experiments [-scale 1.0] [-queries 30] [-seed 1] [-only fig5,fig7] [-skip ablations]
+//
+// Figures use the paper's parameters by default: N=5 with a 10% cost
+// constraint for Figures 5-7; N in {5,10,15,20,25,30} with a 20%
+// constraint and 1% batch inserts for Figure 8.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"indexmerge/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "database scale factor (1.0 = default sizes)")
+	queries := flag.Int("queries", 30, "queries per generated workload")
+	seed := flag.Int64("seed", 1, "random seed for data and workloads")
+	only := flag.String("only", "", "comma-separated subset: intro,fig5,fig6,fig7,fig8,ablations,compression,dual")
+	projection := flag.Bool("projection", false, "use the projection-only workload class for Figures 5-7")
+	fig8ns := flag.String("fig8n", "5,10,15,20,25,30", "comma-separated initial index counts for Figure 8")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, s := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(s)] = true
+		}
+	}
+	enabled := func(name string) bool { return len(want) == 0 || want[name] }
+
+	fmt.Printf("Index Merging (ICDE 1999) — experiment harness (scale=%.2f, queries=%d, seed=%d)\n\n", *scale, *queries, *seed)
+	labs, err := experiments.StandardLabs(experiments.LabOptions{Scale: *scale, WorkloadQueries: *queries, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+
+	if enabled("intro") {
+		tpcd := labs[0]
+		q13, err := experiments.RunIntroQ1Q3(tpcd)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.RenderIntroQ1Q3(os.Stdout, q13)
+		fmt.Println()
+		t17, err := experiments.RunIntroTPCD17(tpcd, 0.10)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.RenderIntroTPCD17(os.Stdout, t17)
+		fmt.Println()
+	}
+
+	if enabled("fig5") || enabled("fig6") {
+		rows, err := experiments.RunSearchComparisonOpt(labs, experiments.FigureOptions{N: experiments.Fig5N, Constraint: experiments.Fig5Constraint, Projection: *projection})
+		if err != nil {
+			fatal(err)
+		}
+		experiments.RenderSearchComparison(os.Stdout, rows)
+		fmt.Println()
+	}
+
+	if enabled("fig7") {
+		rows, err := experiments.RunMergePairComparisonOpt(labs, experiments.FigureOptions{N: experiments.Fig5N, Constraint: experiments.Fig5Constraint, Projection: *projection})
+		if err != nil {
+			fatal(err)
+		}
+		experiments.RenderMergePairComparison(os.Stdout, rows)
+		fmt.Println()
+	}
+
+	if enabled("fig8") {
+		var ns []int
+		for _, s := range strings.Split(*fig8ns, ",") {
+			var n int
+			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &n); err == nil && n > 0 {
+				ns = append(ns, n)
+			}
+		}
+		rows, err := experiments.RunMaintenanceComparison(labs, ns, experiments.Fig8Constraint)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.RenderMaintenanceComparison(os.Stdout, rows)
+		fmt.Println()
+	}
+
+	if enabled("ablations") {
+		prefix, err := experiments.RunAblationPrefixChoice(labs, experiments.Fig5N, experiments.Fig5Constraint)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.RenderAblation(os.Stdout, "Ablation — MergePair-Cost prefix choice (baseline: higher Seek-Cost leads; variant: reversed)", prefix)
+		fmt.Println()
+
+		order, err := experiments.RunAblationGreedyOrder(labs, experiments.Fig5N, experiments.Fig5Constraint)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.RenderAblation(os.Stdout, "Ablation — Greedy inner-loop order (baseline: storage reduction desc; variant: width growth asc)", order)
+		fmt.Println()
+
+		pre, err := experiments.RunAblationPrefilter(labs, experiments.Fig5N, experiments.Fig5Constraint)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.RenderAblation(os.Stdout, "Ablation — external-cost pre-filter (extra = optimizer invocations)", pre)
+		fmt.Println()
+
+		inter, err := experiments.RunAblationIntersection(labs, experiments.Fig5N, experiments.Fig5Constraint)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.RenderAblation(os.Stdout, "Ablation — index-intersection access paths (baseline: on; variant: off)", inter)
+		fmt.Println()
+	}
+
+	if enabled("compression") {
+		rows, err := experiments.RunWorkloadCompression(labs, experiments.Fig5N, 10, experiments.Fig5Constraint)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.RenderCompression(os.Stdout, rows)
+		fmt.Println()
+	}
+
+	if enabled("dual") {
+		rows, err := experiments.RunCostMinimal(labs, 10, []float64{0.8, 0.6, 0.4})
+		if err != nil {
+			fatal(err)
+		}
+		experiments.RenderCostMinimal(os.Stdout, rows)
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,168 @@
+// Command idxmerge runs index merging against one of the built-in
+// experimental databases and a workload, mirroring the client utility
+// the paper implemented against SQL Server 7.0 (§4.1).
+//
+// Usage:
+//
+//	idxmerge -db tpcd [-workload queries.sql] [-n 10] [-constraint 0.10]
+//	         [-mergepair cost|syntactic|exhaustive] [-search greedy|exhaustive]
+//	         [-costmodel opt|nocost|prefilter] [-explain]
+//
+// Without -workload, a complex workload is generated (RAGS-style).
+// The initial configuration comes from per-query tuning unless -n is 0,
+// in which case the whole workload is tuned query by query.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"indexmerge"
+	"indexmerge/internal/advisor"
+	"indexmerge/internal/datagen"
+	"indexmerge/internal/engine"
+	"indexmerge/internal/optimizer"
+	"indexmerge/internal/sql"
+	"indexmerge/internal/workload"
+)
+
+func main() {
+	dbName := flag.String("db", "tpcd", "database: tpcd | synthetic1 | synthetic2")
+	scale := flag.Float64("scale", 1.0, "database scale factor")
+	seed := flag.Int64("seed", 1, "random seed")
+	workloadPath := flag.String("workload", "", "workload file (one SELECT per line); default: generated complex workload")
+	queries := flag.Int("queries", 30, "generated workload size when -workload is not given")
+	n := flag.Int("n", 10, "initial configuration size (0 = tune every workload query)")
+	constraint := flag.Float64("constraint", 0.10, "cost constraint (fractional workload cost increase bound)")
+	mergePair := flag.String("mergepair", "cost", "merge procedure: cost | syntactic | exhaustive")
+	search := flag.String("search", "greedy", "search strategy: greedy | exhaustive")
+	costModel := flag.String("costmodel", "opt", "cost evaluation: opt | nocost | prefilter")
+	explain := flag.Bool("explain", false, "print per-query plans under the final configuration")
+	dualBudget := flag.Float64("dual", 0, "solve the Cost-Minimal dual instead: storage budget as a fraction of the initial configuration (e.g. 0.5)")
+	flag.Parse()
+
+	db, err := buildDatabase(*dbName, *scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	w, err := loadWorkload(db, *workloadPath, *queries, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("database %s: %d tables, %.1f MB data; workload: %d queries\n",
+		*dbName, len(db.Schema().Tables()), float64(db.DataBytes())/(1<<20), w.Len())
+
+	m, err := indexmerge.NewMerger(db, w)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Initial configuration.
+	var defs []indexmerge.IndexDef
+	if *n > 0 {
+		adv := advisor.New(db, m.Optimizer())
+		defs, err = advisor.BuildInitialConfiguration(adv, w, *n, *seed)
+	} else {
+		defs, err = m.TuneWorkload()
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if len(defs) == 0 {
+		fatal(fmt.Errorf("no initial indexes recommended; nothing to merge"))
+	}
+	fmt.Printf("\ninitial configuration (%d indexes):\n", len(defs))
+	for _, d := range defs {
+		fmt.Printf("  %s  (%.2f MB est.)\n", d, float64(db.EstimateIndexBytes(d))/(1<<20))
+	}
+
+	if *dualBudget > 0 {
+		budget := int64(float64(db.ConfigurationBytes(defs)) * *dualBudget)
+		res, err := m.MergeDual(defs, budget)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\ncost-minimal dual result (budget %.0f%% of initial):\n%s",
+			*dualBudget*100, res.Report())
+		return
+	}
+
+	opts := indexmerge.MergeOptions{CostConstraint: *constraint}
+	switch *mergePair {
+	case "syntactic":
+		opts.MergePair = indexmerge.MergePairSyntactic
+	case "exhaustive":
+		opts.MergePair = indexmerge.MergePairExhaustive
+	}
+	if *search == "exhaustive" {
+		opts.Search = indexmerge.ExhaustiveSearch
+	}
+	switch *costModel {
+	case "nocost":
+		opts.CostModel = indexmerge.NoCost
+	case "prefilter":
+		opts.CostModel = indexmerge.PrefilteredOptimizerCost
+	}
+
+	res, err := m.MergeDefs(defs, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nmerge result (%s / %s / %s, constraint %.0f%%):\n%s",
+		*mergePair, *search, *costModel, *constraint*100, res.Report())
+
+	if *explain {
+		fmt.Println("\nper-query plans under the final configuration:")
+		cfg := optimizer.Configuration(res.Final.Defs())
+		for i, q := range w.Queries {
+			plan, err := m.Optimizer().Optimize(q.Stmt, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("-- Q%d: %s\n%s\n", i+1, q.Stmt, plan.Explain())
+		}
+	}
+}
+
+func buildDatabase(name string, scale float64, seed int64) (*engine.Database, error) {
+	if strings.HasPrefix(name, "file:") {
+		return engine.LoadSnapshotFile(strings.TrimPrefix(name, "file:"))
+	}
+	switch name {
+	case "tpcd":
+		return datagen.BuildTPCD(datagen.ScaledTPCD(scale), seed)
+	case "synthetic1":
+		spec := datagen.Synthetic1Spec()
+		spec.RowsPer = int(float64(spec.RowsPer) * scale)
+		spec.Seed += seed
+		return datagen.BuildSynthetic(spec)
+	case "synthetic2":
+		spec := datagen.Synthetic2Spec()
+		spec.RowsPer = int(float64(spec.RowsPer) * scale)
+		spec.Seed += seed
+		return datagen.BuildSynthetic(spec)
+	}
+	return nil, fmt.Errorf("unknown database %q (want tpcd, synthetic1 or synthetic2)", name)
+}
+
+func loadWorkload(db *engine.Database, path string, queries int, seed int64) (*sql.Workload, error) {
+	if path == "" {
+		return workload.Generate(db, workload.Options{Class: workload.Complex, Queries: queries, Seed: seed + 11})
+	}
+	if path == "tpcd17" {
+		return datagen.TPCDWorkload(db.Schema())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return sql.ParseWorkload(f, db.Schema())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "idxmerge:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module indexmerge
+
+go 1.22

@@ -1,0 +1,354 @@
+// Package indexmerge is a Go reproduction of "Index Merging"
+// (Chaudhuri & Narasayya, ICDE 1999): given a set of indexes tuned for
+// individual queries, derive a merged set with much lower storage and
+// maintenance cost while bounding the workload cost increase.
+//
+// The package is a facade over the internal engine. A typical session:
+//
+//	db := indexmerge.NewDatabase()
+//	... create tables, load rows, db.AnalyzeAll() ...
+//	w, _ := indexmerge.ParseWorkload(file, db.Schema())
+//	m, _ := indexmerge.NewMerger(db, w)
+//	res, _ := m.Merge(indexmerge.MergeOptions{CostConstraint: 0.10})
+//	fmt.Println(res.Report())
+//
+// The heavy lifting lives in internal packages: internal/core holds
+// the paper's algorithms (MergePair, Greedy/Exhaustive search, cost
+// evaluation strategies); internal/optimizer is a cost-based query
+// optimizer with what-if index support; internal/storage provides
+// page-accounted heaps and B+-trees.
+package indexmerge
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"indexmerge/internal/advisor"
+	"indexmerge/internal/catalog"
+	"indexmerge/internal/core"
+	"indexmerge/internal/engine"
+	"indexmerge/internal/optimizer"
+	"indexmerge/internal/sql"
+	"indexmerge/internal/value"
+)
+
+// Re-exported core types. The aliases give examples and downstream
+// users one import path for the public surface.
+type (
+	// Database is an in-memory database instance with heap tables,
+	// B+-tree indexes, statistics and what-if support.
+	Database = engine.Database
+	// Table describes a relation.
+	Table = catalog.Table
+	// Column describes one attribute.
+	Column = catalog.Column
+	// IndexDef identifies an index: table + ordered key columns.
+	IndexDef = catalog.IndexDef
+	// Workload is a set of queries with frequencies.
+	Workload = sql.Workload
+	// SelectStmt is a parsed query.
+	SelectStmt = sql.SelectStmt
+	// Value is a typed scalar.
+	Value = value.Value
+	// Row is a tuple of values.
+	Row = value.Row
+	// Optimizer is the cost-based what-if optimizer.
+	Optimizer = optimizer.Optimizer
+	// Plan is an optimized physical plan with cost and index usage.
+	Plan = optimizer.Plan
+	// Configuration is a set of indexes under merging, with parent
+	// tracking.
+	Configuration = core.Configuration
+	// SearchResult reports a merging run.
+	SearchResult = core.SearchResult
+	// Advisor tunes indexes for individual queries.
+	Advisor = advisor.Advisor
+)
+
+// Value constructors, re-exported.
+var (
+	NewInt    = value.NewInt
+	NewFloat  = value.NewFloat
+	NewString = value.NewString
+	NewDate   = value.NewDate
+	NewNull   = value.NewNull
+)
+
+// Column type kinds, re-exported for schema construction.
+const (
+	IntKind    = value.Int
+	FloatKind  = value.Float
+	StringKind = value.String
+	DateKind   = value.Date
+)
+
+// NewDatabase creates an empty database.
+func NewDatabase() *Database { return engine.NewDatabase() }
+
+// NewTable builds a table descriptor.
+func NewTable(name string, cols []Column) (*Table, error) { return catalog.NewTable(name, cols) }
+
+// NewIndexDef validates and builds an index definition.
+func NewIndexDef(db *Database, name, table string, columns []string) (IndexDef, error) {
+	return catalog.NewIndexDef(db.Schema(), name, table, columns)
+}
+
+// NewOptimizer creates a cost-based optimizer over the database.
+func NewOptimizer(db *Database) *Optimizer { return optimizer.New(db) }
+
+// NewAdvisor creates a per-query index advisor.
+func NewAdvisor(db *Database, opt *Optimizer) *Advisor { return advisor.New(db, opt) }
+
+// ParseSelect parses one SELECT statement (unresolved).
+func ParseSelect(text string) (*SelectStmt, error) { return sql.ParseSelect(text) }
+
+// ParseWorkload reads a workload file (one query per line, optional
+// "freq|" prefix, -- comments) and resolves it against the schema.
+func ParseWorkload(r io.Reader, db *Database) (*Workload, error) {
+	return sql.ParseWorkload(r, db.Schema())
+}
+
+// MergePairKind selects the pairwise merge procedure (§3.3).
+type MergePairKind int
+
+const (
+	// MergePairCost uses cost and index-usage information (Figure 2) —
+	// the paper's recommended procedure.
+	MergePairCost MergePairKind = iota
+	// MergePairSyntactic uses only parsed workload information (Figure 3).
+	MergePairSyntactic
+	// MergePairExhaustive tries all column permutations per pair —
+	// exponential; a quality upper bound.
+	MergePairExhaustive
+)
+
+// SearchKind selects the search strategy (§3.4).
+type SearchKind int
+
+const (
+	// GreedySearch is the paper's Figure 4 algorithm.
+	GreedySearch SearchKind = iota
+	// ExhaustiveSearch enumerates all minimal merged configurations.
+	ExhaustiveSearch
+)
+
+// CostModelKind selects the cost-evaluation strategy (§3.5).
+type CostModelKind int
+
+const (
+	// OptimizerCost uses optimizer-estimated costs over what-if
+	// configurations — the paper's recommended strategy.
+	OptimizerCost CostModelKind = iota
+	// NoCost uses the syntactic width thresholds f and p only.
+	NoCost
+	// PrefilteredOptimizerCost vetoes candidates with a cheap external
+	// model before invoking the optimizer (§3.5.3).
+	PrefilteredOptimizerCost
+)
+
+// MergeOptions configures a merging run.
+type MergeOptions struct {
+	// CostConstraint is the tolerated fractional workload cost increase
+	// (e.g. 0.10 for the paper's 10%). Used by OptimizerCost models.
+	CostConstraint float64
+	// MergePair selects the pairwise merge procedure.
+	MergePair MergePairKind
+	// Search selects the search strategy.
+	Search SearchKind
+	// CostModel selects the constraint evaluation strategy.
+	CostModel CostModelKind
+	// NoCostF / NoCostP are the No-Cost model thresholds (defaults:
+	// the paper's best-performing f=0.60, p=0.25).
+	NoCostF, NoCostP float64
+}
+
+// Merger runs index merging for one database + workload.
+type Merger struct {
+	db  *Database
+	w   *Workload
+	opt *Optimizer
+}
+
+// NewMerger builds a merger. The database should have statistics
+// (AnalyzeAll) so the optimizer can cost hypothetical indexes.
+func NewMerger(db *Database, w *Workload) (*Merger, error) {
+	if w == nil || w.Len() == 0 {
+		return nil, fmt.Errorf("indexmerge: empty workload")
+	}
+	return &Merger{db: db, w: w, opt: optimizer.New(db)}, nil
+}
+
+// Optimizer exposes the merger's optimizer (for cost inspection).
+func (m *Merger) Optimizer() *Optimizer { return m.opt }
+
+// MergeResult is a merging run's outcome plus context for reporting.
+type MergeResult struct {
+	*core.SearchResult
+	// InitialCost and FinalCost are Cost(W, C) before and after.
+	InitialCost float64
+	FinalCost   float64
+	// Bound is the cost upper bound U (0 for the No-Cost model).
+	Bound float64
+}
+
+// CostIncrease is the fractional workload cost growth.
+func (r *MergeResult) CostIncrease() float64 {
+	if r.InitialCost == 0 {
+		return 0
+	}
+	return r.FinalCost/r.InitialCost - 1
+}
+
+// Report renders a human-readable summary.
+func (r *MergeResult) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "indexes:  %d -> %d\n", r.Initial.Len(), r.Final.Len())
+	fmt.Fprintf(&b, "storage:  %d -> %d bytes (%.1f%% saved)\n", r.InitialBytes, r.FinalBytes, 100*r.StorageReduction())
+	fmt.Fprintf(&b, "cost:     %.2f -> %.2f (%+.1f%%, bound %.2f)\n", r.InitialCost, r.FinalCost, 100*r.CostIncrease(), r.Bound)
+	for _, s := range r.Steps {
+		fmt.Fprintf(&b, "  merged %s + %s -> %s\n", s.ParentA, s.ParentB, s.Result)
+	}
+	for _, ix := range r.Final.Indexes {
+		fmt.Fprintf(&b, "  final: %s\n", ix)
+	}
+	return b.String()
+}
+
+// MergeDefs runs Storage-Minimal Index Merging over the given initial
+// index definitions.
+func (m *Merger) MergeDefs(initialDefs []IndexDef, opts MergeOptions) (*MergeResult, error) {
+	initial := core.NewConfiguration(initialDefs)
+	return m.merge(initial, opts)
+}
+
+// Merge runs merging using the database's materialized indexes as the
+// initial configuration.
+func (m *Merger) Merge(opts MergeOptions) (*MergeResult, error) {
+	var defs []IndexDef
+	for _, ix := range m.db.Indexes() {
+		defs = append(defs, ix.Def())
+	}
+	if len(defs) == 0 {
+		return nil, fmt.Errorf("indexmerge: no indexes to merge; create indexes or use MergeDefs")
+	}
+	return m.MergeDefs(defs, opts)
+}
+
+func (m *Merger) merge(initial *core.Configuration, opts MergeOptions) (*MergeResult, error) {
+	baseCost, err := m.opt.WorkloadCost(m.w, optimizer.Configuration(initial.Defs()))
+	if err != nil {
+		return nil, err
+	}
+	if opts.CostConstraint <= 0 {
+		opts.CostConstraint = 0.10
+	}
+	if opts.NoCostF <= 0 {
+		opts.NoCostF = 0.60
+	}
+	if opts.NoCostP <= 0 {
+		opts.NoCostP = 0.25
+	}
+
+	// MergePair procedure.
+	var mp core.MergePair
+	switch opts.MergePair {
+	case MergePairSyntactic:
+		mp = &core.MergePairSyntactic{Freq: core.LeadingColumnFrequencies(m.w)}
+	case MergePairExhaustive:
+		mp = &core.MergePairExhaustive{Server: m.opt, W: m.w, Base: initial}
+	default:
+		seek, err := core.ComputeSeekCosts(m.opt, m.w, initial)
+		if err != nil {
+			return nil, err
+		}
+		mp = &core.MergePairCost{Seek: seek}
+	}
+
+	// Cost evaluation strategy.
+	var check core.ConstraintChecker
+	var bound float64
+	switch opts.CostModel {
+	case NoCost:
+		check = &core.NoCostChecker{F: opts.NoCostF, P: opts.NoCostP, Tables: m.db}
+	case PrefilteredOptimizerCost:
+		inner := core.NewOptimizerChecker(m.opt, m.w, baseCost, opts.CostConstraint)
+		ext := &core.ExternalCostModel{Meta: m.db, W: m.w}
+		ext.SetBaseline(initial)
+		check = &core.PrefilteredChecker{External: ext, Inner: inner, SlackPct: opts.CostConstraint}
+		bound = inner.U
+	default:
+		inner := core.NewOptimizerChecker(m.opt, m.w, baseCost, opts.CostConstraint)
+		check = inner
+		bound = inner.U
+	}
+
+	// Search strategy.
+	var res *core.SearchResult
+	if opts.Search == ExhaustiveSearch {
+		res, err = core.Exhaustive(initial, mp, check, m.db, core.ExhaustiveOptions{})
+	} else {
+		res, err = core.Greedy(initial, mp, check, m.db)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	finalCost, err := m.opt.WorkloadCost(m.w, optimizer.Configuration(res.Final.Defs()))
+	if err != nil {
+		return nil, err
+	}
+	return &MergeResult{SearchResult: res, InitialCost: baseCost, FinalCost: finalCost, Bound: bound}, nil
+}
+
+// DualResult reports a Cost-Minimal (dual) merging run.
+type DualResult struct {
+	*core.CostMinimalResult
+}
+
+// Report renders a human-readable summary.
+func (r *DualResult) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "indexes:  %d -> %d\n", r.Initial.Len(), r.Final.Len())
+	fmt.Fprintf(&b, "storage:  %d -> %d bytes (%.1f%% saved, budget met: %v)\n",
+		r.InitialBytes, r.FinalBytes, 100*r.StorageReduction(), r.MetBudget)
+	fmt.Fprintf(&b, "cost:     %.2f -> %.2f (%+.1f%%)\n", r.InitialCost, r.FinalCost,
+		100*(r.FinalCost/r.InitialCost-1))
+	for _, ix := range r.Final.Indexes {
+		fmt.Fprintf(&b, "  final: %s\n", ix)
+	}
+	return b.String()
+}
+
+// MergeDual solves the paper's dual formulation (Cost-Minimal Index
+// Merging, §3.1): minimize workload cost subject to a storage budget
+// in bytes. The paper states the dual but leaves it unexplored; this
+// is an extension.
+func (m *Merger) MergeDual(initialDefs []IndexDef, storageBudget int64) (*DualResult, error) {
+	initial := core.NewConfiguration(initialDefs)
+	baseCost, err := m.opt.WorkloadCost(m.w, optimizer.Configuration(initialDefs))
+	if err != nil {
+		return nil, err
+	}
+	seek, err := core.ComputeSeekCosts(m.opt, m.w, initial)
+	if err != nil {
+		return nil, err
+	}
+	coster := core.NewOptimizerChecker(m.opt, m.w, baseCost, 0)
+	res, err := core.CostMinimal(initial, &core.MergePairCost{Seek: seek}, coster, m.db, storageBudget)
+	if err != nil {
+		return nil, err
+	}
+	return &DualResult{CostMinimalResult: res}, nil
+}
+
+// TuneWorkload recommends per-query indexes for every workload query
+// and unions them — the baseline whose storage blow-up merging fixes.
+func (m *Merger) TuneWorkload() ([]IndexDef, error) {
+	return advisor.New(m.db, m.opt).TuneWorkload(m.w)
+}
+
+// WorkloadCost returns Cost(W, C) for an arbitrary configuration.
+func (m *Merger) WorkloadCost(defs []IndexDef) (float64, error) {
+	return m.opt.WorkloadCost(m.w, optimizer.Configuration(defs))
+}

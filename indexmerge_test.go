@@ -1,0 +1,176 @@
+package indexmerge
+
+import (
+	"strings"
+	"testing"
+
+	"indexmerge/internal/datagen"
+)
+
+// mergerFixture builds a TPC-D database, the 17-query workload, and a
+// per-query-tuned initial configuration.
+func mergerFixture(t testing.TB) (*Database, *Workload, *Merger, []IndexDef) {
+	t.Helper()
+	db, err := datagen.BuildTPCD(datagen.ScaledTPCD(0.12), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := datagen.TPCDWorkload(db.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMerger(db, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defs, err := m.TuneWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(defs) < 4 {
+		t.Fatalf("tuning produced only %d indexes", len(defs))
+	}
+	return db, w, m, defs
+}
+
+func TestNewMergerValidation(t *testing.T) {
+	db := NewDatabase()
+	if _, err := NewMerger(db, &Workload{}); err == nil {
+		t.Error("empty workload accepted")
+	}
+	if _, err := NewMerger(db, nil); err == nil {
+		t.Error("nil workload accepted")
+	}
+}
+
+func TestMergeDefsDefaultOptions(t *testing.T) {
+	db, _, m, defs := mergerFixture(t)
+	res, err := m.MergeDefs(defs, MergeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalBytes > res.InitialBytes {
+		t.Error("default merge grew storage")
+	}
+	if res.CostIncrease() > 0.10+1e-9 {
+		t.Errorf("default 10%% constraint violated: %v", res.CostIncrease())
+	}
+	if res.Bound <= 0 {
+		t.Error("bound not recorded")
+	}
+	report := res.Report()
+	for _, want := range []string{"indexes:", "storage:", "cost:"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	_ = db
+}
+
+func TestMergeRequiresIndexes(t *testing.T) {
+	db, w, _, _ := mergerFixture(t)
+	db.DropAllIndexes()
+	m, err := NewMerger(db, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Merge(MergeOptions{}); err == nil {
+		t.Error("Merge with no materialized indexes should error")
+	}
+}
+
+func TestMergeUsesMaterializedIndexes(t *testing.T) {
+	db, _, m, defs := mergerFixture(t)
+	if err := db.Materialize(defs[:4]); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Merge(MergeOptions{CostConstraint: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Initial.Len() != 4 {
+		t.Errorf("initial from materialized = %d indexes, want 4", res.Initial.Len())
+	}
+}
+
+func TestMergeOptionVariants(t *testing.T) {
+	_, _, m, defs := mergerFixture(t)
+	small := defs
+	if len(small) > 6 {
+		small = small[:6]
+	}
+	variants := []MergeOptions{
+		{MergePair: MergePairSyntactic, CostConstraint: 0.10},
+		{CostModel: NoCost},
+		{CostModel: PrefilteredOptimizerCost, CostConstraint: 0.10},
+		{Search: ExhaustiveSearch, CostConstraint: 0.10},
+		{MergePair: MergePairExhaustive, CostConstraint: 0.10},
+	}
+	for i, opts := range variants {
+		res, err := m.MergeDefs(small, opts)
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		if res.FinalBytes > res.InitialBytes {
+			t.Errorf("variant %d grew storage", i)
+		}
+		// Optimizer-bounded variants must honor the bound.
+		if opts.CostModel != NoCost && res.Bound > 0 && res.FinalCost > res.Bound*(1+1e-9) {
+			t.Errorf("variant %d: cost %v > bound %v", i, res.FinalCost, res.Bound)
+		}
+	}
+}
+
+func TestWorkloadCostMonotoneInIndexes(t *testing.T) {
+	_, _, m, defs := mergerFixture(t)
+	none, err := m.WorkloadCost(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := m.WorkloadCost(defs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all >= none {
+		t.Errorf("indexes did not reduce workload cost: %v vs %v", all, none)
+	}
+}
+
+func TestPublicSchemaConstruction(t *testing.T) {
+	db := NewDatabase()
+	tab, err := NewTable("x", []Column{
+		{Name: "a", Type: IntKind},
+		{Name: "s", Type: StringKind, Width: 5},
+		{Name: "f", Type: FloatKind},
+		{Name: "d", Type: DateKind},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(tab); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("x", Row{NewInt(1), NewString("ab"), NewFloat(1.5), NewDate(7)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("x", Row{NewNull(), NewNull(), NewNull(), NewNull()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewIndexDef(db, "", "x", []string{"a", "d"}); err != nil {
+		t.Fatal(err)
+	}
+	stmt, err := ParseSelect("SELECT a FROM x WHERE a = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stmt.Resolve(db.Schema()); err != nil {
+		t.Fatal(err)
+	}
+	w, err := ParseWorkload(strings.NewReader("SELECT a, f FROM x WHERE d >= DATE(1)\n"), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 1 {
+		t.Errorf("workload len %d", w.Len())
+	}
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+
+	"indexmerge/internal/catalog"
+	"indexmerge/internal/optimizer"
+	"indexmerge/internal/sql"
+)
+
+// ConstraintChecker decides whether a candidate merged configuration
+// satisfies the cost constraint (Step 7 of the Greedy algorithm,
+// paper Figure 4). The candidate's newly merged index and its
+// immediate pair are supplied for syntactic models that never consult
+// a cost function.
+type ConstraintChecker interface {
+	// Accepts reports whether cfg (obtained by replacing pair a,b with
+	// merged index m) satisfies the constraint.
+	Accepts(cfg *Configuration, m, a, b *Index) (bool, error)
+	// Description names the strategy in reports.
+	Description() string
+	// Evaluations counts how many (potentially expensive) constraint
+	// evaluations have been performed.
+	Evaluations() int64
+}
+
+// Schema provides table metadata for syntactic checks; the engine's
+// Database satisfies it via Schema().
+type SchemaProvider interface {
+	Schema() *catalog.Schema
+}
+
+// OptimizerChecker implements the optimizer-estimated cost evaluation
+// (§3.5.3): Cost(W, C) is computed by invoking the query optimizer
+// against the hypothetical configuration, and the constraint is
+// Cost(W, C') ≤ U. Per-query costs are cached keyed by the subset of
+// the configuration relevant to the query (the paper's "cost needs to
+// be obtained only for relevant queries" shortcut).
+type OptimizerChecker struct {
+	Server CostServer
+	W      *sql.Workload
+	U      float64 // absolute workload-cost upper bound
+
+	evals int64
+	cache map[string]float64 // queryIdx + relevant-config signature → cost
+}
+
+// NewOptimizerChecker builds a checker with U = baseCost × (1 + slackPct).
+// baseCost should be Cost(W, C) for the initial configuration; slackPct
+// is the paper's "cost constraint" percentage (e.g. 0.10 for 10%).
+func NewOptimizerChecker(server CostServer, w *sql.Workload, baseCost, slackPct float64) *OptimizerChecker {
+	return &OptimizerChecker{
+		Server: server,
+		W:      w,
+		U:      baseCost * (1 + slackPct),
+		cache:  make(map[string]float64),
+	}
+}
+
+// Description implements ConstraintChecker.
+func (c *OptimizerChecker) Description() string { return "Cost-Opt" }
+
+// Evaluations implements ConstraintChecker.
+func (c *OptimizerChecker) Evaluations() int64 { return c.evals }
+
+// Accepts implements ConstraintChecker.
+func (c *OptimizerChecker) Accepts(cfg *Configuration, _, _, _ *Index) (bool, error) {
+	cost, err := c.WorkloadCost(cfg)
+	if err != nil {
+		return false, err
+	}
+	return cost <= c.U, nil
+}
+
+// WorkloadCost computes Cost(W, C) with per-query caching.
+func (c *OptimizerChecker) WorkloadCost(cfg *Configuration) (float64, error) {
+	c.evals++
+	if c.cache == nil {
+		c.cache = make(map[string]float64)
+	}
+	ocfg := optimizer.Configuration(cfg.Defs())
+	total := 0.0
+	for qi, q := range c.W.Queries {
+		key := c.queryKey(qi, q.Stmt, cfg)
+		cost, ok := c.cache[key]
+		if !ok {
+			plan, err := c.Server.Optimize(q.Stmt, ocfg)
+			if err != nil {
+				return 0, err
+			}
+			cost = plan.Cost
+			c.cache[key] = cost
+		}
+		total += cost * q.Freq
+	}
+	return total, nil
+}
+
+// queryKey builds the cache key: a query's cost depends only on the
+// configuration's indexes over the tables it references.
+func (c *OptimizerChecker) queryKey(qi int, stmt *sql.SelectStmt, cfg *Configuration) string {
+	tables := make(map[string]bool)
+	for _, t := range stmt.TablesReferenced() {
+		tables[t] = true
+	}
+	key := fmt.Sprintf("q%d|", qi)
+	// Configuration indexes are held in stable order, so concatenation
+	// is canonical per configuration state.
+	for _, ix := range cfg.Indexes {
+		if tables[ix.Def.Table] {
+			key += ix.Key() + ";"
+		}
+	}
+	return key
+}
+
+// NoCostChecker implements the No-Cost model (§3.5.1): a merged index
+// is acceptable iff (a) its width is at most fraction F of its table's
+// row width and (b) it does not exceed its wider immediate parent's
+// width by more than fraction P. No cost function is ever consulted,
+// so the final configuration carries no cost guarantee — exactly the
+// drawback §3.5.1 notes.
+type NoCostChecker struct {
+	F      float64 // max merged-index width as a fraction of table width
+	P      float64 // max growth over either immediate parent
+	Tables SchemaProvider
+
+	evals int64
+}
+
+// Description implements ConstraintChecker.
+func (c *NoCostChecker) Description() string { return "Cost-None" }
+
+// Evaluations implements ConstraintChecker.
+func (c *NoCostChecker) Evaluations() int64 { return c.evals }
+
+// Accepts implements ConstraintChecker.
+func (c *NoCostChecker) Accepts(_ *Configuration, m, a, b *Index) (bool, error) {
+	c.evals++
+	t, ok := c.Tables.Schema().Table(m.Def.Table)
+	if !ok {
+		return false, fmt.Errorf("core: unknown table %q", m.Def.Table)
+	}
+	mw := float64(t.WidthOf(m.Def.Columns))
+	if mw > c.F*float64(t.RowWidth()) {
+		return false, nil
+	}
+	wider := float64(t.WidthOf(a.Def.Columns))
+	if bw := float64(t.WidthOf(b.Def.Columns)); bw > wider {
+		wider = bw
+	}
+	if wider > 0 && mw > (1+c.P)*wider {
+		return false, nil
+	}
+	return true, nil
+}
+
+// PrefilteredChecker consults an inexpensive external cost model first
+// and invokes the optimizer-backed checker only when the external
+// model predicts the constraint can be met (§3.5.3, last paragraph).
+// The external bound is calibrated against the initial configuration:
+// a candidate is vetoed only when its external cost exceeds the
+// external baseline by more than the slack allowance times Margin.
+type PrefilteredChecker struct {
+	External *ExternalCostModel
+	Inner    *OptimizerChecker
+	// SlackPct mirrors the cost constraint used to build Inner.
+	SlackPct float64
+	// Margin loosens the external prediction so the coarse model only
+	// vetoes clearly hopeless candidates; >1 means permissive.
+	Margin float64
+
+	prefilterHits int64
+}
+
+// Description implements ConstraintChecker.
+func (c *PrefilteredChecker) Description() string { return "Cost-Opt+Prefilter" }
+
+// Evaluations implements ConstraintChecker.
+func (c *PrefilteredChecker) Evaluations() int64 { return c.Inner.Evaluations() }
+
+// PrefilterRejections counts candidates the external model vetoed
+// without an optimizer call.
+func (c *PrefilteredChecker) PrefilterRejections() int64 { return c.prefilterHits }
+
+// Accepts implements ConstraintChecker.
+func (c *PrefilteredChecker) Accepts(cfg *Configuration, m, a, b *Index) (bool, error) {
+	margin := c.Margin
+	if margin <= 0 {
+		margin = 2.0
+	}
+	extBase := c.External.BaselineCost()
+	if extBase > 0 {
+		extCost := c.External.WorkloadCost(cfg)
+		if extCost > extBase*(1+c.SlackPct*margin) {
+			c.prefilterHits++
+			return false, nil
+		}
+	}
+	return c.Inner.Accepts(cfg, m, a, b)
+}

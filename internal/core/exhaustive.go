@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// ExhaustiveOptions bounds the exhaustive enumeration.
+type ExhaustiveOptions struct {
+	// MaxConfigs aborts runaway enumerations (0 = default bound).
+	MaxConfigs int64
+}
+
+// Exhaustive enumerates every minimal merged configuration reachable
+// from the initial configuration through sequences of pairwise merges
+// produced by mp, and returns the one with the lowest storage among
+// those the checker accepts (paper §3.4: "exhaustively enumerate every
+// possible merged configuration with respect to C derived using
+// MergePair"). The enumeration is memoized on configuration identity
+// but is still exponential — the paper deems it infeasible past
+// N ≈ 20, and the experiments use it only at N = 5.
+func Exhaustive(initial *Configuration, mp MergePair, check ConstraintChecker, env SizeEstimator, opt ExhaustiveOptions) (*SearchResult, error) {
+	start := time.Now()
+	maxConfigs := opt.MaxConfigs
+	if maxConfigs <= 0 {
+		maxConfigs = 2_000_000
+	}
+	res := &SearchResult{
+		Initial:      initial,
+		InitialBytes: initial.Bytes(env),
+	}
+
+	best := initial
+	bestBytes := res.InitialBytes
+	visited := map[string]bool{initial.Signature(): true}
+	startEvals := check.Evaluations()
+
+	// DFS over the merge lattice. A configuration is only expanded
+	// (not necessarily accepted) — acceptance is checked per candidate,
+	// and rejected configurations are not expanded further: any deeper
+	// merge contains this one's indexes and by monotonicity of the cost
+	// constraint would be checked on its own path anyway; pruning
+	// rejected branches matches the minimal-merged-configuration space.
+	var dfs func(cur *Configuration) error
+	dfs = func(cur *Configuration) error {
+		if ba, ok := mp.(baseAware); ok {
+			ba.SetBase(cur)
+		}
+		pairs := cur.PairsByTable()
+		for _, pair := range pairs {
+			a, b := pair[0], pair[1]
+			m, err := mp.Merge(a, b)
+			if err != nil {
+				return err
+			}
+			next := cur.ReplacePair(a, b, m)
+			sig := next.Signature()
+			if visited[sig] {
+				continue
+			}
+			visited[sig] = true
+			res.ConfigsExplored++
+			if res.ConfigsExplored > maxConfigs {
+				return fmt.Errorf("core: exhaustive search exceeded %d configurations", maxConfigs)
+			}
+			ok, err := check.Accepts(next, m, a, b)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+			if nb := next.Bytes(env); nb < bestBytes {
+				bestBytes = nb
+				best = next
+			}
+			if err := dfs(next); err != nil {
+				return err
+			}
+			if ba, ok := mp.(baseAware); ok {
+				ba.SetBase(cur) // restore context after recursion
+			}
+		}
+		return nil
+	}
+	if err := dfs(initial); err != nil {
+		return nil, err
+	}
+
+	res.Final = best
+	res.FinalBytes = bestBytes
+	res.CostEvaluations = check.Evaluations() - startEvals
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"sort"
+	"time"
+)
+
+// MergeStep records one accepted merge in a search trace.
+type MergeStep struct {
+	ParentA, ParentB string // definition keys of the merged pair
+	Result           string // definition key of the merged index
+	BytesBefore      int64
+	BytesAfter       int64
+}
+
+// SearchResult reports the outcome of a search strategy.
+type SearchResult struct {
+	Initial *Configuration
+	Final   *Configuration
+	// InitialBytes and FinalBytes are estimated configuration sizes.
+	InitialBytes int64
+	FinalBytes   int64
+	// Steps traces the accepted merges (Greedy only).
+	Steps []MergeStep
+	// CostEvaluations counts constraint-checker invocations.
+	CostEvaluations int64
+	// ConfigsExplored counts candidate configurations considered.
+	ConfigsExplored int64
+	// Elapsed is the wall-clock search time.
+	Elapsed time.Duration
+}
+
+// StorageReduction returns the fractional storage saving.
+func (r *SearchResult) StorageReduction() float64 {
+	if r.InitialBytes == 0 {
+		return 0
+	}
+	return 1 - float64(r.FinalBytes)/float64(r.InitialBytes)
+}
+
+// GreedyOrder selects how the inner loop ranks candidate merges.
+type GreedyOrder int
+
+const (
+	// OrderByStorageReduction is the paper's Step 5: descending storage
+	// reduction.
+	OrderByStorageReduction GreedyOrder = iota
+	// OrderByWidthGrowth is an ablation: ascending merged-index width
+	// growth over its parents (a proxy for cost increase).
+	OrderByWidthGrowth
+)
+
+// GreedyOptions tunes the Greedy search.
+type GreedyOptions struct {
+	Order GreedyOrder
+}
+
+// baseAware lets MergePair implementations that evaluate candidate
+// merges in configuration context (MergePair-Exhaustive) track the
+// current configuration.
+type baseAware interface {
+	SetBase(c *Configuration)
+}
+
+// SetBase implements baseAware for MergePairExhaustive.
+func (m *MergePairExhaustive) SetBase(c *Configuration) { m.Base = c }
+
+// Greedy runs the paper's Figure 4 algorithm: in each outer iteration,
+// merge every same-table pair in the current configuration with mp,
+// order the results by storage reduction, and adopt the first merged
+// configuration the checker accepts. The search ends when no merge is
+// acceptable. Runs in O(N³) merged-pair constructions; constraint
+// checks dominate in practice exactly as §3.4.2 predicts.
+func Greedy(initial *Configuration, mp MergePair, check ConstraintChecker, env SizeEstimator) (*SearchResult, error) {
+	return GreedyWithOptions(initial, mp, check, env, GreedyOptions{})
+}
+
+// GreedyWithOptions is Greedy with ablation knobs.
+func GreedyWithOptions(initial *Configuration, mp MergePair, check ConstraintChecker, env SizeEstimator, opt GreedyOptions) (*SearchResult, error) {
+	start := time.Now()
+	res := &SearchResult{
+		Initial:      initial,
+		InitialBytes: initial.Bytes(env),
+	}
+	cur := initial.Clone()
+	startEvals := check.Evaluations()
+
+	for {
+		if ba, ok := mp.(baseAware); ok {
+			ba.SetBase(cur)
+		}
+		type candidate struct {
+			a, b, m   *Index
+			reduction int64
+			growth    int64
+		}
+		var cands []candidate
+		for _, pair := range cur.PairsByTable() {
+			a, b := pair[0], pair[1]
+			m, err := mp.Merge(a, b)
+			if err != nil {
+				return nil, err
+			}
+			res.ConfigsExplored++
+			sa := env.EstimateIndexBytes(a.Def)
+			sb := env.EstimateIndexBytes(b.Def)
+			sm := env.EstimateIndexBytes(m.Def)
+			cands = append(cands, candidate{
+				a: a, b: b, m: m,
+				reduction: sa + sb - sm,
+				growth:    sm - maxI64(sa, sb),
+			})
+		}
+		if len(cands) == 0 {
+			break
+		}
+		switch opt.Order {
+		case OrderByWidthGrowth:
+			sort.SliceStable(cands, func(i, j int) bool { return cands[i].growth < cands[j].growth })
+		default:
+			sort.SliceStable(cands, func(i, j int) bool { return cands[i].reduction > cands[j].reduction })
+		}
+		accepted := false
+		for _, cand := range cands {
+			// Guard: a pairwise merge of very wide keys can *grow*
+			// storage (the per-row RID saving loses to the extra
+			// internal B+-tree levels wide keys need). Such merges can
+			// never serve the storage-minimal objective, so the greedy
+			// skips them; Exhaustive still explores every partition.
+			if cand.reduction <= 0 {
+				continue
+			}
+			next := cur.ReplacePair(cand.a, cand.b, cand.m)
+			ok, err := check.Accepts(next, cand.m, cand.a, cand.b)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				res.Steps = append(res.Steps, MergeStep{
+					ParentA:     cand.a.Key(),
+					ParentB:     cand.b.Key(),
+					Result:      cand.m.Key(),
+					BytesBefore: cur.Bytes(env),
+					BytesAfter:  next.Bytes(env),
+				})
+				cur = next
+				accepted = true
+				break
+			}
+		}
+		if !accepted {
+			break
+		}
+	}
+
+	res.Final = cur
+	res.FinalBytes = cur.Bytes(env)
+	res.CostEvaluations = check.Evaluations() - startEvals
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

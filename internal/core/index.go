@@ -1,0 +1,288 @@
+// Package core implements the paper's contribution: index merging.
+// It models configurations of indexes with parent tracking, implements
+// index-preserving merges, the three MergePair procedures
+// (Cost, Syntactic, Exhaustive), the Greedy and Exhaustive search
+// strategies, and the cost-evaluation alternatives (optimizer-
+// estimated, No-Cost, external model) from §3 of the paper.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"indexmerge/internal/catalog"
+)
+
+// Index is an index within a merging run: its definition plus the set
+// of *parent* indexes from the initial configuration it subsumes
+// (paper Definition 1). An unmerged index is its own single parent.
+type Index struct {
+	Def     catalog.IndexDef
+	Parents []catalog.IndexDef
+}
+
+// NewIndex wraps an initial-configuration index.
+func NewIndex(def catalog.IndexDef) *Index {
+	return &Index{Def: def, Parents: []catalog.IndexDef{def}}
+}
+
+// IsMerged reports whether the index is the result of merging.
+func (ix *Index) IsMerged() bool { return len(ix.Parents) > 1 }
+
+// Key returns the identity key (table + ordered columns).
+func (ix *Index) Key() string { return ix.Def.Key() }
+
+// String implements fmt.Stringer.
+func (ix *Index) String() string {
+	if !ix.IsMerged() {
+		return ix.Def.String()
+	}
+	names := make([]string, len(ix.Parents))
+	for i, p := range ix.Parents {
+		names[i] = p.Name
+	}
+	return fmt.Sprintf("%s [merged from %s]", ix.Def, strings.Join(names, "+"))
+}
+
+// MergeOrdered performs an index-preserving merge of the sequence
+// (paper Definition 2): the first index's columns in order, then each
+// subsequent index's not-yet-present columns appended in its order.
+// All indexes must be on one table.
+func MergeOrdered(seq ...*Index) (*Index, error) {
+	if len(seq) == 0 {
+		return nil, fmt.Errorf("core: merge of zero indexes")
+	}
+	table := seq[0].Def.Table
+	var cols []string
+	seen := make(map[string]bool)
+	var parents []catalog.IndexDef
+	for _, ix := range seq {
+		if ix.Def.Table != table {
+			return nil, fmt.Errorf("core: cannot merge indexes on different tables %q and %q", table, ix.Def.Table)
+		}
+		for _, c := range ix.Def.Columns {
+			if !seen[c] {
+				seen[c] = true
+				cols = append(cols, c)
+			}
+		}
+		parents = append(parents, ix.Parents...)
+	}
+	def := catalog.IndexDef{
+		Name:    catalog.AutoIndexName(table, cols),
+		Table:   table,
+		Columns: cols,
+	}
+	return &Index{Def: def, Parents: dedupeDefs(parents)}, nil
+}
+
+// MergeWithColumnOrder builds a merged index with an explicit column
+// order — used by MergePair-Exhaustive, whose merges need not be index
+// preserving (paper §3.3). The column order must be a permutation of
+// the union of the parents' columns (Definition 1).
+func MergeWithColumnOrder(table string, cols []string, parents ...*Index) (*Index, error) {
+	union := make(map[string]bool)
+	var parentDefs []catalog.IndexDef
+	for _, p := range parents {
+		if p.Def.Table != table {
+			return nil, fmt.Errorf("core: parent %s is not on table %q", p.Def, table)
+		}
+		for _, c := range p.Def.Columns {
+			union[c] = true
+		}
+		parentDefs = append(parentDefs, p.Parents...)
+	}
+	if len(cols) != len(union) {
+		return nil, fmt.Errorf("core: merged column list has %d columns, union has %d", len(cols), len(union))
+	}
+	for _, c := range cols {
+		if !union[c] {
+			return nil, fmt.Errorf("core: column %q is not in any parent (Definition 1b)", c)
+		}
+	}
+	def := catalog.IndexDef{Name: catalog.AutoIndexName(table, cols), Table: table, Columns: append([]string(nil), cols...)}
+	return &Index{Def: def, Parents: dedupeDefs(parentDefs)}, nil
+}
+
+func dedupeDefs(defs []catalog.IndexDef) []catalog.IndexDef {
+	seen := make(map[string]bool, len(defs))
+	out := defs[:0]
+	for _, d := range defs {
+		if !seen[d.Key()] {
+			seen[d.Key()] = true
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Configuration is a set of indexes (paper §3.1).
+type Configuration struct {
+	Indexes []*Index
+}
+
+// NewConfiguration wraps initial index definitions.
+func NewConfiguration(defs []catalog.IndexDef) *Configuration {
+	c := &Configuration{}
+	for _, d := range defs {
+		c.Indexes = append(c.Indexes, NewIndex(d))
+	}
+	return c
+}
+
+// Defs returns the configuration's index definitions.
+func (c *Configuration) Defs() []catalog.IndexDef {
+	out := make([]catalog.IndexDef, len(c.Indexes))
+	for i, ix := range c.Indexes {
+		out[i] = ix.Def
+	}
+	return out
+}
+
+// Len returns the number of indexes.
+func (c *Configuration) Len() int { return len(c.Indexes) }
+
+// Clone returns a shallow copy (indexes are immutable once created).
+func (c *Configuration) Clone() *Configuration {
+	return &Configuration{Indexes: append([]*Index(nil), c.Indexes...)}
+}
+
+// Signature returns a canonical identity for the configuration: the
+// sorted index keys. Used for memoization and caching.
+func (c *Configuration) Signature() string {
+	keys := make([]string, len(c.Indexes))
+	for i, ix := range c.Indexes {
+		keys[i] = ix.Key()
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ";")
+}
+
+// ReplacePair returns a new configuration with indexes a and b removed
+// and m added. If m's definition coincides with an existing index, the
+// two collapse into one (parents union) — the merged configuration
+// stays minimal.
+func (c *Configuration) ReplacePair(a, b, m *Index) *Configuration {
+	out := &Configuration{}
+	var dup *Index
+	for _, ix := range c.Indexes {
+		if ix == a || ix == b {
+			continue
+		}
+		if ix.Key() == m.Key() && dup == nil {
+			dup = ix
+			continue
+		}
+		out.Indexes = append(out.Indexes, ix)
+	}
+	if dup != nil {
+		merged := &Index{Def: m.Def, Parents: dedupeDefs(append(append([]catalog.IndexDef{}, dup.Parents...), m.Parents...))}
+		out.Indexes = append(out.Indexes, merged)
+	} else {
+		out.Indexes = append(out.Indexes, m)
+	}
+	return out
+}
+
+// SizeEstimator predicts an index's storage; the engine's Database
+// satisfies it.
+type SizeEstimator interface {
+	EstimateIndexBytes(def catalog.IndexDef) int64
+}
+
+// Bytes sums estimated storage over the configuration (paper §3.1:
+// "the storage of a configuration C is the sum of the storage of
+// indexes in C").
+func (c *Configuration) Bytes(env SizeEstimator) int64 {
+	var total int64
+	for _, ix := range c.Indexes {
+		total += env.EstimateIndexBytes(ix.Def)
+	}
+	return total
+}
+
+// PairsByTable groups index positions by table, the candidates for
+// pairwise merging (only same-table indexes can merge).
+func (c *Configuration) PairsByTable() [][2]*Index {
+	byTable := make(map[string][]*Index)
+	for _, ix := range c.Indexes {
+		byTable[ix.Def.Table] = append(byTable[ix.Def.Table], ix)
+	}
+	var pairs [][2]*Index
+	tables := make([]string, 0, len(byTable))
+	for t := range byTable {
+		tables = append(tables, t)
+	}
+	sort.Strings(tables)
+	for _, t := range tables {
+		group := byTable[t]
+		for i := 0; i < len(group); i++ {
+			for j := i + 1; j < len(group); j++ {
+				pairs = append(pairs, [2]*Index{group[i], group[j]})
+			}
+		}
+	}
+	return pairs
+}
+
+// ValidateMinimalMerged checks that result is a minimal merged
+// configuration with respect to initial (paper Definition 3):
+// every result index is either an initial index or an index-preserving
+// merge of initial indexes; no two result indexes share a parent; and
+// the result has no more indexes than the initial configuration.
+func ValidateMinimalMerged(initial, result *Configuration) error {
+	if result.Len() > initial.Len() {
+		return fmt.Errorf("core: result has %d indexes, more than initial %d", result.Len(), initial.Len())
+	}
+	initialByKey := make(map[string]catalog.IndexDef, initial.Len())
+	for _, ix := range initial.Indexes {
+		initialByKey[ix.Key()] = ix.Def
+	}
+	seenParents := make(map[string]string)
+	for _, ix := range result.Indexes {
+		for _, p := range ix.Parents {
+			pk := p.Key()
+			if _, known := initialByKey[pk]; !known {
+				return fmt.Errorf("core: index %s has parent %s not in initial configuration", ix.Def.Name, p)
+			}
+			if owner, dup := seenParents[pk]; dup {
+				return fmt.Errorf("core: parent %s shared by %s and %s (Definition 3)", p, owner, ix.Def.Name)
+			}
+			seenParents[pk] = ix.Def.Name
+		}
+		if err := validateMergeShape(ix); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateMergeShape checks Definition 1 (column union, no extras) and,
+// for merged indexes, Definition 2's leading-prefix property: some
+// parent must be a leading prefix of the merged index.
+func validateMergeShape(ix *Index) error {
+	union := make(map[string]bool)
+	for _, p := range ix.Parents {
+		for _, c := range p.Columns {
+			union[c] = true
+		}
+	}
+	if len(union) != len(ix.Def.Columns) {
+		return fmt.Errorf("core: index %s has %d columns but parents' union has %d (Definition 1)", ix.Def.Name, len(ix.Def.Columns), len(union))
+	}
+	for _, c := range ix.Def.Columns {
+		if !union[c] {
+			return fmt.Errorf("core: index %s contains column %q absent from all parents (Definition 1b)", ix.Def.Name, c)
+		}
+	}
+	if !ix.IsMerged() {
+		return nil
+	}
+	for _, p := range ix.Parents {
+		if ix.Def.HasPrefix(catalog.IndexDef{Table: p.Table, Columns: p.Columns}) {
+			return nil
+		}
+	}
+	return fmt.Errorf("core: merged index %s has no parent as leading prefix (not index preserving)", ix.Def.Name)
+}

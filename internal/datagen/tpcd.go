@@ -1,0 +1,334 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"indexmerge/internal/catalog"
+	"indexmerge/internal/engine"
+	"indexmerge/internal/value"
+)
+
+// TPC-D date domain: day numbers spanning 1992-01-01 .. 1998-08-02,
+// roughly 2406 days, mirroring the benchmark's order/ship dates.
+const (
+	TPCDDateLo = 8036  // days since 1970-01-01 for 1992-01-01
+	TPCDDateHi = 10440 // 1998-08-02
+)
+
+// TPCDScale holds per-table row counts. The paper ran TPC-D at 1 GB
+// (SF 1: 6M lineitem rows); we default to a microscale that preserves
+// the benchmark's relative table sizes — the merging results depend on
+// statistics and page arithmetic, both of which scale.
+type TPCDScale struct {
+	Lineitem int
+	Orders   int
+	Customer int
+	Part     int
+	Supplier int
+	PartSupp int
+	Nation   int
+	Region   int
+}
+
+// DefaultTPCDScale is roughly SF 1/500.
+func DefaultTPCDScale() TPCDScale {
+	return TPCDScale{
+		Lineitem: 12000,
+		Orders:   3000,
+		Customer: 300,
+		Part:     400,
+		Supplier: 20,
+		PartSupp: 1600,
+		Nation:   25,
+		Region:   5,
+	}
+}
+
+// ScaledTPCD multiplies the default scale by f (minimum 1 row/table).
+func ScaledTPCD(f float64) TPCDScale {
+	s := DefaultTPCDScale()
+	mul := func(n int) int {
+		m := int(float64(n) * f)
+		if m < 1 {
+			m = 1
+		}
+		return m
+	}
+	return TPCDScale{
+		Lineitem: mul(s.Lineitem),
+		Orders:   mul(s.Orders),
+		Customer: mul(s.Customer),
+		Part:     mul(s.Part),
+		Supplier: mul(s.Supplier),
+		PartSupp: mul(s.PartSupp),
+		Nation:   mul(s.Nation),
+		Region:   mul(s.Region),
+	}
+}
+
+func col(name string, kind value.Kind, width int) catalog.Column {
+	return catalog.Column{Name: name, Type: kind, Width: width}
+}
+
+// TPCDSchema returns the eight TPC-D tables with authentic columns and
+// declared string widths.
+func TPCDSchema() []*catalog.Table {
+	return []*catalog.Table{
+		catalog.MustNewTable("region", []catalog.Column{
+			col("r_regionkey", value.Int, 0),
+			col("r_name", value.String, 25),
+			col("r_comment", value.String, 152),
+		}),
+		catalog.MustNewTable("nation", []catalog.Column{
+			col("n_nationkey", value.Int, 0),
+			col("n_name", value.String, 25),
+			col("n_regionkey", value.Int, 0),
+			col("n_comment", value.String, 152),
+		}),
+		catalog.MustNewTable("supplier", []catalog.Column{
+			col("s_suppkey", value.Int, 0),
+			col("s_name", value.String, 25),
+			col("s_address", value.String, 40),
+			col("s_nationkey", value.Int, 0),
+			col("s_phone", value.String, 15),
+			col("s_acctbal", value.Float, 0),
+			col("s_comment", value.String, 101),
+		}),
+		catalog.MustNewTable("customer", []catalog.Column{
+			col("c_custkey", value.Int, 0),
+			col("c_name", value.String, 25),
+			col("c_address", value.String, 40),
+			col("c_nationkey", value.Int, 0),
+			col("c_phone", value.String, 15),
+			col("c_acctbal", value.Float, 0),
+			col("c_mktsegment", value.String, 10),
+			col("c_comment", value.String, 117),
+		}),
+		catalog.MustNewTable("part", []catalog.Column{
+			col("p_partkey", value.Int, 0),
+			col("p_name", value.String, 55),
+			col("p_mfgr", value.String, 25),
+			col("p_brand", value.String, 10),
+			col("p_type", value.String, 25),
+			col("p_size", value.Int, 0),
+			col("p_container", value.String, 10),
+			col("p_retailprice", value.Float, 0),
+			col("p_comment", value.String, 23),
+		}),
+		catalog.MustNewTable("partsupp", []catalog.Column{
+			col("ps_partkey", value.Int, 0),
+			col("ps_suppkey", value.Int, 0),
+			col("ps_availqty", value.Int, 0),
+			col("ps_supplycost", value.Float, 0),
+			col("ps_comment", value.String, 199),
+		}),
+		catalog.MustNewTable("orders", []catalog.Column{
+			col("o_orderkey", value.Int, 0),
+			col("o_custkey", value.Int, 0),
+			col("o_orderstatus", value.String, 1),
+			col("o_totalprice", value.Float, 0),
+			col("o_orderdate", value.Date, 0),
+			col("o_orderpriority", value.String, 15),
+			col("o_clerk", value.String, 15),
+			col("o_shippriority", value.Int, 0),
+			col("o_comment", value.String, 79),
+		}),
+		catalog.MustNewTable("lineitem", []catalog.Column{
+			col("l_orderkey", value.Int, 0),
+			col("l_partkey", value.Int, 0),
+			col("l_suppkey", value.Int, 0),
+			col("l_linenumber", value.Int, 0),
+			col("l_quantity", value.Float, 0),
+			col("l_extendedprice", value.Float, 0),
+			col("l_discount", value.Float, 0),
+			col("l_tax", value.Float, 0),
+			col("l_returnflag", value.String, 1),
+			col("l_linestatus", value.String, 1),
+			col("l_shipdate", value.Date, 0),
+			col("l_commitdate", value.Date, 0),
+			col("l_receiptdate", value.Date, 0),
+			col("l_shipinstruct", value.String, 25),
+			col("l_shipmode", value.String, 10),
+			col("l_comment", value.String, 44),
+		}),
+	}
+}
+
+var (
+	regionNames     = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	mktSegments     = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"}
+	orderPriorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECI", "5-LOW"}
+	shipModes       = []string{"AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"}
+	shipInstructs   = []string{"COLLECT COD", "DELIVER IN PERSON", "NONE", "TAKE BACK RETURN"}
+	containers      = []string{"JUMBO BAG", "LG BOX", "MED CASE", "SM PKG", "WRAP JAR"}
+	brands          = []string{"Brand#11", "Brand#22", "Brand#33", "Brand#44", "Brand#55"}
+	types           = []string{"ECONOMY BRASS", "LARGE PLATED", "MEDIUM POLISHED", "SMALL BURNISHED", "STANDARD ANODIZED", "PROMO BURNISHED"}
+	returnFlags     = []string{"R", "A", "N"}
+	lineStatuses    = []string{"O", "F"}
+)
+
+func pick(rng *rand.Rand, opts []string) value.Value {
+	return value.NewString(opts[rng.Intn(len(opts))])
+}
+
+func comment(rng *rand.Rand, width int) value.Value {
+	words := []string{"final", "pending", "quick", "silent", "ironic", "furious", "careful", "express", "regular", "special", "bold", "even"}
+	s := ""
+	for len(s) < width/3 {
+		if s != "" {
+			s += " "
+		}
+		s += words[rng.Intn(len(words))]
+	}
+	if len(s) > width {
+		s = s[:width]
+	}
+	return value.NewString(s)
+}
+
+func money(rng *rand.Rand, lo, hi float64) value.Value {
+	v := lo + rng.Float64()*(hi-lo)
+	return value.NewFloat(float64(int(v*100)) / 100)
+}
+
+func dateIn(rng *rand.Rand, lo, hi int64) value.Value {
+	return value.NewDate(lo + rng.Int63n(hi-lo+1))
+}
+
+// BuildTPCD creates and loads a TPC-D database at the given scale, and
+// analyzes it. The generator is deterministic in seed.
+func BuildTPCD(scale TPCDScale, seed int64) (*engine.Database, error) {
+	db := engine.NewDatabase()
+	for _, t := range TPCDSchema() {
+		if err := db.CreateTable(t); err != nil {
+			return nil, err
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	for i := 0; i < scale.Region; i++ {
+		name := regionNames[i%len(regionNames)]
+		if err := db.Insert("region", value.Row{
+			value.NewInt(int64(i)), value.NewString(name), comment(rng, 152),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < scale.Nation; i++ {
+		if err := db.Insert("nation", value.Row{
+			value.NewInt(int64(i)),
+			value.NewString(fmt.Sprintf("NATION_%02d", i)),
+			value.NewInt(int64(rng.Intn(scale.Region))),
+			comment(rng, 152),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < scale.Supplier; i++ {
+		if err := db.Insert("supplier", value.Row{
+			value.NewInt(int64(i)),
+			value.NewString(fmt.Sprintf("Supplier#%09d", i)),
+			comment(rng, 40),
+			value.NewInt(int64(rng.Intn(scale.Nation))),
+			value.NewString(fmt.Sprintf("%02d-%03d-%03d", rng.Intn(35), rng.Intn(1000), rng.Intn(1000))),
+			money(rng, -999, 9999),
+			comment(rng, 101),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < scale.Customer; i++ {
+		if err := db.Insert("customer", value.Row{
+			value.NewInt(int64(i)),
+			value.NewString(fmt.Sprintf("Customer#%09d", i)),
+			comment(rng, 40),
+			value.NewInt(int64(rng.Intn(scale.Nation))),
+			value.NewString(fmt.Sprintf("%02d-%03d-%03d", rng.Intn(35), rng.Intn(1000), rng.Intn(1000))),
+			money(rng, -999, 9999),
+			pick(rng, mktSegments),
+			comment(rng, 117),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < scale.Part; i++ {
+		if err := db.Insert("part", value.Row{
+			value.NewInt(int64(i)),
+			comment(rng, 55),
+			value.NewString(fmt.Sprintf("Manufacturer#%d", 1+rng.Intn(5))),
+			pick(rng, brands),
+			pick(rng, types),
+			value.NewInt(int64(1 + rng.Intn(50))),
+			pick(rng, containers),
+			money(rng, 900, 2000),
+			comment(rng, 23),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < scale.PartSupp; i++ {
+		if err := db.Insert("partsupp", value.Row{
+			value.NewInt(int64(i % scale.Part)),
+			value.NewInt(int64(i % scale.Supplier)),
+			value.NewInt(int64(1 + rng.Intn(9999))),
+			money(rng, 1, 1000),
+			comment(rng, 199),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < scale.Orders; i++ {
+		if err := db.Insert("orders", GenOrderRow(rng, int64(i), scale)); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < scale.Lineitem; i++ {
+		if err := db.Insert("lineitem", GenLineitemRow(rng, int64(i%scale.Orders), int64(i%7), scale)); err != nil {
+			return nil, err
+		}
+	}
+
+	db.AnalyzeAll()
+	return db, nil
+}
+
+// GenOrderRow generates one orders row; exported for the batch-insert
+// maintenance experiments.
+func GenOrderRow(rng *rand.Rand, orderkey int64, scale TPCDScale) value.Row {
+	return value.Row{
+		value.NewInt(orderkey),
+		value.NewInt(rng.Int63n(int64(scale.Customer))),
+		pick(rng, []string{"O", "F", "P"}),
+		money(rng, 1000, 400000),
+		dateIn(rng, TPCDDateLo, TPCDDateHi-90),
+		pick(rng, orderPriorities),
+		value.NewString(fmt.Sprintf("Clerk#%09d", rng.Intn(1000))),
+		value.NewInt(0),
+		comment(rng, 79),
+	}
+}
+
+// GenLineitemRow generates one lineitem row; exported for the
+// batch-insert maintenance experiments.
+func GenLineitemRow(rng *rand.Rand, orderkey, linenumber int64, scale TPCDScale) value.Row {
+	ship := dateIn(rng, TPCDDateLo, TPCDDateHi-60)
+	return value.Row{
+		value.NewInt(orderkey),
+		value.NewInt(rng.Int63n(int64(scale.Part))),
+		value.NewInt(rng.Int63n(int64(scale.Supplier))),
+		value.NewInt(linenumber),
+		value.NewFloat(float64(1 + rng.Intn(50))),
+		money(rng, 900, 100000),
+		value.NewFloat(float64(rng.Intn(11)) / 100),
+		value.NewFloat(float64(rng.Intn(9)) / 100),
+		pick(rng, returnFlags),
+		pick(rng, lineStatuses),
+		ship,
+		value.NewDate(ship.Int() + int64(rng.Intn(30))),
+		value.NewDate(ship.Int() + 30 + int64(rng.Intn(30))),
+		pick(rng, shipInstructs),
+		pick(rng, shipModes),
+		comment(rng, 44),
+	}
+}

@@ -1,0 +1,108 @@
+package datagen
+
+import (
+	"fmt"
+
+	"indexmerge/internal/catalog"
+	"indexmerge/internal/sql"
+)
+
+// tpcdQueryTexts are the 17 TPC-D benchmark queries, simplified into
+// the engine's single-block SQL dialect. The simplification keeps each
+// query's table set, predicate columns, grouping/ordering columns and
+// projected columns — the signals index selection and index merging
+// react to — while dropping subqueries and arithmetic the engine does
+// not model. Date literals are day numbers within the generator's
+// 1992–1998 domain.
+var tpcdQueryTexts = []string{
+	// Q1: pricing summary report.
+	`SELECT l_returnflag, l_linestatus, SUM(l_quantity), SUM(l_extendedprice), AVG(l_discount), SUM(l_tax), COUNT(*)
+	 FROM lineitem WHERE l_shipdate <= DATE(10340)
+	 GROUP BY l_returnflag, l_linestatus ORDER BY l_returnflag, l_linestatus`,
+	// Q2: minimum cost supplier.
+	`SELECT s_acctbal, s_name, n_name, p_partkey FROM part, supplier, partsupp, nation
+	 WHERE p_partkey = ps_partkey AND s_suppkey = ps_suppkey AND s_nationkey = n_nationkey AND p_size = 15
+	 ORDER BY s_acctbal DESC`,
+	// Q3: shipping priority.
+	`SELECT l_orderkey, SUM(l_extendedprice), o_orderdate, o_shippriority FROM customer, orders, lineitem
+	 WHERE c_mktsegment = 'BUILDING' AND c_custkey = o_custkey AND l_orderkey = o_orderkey
+	 AND o_orderdate < DATE(8490) AND l_shipdate > DATE(8490)
+	 GROUP BY l_orderkey, o_orderdate, o_shippriority`,
+	// Q4: order priority checking.
+	`SELECT o_orderpriority, COUNT(*) FROM orders
+	 WHERE o_orderdate >= DATE(8582) AND o_orderdate < DATE(8674)
+	 GROUP BY o_orderpriority ORDER BY o_orderpriority`,
+	// Q5: local supplier volume.
+	`SELECT n_name, SUM(l_extendedprice) FROM customer, orders, lineitem, supplier, nation
+	 WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey AND l_suppkey = s_suppkey
+	 AND s_nationkey = n_nationkey AND o_orderdate >= DATE(8401) AND o_orderdate < DATE(8766)
+	 GROUP BY n_name`,
+	// Q6: forecasting revenue change.
+	`SELECT SUM(l_extendedprice) FROM lineitem
+	 WHERE l_shipdate >= DATE(8401) AND l_shipdate < DATE(8766)
+	 AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24`,
+	// Q7: volume shipping.
+	`SELECT n_name, SUM(l_extendedprice) FROM supplier, lineitem, orders, nation
+	 WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey AND s_nationkey = n_nationkey
+	 AND l_shipdate BETWEEN DATE(9132) AND DATE(9862)
+	 GROUP BY n_name`,
+	// Q8: national market share.
+	`SELECT o_orderdate, SUM(l_extendedprice) FROM part, lineitem, orders
+	 WHERE p_partkey = l_partkey AND l_orderkey = o_orderkey AND p_type = 'STANDARD ANODIZED'
+	 GROUP BY o_orderdate`,
+	// Q9: product type profit.
+	`SELECT n_name, SUM(l_extendedprice), SUM(l_discount) FROM part, supplier, lineitem, nation
+	 WHERE s_suppkey = l_suppkey AND p_partkey = l_partkey AND s_nationkey = n_nationkey
+	 AND p_brand = 'Brand#22'
+	 GROUP BY n_name`,
+	// Q10: returned item reporting.
+	`SELECT c_custkey, c_name, SUM(l_extendedprice), c_acctbal FROM customer, orders, lineitem
+	 WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey
+	 AND o_orderdate >= DATE(8674) AND o_orderdate < DATE(8766) AND l_returnflag = 'R'
+	 GROUP BY c_custkey, c_name, c_acctbal`,
+	// Q11: important stock identification.
+	`SELECT ps_partkey, SUM(ps_supplycost) FROM partsupp, supplier, nation
+	 WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey AND n_name = 'NATION_07'
+	 GROUP BY ps_partkey`,
+	// Q12: shipping modes and order priority.
+	`SELECT l_shipmode, COUNT(*) FROM orders, lineitem
+	 WHERE o_orderkey = l_orderkey AND l_shipmode = 'MAIL'
+	 AND l_receiptdate >= DATE(8401) AND l_receiptdate < DATE(8766)
+	 GROUP BY l_shipmode`,
+	// Q13: customer distribution.
+	`SELECT c_nationkey, COUNT(*) FROM customer GROUP BY c_nationkey ORDER BY c_nationkey`,
+	// Q14: promotion effect.
+	`SELECT SUM(l_extendedprice), SUM(l_discount) FROM lineitem, part
+	 WHERE l_partkey = p_partkey AND l_shipdate >= DATE(8853) AND l_shipdate < DATE(8883)`,
+	// Q15: top supplier.
+	`SELECT l_suppkey, SUM(l_extendedprice) FROM lineitem
+	 WHERE l_shipdate >= DATE(8947) AND l_shipdate < DATE(9038)
+	 GROUP BY l_suppkey ORDER BY l_suppkey`,
+	// Q16: parts/supplier relationship.
+	`SELECT p_brand, p_type, p_size, COUNT(ps_suppkey) FROM partsupp, part
+	 WHERE p_partkey = ps_partkey AND p_size = 9
+	 GROUP BY p_brand, p_type, p_size ORDER BY p_brand`,
+	// Q17: small-quantity-order revenue.
+	`SELECT AVG(l_extendedprice) FROM lineitem, part
+	 WHERE p_partkey = l_partkey AND p_brand = 'Brand#33' AND p_container = 'MED CASE' AND l_quantity < 5`,
+}
+
+// TPCDWorkload parses and resolves the 17-query TPC-D workload against
+// the schema.
+func TPCDWorkload(sc *catalog.Schema) (*sql.Workload, error) {
+	w := &sql.Workload{}
+	for i, text := range tpcdQueryTexts {
+		stmt, err := sql.ParseSelect(text)
+		if err != nil {
+			return nil, fmt.Errorf("tpcd q%d: %w", i+1, err)
+		}
+		if err := stmt.Resolve(sc); err != nil {
+			return nil, fmt.Errorf("tpcd q%d: %w", i+1, err)
+		}
+		w.Add(stmt, 1)
+	}
+	return w, nil
+}
+
+// TPCDQueryCount is the number of benchmark queries.
+const TPCDQueryCount = 17

@@ -1,0 +1,103 @@
+package datagen
+
+import (
+	"testing"
+
+	"indexmerge/internal/sql"
+	"indexmerge/internal/value"
+)
+
+func TestTPCDWorkloadVariants(t *testing.T) {
+	db, err := BuildTPCD(ScaledTPCD(0.05), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := TPCDWorkloadVariants(db.Schema(), 60, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 60 {
+		t.Fatalf("generated %d queries", w.Len())
+	}
+
+	// Variants must be structurally valid and literals stay in domain.
+	for i, q := range w.Queries {
+		if err := q.Stmt.Resolve(db.Schema()); err != nil {
+			t.Fatalf("q%d invalid: %v\nsql: %s", i, err, q.Stmt)
+		}
+		for _, p := range q.Stmt.Where {
+			check := func(v value.Value) {
+				switch v.Kind() {
+				case value.Date:
+					if v.Int() < TPCDDateLo || v.Int() > TPCDDateHi {
+						t.Errorf("q%d: date %v outside domain", i, v)
+					}
+				case value.String:
+					if domain, ok := stringDomains[p.Col.Column]; ok {
+						found := false
+						for _, d := range domain {
+							if d == v.Str() {
+								found = true
+								break
+							}
+						}
+						if !found {
+							t.Errorf("q%d: %s = %v not in domain", i, p.Col.Column, v)
+						}
+					}
+				}
+			}
+			if p.Op == sql.OpBetween {
+				check(p.Lo)
+				check(p.Hi)
+				if p.Lo.Compare(p.Hi) > 0 {
+					t.Errorf("q%d: inverted BETWEEN %v..%v", i, p.Lo, p.Hi)
+				}
+			} else {
+				check(p.Val)
+			}
+		}
+	}
+
+	// Parameter substitution must actually vary the queries.
+	distinct := map[string]bool{}
+	for _, q := range w.Queries {
+		distinct[q.Stmt.String()] = true
+	}
+	if len(distinct) < 30 {
+		t.Errorf("only %d distinct variants out of 60", len(distinct))
+	}
+
+	// Compression collapses exact duplicates with adjusted frequency.
+	compressed := w.Compress()
+	if compressed.Len() > w.Len() {
+		t.Error("compression grew the workload")
+	}
+	var totalFreq float64
+	for _, q := range compressed.Queries {
+		totalFreq += q.Freq
+	}
+	if totalFreq != 60 {
+		t.Errorf("total frequency %v, want 60", totalFreq)
+	}
+}
+
+func TestTPCDVariantsDeterministic(t *testing.T) {
+	db, err := BuildTPCD(ScaledTPCD(0.05), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := TPCDWorkloadVariants(db.Schema(), 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TPCDWorkloadVariants(db.Schema(), 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Queries {
+		if a.Queries[i].Stmt.String() != b.Queries[i].Stmt.String() {
+			t.Fatalf("variant %d differs across same-seed runs", i)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+// Package datagen generates the paper's three experimental databases —
+// TPC-D (scaled), Synthetic1, and Synthetic2 — with Zipfian column
+// distributions, plus batch-insert row generators for the maintenance
+// experiments. Everything is seeded and deterministic.
+package datagen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Zipf draws integers in [1, n] with probability proportional to
+// 1/rank^theta. theta = 0 degenerates to uniform; the paper draws
+// theta from {0,1,2,3,4} per column ("0 implies uniform distribution,
+// whereas 4 is highly skewed data").
+type Zipf struct {
+	n   int
+	cdf []float64
+	rng *rand.Rand
+}
+
+// NewZipf builds a generator over [1, n] with skew theta.
+func NewZipf(rng *rand.Rand, n int, theta float64) *Zipf {
+	if n < 1 {
+		n = 1
+	}
+	z := &Zipf{n: n, rng: rng}
+	if theta <= 0 {
+		return z // uniform fast path, no CDF needed
+	}
+	z.cdf = make([]float64, n)
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+		z.cdf[i-1] = sum
+	}
+	for i := range z.cdf {
+		z.cdf[i] /= sum
+	}
+	return z
+}
+
+// Next draws one value in [1, n].
+func (z *Zipf) Next() int {
+	if z.cdf == nil {
+		return 1 + z.rng.Intn(z.n)
+	}
+	u := z.rng.Float64()
+	i := sort.SearchFloat64s(z.cdf, u)
+	if i >= z.n {
+		i = z.n - 1
+	}
+	return i + 1
+}
+
+// N returns the domain size.
+func (z *Zipf) N() int { return z.n }

@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"indexmerge/internal/catalog"
+	"indexmerge/internal/storage"
+	"indexmerge/internal/value"
+)
+
+func snapshotFixture(t *testing.T) *Database {
+	t.Helper()
+	db := NewDatabase()
+	if err := db.CreateTable(catalog.MustNewTable("t", []catalog.Column{
+		{Name: "a", Type: value.Int},
+		{Name: "s", Type: value.String, Width: 12},
+		{Name: "f", Type: value.Float},
+		{Name: "d", Type: value.Date},
+	})); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 500; i++ {
+		row := value.Row{value.NewInt(i), value.NewString("str"), value.NewFloat(float64(i) / 3), value.NewDate(i % 30)}
+		if i%50 == 0 {
+			row[1] = value.NewNull()
+		}
+		if err := db.Insert("t", row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.CreateIndex(catalog.IndexDef{Name: "ix", Table: "t", Columns: []string{"a", "d"}}); err != nil {
+		t.Fatal(err)
+	}
+	// Deleted rows must not survive a snapshot round trip.
+	if _, err := db.DeleteWhere("t", func(r value.Row) bool { return r[0].Int() >= 490 }); err != nil {
+		t.Fatal(err)
+	}
+	db.AnalyzeAll()
+	return db
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	db := snapshotFixture(t)
+	var buf bytes.Buffer
+	if err := db.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.TableRowCount("t") != 490 {
+		t.Errorf("loaded rows = %d, want 490 (tombstones dropped)", loaded.TableRowCount("t"))
+	}
+	// Rows round trip exactly, nulls included.
+	h1, _ := db.Heap("t")
+	h2, _ := loaded.Heap("t")
+	rows1 := map[int64]value.Row{}
+	h1.Scan(func(_ storage.RowID, r value.Row) bool { rows1[r[0].Int()] = r; return true })
+	h2.Scan(func(_ storage.RowID, r value.Row) bool {
+		orig, ok := rows1[r[0].Int()]
+		if !ok {
+			t.Fatalf("loaded row %v absent from original", r[0])
+		}
+		for i := range r {
+			if orig[i].Compare(r[i]) != 0 || orig[i].Kind() != r[i].Kind() {
+				t.Fatalf("column %d differs: %v (%v) vs %v (%v)", i, orig[i], orig[i].Kind(), r[i], r[i].Kind())
+			}
+		}
+		return true
+	})
+	// The index was rebuilt and is usable.
+	ix, ok := loaded.Index("t(a,d)")
+	if !ok {
+		t.Fatal("index missing after load")
+	}
+	if ix.Len() != 490 {
+		t.Errorf("index entries = %d", ix.Len())
+	}
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Statistics were rebuilt.
+	if loaded.TableStats("t") == nil {
+		t.Error("statistics missing after load")
+	}
+}
+
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	db := snapshotFixture(t)
+	path := filepath.Join(t.TempDir(), "db.snap")
+	if err := db.SaveSnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.TableRowCount("t") != db.TableRowCount("t") {
+		t.Errorf("row counts differ: %d vs %d", loaded.TableRowCount("t"), db.TableRowCount("t"))
+	}
+	if _, err := LoadSnapshotFile(filepath.Join(t.TempDir(), "missing.snap")); err == nil {
+		t.Error("loading a missing file succeeded")
+	}
+}
+
+func TestSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := LoadSnapshot(strings.NewReader("not a snapshot")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := LoadSnapshot(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}

@@ -1,0 +1,293 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"indexmerge/internal/optimizer"
+	"indexmerge/internal/sql"
+	"indexmerge/internal/value"
+)
+
+// sortIter materializes and sorts its input.
+type sortIter struct {
+	cols []sql.ColumnRef
+	rows []value.Row
+	pos  int
+}
+
+func newSort(in iter, keys []sql.OrderItem) (iter, error) {
+	s := &sortIter{cols: in.schema()}
+	for {
+		r, ok, err := in.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		s.rows = append(s.rows, r.Clone())
+	}
+	if err := sortRows(s.cols, s.rows, keys); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *sortIter) schema() []sql.ColumnRef { return s.cols }
+
+func (s *sortIter) next() (value.Row, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, true, nil
+}
+
+// aggState accumulates one aggregate.
+type aggState struct {
+	fn    sql.AggFunc
+	count int64
+	sum   float64
+	min   value.Value
+	max   value.Value
+	kind  value.Kind
+}
+
+func (a *aggState) add(v value.Value) {
+	if a.fn == sql.AggCountStar {
+		a.count++
+		return
+	}
+	if v.IsNull() {
+		return
+	}
+	a.count++
+	a.kind = v.Kind()
+	a.sum += v.Float()
+	if a.min.IsNull() || v.Compare(a.min) < 0 {
+		a.min = v
+	}
+	if a.max.IsNull() || v.Compare(a.max) > 0 {
+		a.max = v
+	}
+}
+
+func (a *aggState) result() value.Value {
+	switch a.fn {
+	case sql.AggCount, sql.AggCountStar:
+		return value.NewInt(a.count)
+	case sql.AggSum:
+		if a.count == 0 {
+			return value.NewNull()
+		}
+		if a.kind == value.Int || a.kind == value.Date {
+			return value.NewInt(int64(a.sum))
+		}
+		return value.NewFloat(a.sum)
+	case sql.AggAvg:
+		if a.count == 0 {
+			return value.NewNull()
+		}
+		return value.NewFloat(a.sum / float64(a.count))
+	case sql.AggMin:
+		return a.min
+	case sql.AggMax:
+		return a.max
+	}
+	return value.NewNull()
+}
+
+// aggIter computes grouped aggregation. Streaming and hash variants
+// share this implementation — semantics are identical and the data
+// sets here fit in memory; the cost difference only matters to the
+// optimizer's estimates.
+type aggIter struct {
+	cols []sql.ColumnRef
+	rows []value.Row
+	pos  int
+}
+
+func newAgg(in iter, n *optimizer.AggNode) (iter, error) {
+	inSchema := in.schema()
+	groupIdx := make([]int, len(n.GroupBy))
+	for i, g := range n.GroupBy {
+		gi := colIndex(inSchema, g)
+		if gi < 0 {
+			return nil, fmt.Errorf("exec: group column %s not in scope", g)
+		}
+		groupIdx[i] = gi
+	}
+	// Output schema: one column per select item. Plain columns must be
+	// group-by columns; aggregates get synthetic names.
+	a := &aggIter{}
+	itemIdx := make([]int, len(n.Aggs)) // input ordinal per item (-1 for COUNT(*))
+	for i, it := range n.Aggs {
+		if it.Agg == sql.AggCountStar {
+			itemIdx[i] = -1
+		} else {
+			ii := colIndex(inSchema, it.Col)
+			if ii < 0 {
+				return nil, fmt.Errorf("exec: aggregate input %s not in scope", it.Col)
+			}
+			itemIdx[i] = ii
+		}
+		if it.Agg == sql.AggNone {
+			a.cols = append(a.cols, it.Col)
+		} else {
+			a.cols = append(a.cols, sql.ColumnRef{Column: it.String()})
+		}
+	}
+
+	type group struct {
+		key    value.Row
+		states []*aggState
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for {
+		r, ok, err := in.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		var kb strings.Builder
+		for _, gi := range groupIdx {
+			kb.WriteString(r[gi].String())
+			kb.WriteByte('\x00')
+		}
+		k := kb.String()
+		g := groups[k]
+		if g == nil {
+			key := make(value.Row, len(groupIdx))
+			for i, gi := range groupIdx {
+				key[i] = r[gi]
+			}
+			g = &group{key: key, states: make([]*aggState, len(n.Aggs))}
+			for i, it := range n.Aggs {
+				g.states[i] = &aggState{fn: it.Agg, min: value.NewNull(), max: value.NewNull()}
+			}
+			groups[k] = g
+			order = append(order, k)
+		}
+		for i, it := range n.Aggs {
+			if it.Agg == sql.AggNone {
+				continue
+			}
+			if itemIdx[i] < 0 {
+				g.states[i].add(value.NewNull())
+			} else {
+				g.states[i].add(r[itemIdx[i]])
+			}
+		}
+	}
+	// Scalar aggregation over empty input still yields one row.
+	if len(groups) == 0 && len(n.GroupBy) == 0 {
+		states := make([]*aggState, len(n.Aggs))
+		for i, it := range n.Aggs {
+			states[i] = &aggState{fn: it.Agg, min: value.NewNull(), max: value.NewNull()}
+		}
+		groups[""] = &group{states: states}
+		order = append(order, "")
+	}
+
+	for _, k := range order {
+		g := groups[k]
+		out := make(value.Row, len(n.Aggs))
+		for i, it := range n.Aggs {
+			if it.Agg == sql.AggNone {
+				// Locate the value in the group key.
+				found := false
+				for gi, gcol := range n.GroupBy {
+					if gcol == it.Col {
+						out[i] = g.key[gi]
+						found = true
+						break
+					}
+				}
+				if !found {
+					return nil, fmt.Errorf("exec: select column %s is not grouped", it.Col)
+				}
+			} else {
+				out[i] = g.states[i].result()
+			}
+		}
+		a.rows = append(a.rows, out)
+	}
+	return a, nil
+}
+
+func (a *aggIter) schema() []sql.ColumnRef { return a.cols }
+
+func (a *aggIter) next() (value.Row, bool, error) {
+	if a.pos >= len(a.rows) {
+		return nil, false, nil
+	}
+	r := a.rows[a.pos]
+	a.pos++
+	return r, true, nil
+}
+
+// projectIter narrows rows to the select list. After aggregation the
+// input already matches the select list and projection passes through.
+type projectIter struct {
+	cols []sql.ColumnRef
+	in   iter
+	idx  []int
+}
+
+func newProject(in iter, items []sql.SelectItem) (iter, error) {
+	inSchema := in.schema()
+	p := &projectIter{in: in}
+	passThrough := len(inSchema) == len(items)
+	if passThrough {
+		for i, it := range items {
+			want := it.Col
+			if it.Agg != sql.AggNone {
+				want = sql.ColumnRef{Column: it.String()}
+			}
+			got := inSchema[i]
+			if got.Column != want.Column || (want.Table != "" && got.Table != "" && got.Table != want.Table) {
+				passThrough = false
+				break
+			}
+		}
+	}
+	if passThrough {
+		p.cols = inSchema
+		return p, nil
+	}
+	for _, it := range items {
+		ref := it.Col
+		if it.Agg != sql.AggNone {
+			ref = sql.ColumnRef{Column: it.String()}
+		}
+		i := colIndex(inSchema, ref)
+		if i < 0 {
+			return nil, fmt.Errorf("exec: projected column %s not in scope", ref)
+		}
+		p.idx = append(p.idx, i)
+		p.cols = append(p.cols, ref)
+	}
+	return p, nil
+}
+
+func (p *projectIter) schema() []sql.ColumnRef { return p.cols }
+
+func (p *projectIter) next() (value.Row, bool, error) {
+	r, ok, err := p.in.next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	if p.idx == nil {
+		return r, true, nil
+	}
+	out := make(value.Row, len(p.idx))
+	for i, ii := range p.idx {
+		out[i] = r[ii]
+	}
+	return out, true, nil
+}

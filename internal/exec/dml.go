@@ -1,0 +1,60 @@
+package exec
+
+import (
+	"fmt"
+
+	"indexmerge/internal/engine"
+	"indexmerge/internal/sql"
+	"indexmerge/internal/value"
+)
+
+// Exec runs a DML statement (INSERT or DELETE) against the database,
+// maintaining all materialized indexes, and returns the number of rows
+// affected. SELECT statements go through the optimizer + Run instead.
+func Exec(db *engine.Database, stmt sql.Statement) (int, error) {
+	switch s := stmt.(type) {
+	case *sql.InsertStmt:
+		return execInsert(db, s)
+	case *sql.DeleteStmt:
+		return execDelete(db, s)
+	case *sql.SelectStmt:
+		return 0, fmt.Errorf("exec: SELECT statements need a plan; use the optimizer and Run")
+	}
+	return 0, fmt.Errorf("exec: unsupported statement %T", stmt)
+}
+
+func execInsert(db *engine.Database, s *sql.InsertStmt) (int, error) {
+	for i, row := range s.Rows {
+		if err := db.Insert(s.Table, row); err != nil {
+			return i, err
+		}
+	}
+	return len(s.Rows), nil
+}
+
+func execDelete(db *engine.Database, s *sql.DeleteStmt) (int, error) {
+	t, ok := db.Schema().Table(s.Table)
+	if !ok {
+		return 0, fmt.Errorf("exec: unknown table %q", s.Table)
+	}
+	schema := make([]sql.ColumnRef, len(t.Columns))
+	for i, c := range t.Columns {
+		schema[i] = sql.ColumnRef{Table: s.Table, Column: c.Name}
+	}
+	var evalErr error
+	n, err := db.DeleteWhere(s.Table, func(r value.Row) bool {
+		if evalErr != nil {
+			return false
+		}
+		ok, err := evalAll(schema, r, s.Where)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		return ok
+	})
+	if evalErr != nil {
+		return 0, evalErr
+	}
+	return n, err
+}

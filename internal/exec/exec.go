@@ -1,0 +1,182 @@
+// Package exec interprets physical plans produced by the optimizer
+// against materialized storage. Execution serves two purposes: it
+// powers the example applications, and it validates the optimizer —
+// tests check that every plan the optimizer emits computes the same
+// result as a naive full-scan evaluation.
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"indexmerge/internal/engine"
+	"indexmerge/internal/optimizer"
+	"indexmerge/internal/sql"
+	"indexmerge/internal/value"
+)
+
+// Result is a fully materialized query result.
+type Result struct {
+	Columns []string
+	Rows    []value.Row
+}
+
+// Run executes a plan. Every index the plan references must be
+// materialized in the database (hypothetical configurations cannot be
+// executed, matching the paper's premise that what-if indexes are
+// never built).
+func Run(db *engine.Database, plan *optimizer.Plan) (*Result, error) {
+	it, err := build(db, plan.Root)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	for _, c := range it.schema() {
+		res.Columns = append(res.Columns, c.String())
+	}
+	for {
+		row, ok, err := it.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		res.Rows = append(res.Rows, row.Clone())
+	}
+	return res, nil
+}
+
+// iter is a pull-based row iterator with a bound output schema.
+type iter interface {
+	schema() []sql.ColumnRef
+	next() (value.Row, bool, error)
+}
+
+// build compiles a plan node into an iterator tree.
+func build(db *engine.Database, n optimizer.Node) (iter, error) {
+	switch t := n.(type) {
+	case *optimizer.TableScanNode:
+		return newTableScan(db, t)
+	case *optimizer.IndexScanNode:
+		return newIndexScan(db, t)
+	case *optimizer.IndexSeekNode:
+		return newIndexSeek(db, t, nil)
+	case *optimizer.IndexIntersectNode:
+		return newIntersect(db, t)
+	case *optimizer.JoinNode:
+		return newJoin(db, t)
+	case *optimizer.SortNode:
+		in, err := build(db, t.Children()[0])
+		if err != nil {
+			return nil, err
+		}
+		return newSort(in, t.Keys)
+	case *optimizer.AggNode:
+		in, err := build(db, t.Children()[0])
+		if err != nil {
+			return nil, err
+		}
+		return newAgg(in, t)
+	case *optimizer.ProjectNode:
+		in, err := build(db, t.Children()[0])
+		if err != nil {
+			return nil, err
+		}
+		return newProject(in, t.Items)
+	}
+	return nil, fmt.Errorf("exec: unsupported node %T", n)
+}
+
+// colIndex finds a column reference in a schema, matching on table and
+// column (or column alone when the reference is unqualified).
+func colIndex(schema []sql.ColumnRef, ref sql.ColumnRef) int {
+	for i, c := range schema {
+		if c.Column == ref.Column && (ref.Table == "" || c.Table == "" || c.Table == ref.Table) {
+			return i
+		}
+	}
+	return -1
+}
+
+// evalPredicate tests a predicate against a row under the schema.
+func evalPredicate(schema []sql.ColumnRef, row value.Row, p sql.Predicate) (bool, error) {
+	i := colIndex(schema, p.Col)
+	if i < 0 {
+		return false, fmt.Errorf("exec: column %s not in scope", p.Col)
+	}
+	v := row[i]
+	if v.IsNull() {
+		return false, nil // SQL three-valued logic: NULL fails predicates
+	}
+	switch p.Op {
+	case sql.OpEq:
+		return v.Compare(p.Val) == 0, nil
+	case sql.OpNe:
+		return v.Compare(p.Val) != 0, nil
+	case sql.OpLt:
+		return v.Compare(p.Val) < 0, nil
+	case sql.OpLe:
+		return v.Compare(p.Val) <= 0, nil
+	case sql.OpGt:
+		return v.Compare(p.Val) > 0, nil
+	case sql.OpGe:
+		return v.Compare(p.Val) >= 0, nil
+	case sql.OpBetween:
+		return v.Compare(p.Lo) >= 0 && v.Compare(p.Hi) <= 0, nil
+	}
+	return false, fmt.Errorf("exec: unsupported operator %v", p.Op)
+}
+
+func evalAll(schema []sql.ColumnRef, row value.Row, preds []sql.Predicate) (bool, error) {
+	for _, p := range preds {
+		ok, err := evalPredicate(schema, row, p)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// qualifiedSchema returns a table's columns as qualified references.
+func qualifiedSchema(db *engine.Database, table string) ([]sql.ColumnRef, error) {
+	t, ok := db.Schema().Table(table)
+	if !ok {
+		return nil, fmt.Errorf("exec: unknown table %q", table)
+	}
+	out := make([]sql.ColumnRef, len(t.Columns))
+	for i, c := range t.Columns {
+		out[i] = sql.ColumnRef{Table: table, Column: c.Name}
+	}
+	return out, nil
+}
+
+// sortRows orders rows by the given key columns.
+func sortRows(schema []sql.ColumnRef, rows []value.Row, keys []sql.OrderItem) error {
+	type keyIdx struct {
+		idx  int
+		desc bool
+	}
+	kis := make([]keyIdx, len(keys))
+	for i, k := range keys {
+		idx := colIndex(schema, k.Col)
+		if idx < 0 {
+			return fmt.Errorf("exec: sort key %s not in scope", k.Col)
+		}
+		kis[i] = keyIdx{idx: idx, desc: k.Desc}
+	}
+	sort.SliceStable(rows, func(a, b int) bool {
+		for _, ki := range kis {
+			c := rows[a][ki.idx].Compare(rows[b][ki.idx])
+			if c == 0 {
+				continue
+			}
+			if ki.desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return nil
+}

@@ -1,0 +1,271 @@
+package exec
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"indexmerge/internal/catalog"
+	"indexmerge/internal/engine"
+	"indexmerge/internal/optimizer"
+	"indexmerge/internal/sql"
+	"indexmerge/internal/value"
+)
+
+// smallDB builds a deterministic two-table database.
+func smallDB(t testing.TB) *engine.Database {
+	t.Helper()
+	db := engine.NewDatabase()
+	if err := db.CreateTable(catalog.MustNewTable("items", []catalog.Column{
+		{Name: "id", Type: value.Int},
+		{Name: "cat", Type: value.String, Width: 4},
+		{Name: "qty", Type: value.Int},
+		{Name: "price", Type: value.Float},
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(catalog.MustNewTable("cats", []catalog.Column{
+		{Name: "cat", Type: value.String, Width: 4},
+		{Name: "label", Type: value.String, Width: 8},
+	})); err != nil {
+		t.Fatal(err)
+	}
+	cats := []string{"a", "b", "c"}
+	labels := map[string]string{"a": "alpha", "b": "beta", "c": "gamma"}
+	for _, c := range cats {
+		if err := db.Insert("cats", value.Row{value.NewString(c), value.NewString(labels[c])}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		if err := db.Insert("items", value.Row{
+			value.NewInt(int64(i)),
+			value.NewString(cats[rng.Intn(3)]),
+			value.NewInt(int64(1 + rng.Intn(10))),
+			value.NewFloat(float64(i) / 2),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.AnalyzeAll()
+	return db
+}
+
+func runSQL(t testing.TB, db *engine.Database, src string, cfg optimizer.Configuration) *Result {
+	t.Helper()
+	stmt, err := sql.ParseSelect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stmt.Resolve(db.Schema()); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := optimizer.New(db).Optimize(stmt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(db, plan)
+	if err != nil {
+		t.Fatalf("run %q: %v\nplan:\n%s", src, err, plan.Explain())
+	}
+	return res
+}
+
+func TestFilterSemantics(t *testing.T) {
+	db := smallDB(t)
+	cases := []struct {
+		src  string
+		want int
+	}{
+		{"SELECT id FROM items WHERE id = 7", 1},
+		{"SELECT id FROM items WHERE id <> 7", 299},
+		{"SELECT id FROM items WHERE id < 10", 10},
+		{"SELECT id FROM items WHERE id <= 10", 11},
+		{"SELECT id FROM items WHERE id > 289", 10},
+		{"SELECT id FROM items WHERE id >= 289", 11},
+		{"SELECT id FROM items WHERE id BETWEEN 10 AND 19", 10},
+		{"SELECT id FROM items WHERE id = 7 AND qty > 100", 0},
+		{"SELECT id FROM items WHERE cat = 'a' AND cat = 'b'", 0},
+	}
+	for _, c := range cases {
+		got := runSQL(t, db, c.src, nil)
+		if len(got.Rows) != c.want {
+			t.Errorf("%q returned %d rows, want %d", c.src, len(got.Rows), c.want)
+		}
+	}
+}
+
+func TestAggregateFunctions(t *testing.T) {
+	db := engine.NewDatabase()
+	if err := db.CreateTable(catalog.MustNewTable("t", []catalog.Column{
+		{Name: "g", Type: value.String, Width: 2},
+		{Name: "v", Type: value.Int},
+	})); err != nil {
+		t.Fatal(err)
+	}
+	rows := []struct {
+		g string
+		v int64
+	}{{"a", 1}, {"a", 2}, {"a", 3}, {"b", 10}, {"b", 20}}
+	for _, r := range rows {
+		if err := db.Insert("t", value.Row{value.NewString(r.g), value.NewInt(r.v)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.AnalyzeAll()
+	res := runSQL(t, db, "SELECT g, COUNT(*), SUM(v), AVG(v), MIN(v), MAX(v) FROM t GROUP BY g ORDER BY g", nil)
+	if len(res.Rows) != 2 {
+		t.Fatalf("groups = %d", len(res.Rows))
+	}
+	a := res.Rows[0]
+	if a[0].Str() != "a" || a[1].Int() != 3 || a[2].Int() != 6 || a[3].Float() != 2 || a[4].Int() != 1 || a[5].Int() != 3 {
+		t.Errorf("group a: %v", a)
+	}
+	b := res.Rows[1]
+	if b[0].Str() != "b" || b[1].Int() != 2 || b[2].Int() != 30 || b[3].Float() != 15 {
+		t.Errorf("group b: %v", b)
+	}
+}
+
+func TestScalarAggregateOverEmptyInput(t *testing.T) {
+	db := smallDB(t)
+	res := runSQL(t, db, "SELECT COUNT(*), SUM(qty) FROM items WHERE id > 100000", nil)
+	if len(res.Rows) != 1 {
+		t.Fatalf("scalar agg rows = %d, want 1", len(res.Rows))
+	}
+	if res.Rows[0][0].Int() != 0 {
+		t.Errorf("COUNT(*) = %v", res.Rows[0][0])
+	}
+	if !res.Rows[0][1].IsNull() {
+		t.Errorf("SUM over empty = %v, want NULL", res.Rows[0][1])
+	}
+}
+
+func TestAggregatesIgnoreNulls(t *testing.T) {
+	db := engine.NewDatabase()
+	if err := db.CreateTable(catalog.MustNewTable("t", []catalog.Column{
+		{Name: "v", Type: value.Int},
+	})); err != nil {
+		t.Fatal(err)
+	}
+	db.Insert("t", value.Row{value.NewInt(5)})
+	db.Insert("t", value.Row{value.NewNull()})
+	db.Insert("t", value.Row{value.NewInt(7)})
+	db.AnalyzeAll()
+	res := runSQL(t, db, "SELECT COUNT(v), COUNT(*), SUM(v), AVG(v) FROM t", nil)
+	r := res.Rows[0]
+	if r[0].Int() != 2 {
+		t.Errorf("COUNT(v) = %v, want 2", r[0])
+	}
+	if r[1].Int() != 3 {
+		t.Errorf("COUNT(*) = %v, want 3", r[1])
+	}
+	if r[2].Int() != 12 {
+		t.Errorf("SUM(v) = %v", r[2])
+	}
+	if r[3].Float() != 6 {
+		t.Errorf("AVG(v) = %v", r[3])
+	}
+}
+
+func TestOrderBySemantics(t *testing.T) {
+	db := smallDB(t)
+	res := runSQL(t, db, "SELECT id FROM items WHERE id < 20 ORDER BY id DESC", nil)
+	if len(res.Rows) != 20 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i-1][0].Int() < res.Rows[i][0].Int() {
+			t.Fatal("DESC order violated")
+		}
+	}
+}
+
+func TestJoinAgreesAcrossAlgorithms(t *testing.T) {
+	db := smallDB(t)
+	src := `SELECT label, qty FROM items, cats WHERE items.cat = cats.cat AND qty >= 5`
+	// Hash join (no indexes).
+	hash := runSQL(t, db, src, nil)
+	// Index nested-loop (index on items.cat; cats outer is tiny).
+	def, err := catalog.NewIndexDef(db.Schema(), "", "items", []string{"cat", "qty"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Materialize([]catalog.IndexDef{def}); err != nil {
+		t.Fatal(err)
+	}
+	idx := runSQL(t, db, src, optimizer.Configuration{def})
+	if len(hash.Rows) != len(idx.Rows) {
+		t.Fatalf("hash join %d rows, indexed %d", len(hash.Rows), len(idx.Rows))
+	}
+	key := func(r value.Row) string {
+		parts := make([]string, len(r))
+		for i, v := range r {
+			parts[i] = v.String()
+		}
+		return strings.Join(parts, "|")
+	}
+	h := make([]string, len(hash.Rows))
+	x := make([]string, len(idx.Rows))
+	for i := range hash.Rows {
+		h[i] = key(hash.Rows[i])
+		x[i] = key(idx.Rows[i])
+	}
+	sort.Strings(h)
+	sort.Strings(x)
+	for i := range h {
+		if h[i] != x[i] {
+			t.Fatalf("row %d differs: %s vs %s", i, h[i], x[i])
+		}
+	}
+}
+
+func TestJoinNullKeysNeverMatch(t *testing.T) {
+	db := engine.NewDatabase()
+	db.CreateTable(catalog.MustNewTable("l", []catalog.Column{{Name: "k", Type: value.Int}}))
+	db.CreateTable(catalog.MustNewTable("r", []catalog.Column{{Name: "k", Type: value.Int}, {Name: "x", Type: value.Int}}))
+	db.Insert("l", value.Row{value.NewNull()})
+	db.Insert("l", value.Row{value.NewInt(1)})
+	db.Insert("r", value.Row{value.NewNull(), value.NewInt(10)})
+	db.Insert("r", value.Row{value.NewInt(1), value.NewInt(20)})
+	db.AnalyzeAll()
+	res := runSQL(t, db, "SELECT x FROM l, r WHERE l.k = r.k", nil)
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 20 {
+		t.Errorf("null-key join rows: %v", res.Rows)
+	}
+}
+
+func TestRunRejectsUnmaterializedIndex(t *testing.T) {
+	db := smallDB(t)
+	def, err := catalog.NewIndexDef(db.Schema(), "", "items", []string{"id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmt, err := sql.ParseSelect("SELECT id FROM items WHERE id = 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stmt.Resolve(db.Schema()); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := optimizer.New(db).Optimize(stmt, optimizer.Configuration{def})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(db, plan); err == nil {
+		t.Error("executing a hypothetical-index plan must fail")
+	}
+}
+
+func TestProjectionSubset(t *testing.T) {
+	db := smallDB(t)
+	res := runSQL(t, db, "SELECT price, id FROM items WHERE id = 3", nil)
+	if len(res.Columns) != 2 || !strings.Contains(res.Columns[0], "price") {
+		t.Errorf("columns: %v", res.Columns)
+	}
+	if res.Rows[0][1].Int() != 3 {
+		t.Errorf("row: %v", res.Rows[0])
+	}
+}

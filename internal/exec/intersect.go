@@ -1,0 +1,147 @@
+package exec
+
+import (
+	"fmt"
+
+	"indexmerge/internal/engine"
+	"indexmerge/internal/optimizer"
+	"indexmerge/internal/sql"
+	"indexmerge/internal/storage"
+	"indexmerge/internal/value"
+)
+
+// intersectIter executes an IndexIntersectNode: probe each arm's index
+// for matching RIDs, intersect the sets, fetch the surviving heap rows
+// and apply residual predicates.
+type intersectIter struct {
+	cols     []sql.ColumnRef
+	heap     *storage.Heap
+	rids     []storage.RowID
+	pos      int
+	residual []sql.Predicate
+	// arms carry re-check predicates (exclusive range bounds).
+	arms []*optimizer.IndexSeekNode
+}
+
+func newIntersect(db *engine.Database, n *optimizer.IndexIntersectNode) (iter, error) {
+	cols, err := qualifiedSchema(db, n.Table)
+	if err != nil {
+		return nil, err
+	}
+	h, err := db.Heap(n.Table)
+	if err != nil {
+		return nil, err
+	}
+	it := &intersectIter{cols: cols, heap: h, residual: n.Residual}
+
+	var current map[storage.RowID]bool
+	for i, c := range n.Children() {
+		seek, ok := c.(*optimizer.IndexSeekNode)
+		if !ok {
+			return nil, fmt.Errorf("exec: intersection arm %d is %T, want index seek", i, c)
+		}
+		it.arms = append(it.arms, seek)
+		rids, err := seekRIDs(db, seek)
+		if err != nil {
+			return nil, err
+		}
+		if current == nil {
+			current = make(map[storage.RowID]bool, len(rids))
+			for _, r := range rids {
+				current[r] = true
+			}
+			continue
+		}
+		next := make(map[storage.RowID]bool)
+		for _, r := range rids {
+			if current[r] {
+				next[r] = true
+			}
+		}
+		current = next
+	}
+	for r := range current {
+		it.rids = append(it.rids, r)
+	}
+	// Heap order keeps fetch behaviour deterministic.
+	for i := 1; i < len(it.rids); i++ {
+		for j := i; j > 0 && it.rids[j] < it.rids[j-1]; j-- {
+			it.rids[j], it.rids[j-1] = it.rids[j-1], it.rids[j]
+		}
+	}
+	return it, nil
+}
+
+// seekRIDs probes one arm's index and returns matching RIDs, applying
+// the arm's own range re-check.
+func seekRIDs(db *engine.Database, n *optimizer.IndexSeekNode) ([]storage.RowID, error) {
+	ix, ok := db.Index(n.Index.Key())
+	if !ok {
+		return nil, fmt.Errorf("exec: index %s is not materialized", n.Index)
+	}
+	var lo, hi value.Key
+	for _, p := range n.SeekEq {
+		if p.Val.IsNull() {
+			return nil, fmt.Errorf("exec: parameterized seek inside intersection")
+		}
+		lo = append(lo, p.Val)
+		hi = append(hi, p.Val)
+	}
+	if n.SeekRng != nil {
+		switch n.SeekRng.Op {
+		case sql.OpBetween:
+			lo = append(lo, n.SeekRng.Lo)
+			hi = append(hi, n.SeekRng.Hi)
+		case sql.OpGt, sql.OpGe:
+			lo = append(lo, n.SeekRng.Val)
+		case sql.OpLt, sql.OpLe:
+			hi = append(hi, n.SeekRng.Val)
+		}
+	}
+	if len(lo) == 0 {
+		lo = nil
+	}
+	if len(hi) == 0 {
+		hi = nil
+	}
+	// Key schema for re-checking exclusive bounds against the entry.
+	keyCols := make([]sql.ColumnRef, len(n.Index.Columns))
+	for i, c := range n.Index.Columns {
+		keyCols[i] = sql.ColumnRef{Table: n.Index.Table, Column: c}
+	}
+	var out []storage.RowID
+	for c := ix.Seek(lo, hi, true); c.Valid(); c.Next() {
+		if n.SeekRng != nil {
+			ok, err := evalPredicate(keyCols, value.Row(c.Key()), *n.SeekRng)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		out = append(out, c.RID())
+	}
+	return out, nil
+}
+
+func (it *intersectIter) schema() []sql.ColumnRef { return it.cols }
+
+func (it *intersectIter) next() (value.Row, bool, error) {
+	for it.pos < len(it.rids) {
+		rid := it.rids[it.pos]
+		it.pos++
+		row, err := it.heap.Get(rid)
+		if err != nil {
+			return nil, false, err
+		}
+		ok, err := evalAll(it.cols, row, it.residual)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return row, true, nil
+		}
+	}
+	return nil, false, nil
+}

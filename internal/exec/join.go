@@ -1,0 +1,337 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"indexmerge/internal/engine"
+	"indexmerge/internal/optimizer"
+	"indexmerge/internal/sql"
+	"indexmerge/internal/value"
+)
+
+// newJoin dispatches on the physical join kind.
+func newJoin(db *engine.Database, n *optimizer.JoinNode) (iter, error) {
+	left, err := build(db, n.Children()[0])
+	if err != nil {
+		return nil, err
+	}
+	switch n.Kind {
+	case optimizer.HashJoin:
+		right, err := build(db, n.Children()[1])
+		if err != nil {
+			return nil, err
+		}
+		return newHashJoin(left, right, n.On)
+	case optimizer.IndexNLJoin:
+		seek, ok := n.Children()[1].(*optimizer.IndexSeekNode)
+		if !ok {
+			return nil, fmt.Errorf("exec: index nested-loop join needs an index seek inner, got %T", n.Children()[1])
+		}
+		return newIndexNLJoin(db, left, seek, n.On)
+	case optimizer.NLJoin:
+		right, err := build(db, n.Children()[1])
+		if err != nil {
+			return nil, err
+		}
+		return newNLJoin(right, left, n.On) // right is materialized inner
+	}
+	return nil, fmt.Errorf("exec: unsupported join kind %v", n.Kind)
+}
+
+// hashJoin builds a hash table over the right input keyed on its join
+// columns, then streams the left input probing it.
+type hashJoin struct {
+	cols    []sql.ColumnRef
+	on      []sql.JoinPred
+	leftIdx []int // join key ordinals in left schema
+	table   map[string][]value.Row
+	left    iter
+	rightW  int // right row width
+	pending []value.Row
+	cur     value.Row
+}
+
+func newHashJoin(left, right iter, on []sql.JoinPred) (iter, error) {
+	j := &hashJoin{on: on, left: left}
+	ls, rs := left.schema(), right.schema()
+	j.cols = append(append([]sql.ColumnRef{}, ls...), rs...)
+	j.rightW = len(rs)
+
+	var rightIdx []int
+	for _, p := range on {
+		lc, rc := p.Left, p.Right
+		// Orient each predicate: one side must be in the left schema.
+		li := colIndex(ls, lc)
+		ri := colIndex(rs, rc)
+		if li < 0 || ri < 0 {
+			li = colIndex(ls, rc)
+			ri = colIndex(rs, lc)
+		}
+		if li < 0 || ri < 0 {
+			return nil, fmt.Errorf("exec: join predicate %s not resolvable", p)
+		}
+		j.leftIdx = append(j.leftIdx, li)
+		rightIdx = append(rightIdx, ri)
+	}
+
+	j.table = make(map[string][]value.Row)
+	for {
+		row, ok, err := right.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		k := hashKey(row, rightIdx)
+		if k == "" {
+			continue // null join key never matches
+		}
+		j.table[k] = append(j.table[k], row.Clone())
+	}
+	return j, nil
+}
+
+func hashKey(row value.Row, idx []int) string {
+	var b strings.Builder
+	for _, i := range idx {
+		v := row[i]
+		if v.IsNull() {
+			return ""
+		}
+		b.WriteString(v.String())
+		b.WriteByte('\x00')
+	}
+	return b.String()
+}
+
+func (j *hashJoin) schema() []sql.ColumnRef { return j.cols }
+
+func (j *hashJoin) next() (value.Row, bool, error) {
+	for {
+		if len(j.pending) > 0 {
+			r := j.pending[0]
+			j.pending = j.pending[1:]
+			out := append(j.cur.Clone(), r...)
+			return out, true, nil
+		}
+		row, ok, err := j.left.next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		k := hashKey(row, j.leftIdx)
+		if k == "" {
+			continue
+		}
+		if matches := j.table[k]; len(matches) > 0 {
+			j.cur = row
+			j.pending = matches
+		}
+	}
+}
+
+// indexNLJoin drives the outer input, re-seeking the inner index with
+// the outer row's join-column values.
+type indexNLJoin struct {
+	cols  []sql.ColumnRef
+	db    *engine.Database
+	outer iter
+	seek  *optimizer.IndexSeekNode
+	on    []sql.JoinPred
+	// outerIdx[i] gives, for the i-th parameterized column, the outer
+	// schema ordinal supplying its value.
+	params   []string
+	outerIdx []int
+	inner    iter
+	curOuter value.Row
+	innerLen int
+}
+
+func newIndexNLJoin(db *engine.Database, outer iter, seek *optimizer.IndexSeekNode, on []sql.JoinPred) (iter, error) {
+	j := &indexNLJoin{db: db, outer: outer, seek: seek, on: on}
+	os := outer.schema()
+	// Determine parameterized columns (Null-literal equality seeks) and
+	// the outer columns that feed them via the join predicates.
+	for _, p := range seek.SeekEq {
+		if !p.Val.IsNull() {
+			continue
+		}
+		innerCol := p.Col
+		var outerCol sql.ColumnRef
+		found := false
+		for _, jp := range on {
+			if jp.Left == innerCol {
+				outerCol = jp.Right
+				found = true
+				break
+			}
+			if jp.Right == innerCol {
+				outerCol = jp.Left
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("exec: no join predicate feeds seek parameter %s", innerCol)
+		}
+		oi := colIndex(os, outerCol)
+		if oi < 0 {
+			return nil, fmt.Errorf("exec: outer column %s not in scope", outerCol)
+		}
+		j.params = append(j.params, innerCol.Column)
+		j.outerIdx = append(j.outerIdx, oi)
+	}
+	// Inner schema: probe once with an empty iterator just for schema.
+	probe, err := newIndexSeek(db, seek, bindingsFor(j.params, nil, nil))
+	if err != nil {
+		return nil, err
+	}
+	j.cols = append(append([]sql.ColumnRef{}, os...), probe.schema()...)
+	j.innerLen = len(probe.schema())
+	return j, nil
+}
+
+// bindingsFor builds the binding map; nil row yields Null bindings
+// (used only to discover the inner schema).
+func bindingsFor(params []string, idx []int, row value.Row) map[string]value.Value {
+	m := make(map[string]value.Value, len(params))
+	for i, p := range params {
+		if row == nil {
+			m[p] = value.NewNull()
+		} else {
+			m[p] = row[idx[i]]
+		}
+	}
+	return m
+}
+
+func (j *indexNLJoin) schema() []sql.ColumnRef { return j.cols }
+
+func (j *indexNLJoin) next() (value.Row, bool, error) {
+	for {
+		if j.inner != nil {
+			for {
+				r, ok, err := j.inner.next()
+				if err != nil {
+					return nil, false, err
+				}
+				if !ok {
+					j.inner = nil
+					break
+				}
+				out := append(j.curOuter.Clone(), r...)
+				match, err := j.checkOn(out)
+				if err != nil {
+					return nil, false, err
+				}
+				if match {
+					return out, true, nil
+				}
+			}
+		}
+		row, ok, err := j.outer.next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		// Null join keys never match.
+		nullKey := false
+		for _, oi := range j.outerIdx {
+			if row[oi].IsNull() {
+				nullKey = true
+				break
+			}
+		}
+		if nullKey {
+			continue
+		}
+		inner, err := newIndexSeek(j.db, j.seek, bindingsFor(j.params, j.outerIdx, row))
+		if err != nil {
+			return nil, false, err
+		}
+		j.curOuter = row
+		j.inner = inner
+	}
+}
+
+// checkOn evaluates all join predicates on the combined row — needed
+// when some join columns were not part of the seek prefix.
+func (j *indexNLJoin) checkOn(row value.Row) (bool, error) {
+	for _, jp := range j.on {
+		li := colIndex(j.cols, jp.Left)
+		ri := colIndex(j.cols, jp.Right)
+		if li < 0 || ri < 0 {
+			return false, fmt.Errorf("exec: join predicate %s not resolvable", jp)
+		}
+		if row[li].IsNull() || row[ri].IsNull() || row[li].Compare(row[ri]) != 0 {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// nlJoin is a block nested-loop join (cartesian with post-filter); the
+// optimizer only emits it for unconnected table pairs.
+type nlJoin struct {
+	cols      []sql.ColumnRef
+	innerRows []value.Row
+	outer     iter
+	on        []sql.JoinPred
+	curOuter  value.Row
+	pos       int
+	haveOuter bool
+}
+
+func newNLJoin(inner, outer iter, on []sql.JoinPred) (iter, error) {
+	j := &nlJoin{outer: outer, on: on}
+	// Note: plan children are (left=outer, right=inner); schema order
+	// must match the optimizer's (left ++ right).
+	j.cols = append(append([]sql.ColumnRef{}, outer.schema()...), inner.schema()...)
+	for {
+		r, ok, err := inner.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		j.innerRows = append(j.innerRows, r.Clone())
+	}
+	return j, nil
+}
+
+func (j *nlJoin) schema() []sql.ColumnRef { return j.cols }
+
+func (j *nlJoin) next() (value.Row, bool, error) {
+	for {
+		if !j.haveOuter {
+			row, ok, err := j.outer.next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			j.curOuter = row
+			j.pos = 0
+			j.haveOuter = true
+		}
+		for j.pos < len(j.innerRows) {
+			out := append(j.curOuter.Clone(), j.innerRows[j.pos]...)
+			j.pos++
+			match := true
+			for _, jp := range j.on {
+				li := colIndex(j.cols, jp.Left)
+				ri := colIndex(j.cols, jp.Right)
+				if li < 0 || ri < 0 {
+					return nil, false, fmt.Errorf("exec: join predicate %s not resolvable", jp)
+				}
+				if out[li].IsNull() || out[ri].IsNull() || out[li].Compare(out[ri]) != 0 {
+					match = false
+					break
+				}
+			}
+			if match {
+				return out, true, nil
+			}
+		}
+		j.haveOuter = false
+	}
+}

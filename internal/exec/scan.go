@@ -1,0 +1,222 @@
+package exec
+
+import (
+	"fmt"
+
+	"indexmerge/internal/engine"
+	"indexmerge/internal/optimizer"
+	"indexmerge/internal/sql"
+	"indexmerge/internal/storage"
+	"indexmerge/internal/value"
+)
+
+// tableScan yields heap rows that pass the filter.
+type tableScan struct {
+	cols   []sql.ColumnRef
+	rows   []value.Row
+	filter []sql.Predicate
+	pos    int
+}
+
+func newTableScan(db *engine.Database, n *optimizer.TableScanNode) (iter, error) {
+	cols, err := qualifiedSchema(db, n.Table)
+	if err != nil {
+		return nil, err
+	}
+	h, err := db.Heap(n.Table)
+	if err != nil {
+		return nil, err
+	}
+	s := &tableScan{cols: cols, filter: n.Filter}
+	h.Scan(func(_ storage.RowID, r value.Row) bool {
+		s.rows = append(s.rows, r)
+		return true
+	})
+	return s, nil
+}
+
+func (s *tableScan) schema() []sql.ColumnRef { return s.cols }
+
+func (s *tableScan) next() (value.Row, bool, error) {
+	for s.pos < len(s.rows) {
+		r := s.rows[s.pos]
+		s.pos++
+		ok, err := evalAll(s.cols, r, s.filter)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return r, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// indexScan reads an entire covering index in key order.
+type indexScan struct {
+	cols   []sql.ColumnRef
+	cur    *storage.Cursor
+	filter []sql.Predicate
+}
+
+func newIndexScan(db *engine.Database, n *optimizer.IndexScanNode) (iter, error) {
+	ix, ok := db.Index(n.Index.Key())
+	if !ok {
+		return nil, fmt.Errorf("exec: index %s is not materialized", n.Index)
+	}
+	cols := make([]sql.ColumnRef, len(n.Index.Columns))
+	for i, c := range n.Index.Columns {
+		cols[i] = sql.ColumnRef{Table: n.Index.Table, Column: c}
+	}
+	return &indexScan{cols: cols, cur: ix.ScanAll(), filter: n.Filter}, nil
+}
+
+func (s *indexScan) schema() []sql.ColumnRef { return s.cols }
+
+func (s *indexScan) next() (value.Row, bool, error) {
+	for s.cur.Valid() {
+		row := value.Row(s.cur.Key())
+		s.cur.Next()
+		ok, err := evalAll(s.cols, row, s.filter)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return row, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// indexSeek descends the index once with bounds derived from the seek
+// predicates. bindings (used by index nested-loop joins) substitute
+// outer-row values for the Null placeholders in parameterized
+// predicates.
+type indexSeek struct {
+	cols     []sql.ColumnRef
+	ix       *storage.Index
+	heap     *storage.Heap
+	node     *optimizer.IndexSeekNode
+	covering bool
+	cur      *storage.Cursor
+	residual []sql.Predicate
+}
+
+// newIndexSeek builds the iterator; bindings maps column name →
+// concrete value for parameterized equality predicates.
+func newIndexSeek(db *engine.Database, n *optimizer.IndexSeekNode, bindings map[string]value.Value) (iter, error) {
+	ix, ok := db.Index(n.Index.Key())
+	if !ok {
+		return nil, fmt.Errorf("exec: index %s is not materialized", n.Index)
+	}
+	s := &indexSeek{ix: ix, node: n, covering: n.Covering}
+	// Parameterized placeholder predicates (equality with a Null
+	// literal, used by index nested-loop joins) are enforced by the
+	// join's On conditions, not here.
+	for _, p := range n.Residual {
+		if p.Op == sql.OpEq && p.Val.IsNull() {
+			continue
+		}
+		s.residual = append(s.residual, p)
+	}
+	if n.Covering {
+		s.cols = make([]sql.ColumnRef, len(n.Index.Columns))
+		for i, c := range n.Index.Columns {
+			s.cols[i] = sql.ColumnRef{Table: n.Index.Table, Column: c}
+		}
+	} else {
+		cols, err := qualifiedSchema(db, n.Index.Table)
+		if err != nil {
+			return nil, err
+		}
+		s.cols = cols
+		h, err := db.Heap(n.Index.Table)
+		if err != nil {
+			return nil, err
+		}
+		s.heap = h
+	}
+	if err := s.reset(bindings); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// reset positions the cursor for the given parameter bindings.
+func (s *indexSeek) reset(bindings map[string]value.Value) error {
+	n := s.node
+	// Equality prefix values in index column order.
+	var lo, hi value.Key
+	hiIncl := true
+	for _, p := range n.SeekEq {
+		v := p.Val
+		if v.IsNull() {
+			b, ok := bindings[p.Col.Column]
+			if !ok {
+				return fmt.Errorf("exec: unbound seek parameter %s", p.Col)
+			}
+			v = b
+		}
+		lo = append(lo, v)
+		hi = append(hi, v)
+	}
+	if n.SeekRng != nil {
+		switch n.SeekRng.Op {
+		case sql.OpBetween:
+			lo = append(lo, n.SeekRng.Lo)
+			hi = append(hi, n.SeekRng.Hi)
+		case sql.OpGt, sql.OpGe:
+			lo = append(lo, n.SeekRng.Val)
+			// hi stays the equality prefix (prefix-bounded).
+		case sql.OpLt, sql.OpLe:
+			hi = append(hi, n.SeekRng.Val)
+		}
+	}
+	if len(lo) == 0 {
+		lo = nil
+	}
+	if len(hi) == 0 {
+		hi = nil
+	}
+	s.cur = s.ix.Seek(lo, hi, hiIncl)
+	return nil
+}
+
+func (s *indexSeek) schema() []sql.ColumnRef { return s.cols }
+
+func (s *indexSeek) next() (value.Row, bool, error) {
+	for s.cur.Valid() {
+		key := s.cur.Key()
+		rid := s.cur.RID()
+		s.cur.Next()
+		var row value.Row
+		if s.covering {
+			row = value.Row(key)
+		} else {
+			r, err := s.heap.Get(rid)
+			if err != nil {
+				return nil, false, err
+			}
+			row = r
+		}
+		// Exclusive range bounds and parameterized residuals are
+		// re-checked here; the B+-tree bounds are inclusive.
+		if s.node.SeekRng != nil {
+			ok, err := evalPredicate(s.cols, row, *s.node.SeekRng)
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		ok, err := evalAll(s.cols, row, s.residual)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return row, true, nil
+		}
+	}
+	return nil, false, nil
+}

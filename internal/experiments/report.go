@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table is a simple aligned-text table for experiment reports.
+type Table struct {
+	Title   string
+	Header  []string
+	RowsOut [][]string
+}
+
+// NewTable creates a titled table.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// Add appends one row (values are stringified).
+func (t *Table) Add(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.1f", v)
+		case time.Duration:
+			row[i] = v.Round(time.Millisecond).String()
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.RowsOut = append(t.RowsOut, row)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.RowsOut {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintln(w, t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.RowsOut {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Pct formats a fraction as a percentage string.
+func Pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
+
+// RenderSearchComparison prints Figures 5 and 6 from shared rows.
+func RenderSearchComparison(w io.Writer, rows []SearchComparisonRow) {
+	f5 := NewTable("Figure 5 — Quality of Greedy (storage reduction, cost constraint 10%, N=5, complex workload)",
+		"Database", "Exhaustive", "Greedy-Cost-Opt", "Greedy-Cost-None", "GCO cost+", "GCN cost+ (unchecked)")
+	for _, r := range rows {
+		f5.Add(r.Database, Pct(r.ExhaustiveReduction), Pct(r.GreedyOptReduction), Pct(r.GreedyNoneReduction),
+			Pct(r.FinalCostIncrease), Pct(r.NoCostCostIncrease))
+	}
+	f5.Render(w)
+	fmt.Fprintln(w)
+
+	f6 := NewTable("Figure 6 — Running time of Greedy as % of Exhaustive",
+		"Database", "Greedy-Cost-Opt", "Greedy-Cost-None", "Exhaustive time", "GCO evals", "Exh evals")
+	for _, r := range rows {
+		f6.Add(r.Database,
+			Pct(ratioDur(r.GreedyOptTime, r.ExhaustiveTime)),
+			Pct(ratioDur(r.GreedyNoneTime, r.ExhaustiveTime)),
+			r.ExhaustiveTime, r.GreedyOptEvals, r.ExhaustiveEvals)
+	}
+	f6.Render(w)
+}
+
+func ratioDur(a, b time.Duration) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// RenderMergePairComparison prints Figure 7.
+func RenderMergePairComparison(w io.Writer, rows []MergePairComparisonRow) {
+	t := NewTable("Figure 7 — MergePair procedures (Greedy-Cost-Opt, N=5, cost constraint 10%)",
+		"Database", "MergePair-Exhaustive", "MergePair-Cost", "MergePair-Syntactic")
+	for _, r := range rows {
+		t.Add(r.Database, Pct(r.ExhaustiveReduction), Pct(r.CostReduction), Pct(r.SyntacticReduction))
+	}
+	t.Render(w)
+}
+
+// RenderMaintenanceComparison prints Figure 8.
+func RenderMaintenanceComparison(w io.Writer, rows []MaintenanceRow) {
+	t := NewTable("Figure 8 — Reduction in index maintenance cost (cost constraint 20%, 1% batch insert into two largest tables)",
+		"Database", "N", "Initial writes", "Merged writes", "Reduction", "Indexes", "Storage saved")
+	for _, r := range rows {
+		t.Add(r.Database, r.N, r.InitialCost, r.MergedCost, Pct(r.Reduction()),
+			fmt.Sprintf("%d->%d", r.IndexesBefore, r.IndexesAfter), Pct(r.StorageReduction))
+	}
+	t.Render(w)
+}
+
+// RenderIntroQ1Q3 prints the introduction's Q1/Q3 example.
+func RenderIntroQ1Q3(w io.Writer, r *IntroQ1Q3Result) {
+	fmt.Fprintln(w, "Intro example — merging the TPC-D Q1 and Q3 covering indexes (paper: storage -38%, maintenance -22%, query cost +3%)")
+	fmt.Fprintf(w, "  I1     = %s\n", r.I1)
+	fmt.Fprintf(w, "  I2     = %s\n", r.I2)
+	fmt.Fprintf(w, "  merged = %s\n", r.Merged)
+	fmt.Fprintf(w, "  storage:     %d -> %d bytes (%s saved)\n", r.StorageBefore, r.StorageAfter, Pct(r.StorageReduction()))
+	fmt.Fprintf(w, "  maintenance: %d -> %d page writes (%s saved)\n", r.MaintenanceBefore, r.MaintenanceAfter, Pct(r.MaintenanceReduction()))
+	fmt.Fprintf(w, "  Q1+Q3 cost:  %.2f -> %.2f (%s increase)\n", r.QueryCostBefore, r.QueryCostAfter, Pct(r.QueryCostIncrease()))
+}
+
+// RenderIntroTPCD17 prints the introduction's 17-query study.
+func RenderIntroTPCD17(w io.Writer, r *IntroTPCD17Result) {
+	fmt.Fprintln(w, "Intro study — TPC-D 17 queries tuned individually, then merged (paper: 5x data -> 2.3x data, ~5% cost increase)")
+	fmt.Fprintf(w, "  data size:            %d bytes\n", r.DataBytes)
+	fmt.Fprintf(w, "  tuned index storage:  %d bytes (%.2fx data, %d indexes)\n", r.TunedIndexBytes, r.TunedRatio, r.IndexesBefore)
+	fmt.Fprintf(w, "  merged index storage: %d bytes (%.2fx data, %d indexes)\n", r.MergedIndexBytes, r.MergedRatio, r.IndexesAfter)
+	fmt.Fprintf(w, "  workload cost change: %s\n", Pct(r.CostIncrease))
+}
+
+// RenderAblation prints one ablation study.
+func RenderAblation(w io.Writer, title string, rows []AblationRow) {
+	t := NewTable(title, "Database", "Baseline saved", "Variant saved", "Baseline cost+", "Variant cost+", "Base extra", "Var extra")
+	for _, r := range rows {
+		t.Add(r.Database, Pct(r.BaselineReduction), Pct(r.VariantReduction),
+			Pct(r.BaselineCostIncrease), Pct(r.VariantCostIncrease), r.BaselineExtra, r.VariantExtra)
+	}
+	t.Render(w)
+}
+
+// RenderCompression prints the workload-compression study.
+func RenderCompression(w io.Writer, rows []CompressionRow) {
+	t := NewTable("Workload compression (§3.5.3) — dedup + top-k most expensive queries",
+		"Database", "Full queries", "Top-k", "Full opt calls", "Top-k opt calls", "Full saved", "Top-k saved")
+	for _, r := range rows {
+		t.Add(r.Database, r.FullQueries, r.CompressedQueries, r.FullCalls, r.CompressedCalls,
+			Pct(r.FullReduction), Pct(r.CompressedReduction))
+	}
+	t.Render(w)
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Title", "col1", "longer-column", "c3")
+	tb.Add("a", 0.5, 42)
+	tb.Add("bbbb", "text", time.Duration(1500)*time.Millisecond)
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"Title", "col1", "longer-column", "0.5", "42", "bbbb", "1.5s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title, header, separator, 2 rows -> 5? title+header+sep+2 = 5
+		if len(lines) != 5 {
+			t.Errorf("unexpected line count %d:\n%s", len(lines), out)
+		}
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.123); got != "12.3%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Pct(-0.05); got != "-5.0%" {
+		t.Errorf("Pct = %q", got)
+	}
+}
+
+func TestRenderersProduceOutput(t *testing.T) {
+	var sb strings.Builder
+	RenderSearchComparison(&sb, []SearchComparisonRow{{
+		Database: "X", ExhaustiveReduction: 0.3, GreedyOptReduction: 0.29,
+		GreedyNoneReduction: 0.1, ExhaustiveTime: time.Second, GreedyOptTime: time.Millisecond,
+	}})
+	if !strings.Contains(sb.String(), "Figure 5") || !strings.Contains(sb.String(), "Figure 6") {
+		t.Error("search comparison rendering incomplete")
+	}
+	sb.Reset()
+	RenderMergePairComparison(&sb, []MergePairComparisonRow{{Database: "X"}})
+	if !strings.Contains(sb.String(), "Figure 7") {
+		t.Error("merge-pair rendering incomplete")
+	}
+	sb.Reset()
+	RenderMaintenanceComparison(&sb, []MaintenanceRow{{Database: "X", N: 5, InitialCost: 10, MergedCost: 5}})
+	if !strings.Contains(sb.String(), "Figure 8") || !strings.Contains(sb.String(), "50.0%") {
+		t.Errorf("maintenance rendering incomplete:\n%s", sb.String())
+	}
+	sb.Reset()
+	RenderCostMinimal(&sb, []DualRow{{Database: "X", BudgetFrac: 0.5, MetBudget: true}})
+	if !strings.Contains(sb.String(), "Cost-Minimal") {
+		t.Error("dual rendering incomplete")
+	}
+	sb.Reset()
+	RenderAblation(&sb, "T", []AblationRow{{Database: "X"}})
+	RenderCompression(&sb, []CompressionRow{{Database: "X"}})
+	if sb.Len() == 0 {
+		t.Error("ablation/compression rendering empty")
+	}
+}
+
+func TestMaintenanceRowReduction(t *testing.T) {
+	r := MaintenanceRow{InitialCost: 100, MergedCost: 25}
+	if r.Reduction() != 0.75 {
+		t.Errorf("Reduction = %v", r.Reduction())
+	}
+	zero := MaintenanceRow{}
+	if zero.Reduction() != 0 {
+		t.Errorf("zero-cost Reduction = %v", zero.Reduction())
+	}
+}

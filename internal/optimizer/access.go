@@ -1,0 +1,237 @@
+package optimizer
+
+import (
+	"indexmerge/internal/catalog"
+	"indexmerge/internal/sql"
+	"indexmerge/internal/stats"
+	"indexmerge/internal/storage"
+)
+
+// tableInfo caches everything the optimizer needs about one referenced
+// table.
+type tableInfo struct {
+	name      string
+	table     *catalog.Table
+	ts        *stats.TableStats
+	rowCount  float64
+	heapPages int64
+	preds     []scoredPred // restrictions with precomputed selectivities
+	required  []string     // columns the query needs from this table
+	// noIntersect disables index-intersection paths (ablation knob).
+	noIntersect bool
+}
+
+// scoredPred pairs a predicate with its estimated selectivity. Join-
+// parameterized equality predicates (inner side of an index nested-loop
+// join) get their selectivity from column density rather than a literal.
+type scoredPred struct {
+	p   sql.Predicate
+	sel float64
+}
+
+// accessPath is one way to produce a table's (filtered) rows.
+type accessPath struct {
+	node    Node
+	index   *catalog.IndexDef // nil for heap scan
+	eqBound map[string]bool   // columns fixed by equality seek
+	ordered []string          // column order the output is sorted by
+	rows    float64
+}
+
+// enumerateAccessPaths returns every access path worth considering for
+// the table: heap scan, covering index scans, and index seeks (covering
+// or with RID lookups) for every index in the configuration.
+func enumerateAccessPaths(ti *tableInfo, indexes []catalog.IndexDef) []accessPath {
+	var paths []accessPath
+
+	// Heap scan with all predicates as residual filter.
+	allSel := 1.0
+	var rawPreds []sql.Predicate
+	for _, sp := range ti.preds {
+		allSel *= sp.sel
+		rawPreds = append(rawPreds, sp.p)
+	}
+	outRows := ti.rowCount * clampSel(allSel)
+	scan := &TableScanNode{Table: ti.name, Filter: rawPreds}
+	scan.cost = scanCost(ti.heapPages, ti.rowCount)
+	scan.rows = outRows
+	paths = append(paths, accessPath{node: scan, rows: outRows})
+
+	for i := range indexes {
+		idx := indexes[i]
+		keyWidth := ti.table.WidthOf(idx.Columns)
+		idxPages := storage.EstimateIndexPages(int64(ti.rowCount), keyWidth)
+		height := storage.EstimateIndexHeight(int64(ti.rowCount), keyWidth)
+		covering := idx.CoversColumns(ti.required)
+
+		// Covering full scan: a narrow vertical slice of the table.
+		if covering {
+			n := &IndexScanNode{Index: idx, Filter: rawPreds}
+			n.cost = indexScanCost(idxPages, ti.rowCount)
+			n.rows = outRows
+			paths = append(paths, accessPath{node: n, index: &indexes[i], ordered: idx.Columns, rows: outRows})
+		}
+
+		// Seek: equality prefix plus at most one range predicate.
+		seekEq, seekRng, residual, seekSel := matchSeek(idx.Columns, ti.preds)
+		if len(seekEq) == 0 && seekRng == nil {
+			continue
+		}
+		matchRows := ti.rowCount * seekSel
+		n := &IndexSeekNode{Index: idx, Covering: covering}
+		eqBound := make(map[string]bool, len(seekEq))
+		for _, sp := range seekEq {
+			n.SeekEq = append(n.SeekEq, sp.p)
+			eqBound[sp.p.Col.Column] = true
+		}
+		if seekRng != nil {
+			rp := seekRng.p
+			n.SeekRng = &rp
+		}
+		resSel := 1.0
+		for _, sp := range residual {
+			n.Residual = append(n.Residual, sp.p)
+			resSel *= sp.sel
+		}
+		n.cost = seekCost(height, idxPages, ti.rowCount, matchRows, covering, ti.heapPages)
+		n.rows = matchRows * clampSel(resSel)
+		paths = append(paths, accessPath{node: n, index: &indexes[i], eqBound: eqBound, ordered: idx.Columns, rows: n.rows})
+	}
+
+	// Index intersection: AND two seeks through their RID sets (§3.5.2's
+	// "innovative technique"). Only worthwhile with multiple seekable
+	// predicates on different leading columns.
+	if !ti.noIntersect {
+		paths = append(paths, intersectionPaths(ti, paths)...)
+	}
+	return paths
+}
+
+// matchSeek matches predicates against the index's column order:
+// equality predicates bind leading columns; the first non-equality
+// column may take one range predicate; everything else is residual.
+func matchSeek(idxCols []string, preds []scoredPred) (seekEq []scoredPred, seekRng *scoredPred, residual []scoredPred, sel float64) {
+	used := make([]bool, len(preds))
+	sel = 1.0
+	for _, col := range idxCols {
+		foundEq := false
+		for i, sp := range preds {
+			if used[i] || sp.p.Col.Column != col {
+				continue
+			}
+			if sp.p.Op.IsEquality() {
+				seekEq = append(seekEq, sp)
+				used[i] = true
+				sel *= sp.sel
+				foundEq = true
+				break
+			}
+		}
+		if foundEq {
+			continue
+		}
+		// No equality on this column: try one range predicate, then stop.
+		for i, sp := range preds {
+			if used[i] || sp.p.Col.Column != col {
+				continue
+			}
+			if sp.p.Op.IsRange() {
+				cp := sp
+				seekRng = &cp
+				used[i] = true
+				sel *= sp.sel
+				break
+			}
+		}
+		break
+	}
+	for i, sp := range preds {
+		if !used[i] {
+			residual = append(residual, sp)
+		}
+	}
+	return seekEq, seekRng, residual, clampSel(sel)
+}
+
+// bestPath returns the minimum-cost access path.
+func bestPath(paths []accessPath) accessPath {
+	best := paths[0]
+	for _, p := range paths[1:] {
+		if p.node.Cost() < best.node.Cost() {
+			best = p
+		}
+	}
+	return best
+}
+
+// orderSatisfied reports whether the access path's sort order satisfies
+// the ORDER BY keys for a single-table query: each ASC key must match
+// the next index column, where columns bound by equality may be
+// skipped (they are constant in the output).
+func orderSatisfied(order []sql.OrderItem, path accessPath, table string) bool {
+	if len(order) == 0 {
+		return true
+	}
+	if path.ordered == nil {
+		return false
+	}
+	pos := 0
+	for _, key := range order {
+		if key.Desc || key.Col.Table != table {
+			return false
+		}
+		matched := false
+		for pos < len(path.ordered) {
+			col := path.ordered[pos]
+			pos++
+			if col == key.Col.Column {
+				matched = true
+				break
+			}
+			if path.eqBound[col] {
+				continue // constant column, transparent to ordering
+			}
+			return false
+		}
+		if !matched {
+			return false
+		}
+	}
+	return true
+}
+
+// groupSatisfied reports whether the access path delivers rows
+// clustered by the GROUP BY columns (any order), enabling streaming
+// aggregation: the leading non-equality-bound index columns must be
+// exactly the group-by column set.
+func groupSatisfied(group []sql.ColumnRef, path accessPath, table string) bool {
+	if len(group) == 0 {
+		return false
+	}
+	if path.ordered == nil {
+		return false
+	}
+	want := make(map[string]bool, len(group))
+	for _, g := range group {
+		if g.Table != table {
+			return false
+		}
+		want[g.Column] = true
+	}
+	need := len(want)
+	for _, col := range path.ordered {
+		if need == 0 {
+			return true
+		}
+		if want[col] {
+			want[col] = false
+			need--
+			continue
+		}
+		if path.eqBound[col] {
+			continue
+		}
+		return false
+	}
+	return need == 0
+}

@@ -1,0 +1,91 @@
+package optimizer
+
+import "math"
+
+// Cost model constants. Units are arbitrary "cost units" anchored at
+// one sequential page read = 1.0; only relative costs matter to the
+// merging algorithm, as with the optimizer-estimated costs the paper
+// consumes through Showplan.
+const (
+	// SeqPageCost is the cost of one sequential page read.
+	SeqPageCost = 1.0
+	// RandPageCost is the cost of one random page read (seek-dominated).
+	RandPageCost = 4.0
+	// CPURowCost is the CPU cost of processing one row.
+	CPURowCost = 0.01
+	// CPUOpCost is the CPU cost of one primitive operation (compare/hash).
+	CPUOpCost = 0.0025
+	// SortMemRows approximates the number of rows that sort in memory;
+	// larger inputs pay a spill pass.
+	SortMemRows = 1 << 20
+)
+
+// scanCost prices a full heap scan.
+func scanCost(pages int64, rows float64) float64 {
+	return float64(pages)*SeqPageCost + rows*CPURowCost
+}
+
+// indexScanCost prices a full covering-index scan.
+func indexScanCost(idxPages int64, entries float64) float64 {
+	return float64(idxPages)*SeqPageCost + entries*CPURowCost
+}
+
+// seekCost prices an index seek returning matchRows of the index's
+// entries, plus RID lookups when not covering.
+func seekCost(height int, leafPages int64, totalEntries, matchRows float64, covering bool, heapPages int64) float64 {
+	// Root-to-leaf descent.
+	c := float64(height) * RandPageCost
+	// Contiguous leaf range for the matches.
+	frac := 0.0
+	if totalEntries > 0 {
+		frac = matchRows / totalEntries
+	}
+	touched := math.Ceil(frac * float64(leafPages))
+	if touched < 1 {
+		touched = 1
+	}
+	c += touched * SeqPageCost
+	c += matchRows * CPURowCost
+	if !covering {
+		// Each match fetches its heap row at a random page. Cap at a
+		// small multiple of the heap size: beyond that a buffer pool
+		// would stop re-reading pages.
+		lookup := matchRows * RandPageCost
+		cap := 2 * float64(heapPages) * RandPageCost
+		if lookup > cap && cap > 0 {
+			lookup = cap
+		}
+		c += lookup + matchRows*CPURowCost
+	}
+	return c
+}
+
+// sortCost prices sorting rows tuples.
+func sortCost(rows float64) float64 {
+	if rows < 2 {
+		return CPUOpCost
+	}
+	c := rows * math.Log2(rows) * CPUOpCost * 2
+	if rows > SortMemRows {
+		// External pass: write + read the run files.
+		pages := rows / 64 // ~64 rows/page at an assumed 128B row
+		c += 2 * pages * SeqPageCost
+	}
+	return c
+}
+
+// hashJoinCost prices building on the smaller input and probing with
+// the larger, excluding child costs.
+func hashJoinCost(buildRows, probeRows float64) float64 {
+	return buildRows*(CPURowCost+2*CPUOpCost) + probeRows*(CPURowCost+CPUOpCost)
+}
+
+// hashAggCost prices hash aggregation, excluding child cost.
+func hashAggCost(inRows, groups float64) float64 {
+	return inRows*(CPURowCost+CPUOpCost) + groups*CPURowCost
+}
+
+// streamAggCost prices aggregation over sorted input.
+func streamAggCost(inRows float64) float64 {
+	return inRows * CPURowCost
+}

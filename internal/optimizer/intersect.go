@@ -1,0 +1,162 @@
+package optimizer
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"indexmerge/internal/sql"
+	"indexmerge/internal/storage"
+)
+
+// IndexIntersectNode ANDs two index seeks by intersecting their RID
+// sets, then fetches the surviving heap rows — the "index
+// intersection" technique §3.5.2 cites as something modern query
+// processors do and external cost models cannot track. Each child is
+// an IndexSeekNode used purely as a RID producer.
+type IndexIntersectNode struct {
+	baseNode
+	Table    string
+	Residual []sql.Predicate
+}
+
+// Describe implements Node.
+func (n *IndexIntersectNode) Describe() string {
+	names := make([]string, len(n.children))
+	for i, c := range n.children {
+		names[i] = c.(*IndexSeekNode).Index.Name
+	}
+	s := fmt.Sprintf("IndexIntersect(%s) +RIDLookup", strings.Join(names, " ∩ "))
+	if len(n.Residual) > 0 {
+		s += " residual=" + predList(n.Residual)
+	}
+	return s
+}
+
+// maxIntersectArms bounds how many seek paths are paired.
+const maxIntersectArms = 4
+
+// intersectionPaths builds index-intersection access paths from the
+// already-enumerated single-index seeks: pairs with different leading
+// columns, each moderately selective on its own, whose conjunction is
+// selective enough to pay for two B+-tree probes plus RID lookups.
+func intersectionPaths(ti *tableInfo, seeks []accessPath) []accessPath {
+	// Keep the most selective few seeks as candidate arms.
+	var arms []*IndexSeekNode
+	for _, p := range seeks {
+		if s, ok := p.node.(*IndexSeekNode); ok && (len(s.SeekEq) > 0 || s.SeekRng != nil) {
+			arms = append(arms, s)
+		}
+	}
+	if len(arms) < 2 {
+		return nil
+	}
+	if len(arms) > maxIntersectArms {
+		arms = arms[:maxIntersectArms]
+	}
+
+	var out []accessPath
+	for i := 0; i < len(arms); i++ {
+		for j := i + 1; j < len(arms); j++ {
+			a, b := arms[i], arms[j]
+			if a.Index.Columns[0] == b.Index.Columns[0] {
+				continue // same leading column: the arms consume the same predicate
+			}
+			if sharesSeekPredicate(a, b) {
+				continue // a predicate consumed twice would double-count selectivity
+			}
+			node := buildIntersection(ti, a, b)
+			if node != nil {
+				out = append(out, accessPath{node: node, rows: node.Rows()})
+			}
+		}
+	}
+	return out
+}
+
+// sharesSeekPredicate reports whether the two seeks consume a common
+// predicate (same column and operator).
+func sharesSeekPredicate(a, b *IndexSeekNode) bool {
+	key := func(p sql.Predicate) string { return p.Col.Column + "/" + p.Op.String() }
+	seen := make(map[string]bool)
+	for _, p := range a.SeekEq {
+		seen[key(p)] = true
+	}
+	if a.SeekRng != nil {
+		seen[key(*a.SeekRng)] = true
+	}
+	for _, p := range b.SeekEq {
+		if seen[key(p)] {
+			return true
+		}
+	}
+	if b.SeekRng != nil && seen[key(*b.SeekRng)] {
+		return true
+	}
+	return false
+}
+
+// buildIntersection assembles and costs the intersection node.
+func buildIntersection(ti *tableInfo, a, b *IndexSeekNode) *IndexIntersectNode {
+	// Selectivity of each arm's seek predicates.
+	selOf := func(s *IndexSeekNode) float64 {
+		sel := 1.0
+		for _, p := range s.SeekEq {
+			sel *= predicateSelectivity(ti.ts, p)
+		}
+		if s.SeekRng != nil {
+			sel *= predicateSelectivity(ti.ts, *s.SeekRng)
+		}
+		return clampSel(sel)
+	}
+	selA, selB := selOf(a), selOf(b)
+	matchA := ti.rowCount * selA
+	matchB := ti.rowCount * selB
+	interRows := ti.rowCount * selA * selB
+	if interRows < 1 {
+		interRows = 1
+	}
+
+	// Residual: table predicates not consumed by either arm.
+	consumed := make(map[string]bool)
+	mark := func(s *IndexSeekNode) {
+		for _, p := range s.SeekEq {
+			consumed[p.String()] = true
+		}
+		if s.SeekRng != nil {
+			consumed[s.SeekRng.String()] = true
+		}
+	}
+	mark(a)
+	mark(b)
+	var residual []sql.Predicate
+	resSel := 1.0
+	for _, sp := range ti.preds {
+		if !consumed[sp.p.String()] {
+			residual = append(residual, sp.p)
+			resSel *= sp.sel
+		}
+	}
+
+	// Cost: two index-only probes + RID set operations + heap lookups
+	// for the intersection + residual evaluation.
+	probe := func(s *IndexSeekNode, matched float64) float64 {
+		kw := ti.table.WidthOf(s.Index.Columns)
+		pages := storage.EstimateIndexPages(int64(ti.rowCount), kw)
+		h := storage.EstimateIndexHeight(int64(ti.rowCount), kw)
+		return seekCost(h, pages, ti.rowCount, matched, true /* rid-only */, ti.heapPages)
+	}
+	cost := probe(a, matchA) + probe(b, matchB)
+	cost += (matchA + matchB) * CPUOpCost // hash the RID sets
+	lookup := interRows * RandPageCost
+	if cap := 2 * float64(ti.heapPages) * RandPageCost; lookup > cap {
+		lookup = cap
+	}
+	cost += lookup + interRows*CPURowCost
+
+	n := &IndexIntersectNode{Table: ti.name, Residual: residual}
+	n.children = []Node{a, b}
+	n.cost = cost
+	n.rows = math.Max(interRows*clampSel(resSel), 0)
+	return n
+}

@@ -1,0 +1,127 @@
+package optimizer
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"indexmerge/internal/catalog"
+	"indexmerge/internal/engine"
+	"indexmerge/internal/value"
+)
+
+// intersectFixture: a wide table with two independently selective
+// predicates on different columns, each with its own narrow index,
+// neither covering — the sweet spot for RID intersection.
+func intersectFixture(t testing.TB) (*engine.Database, Configuration) {
+	t.Helper()
+	db := engine.NewDatabase()
+	if err := db.CreateTable(catalog.MustNewTable("wide", []catalog.Column{
+		{Name: "a", Type: value.Int},
+		{Name: "b", Type: value.Int},
+		{Name: "payload", Type: value.String, Width: 120},
+		{Name: "more", Type: value.String, Width: 120},
+	})); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 30000; i++ {
+		if err := db.Insert("wide", value.Row{
+			value.NewInt(rng.Int63n(100)),
+			value.NewInt(rng.Int63n(100)),
+			value.NewString("p"),
+			value.NewString("q"),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.AnalyzeAll()
+	ia, err := catalog.NewIndexDef(db.Schema(), "", "wide", []string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, err := catalog.NewIndexDef(db.Schema(), "", "wide", []string{"b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, Configuration{ia, ib}
+}
+
+func TestIndexIntersectionChosen(t *testing.T) {
+	db, cfg := intersectFixture(t)
+	o := New(db)
+	stmt := mustSelect(t, db, "SELECT payload FROM wide WHERE a = 7 AND b = 13")
+	plan, err := o.Optimize(stmt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan.Explain(), "IndexIntersect") {
+		t.Fatalf("expected index intersection:\n%s", plan.Explain())
+	}
+	// Both arms report seek usage — merging's Seek-Cost sees them.
+	seeks := 0
+	for _, u := range plan.Uses {
+		if u.Mode == UsageSeek {
+			seeks++
+		}
+	}
+	if seeks != 2 {
+		t.Errorf("intersection should report 2 seek usages, got %v", plan.Uses)
+	}
+	// It must beat both the table scan and either single-index seek.
+	single, err := o.Optimize(stmt, cfg[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Cost >= single.Cost {
+		t.Errorf("intersection (%v) not cheaper than single-index plan (%v)", plan.Cost, single.Cost)
+	}
+}
+
+func TestIndexIntersectionDisabled(t *testing.T) {
+	db, cfg := intersectFixture(t)
+	o := New(db)
+	o.DisableIndexIntersection = true
+	stmt := mustSelect(t, db, "SELECT payload FROM wide WHERE a = 7 AND b = 13")
+	plan, err := o.Optimize(stmt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plan.Explain(), "IndexIntersect") {
+		t.Errorf("intersection chosen despite being disabled:\n%s", plan.Explain())
+	}
+}
+
+func TestIndexIntersectionNotUsedWhenCoveringWins(t *testing.T) {
+	db, cfg := intersectFixture(t)
+	// A covering composite index dominates intersection.
+	comp, err := catalog.NewIndexDef(db.Schema(), "", "wide", []string{"a", "b", "payload"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := New(db)
+	stmt := mustSelect(t, db, "SELECT payload FROM wide WHERE a = 7 AND b = 13")
+	plan, err := o.Optimize(stmt, append(cfg.Clone(), comp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan.Explain(), comp.Name) {
+		t.Errorf("composite covering index should win:\n%s", plan.Explain())
+	}
+}
+
+func TestIndexIntersectionSkipsSameLeadingColumn(t *testing.T) {
+	db, _ := intersectFixture(t)
+	o := New(db)
+	// Two indexes both leading with a: no valid intersection pair.
+	i1, _ := catalog.NewIndexDef(db.Schema(), "x1", "wide", []string{"a"})
+	i2, _ := catalog.NewIndexDef(db.Schema(), "x2", "wide", []string{"a", "b"})
+	stmt := mustSelect(t, db, "SELECT payload FROM wide WHERE a = 7 AND b = 13")
+	plan, err := o.Optimize(stmt, Configuration{i1, i2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plan.Explain(), "IndexIntersect") {
+		t.Errorf("intersection built from same-leading-column arms:\n%s", plan.Explain())
+	}
+}

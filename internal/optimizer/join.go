@@ -1,0 +1,222 @@
+package optimizer
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"indexmerge/internal/sql"
+	"indexmerge/internal/value"
+)
+
+// maxDPTables bounds the dynamic-programming join search; wider joins
+// would need a greedy fallback, which the workloads here never hit.
+const maxDPTables = 10
+
+type dpEntry struct {
+	node Node
+	rows float64
+}
+
+// planJoin performs left-deep join-order search over the query's
+// tables, considering hash joins and index nested-loop joins (the
+// inner side parameterized by the join columns), then finishes with
+// aggregation/sort/projection.
+func (ctx *optContext) planJoin() (Node, error) {
+	n := len(ctx.tables)
+	if n > maxDPTables {
+		return nil, fmt.Errorf("optimizer: %d-way joins unsupported (max %d)", n, maxDPTables)
+	}
+	best := make([]*dpEntry, 1<<n)
+
+	// Base: cheapest access path per table.
+	for i, ti := range ctx.tables {
+		paths := enumerateAccessPaths(ti, ctx.cfg.ForTable(ti.name))
+		bp := bestPath(paths)
+		best[1<<i] = &dpEntry{node: bp.node, rows: bp.rows}
+	}
+
+	for mask := 3; mask < 1<<n; mask++ {
+		if bits.OnesCount(uint(mask)) < 2 {
+			continue
+		}
+		var entry *dpEntry
+		for t := 0; t < n; t++ {
+			bit := 1 << t
+			if mask&bit == 0 {
+				continue
+			}
+			rest := mask &^ bit
+			if best[rest] == nil {
+				continue
+			}
+			cand := ctx.joinStep(best[rest], rest, t)
+			if cand != nil && (entry == nil || cand.node.Cost() < entry.node.Cost()) {
+				entry = cand
+			}
+		}
+		best[mask] = entry
+	}
+
+	full := best[(1<<n)-1]
+	if full == nil {
+		return nil, fmt.Errorf("optimizer: no join plan found")
+	}
+	return ctx.finish(full.node, accessPath{}, nil), nil
+}
+
+// joinStep joins the best plan for subset `rest` with table index t,
+// returning the cheapest of hash join and index nested-loop join.
+func (ctx *optContext) joinStep(left *dpEntry, rest, t int) *dpEntry {
+	ti := ctx.tables[t]
+	conns := ctx.connectingPreds(rest, t)
+
+	// Right-side filtered cardinality and combined join selectivity.
+	rightSel := 1.0
+	for _, sp := range ti.preds {
+		rightSel *= sp.sel
+	}
+	rightRows := ti.rowCount * clampSel(rightSel)
+	jsel := 1.0
+	for _, c := range conns {
+		other := ctx.byName[c.otherCol.Table]
+		jsel *= joinSelectivity(other.ts, c.otherCol.Column, other.rowCount, ti.ts, c.myCol.Column, ti.rowCount)
+	}
+	outRows := left.rows * rightRows * clampSel(jsel)
+	if outRows < 1 {
+		outRows = 1
+	}
+
+	var bestNode Node
+	bestCost := math.Inf(1)
+
+	// Hash join (or nested-loop cross product when unconnected).
+	rightPaths := enumerateAccessPaths(ti, ctx.cfg.ForTable(ti.name))
+	rightBest := bestPath(rightPaths)
+	if len(conns) > 0 {
+		buildRows, probeRows := rightRows, left.rows
+		if left.rows < rightRows {
+			buildRows, probeRows = left.rows, rightRows
+		}
+		hj := &JoinNode{Kind: HashJoin, On: ctx.joinPredsOf(conns)}
+		hj.children = []Node{left.node, rightBest.node}
+		hj.rows = outRows
+		hj.cost = left.node.Cost() + rightBest.node.Cost() + hashJoinCost(buildRows, probeRows) + outRows*CPUOpCost
+		bestNode, bestCost = hj, hj.cost
+	} else {
+		outer := left.rows
+		if outer < 1 {
+			outer = 1
+		}
+		nl := &JoinNode{Kind: NLJoin}
+		nl.children = []Node{left.node, rightBest.node}
+		nl.rows = left.rows * rightRows
+		nl.cost = left.node.Cost() + outer*rightBest.node.Cost() + nl.rows*CPUOpCost
+		bestNode, bestCost = nl, nl.cost
+	}
+
+	// Index nested-loop join: parameterize the inner by the join columns.
+	if len(conns) > 0 {
+		if inner := ctx.innerSeekPath(ti, conns); inner != nil {
+			outer := left.rows
+			if outer < 1 {
+				outer = 1
+			}
+			inl := &JoinNode{Kind: IndexNLJoin, On: ctx.joinPredsOf(conns)}
+			inl.children = []Node{left.node, inner}
+			inl.rows = outRows
+			inl.cost = left.node.Cost() + outer*inner.Cost() + outRows*CPUOpCost
+			if inl.cost < bestCost {
+				bestNode, bestCost = inl, inl.cost
+			}
+		}
+	}
+
+	if bestNode == nil {
+		return nil
+	}
+	return &dpEntry{node: bestNode, rows: outRows}
+}
+
+// connection describes one join predicate linking table t to the
+// already-joined subset.
+type connection struct {
+	pred     sql.JoinPred
+	myCol    sql.ColumnRef // column on table t
+	otherCol sql.ColumnRef // column on the joined subset
+}
+
+// connectingPreds finds the join predicates linking table t to subset rest.
+func (ctx *optContext) connectingPreds(rest, t int) []connection {
+	ti := ctx.tables[t]
+	inRest := func(table string) bool {
+		for i, o := range ctx.tables {
+			if o.name == table {
+				return rest&(1<<i) != 0
+			}
+		}
+		return false
+	}
+	var out []connection
+	for _, j := range ctx.stmt.Joins {
+		switch {
+		case j.Left.Table == ti.name && inRest(j.Right.Table):
+			out = append(out, connection{pred: j, myCol: j.Left, otherCol: j.Right})
+		case j.Right.Table == ti.name && inRest(j.Left.Table):
+			out = append(out, connection{pred: j, myCol: j.Right, otherCol: j.Left})
+		}
+	}
+	return out
+}
+
+func (ctx *optContext) joinPredsOf(conns []connection) []sql.JoinPred {
+	out := make([]sql.JoinPred, len(conns))
+	for i, c := range conns {
+		out[i] = c.pred
+	}
+	return out
+}
+
+// innerSeekPath builds the cheapest parameterized inner access for an
+// index nested-loop join: a seek whose equality prefix includes at
+// least one join column. Synthetic join-column equality predicates use
+// column density as selectivity (the average outer binding).
+func (ctx *optContext) innerSeekPath(ti *tableInfo, conns []connection) Node {
+	joinCols := make(map[string]bool, len(conns))
+	preds := append([]scoredPred(nil), ti.preds...)
+	for _, c := range conns {
+		if joinCols[c.myCol.Column] {
+			continue
+		}
+		joinCols[c.myCol.Column] = true
+		d := distinctOf(ti.ts, c.myCol.Column, ti.rowCount)
+		preds = append(preds, scoredPred{
+			p:   sql.Predicate{Col: c.myCol, Op: sql.OpEq, Val: value.NewNull()},
+			sel: 1 / math.Max(d, 1),
+		})
+	}
+	probe := *ti
+	probe.preds = preds
+	paths := enumerateAccessPaths(&probe, ctx.cfg.ForTable(ti.name))
+	var best Node
+	for _, p := range paths {
+		seek, ok := p.node.(*IndexSeekNode)
+		if !ok {
+			continue
+		}
+		usesJoinCol := false
+		for _, ep := range seek.SeekEq {
+			if joinCols[ep.Col.Column] && ep.Val.IsNull() {
+				usesJoinCol = true
+				break
+			}
+		}
+		if !usesJoinCol {
+			continue
+		}
+		if best == nil || seek.Cost() < best.Cost() {
+			best = seek
+		}
+	}
+	return best
+}

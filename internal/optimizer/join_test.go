@@ -1,0 +1,154 @@
+package optimizer
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"indexmerge/internal/catalog"
+	"indexmerge/internal/engine"
+	"indexmerge/internal/value"
+)
+
+// chainDB builds a three-table star: facts -> mid -> dim, with strongly
+// different sizes so join order matters.
+func chainDB(t testing.TB) *engine.Database {
+	t.Helper()
+	db := engine.NewDatabase()
+	mk := func(name string, cols ...catalog.Column) {
+		if err := db.CreateTable(catalog.MustNewTable(name, cols)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("facts",
+		catalog.Column{Name: "fid", Type: value.Int},
+		catalog.Column{Name: "mid_id", Type: value.Int},
+		catalog.Column{Name: "v", Type: value.Float})
+	mk("mid",
+		catalog.Column{Name: "mid_id", Type: value.Int},
+		catalog.Column{Name: "dim_id", Type: value.Int})
+	mk("dim",
+		catalog.Column{Name: "dim_id", Type: value.Int},
+		catalog.Column{Name: "tag", Type: value.String, Width: 6})
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 20; i++ {
+		db.Insert("dim", value.Row{value.NewInt(int64(i)), value.NewString("t")})
+	}
+	for i := 0; i < 400; i++ {
+		db.Insert("mid", value.Row{value.NewInt(int64(i)), value.NewInt(rng.Int63n(20))})
+	}
+	for i := 0; i < 20000; i++ {
+		db.Insert("facts", value.Row{value.NewInt(int64(i)), value.NewInt(rng.Int63n(400)), value.NewFloat(1)})
+	}
+	db.AnalyzeAll()
+	return db
+}
+
+func TestThreeWayJoinChain(t *testing.T) {
+	db := chainDB(t)
+	o := New(db)
+	stmt := mustSelect(t, db, `SELECT tag, SUM(v) FROM facts, mid, dim
+		WHERE facts.mid_id = mid.mid_id AND mid.dim_id = dim.dim_id
+		GROUP BY tag`)
+	plan, err := o.Optimize(stmt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := plan.Explain()
+	// Connected joins only: a cartesian NLJoin would be a planning bug.
+	if strings.Contains(ex, "NLJoin on []") {
+		t.Errorf("cartesian product in a fully connected query:\n%s", ex)
+	}
+	if strings.Count(ex, "Join") != 2 {
+		t.Errorf("expected exactly 2 joins:\n%s", ex)
+	}
+	if plan.Cost <= 0 {
+		t.Error("non-positive cost")
+	}
+}
+
+func TestJoinCardinalityOrdering(t *testing.T) {
+	// The estimated output of facts ⋈ mid must be near |facts| (FK
+	// join), not |facts|×|mid|.
+	db := chainDB(t)
+	o := New(db)
+	stmt := mustSelect(t, db, `SELECT COUNT(*) FROM facts, mid WHERE facts.mid_id = mid.mid_id`)
+	plan, err := o.Optimize(stmt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var joinRows float64
+	var walk func(n Node)
+	walk = func(n Node) {
+		if j, ok := n.(*JoinNode); ok {
+			joinRows = j.Rows()
+			return
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(plan.Root)
+	if joinRows < 5000 || joinRows > 80000 {
+		t.Errorf("FK join cardinality estimate %v, want ≈20000", joinRows)
+	}
+}
+
+func TestCartesianFallbackWhenUnconnected(t *testing.T) {
+	db := chainDB(t)
+	o := New(db)
+	// dim and facts share no join predicate here.
+	stmt := mustSelect(t, db, `SELECT COUNT(*) FROM dim, mid`)
+	plan, err := o.Optimize(stmt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan.Explain(), "NLJoin") {
+		t.Errorf("unconnected pair should use a nested-loop product:\n%s", plan.Explain())
+	}
+}
+
+func TestIndexNLJoinPreferredForSelectiveOuter(t *testing.T) {
+	db := chainDB(t)
+	ix, err := catalog.NewIndexDef(db.Schema(), "", "facts", []string{"mid_id", "v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := New(db)
+	stmt := mustSelect(t, db, `SELECT v FROM facts, mid
+		WHERE facts.mid_id = mid.mid_id AND mid.mid_id = 7`)
+	plan, err := o.Optimize(stmt, Configuration{ix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan.Explain(), "IndexNLJoin") {
+		t.Errorf("selective outer should drive an index nested-loop join:\n%s", plan.Explain())
+	}
+	// And the whole plan must be far cheaper than the index-less one.
+	bare, err := o.Optimize(stmt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Cost > bare.Cost/3 {
+		t.Errorf("index NL join not cheap enough: %v vs %v", plan.Cost, bare.Cost)
+	}
+}
+
+func TestTooManyTablesRejected(t *testing.T) {
+	db := engine.NewDatabase()
+	names := make([]string, 0, maxDPTables+1)
+	for i := 0; i <= maxDPTables; i++ {
+		name := string(rune('a' + i))
+		if err := db.CreateTable(catalog.MustNewTable(name, []catalog.Column{{Name: "k", Type: value.Int}})); err != nil {
+			t.Fatal(err)
+		}
+		db.Insert(name, value.Row{value.NewInt(1)})
+		names = append(names, name)
+	}
+	db.AnalyzeAll()
+	src := "SELECT COUNT(*) FROM " + strings.Join(names, ", ")
+	stmt := mustSelect(t, db, src)
+	if _, err := New(db).Optimize(stmt, nil); err == nil {
+		t.Errorf("%d-way join accepted (max %d)", maxDPTables+1, maxDPTables)
+	}
+}

@@ -1,0 +1,55 @@
+// Package optimizer implements a cost-based query optimizer with
+// what-if (hypothetical) index support. It is the stand-in for the SQL
+// Server 7.0 optimizer + Showplan interface the paper builds on: given
+// a query and a *configuration* (a set of index definitions that need
+// not be materialized), it returns the cheapest plan it can find, its
+// estimated cost, and a report of which indexes the plan uses and how
+// (seek vs scan) — everything the index-merging core consumes.
+package optimizer
+
+import (
+	"indexmerge/internal/catalog"
+	"indexmerge/internal/stats"
+)
+
+// Meta is the read-only database metadata the optimizer needs. The
+// engine's Database satisfies it.
+type Meta interface {
+	Schema() *catalog.Schema
+	TableRowCount(table string) int64
+	TableStats(table string) *stats.TableStats
+}
+
+// Configuration is a set of index definitions to optimize against.
+// Indexes in a configuration are hypothetical from the optimizer's
+// point of view: only their definitions and the base tables'
+// statistics matter, exactly as with the what-if interface of [CN98].
+type Configuration []catalog.IndexDef
+
+// ForTable returns the configuration's indexes on one table.
+func (c Configuration) ForTable(table string) []catalog.IndexDef {
+	var out []catalog.IndexDef
+	for _, d := range c {
+		if d.Table == table {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Contains reports whether an index with the same identity
+// (table + ordered columns) is present.
+func (c Configuration) Contains(def catalog.IndexDef) bool {
+	key := def.Key()
+	for _, d := range c {
+		if d.Key() == key {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a copy of the configuration.
+func (c Configuration) Clone() Configuration {
+	return append(Configuration(nil), c...)
+}

@@ -1,0 +1,209 @@
+package optimizer
+
+import (
+	"fmt"
+	"math"
+
+	"indexmerge/internal/sql"
+	"indexmerge/internal/storage"
+)
+
+// Optimizer produces plans and cost estimates for queries against a
+// configuration of (possibly hypothetical) indexes.
+type Optimizer struct {
+	meta Meta
+
+	// Invocations counts Optimize calls — the quantity the paper's
+	// §3.5.3 optimizations (workload compression, external-cost
+	// pre-filtering) aim to reduce.
+	Invocations int64
+
+	// DisableIndexIntersection turns off RID-intersection access paths;
+	// used by the ablation that measures how optimizer sophistication
+	// affects merge quality.
+	DisableIndexIntersection bool
+}
+
+// New creates an optimizer over the given metadata provider.
+func New(meta Meta) *Optimizer {
+	return &Optimizer{meta: meta}
+}
+
+// Optimize returns the cheapest plan found for the statement under the
+// configuration. The statement must already be resolved.
+func (o *Optimizer) Optimize(stmt *sql.SelectStmt, cfg Configuration) (*Plan, error) {
+	o.Invocations++
+	ctx, err := o.newContext(stmt, cfg)
+	if err != nil {
+		return nil, err
+	}
+	var root Node
+	if len(ctx.tables) == 1 {
+		root, err = ctx.planSingleTable()
+	} else {
+		root, err = ctx.planJoin()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Root: root, Cost: root.Cost(), Uses: collectUses(root)}, nil
+}
+
+// Cost is a convenience for Optimize().Cost.
+func (o *Optimizer) Cost(stmt *sql.SelectStmt, cfg Configuration) (float64, error) {
+	p, err := o.Optimize(stmt, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return p.Cost, nil
+}
+
+// WorkloadCost computes Cost(W, C): the frequency-weighted sum of
+// optimizer-estimated query costs (paper §3.1).
+func (o *Optimizer) WorkloadCost(w *sql.Workload, cfg Configuration) (float64, error) {
+	total := 0.0
+	for _, q := range w.Queries {
+		c, err := o.Cost(q.Stmt, cfg)
+		if err != nil {
+			return 0, err
+		}
+		total += c * q.Freq
+	}
+	return total, nil
+}
+
+// optContext is per-query planning state.
+type optContext struct {
+	opt    *Optimizer
+	stmt   *sql.SelectStmt
+	cfg    Configuration
+	tables []*tableInfo
+	byName map[string]*tableInfo
+}
+
+func (o *Optimizer) newContext(stmt *sql.SelectStmt, cfg Configuration) (*optContext, error) {
+	ctx := &optContext{opt: o, stmt: stmt, cfg: cfg, byName: make(map[string]*tableInfo)}
+	sc := o.meta.Schema()
+	for _, name := range stmt.TablesReferenced() {
+		t, ok := sc.Table(name)
+		if !ok {
+			return nil, fmt.Errorf("optimizer: unknown table %q", name)
+		}
+		ti := &tableInfo{
+			name:        name,
+			table:       t,
+			ts:          o.meta.TableStats(name),
+			rowCount:    float64(o.meta.TableRowCount(name)),
+			required:    stmt.ColumnsOf(name),
+			noIntersect: o.DisableIndexIntersection,
+		}
+		ti.heapPages = storage.EstimateHeapPages(int64(ti.rowCount), t.RowWidth())
+		for _, p := range stmt.PredicatesOn(name) {
+			ti.preds = append(ti.preds, scoredPred{p: p, sel: predicateSelectivity(ti.ts, p)})
+		}
+		ctx.tables = append(ctx.tables, ti)
+		ctx.byName[name] = ti
+	}
+	return ctx, nil
+}
+
+// hasAggregates reports whether the select list aggregates.
+func (ctx *optContext) hasAggregates() bool {
+	for _, it := range ctx.stmt.Select {
+		if it.Agg != sql.AggNone {
+			return true
+		}
+	}
+	return false
+}
+
+// planSingleTable enumerates access paths and finishes each with
+// aggregation/sort, keeping the cheapest complete plan. Enumerating
+// complete plans (rather than the cheapest access path only) lets an
+// index that provides order win even when a bare scan is cheaper.
+func (ctx *optContext) planSingleTable() (Node, error) {
+	ti := ctx.tables[0]
+	paths := enumerateAccessPaths(ti, ctx.cfg.ForTable(ti.name))
+	var best Node
+	bestCost := math.Inf(1)
+	for _, path := range paths {
+		plan := ctx.finish(path.node, path, ti)
+		if plan.Cost() < bestCost {
+			bestCost = plan.Cost()
+			best = plan
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("optimizer: no plan for table %q", ti.name)
+	}
+	return best, nil
+}
+
+// finish layers aggregation, sort, and projection over an input node.
+// path carries the input's ordering properties (zero value when the
+// input is a join).
+func (ctx *optContext) finish(n Node, path accessPath, orderTable *tableInfo) Node {
+	stmt := ctx.stmt
+	ordered := false
+	if orderTable != nil {
+		ordered = orderSatisfied(stmt.OrderBy, path, orderTable.name)
+	}
+
+	if len(stmt.GroupBy) > 0 || ctx.hasAggregates() {
+		inRows := n.Rows()
+		groups := 1.0
+		if len(stmt.GroupBy) > 0 {
+			groups = ctx.groupCardinality(stmt.GroupBy, inRows)
+		}
+		streaming := false
+		if orderTable != nil && groupSatisfied(stmt.GroupBy, path, orderTable.name) {
+			streaming = true
+		}
+		agg := &AggNode{GroupBy: stmt.GroupBy, Aggs: stmt.Select, Streaming: streaming}
+		agg.children = []Node{n}
+		agg.rows = groups
+		if streaming {
+			agg.cost = n.Cost() + streamAggCost(inRows)
+		} else {
+			agg.cost = n.Cost() + hashAggCost(inRows, groups)
+			ordered = false // hash aggregation destroys input order
+		}
+		n = agg
+	}
+
+	if len(stmt.OrderBy) > 0 && !ordered {
+		srt := &SortNode{Keys: stmt.OrderBy}
+		srt.children = []Node{n}
+		srt.rows = n.Rows()
+		srt.cost = n.Cost() + sortCost(n.Rows())
+		n = srt
+	}
+
+	proj := &ProjectNode{Items: stmt.Select}
+	proj.children = []Node{n}
+	proj.rows = n.Rows()
+	proj.cost = n.Cost() + n.Rows()*CPUOpCost
+	return proj
+}
+
+// groupCardinality estimates result groups across the query's tables.
+func (ctx *optContext) groupCardinality(cols []sql.ColumnRef, inRows float64) float64 {
+	groups := 1.0
+	for _, c := range cols {
+		ti := ctx.byName[c.Table]
+		if ti == nil {
+			continue
+		}
+		groups *= distinctOf(ti.ts, c.Column, ti.rowCount)
+		if groups > inRows {
+			break
+		}
+	}
+	if groups > inRows {
+		groups = inRows
+	}
+	if groups < 1 {
+		groups = 1
+	}
+	return groups
+}

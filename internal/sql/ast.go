@@ -1,0 +1,429 @@
+// Package sql defines the query language subset the engine speaks:
+// single-block SELECT statements with conjunctive predicates,
+// equi-joins, grouping, ordering and aggregation, plus INSERT for the
+// maintenance experiments. It includes a lexer, parser, resolver and
+// printer so workloads can live in plain-text files the way the
+// paper's server-side workload logs do.
+package sql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"indexmerge/internal/catalog"
+	"indexmerge/internal/value"
+)
+
+// ColumnRef names a column, optionally qualified by table.
+type ColumnRef struct {
+	Table  string
+	Column string
+}
+
+// String renders the reference.
+func (c ColumnRef) String() string {
+	if c.Table == "" {
+		return c.Column
+	}
+	return c.Table + "." + c.Column
+}
+
+// CompareOp enumerates predicate comparison operators.
+type CompareOp int
+
+// Comparison operators. Between is represented by its own Predicate
+// fields rather than an operator pair.
+const (
+	OpEq CompareOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpBetween
+)
+
+// String renders the operator in SQL syntax.
+func (o CompareOp) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpBetween:
+		return "BETWEEN"
+	}
+	return "?"
+}
+
+// IsEquality reports whether the operator is =.
+func (o CompareOp) IsEquality() bool { return o == OpEq }
+
+// IsRange reports whether the operator restricts a contiguous range
+// usable by an index seek (<, <=, >, >=, BETWEEN).
+func (o CompareOp) IsRange() bool {
+	switch o {
+	case OpLt, OpLe, OpGt, OpGe, OpBetween:
+		return true
+	}
+	return false
+}
+
+// Predicate is a simple restriction: Col Op Val, or Col BETWEEN Lo AND Hi.
+type Predicate struct {
+	Col ColumnRef
+	Op  CompareOp
+	Val value.Value // for non-BETWEEN ops
+	Lo  value.Value // BETWEEN lower bound
+	Hi  value.Value // BETWEEN upper bound
+}
+
+// String renders the predicate.
+func (p Predicate) String() string {
+	if p.Op == OpBetween {
+		return fmt.Sprintf("%s BETWEEN %s AND %s", p.Col, p.Lo, p.Hi)
+	}
+	return fmt.Sprintf("%s %s %s", p.Col, p.Op, p.Val)
+}
+
+// JoinPred is an equality join between two columns of different tables.
+type JoinPred struct {
+	Left  ColumnRef
+	Right ColumnRef
+}
+
+// String renders the join predicate.
+func (j JoinPred) String() string { return j.Left.String() + " = " + j.Right.String() }
+
+// AggFunc enumerates aggregate functions.
+type AggFunc int
+
+// Aggregate functions; AggNone marks a plain column reference.
+const (
+	AggNone AggFunc = iota
+	AggCount
+	AggCountStar
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String renders the aggregate keyword.
+func (a AggFunc) String() string {
+	switch a {
+	case AggCount, AggCountStar:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	}
+	return ""
+}
+
+// SelectItem is one output expression: a column or an aggregate.
+type SelectItem struct {
+	Agg AggFunc
+	Col ColumnRef // unused for AggCountStar
+}
+
+// String renders the item.
+func (s SelectItem) String() string {
+	switch s.Agg {
+	case AggNone:
+		return s.Col.String()
+	case AggCountStar:
+		return "COUNT(*)"
+	default:
+		return fmt.Sprintf("%s(%s)", s.Agg, s.Col)
+	}
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Col  ColumnRef
+	Desc bool
+}
+
+// String renders the order key.
+func (o OrderItem) String() string {
+	if o.Desc {
+		return o.Col.String() + " DESC"
+	}
+	return o.Col.String()
+}
+
+// SelectStmt is a single-block query:
+//
+//	SELECT items FROM tables WHERE joins AND predicates
+//	GROUP BY cols ORDER BY keys
+type SelectStmt struct {
+	Select  []SelectItem
+	From    []string
+	Joins   []JoinPred
+	Where   []Predicate
+	GroupBy []ColumnRef
+	OrderBy []OrderItem
+}
+
+// InsertStmt appends literal rows to a table.
+type InsertStmt struct {
+	Table string
+	Rows  []value.Row
+}
+
+// DeleteStmt removes the rows of one table matching a conjunction of
+// simple predicates (no joins).
+type DeleteStmt struct {
+	Table string
+	Where []Predicate
+}
+
+// Resolve validates the delete's table and predicate columns.
+func (s *DeleteStmt) Resolve(sc *catalog.Schema) error {
+	t, ok := sc.Table(s.Table)
+	if !ok {
+		return fmt.Errorf("sql: unknown table %q", s.Table)
+	}
+	for i := range s.Where {
+		c := &s.Where[i].Col
+		if c.Table == "" {
+			c.Table = s.Table
+		}
+		if c.Table != s.Table {
+			return fmt.Errorf("sql: DELETE predicate references table %q", c.Table)
+		}
+		if !t.HasColumn(c.Column) {
+			return fmt.Errorf("sql: unknown column %s", c)
+		}
+	}
+	return nil
+}
+
+// Statement is any parsed statement.
+type Statement interface{ isStatement() }
+
+func (*SelectStmt) isStatement() {}
+func (*InsertStmt) isStatement() {}
+func (*DeleteStmt) isStatement() {}
+
+// String renders the query as canonical SQL text. Canonical rendering
+// makes syntactic workload compression (paper §3.5.3) a string-equality
+// test.
+func (s *SelectStmt) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, it := range s.Select {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(it.String())
+	}
+	b.WriteString(" FROM ")
+	b.WriteString(strings.Join(s.From, ", "))
+	var conds []string
+	for _, j := range s.Joins {
+		conds = append(conds, j.String())
+	}
+	for _, p := range s.Where {
+		conds = append(conds, p.String())
+	}
+	if len(conds) > 0 {
+		b.WriteString(" WHERE ")
+		b.WriteString(strings.Join(conds, " AND "))
+	}
+	if len(s.GroupBy) > 0 {
+		cols := make([]string, len(s.GroupBy))
+		for i, c := range s.GroupBy {
+			cols[i] = c.String()
+		}
+		b.WriteString(" GROUP BY ")
+		b.WriteString(strings.Join(cols, ", "))
+	}
+	if len(s.OrderBy) > 0 {
+		keys := make([]string, len(s.OrderBy))
+		for i, k := range s.OrderBy {
+			keys[i] = k.String()
+		}
+		b.WriteString(" ORDER BY ")
+		b.WriteString(strings.Join(keys, ", "))
+	}
+	return b.String()
+}
+
+// TablesReferenced returns the distinct tables in FROM order.
+func (s *SelectStmt) TablesReferenced() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, t := range s.From {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// ColumnsOf returns the distinct columns of the given table referenced
+// anywhere in the query (select list, predicates, joins, grouping,
+// ordering), sorted by name. This is the per-table "vertical slice" a
+// covering index must contain.
+func (s *SelectStmt) ColumnsOf(table string) []string {
+	set := make(map[string]bool)
+	add := func(c ColumnRef) {
+		if c.Table == table && c.Column != "" {
+			set[c.Column] = true
+		}
+	}
+	for _, it := range s.Select {
+		if it.Agg != AggCountStar {
+			add(it.Col)
+		}
+	}
+	for _, p := range s.Where {
+		add(p.Col)
+	}
+	for _, j := range s.Joins {
+		add(j.Left)
+		add(j.Right)
+	}
+	for _, g := range s.GroupBy {
+		add(g)
+	}
+	for _, o := range s.OrderBy {
+		add(o.Col)
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PredicatesOn returns the restriction predicates on the given table.
+func (s *SelectStmt) PredicatesOn(table string) []Predicate {
+	var out []Predicate
+	for _, p := range s.Where {
+		if p.Col.Table == table {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// JoinColumnsOf returns this table's columns that participate in joins.
+func (s *SelectStmt) JoinColumnsOf(table string) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, j := range s.Joins {
+		for _, c := range []ColumnRef{j.Left, j.Right} {
+			if c.Table == table && !seen[c.Column] {
+				seen[c.Column] = true
+				out = append(out, c.Column)
+			}
+		}
+	}
+	return out
+}
+
+// Resolve qualifies unqualified column references against the schema,
+// validates every reference, and normalizes join predicates so that
+// restriction predicates comparing two columns of different tables are
+// classified as joins. It mutates the statement in place.
+func (s *SelectStmt) Resolve(sc *catalog.Schema) error {
+	if len(s.From) == 0 {
+		return fmt.Errorf("sql: query has no FROM tables")
+	}
+	for _, t := range s.From {
+		if _, ok := sc.Table(t); !ok {
+			return fmt.Errorf("sql: unknown table %q", t)
+		}
+	}
+	resolve := func(c *ColumnRef) error {
+		if c.Table != "" {
+			t, ok := sc.Table(c.Table)
+			if !ok {
+				return fmt.Errorf("sql: unknown table %q in %s", c.Table, c)
+			}
+			if !t.HasColumn(c.Column) {
+				return fmt.Errorf("sql: unknown column %s", c)
+			}
+			found := false
+			for _, ft := range s.From {
+				if ft == c.Table {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("sql: column %s references table not in FROM", c)
+			}
+			return nil
+		}
+		var owner string
+		for _, ft := range s.From {
+			t, _ := sc.Table(ft)
+			if t != nil && t.HasColumn(c.Column) {
+				if owner != "" {
+					return fmt.Errorf("sql: ambiguous column %q (in %q and %q)", c.Column, owner, ft)
+				}
+				owner = ft
+			}
+		}
+		if owner == "" {
+			return fmt.Errorf("sql: unknown column %q", c.Column)
+		}
+		c.Table = owner
+		return nil
+	}
+	for i := range s.Select {
+		if s.Select[i].Agg == AggCountStar {
+			continue
+		}
+		if err := resolve(&s.Select[i].Col); err != nil {
+			return err
+		}
+	}
+	for i := range s.Where {
+		if err := resolve(&s.Where[i].Col); err != nil {
+			return err
+		}
+	}
+	for i := range s.Joins {
+		if err := resolve(&s.Joins[i].Left); err != nil {
+			return err
+		}
+		if err := resolve(&s.Joins[i].Right); err != nil {
+			return err
+		}
+		if s.Joins[i].Left.Table == s.Joins[i].Right.Table {
+			return fmt.Errorf("sql: self-join predicate %s not supported", s.Joins[i])
+		}
+	}
+	for i := range s.GroupBy {
+		if err := resolve(&s.GroupBy[i]); err != nil {
+			return err
+		}
+	}
+	for i := range s.OrderBy {
+		if err := resolve(&s.OrderBy[i].Col); err != nil {
+			return err
+		}
+	}
+	return nil
+}

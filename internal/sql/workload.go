@@ -1,0 +1,153 @@
+package sql
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"indexmerge/internal/catalog"
+)
+
+// WorkloadQuery is one workload entry: a query and its frequency
+// (weight). Frequencies arise from log compression and from business
+// knowledge about how often a query runs.
+type WorkloadQuery struct {
+	Stmt *SelectStmt
+	Freq float64
+}
+
+// Workload is the set of queries the index-merging algorithm optimizes
+// for (paper §3.1: "A workload W of queries {Q1, Q2, ... QP}").
+type Workload struct {
+	Queries []WorkloadQuery
+}
+
+// Add appends a query with the given frequency (minimum 1).
+func (w *Workload) Add(stmt *SelectStmt, freq float64) {
+	if freq <= 0 {
+		freq = 1
+	}
+	w.Queries = append(w.Queries, WorkloadQuery{Stmt: stmt, Freq: freq})
+}
+
+// Len returns the number of (distinct) workload entries.
+func (w *Workload) Len() int { return len(w.Queries) }
+
+// TablesReferenced returns all tables any query touches, sorted.
+func (w *Workload) TablesReferenced() []string {
+	seen := make(map[string]bool)
+	for _, q := range w.Queries {
+		for _, t := range q.Stmt.TablesReferenced() {
+			seen[t] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Compress applies the paper's simplest workload compression (§3.5.3):
+// syntactically identical queries collapse into one entry with summed
+// frequency. Canonical String() rendering makes identity a string test.
+func (w *Workload) Compress() *Workload {
+	byText := make(map[string]int)
+	out := &Workload{}
+	for _, q := range w.Queries {
+		text := q.Stmt.String()
+		if i, ok := byText[text]; ok {
+			out.Queries[i].Freq += q.Freq
+			continue
+		}
+		byText[text] = len(out.Queries)
+		out.Queries = append(out.Queries, q)
+	}
+	return out
+}
+
+// TopK keeps the k most expensive queries by the supplied per-query
+// cost function — the second compression technique from §3.5.3. The
+// retained entries keep their original order.
+func (w *Workload) TopK(k int, cost func(*SelectStmt) float64) *Workload {
+	if k >= len(w.Queries) {
+		cp := &Workload{Queries: append([]WorkloadQuery(nil), w.Queries...)}
+		return cp
+	}
+	type scored struct {
+		idx  int
+		cost float64
+	}
+	all := make([]scored, len(w.Queries))
+	for i, q := range w.Queries {
+		all[i] = scored{idx: i, cost: cost(q.Stmt) * q.Freq}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].cost > all[j].cost })
+	keep := make(map[int]bool, k)
+	for i := 0; i < k; i++ {
+		keep[all[i].idx] = true
+	}
+	out := &Workload{}
+	for i, q := range w.Queries {
+		if keep[i] {
+			out.Queries = append(out.Queries, q)
+		}
+	}
+	return out
+}
+
+// ParseWorkload reads a workload file: one query per line (blank lines
+// and -- comments ignored), optionally prefixed by "<freq>|". Queries
+// are resolved against the schema.
+func ParseWorkload(r io.Reader, sc *catalog.Schema) (*Workload, error) {
+	w := &Workload{}
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "--") {
+			continue
+		}
+		freq := 1.0
+		if i := strings.Index(line, "|"); i > 0 {
+			var f float64
+			if _, err := fmt.Sscanf(line[:i], "%g", &f); err == nil && f > 0 {
+				freq = f
+				line = strings.TrimSpace(line[i+1:])
+			}
+		}
+		stmt, err := ParseSelect(line)
+		if err != nil {
+			return nil, fmt.Errorf("workload line %d: %w", lineNo, err)
+		}
+		if err := stmt.Resolve(sc); err != nil {
+			return nil, fmt.Errorf("workload line %d: %w", lineNo, err)
+		}
+		w.Add(stmt, freq)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// WriteWorkload renders the workload in ParseWorkload's format.
+func WriteWorkload(w io.Writer, wl *Workload) error {
+	for _, q := range wl.Queries {
+		var line string
+		if q.Freq != 1 {
+			line = fmt.Sprintf("%g|%s\n", q.Freq, q.Stmt.String())
+		} else {
+			line = q.Stmt.String() + "\n"
+		}
+		if _, err := io.WriteString(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

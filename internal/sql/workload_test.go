@@ -1,0 +1,125 @@
+package sql
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWorkloadAddAndLen(t *testing.T) {
+	w := &Workload{}
+	stmt := parseOK(t, "SELECT a FROM t")
+	w.Add(stmt, 0) // clamps to 1
+	w.Add(stmt, 2.5)
+	if w.Len() != 2 {
+		t.Errorf("Len = %d", w.Len())
+	}
+	if w.Queries[0].Freq != 1 || w.Queries[1].Freq != 2.5 {
+		t.Errorf("freqs: %v, %v", w.Queries[0].Freq, w.Queries[1].Freq)
+	}
+}
+
+func TestWorkloadCompress(t *testing.T) {
+	w := &Workload{}
+	a := parseOK(t, "SELECT a FROM t WHERE a = 1")
+	b := parseOK(t, "SELECT a FROM t WHERE a = 2")
+	w.Add(a, 1)
+	w.Add(b, 1)
+	w.Add(parseOK(t, "SELECT a FROM t WHERE a = 1"), 3) // identical to a
+	c := w.Compress()
+	if c.Len() != 2 {
+		t.Fatalf("compressed Len = %d, want 2", c.Len())
+	}
+	if c.Queries[0].Freq != 4 {
+		t.Errorf("merged freq = %v, want 4", c.Queries[0].Freq)
+	}
+	if w.Len() != 3 {
+		t.Error("Compress mutated the original")
+	}
+}
+
+func TestWorkloadTopK(t *testing.T) {
+	w := &Workload{}
+	for i := 0; i < 5; i++ {
+		w.Add(parseOK(t, "SELECT a FROM t"), 1)
+	}
+	// Cost by position: later queries are more expensive.
+	idx := 0
+	costs := map[*SelectStmt]float64{}
+	for i, q := range w.Queries {
+		costs[q.Stmt] = float64(i)
+		_ = idx
+	}
+	top := w.TopK(2, func(s *SelectStmt) float64 { return costs[s] })
+	if top.Len() != 2 {
+		t.Fatalf("TopK = %d entries", top.Len())
+	}
+	if costs[top.Queries[0].Stmt] != 3 || costs[top.Queries[1].Stmt] != 4 {
+		t.Errorf("TopK kept wrong queries")
+	}
+	// k larger than the workload keeps everything.
+	if w.TopK(100, func(*SelectStmt) float64 { return 0 }).Len() != 5 {
+		t.Error("TopK(100) dropped queries")
+	}
+}
+
+func TestParseWriteWorkloadRoundTrip(t *testing.T) {
+	s := resolveSchema(t)
+	src := `-- comment line
+SELECT a FROM t WHERE a = 1
+
+2|SELECT b FROM t
+SELECT t.a, u.c FROM t, u WHERE t.a = u.c
+`
+	w, err := ParseWorkload(strings.NewReader(src), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 3 {
+		t.Fatalf("parsed %d queries", w.Len())
+	}
+	if w.Queries[1].Freq != 2 {
+		t.Errorf("freq prefix: %v", w.Queries[1].Freq)
+	}
+	var buf bytes.Buffer
+	if err := WriteWorkload(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := ParseWorkload(&buf, s)
+	if err != nil {
+		t.Fatalf("reparse: %v\ntext:\n%s", err, buf.String())
+	}
+	if w2.Len() != w.Len() {
+		t.Fatalf("round trip lost queries: %d vs %d", w2.Len(), w.Len())
+	}
+	for i := range w.Queries {
+		if w.Queries[i].Stmt.String() != w2.Queries[i].Stmt.String() {
+			t.Errorf("query %d diverged", i)
+		}
+		if w.Queries[i].Freq != w2.Queries[i].Freq {
+			t.Errorf("freq %d diverged", i)
+		}
+	}
+}
+
+func TestParseWorkloadErrors(t *testing.T) {
+	s := resolveSchema(t)
+	if _, err := ParseWorkload(strings.NewReader("SELECT zz FROM t\n"), s); err == nil {
+		t.Error("unresolvable query accepted")
+	}
+	if _, err := ParseWorkload(strings.NewReader("NOT SQL AT ALL\n"), s); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestWorkloadTablesReferenced(t *testing.T) {
+	s := resolveSchema(t)
+	w, err := ParseWorkload(strings.NewReader("SELECT a FROM t\nSELECT c FROM u\nSELECT a FROM t\n"), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := w.TablesReferenced()
+	if len(got) != 2 || got[0] != "t" || got[1] != "u" {
+		t.Errorf("TablesReferenced = %v", got)
+	}
+}

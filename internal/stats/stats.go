@@ -1,0 +1,335 @@
+// Package stats builds and queries column statistics: equi-depth
+// histograms plus density information, optionally constructed from a
+// sample ([CMN98]). These statistics are all a what-if (hypothetical)
+// index consists of — the optimizer costs plans over indexes that do
+// not physically exist using exactly this information (paper §3.5.3).
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"indexmerge/internal/value"
+)
+
+// DefaultBuckets is the histogram resolution used when none is given.
+const DefaultBuckets = 64
+
+// Bucket is one equi-depth histogram cell: values in (lo, hi] with hi
+// stored as the upper boundary, the row count it holds, and the number
+// of distinct values observed inside it.
+type Bucket struct {
+	Hi       value.Value
+	Rows     float64
+	Distinct float64
+}
+
+// ColumnStats summarizes one column.
+type ColumnStats struct {
+	RowCount  float64
+	NullCount float64
+	Distinct  float64 // number of distinct non-null values
+	Min, Max  value.Value
+	Buckets   []Bucket
+}
+
+// Density is the average fraction of rows selected by an equality
+// predicate on the column (1 / distinct); SQL Server exposes the same
+// quantity for index statistics.
+func (cs *ColumnStats) Density() float64 {
+	if cs.Distinct <= 0 {
+		return 1
+	}
+	return 1 / cs.Distinct
+}
+
+// BuildOptions controls statistics construction.
+type BuildOptions struct {
+	Buckets int
+	// SampleRate in (0,1] subsamples rows before building, mirroring
+	// the paper's inexpensive sampled statistics; 0 or 1 means full scan.
+	SampleRate float64
+	// Seed drives the sampler; fixed for reproducibility.
+	Seed int64
+}
+
+// Build constructs ColumnStats from the column's values.
+func Build(vals []value.Value, opt BuildOptions) *ColumnStats {
+	if opt.Buckets <= 0 {
+		opt.Buckets = DefaultBuckets
+	}
+	totalRows := float64(len(vals))
+	scale := 1.0
+	if opt.SampleRate > 0 && opt.SampleRate < 1 {
+		rng := rand.New(rand.NewSource(opt.Seed))
+		sampled := make([]value.Value, 0, int(float64(len(vals))*opt.SampleRate)+1)
+		for _, v := range vals {
+			if rng.Float64() < opt.SampleRate {
+				sampled = append(sampled, v)
+			}
+		}
+		if len(sampled) == 0 && len(vals) > 0 {
+			sampled = append(sampled, vals[rng.Intn(len(vals))])
+		}
+		if len(sampled) > 0 {
+			scale = totalRows / float64(len(sampled))
+		}
+		vals = sampled
+	}
+
+	cs := &ColumnStats{RowCount: totalRows}
+	nonNull := make([]value.Value, 0, len(vals))
+	for _, v := range vals {
+		if v.IsNull() {
+			cs.NullCount += scale
+			continue
+		}
+		nonNull = append(nonNull, v)
+	}
+	if len(nonNull) == 0 {
+		return cs
+	}
+	sort.Slice(nonNull, func(i, j int) bool { return nonNull[i].Compare(nonNull[j]) < 0 })
+	cs.Min = nonNull[0]
+	cs.Max = nonNull[len(nonNull)-1]
+
+	// Distinct count on the (sorted) sample. Under sampling, the Chao1
+	// estimator extrapolates unseen values from the singleton/doubleton
+	// frequencies: D ≈ d + f1²/(2·f2). It stays sharp both when values
+	// are well covered (few singletons) and when the tail is long.
+	distinctSample := 1.0
+	singletons := 0.0
+	doubletons := 0.0
+	runLen := 1
+	endRun := func() {
+		switch runLen {
+		case 1:
+			singletons++
+		case 2:
+			doubletons++
+		}
+	}
+	for i := 1; i < len(nonNull); i++ {
+		if nonNull[i].Compare(nonNull[i-1]) != 0 {
+			distinctSample++
+			endRun()
+			runLen = 1
+		} else {
+			runLen++
+		}
+	}
+	endRun()
+	if scale > 1 {
+		est := distinctSample
+		if doubletons > 0 {
+			est += singletons * singletons / (2 * doubletons)
+		} else if singletons > 0 {
+			est += singletons * (singletons - 1) / 2
+		}
+		if max := cs.RowCount - cs.NullCount; est > max {
+			est = max
+		}
+		cs.Distinct = est
+	} else {
+		cs.Distinct = distinctSample
+	}
+
+	// Equi-depth buckets over the sorted sample, built from duplicate
+	// runs. A value whose run is at least one bucket deep becomes a
+	// singleton bucket (an end-biased histogram), keeping equality
+	// estimates for heavy hitters sharp instead of averaging them with
+	// their bucket neighbours.
+	nb := opt.Buckets
+	if nb > len(nonNull) {
+		nb = len(nonNull)
+	}
+	per := len(nonNull) / nb
+	if per < 1 {
+		per = 1
+	}
+	type run struct {
+		v     value.Value
+		count int
+	}
+	var runs []run
+	for i := 0; i < len(nonNull); {
+		j := i + 1
+		for j < len(nonNull) && nonNull[j].Compare(nonNull[i]) == 0 {
+			j++
+		}
+		runs = append(runs, run{v: nonNull[i], count: j - i})
+		i = j
+	}
+	cur := Bucket{}
+	curRows := 0
+	flush := func() {
+		if curRows > 0 {
+			cur.Rows = float64(curRows) * scale
+			cs.Buckets = append(cs.Buckets, cur)
+			cur = Bucket{}
+			curRows = 0
+		}
+	}
+	for _, r := range runs {
+		if r.count >= per {
+			flush()
+			cs.Buckets = append(cs.Buckets, Bucket{Hi: r.v, Rows: float64(r.count) * scale, Distinct: 1})
+			continue
+		}
+		cur.Hi = r.v
+		cur.Distinct++
+		curRows += r.count
+		if curRows >= per {
+			flush()
+		}
+	}
+	flush()
+	return cs
+}
+
+// SelectivityEq estimates the fraction of rows equal to v.
+func (cs *ColumnStats) SelectivityEq(v value.Value) float64 {
+	if cs.RowCount == 0 {
+		return 0
+	}
+	if v.IsNull() {
+		return cs.NullCount / cs.RowCount
+	}
+	if len(cs.Buckets) == 0 {
+		return clamp01(cs.Density())
+	}
+	if cs.Min.Kind() != value.Null && (v.Compare(cs.Min) < 0 || v.Compare(cs.Max) > 0) {
+		return 0
+	}
+	b := cs.bucketFor(v)
+	if b == nil {
+		return clamp01(cs.Density())
+	}
+	rows := b.Rows / math.Max(b.Distinct, 1)
+	return clamp01(rows / cs.RowCount)
+}
+
+// SelectivityRange estimates the fraction of rows in the interval
+// [lo, hi]; a Null bound is open on that side. loIncl/hiIncl toggle
+// boundary inclusion (approximated at bucket granularity).
+func (cs *ColumnStats) SelectivityRange(lo, hi value.Value, loIncl, hiIncl bool) float64 {
+	if cs.RowCount == 0 || len(cs.Buckets) == 0 {
+		return defaultRangeSel
+	}
+	nonNull := cs.RowCount - cs.NullCount
+	if nonNull <= 0 {
+		return 0
+	}
+	var rows float64
+	prevHi := cs.Min
+	first := true
+	for _, b := range cs.Buckets {
+		bLo := prevHi
+		frac := bucketOverlap(bLo, b.Hi, lo, hi, first)
+		rows += b.Rows * frac
+		prevHi = b.Hi
+		first = false
+	}
+	// Boundary handling: exclusive bounds drop roughly one value's
+	// worth of rows at each closed end that matches.
+	if !loIncl && !lo.IsNull() {
+		rows -= cs.RowCount * cs.SelectivityEq(lo)
+	}
+	if !hiIncl && !hi.IsNull() {
+		rows -= cs.RowCount * cs.SelectivityEq(hi)
+	}
+	if rows < 0 {
+		rows = 0
+	}
+	return clamp01(rows / cs.RowCount)
+}
+
+const defaultRangeSel = 1.0 / 3.0
+
+// bucketOverlap estimates the fraction of a bucket spanning (bLo, bHi]
+// that intersects the query interval [lo, hi], interpolating for
+// numeric types. first marks the first bucket, whose range includes
+// its lower boundary.
+func bucketOverlap(bLo, bHi, lo, hi value.Value, first bool) float64 {
+	// Entirely below lo?
+	if !lo.IsNull() && bHi.Compare(lo) < 0 {
+		return 0
+	}
+	// Entirely above hi?
+	if !hi.IsNull() {
+		cmpLo := bLo.Compare(hi)
+		if cmpLo > 0 || (cmpLo == 0 && !first) {
+			return 0
+		}
+	}
+	// Numeric interpolation when possible.
+	lof, hif := bLo.Float(), bHi.Float()
+	if isNumericKind(bLo) && isNumericKind(bHi) && hif > lof {
+		qLo, qHi := lof, hif
+		if !lo.IsNull() && isNumericKind(lo) && lo.Float() > qLo {
+			qLo = lo.Float()
+		}
+		if !hi.IsNull() && isNumericKind(hi) && hi.Float() < qHi {
+			qHi = hi.Float()
+		}
+		if qHi < qLo {
+			return 0
+		}
+		f := (qHi - qLo) / (hif - lof)
+		return clamp01(f)
+	}
+	// Non-numeric: whole bucket counts when it intersects at all.
+	return 1
+}
+
+func isNumericKind(v value.Value) bool {
+	switch v.Kind() {
+	case value.Int, value.Float, value.Date:
+		return true
+	}
+	return false
+}
+
+// bucketFor returns the bucket containing v.
+func (cs *ColumnStats) bucketFor(v value.Value) *Bucket {
+	lo, hi := 0, len(cs.Buckets)
+	for lo < hi {
+		m := (lo + hi) / 2
+		if cs.Buckets[m].Hi.Compare(v) < 0 {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	if lo < len(cs.Buckets) {
+		return &cs.Buckets[lo]
+	}
+	return nil
+}
+
+func clamp01(f float64) float64 {
+	switch {
+	case f < 0:
+		return 0
+	case f > 1:
+		return 1
+	case math.IsNaN(f):
+		return 0
+	}
+	return f
+}
+
+// TableStats aggregates per-column statistics for one table.
+type TableStats struct {
+	RowCount int64
+	Columns  map[string]*ColumnStats
+}
+
+// Column returns stats for the named column (nil when absent).
+func (ts *TableStats) Column(name string) *ColumnStats {
+	if ts == nil {
+		return nil
+	}
+	return ts.Columns[name]
+}

@@ -1,0 +1,232 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"indexmerge/internal/value"
+)
+
+func intVals(vals ...int64) []value.Value {
+	out := make([]value.Value, len(vals))
+	for i, v := range vals {
+		out[i] = value.NewInt(v)
+	}
+	return out
+}
+
+func uniformInts(n int, domain int64, seed int64) []value.Value {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]value.Value, n)
+	for i := range out {
+		out[i] = value.NewInt(rng.Int63n(domain))
+	}
+	return out
+}
+
+func TestBuildEmpty(t *testing.T) {
+	cs := Build(nil, BuildOptions{})
+	if cs.RowCount != 0 || cs.Distinct != 0 {
+		t.Errorf("empty stats: %+v", cs)
+	}
+	if got := cs.SelectivityEq(value.NewInt(1)); got != 0 {
+		t.Errorf("empty eq selectivity = %v", got)
+	}
+}
+
+func TestBuildAllNulls(t *testing.T) {
+	vals := []value.Value{value.NewNull(), value.NewNull(), value.NewNull()}
+	cs := Build(vals, BuildOptions{})
+	if cs.NullCount != 3 {
+		t.Errorf("NullCount = %v", cs.NullCount)
+	}
+	if got := cs.SelectivityEq(value.NewNull()); math.Abs(got-1) > 1e-9 {
+		t.Errorf("null selectivity = %v, want 1", got)
+	}
+}
+
+func TestDistinctAndDensity(t *testing.T) {
+	vals := intVals(1, 1, 2, 2, 3, 3, 4, 4, 5, 5)
+	cs := Build(vals, BuildOptions{})
+	if cs.Distinct != 5 {
+		t.Errorf("Distinct = %v, want 5", cs.Distinct)
+	}
+	if got := cs.Density(); math.Abs(got-0.2) > 1e-9 {
+		t.Errorf("Density = %v, want 0.2", got)
+	}
+	if cs.Min.Int() != 1 || cs.Max.Int() != 5 {
+		t.Errorf("Min/Max = %v/%v", cs.Min, cs.Max)
+	}
+}
+
+func TestSelectivityEqUniform(t *testing.T) {
+	const n = 20000
+	const domain = 100
+	cs := Build(uniformInts(n, domain, 1), BuildOptions{Buckets: 50})
+	// Each value should select ~1% of rows.
+	for _, probe := range []int64{5, 42, 77} {
+		got := cs.SelectivityEq(value.NewInt(probe))
+		if got < 0.003 || got > 0.03 {
+			t.Errorf("eq selectivity of %d = %v, want ≈0.01", probe, got)
+		}
+	}
+	// Out-of-range probes select nothing.
+	if got := cs.SelectivityEq(value.NewInt(domain + 50)); got != 0 {
+		t.Errorf("out-of-range eq = %v", got)
+	}
+	if got := cs.SelectivityEq(value.NewInt(-1)); got != 0 {
+		t.Errorf("below-range eq = %v", got)
+	}
+}
+
+func TestSelectivityRangeUniform(t *testing.T) {
+	const n = 20000
+	const domain = 1000
+	cs := Build(uniformInts(n, domain, 2), BuildOptions{Buckets: 64})
+	cases := []struct {
+		lo, hi int64
+		want   float64
+	}{
+		{0, 999, 1.0},
+		{0, 499, 0.5},
+		{250, 749, 0.5},
+		{900, 999, 0.1},
+		{0, 99, 0.1},
+	}
+	for _, c := range cases {
+		got := cs.SelectivityRange(value.NewInt(c.lo), value.NewInt(c.hi), true, true)
+		if math.Abs(got-c.want) > 0.05 {
+			t.Errorf("range [%d,%d] selectivity = %v, want ≈%v", c.lo, c.hi, got, c.want)
+		}
+	}
+	// Open-ended ranges.
+	got := cs.SelectivityRange(value.NewInt(500), value.NewNull(), true, false)
+	if math.Abs(got-0.5) > 0.05 {
+		t.Errorf(">=500 selectivity = %v, want ≈0.5", got)
+	}
+	got = cs.SelectivityRange(value.NewNull(), value.NewInt(99), false, true)
+	if math.Abs(got-0.1) > 0.05 {
+		t.Errorf("<=99 selectivity = %v, want ≈0.1", got)
+	}
+}
+
+func TestSelectivitySkewed(t *testing.T) {
+	// 90% of rows are value 0; 10% spread over 1..100.
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]value.Value, 0, 10000)
+	for i := 0; i < 10000; i++ {
+		if rng.Float64() < 0.9 {
+			vals = append(vals, value.NewInt(0))
+		} else {
+			vals = append(vals, value.NewInt(1+rng.Int63n(100)))
+		}
+	}
+	cs := Build(vals, BuildOptions{Buckets: 64})
+	got := cs.SelectivityEq(value.NewInt(0))
+	if got < 0.5 {
+		t.Errorf("hot value selectivity = %v, want high (≈0.9)", got)
+	}
+	cold := cs.SelectivityEq(value.NewInt(55))
+	if cold > 0.05 {
+		t.Errorf("cold value selectivity = %v, want small", cold)
+	}
+	if cold >= got {
+		t.Error("skew not reflected: cold >= hot")
+	}
+}
+
+func TestSampledStats(t *testing.T) {
+	const n = 50000
+	full := Build(uniformInts(n, 500, 4), BuildOptions{Buckets: 64})
+	sampled := Build(uniformInts(n, 500, 4), BuildOptions{Buckets: 64, SampleRate: 0.1, Seed: 9})
+	if sampled.RowCount != full.RowCount {
+		t.Errorf("sampled RowCount = %v, want %v", sampled.RowCount, full.RowCount)
+	}
+	// Selectivities from the sample should track the full-scan ones.
+	for _, probe := range []int64{100, 250, 400} {
+		f := full.SelectivityEq(value.NewInt(probe))
+		s := sampled.SelectivityEq(value.NewInt(probe))
+		if math.Abs(f-s) > 0.01 {
+			t.Errorf("probe %d: full %v vs sampled %v", probe, f, s)
+		}
+	}
+	fr := full.SelectivityRange(value.NewInt(100), value.NewInt(299), true, true)
+	sr := sampled.SelectivityRange(value.NewInt(100), value.NewInt(299), true, true)
+	if math.Abs(fr-sr) > 0.08 {
+		t.Errorf("range: full %v vs sampled %v", fr, sr)
+	}
+	// Distinct estimate within a factor of ~2 of the truth.
+	if sampled.Distinct < 150 || sampled.Distinct > 1200 {
+		t.Errorf("sampled Distinct = %v, truth ≈500", sampled.Distinct)
+	}
+}
+
+func TestSelectivityBounds(t *testing.T) {
+	// All selectivities must stay in [0,1] under adversarial probes.
+	cs := Build(uniformInts(5000, 100, 5), BuildOptions{Buckets: 16})
+	probes := []struct{ lo, hi value.Value }{
+		{value.NewInt(-100), value.NewInt(1000)},
+		{value.NewInt(99), value.NewInt(0)}, // inverted
+		{value.NewNull(), value.NewNull()},
+		{value.NewInt(50), value.NewInt(50)},
+	}
+	for _, p := range probes {
+		got := cs.SelectivityRange(p.lo, p.hi, true, true)
+		if got < 0 || got > 1 {
+			t.Errorf("range (%v,%v) = %v outside [0,1]", p.lo, p.hi, got)
+		}
+	}
+	for i := -10; i < 120; i += 7 {
+		got := cs.SelectivityEq(value.NewInt(int64(i)))
+		if got < 0 || got > 1 {
+			t.Errorf("eq(%d) = %v outside [0,1]", i, got)
+		}
+	}
+}
+
+func TestStringHistogram(t *testing.T) {
+	vals := []value.Value{}
+	for i := 0; i < 1000; i++ {
+		vals = append(vals, value.NewString(string(rune('a'+i%26))))
+	}
+	cs := Build(vals, BuildOptions{Buckets: 8})
+	got := cs.SelectivityEq(value.NewString("m"))
+	if got < 0.01 || got > 0.2 {
+		t.Errorf("string eq selectivity = %v, want ≈1/26", got)
+	}
+	if cs.Distinct != 26 {
+		t.Errorf("string distinct = %v", cs.Distinct)
+	}
+}
+
+func TestBucketBoundariesDontSplitValues(t *testing.T) {
+	// A single dominant value must live in one bucket, making its
+	// equality estimate sharp.
+	vals := make([]value.Value, 0, 3000)
+	for i := 0; i < 2000; i++ {
+		vals = append(vals, value.NewInt(42))
+	}
+	for i := 0; i < 1000; i++ {
+		vals = append(vals, value.NewInt(int64(i)))
+	}
+	cs := Build(vals, BuildOptions{Buckets: 10})
+	got := cs.SelectivityEq(value.NewInt(42))
+	if got < 0.4 {
+		t.Errorf("dominant value selectivity = %v, want ≳0.66", got)
+	}
+}
+
+func TestTableStatsColumn(t *testing.T) {
+	ts := &TableStats{Columns: map[string]*ColumnStats{"a": {RowCount: 10}}}
+	if ts.Column("a") == nil {
+		t.Error("Column(a) nil")
+	}
+	if ts.Column("b") != nil {
+		t.Error("Column(b) not nil")
+	}
+	var nilTS *TableStats
+	if nilTS.Column("a") != nil {
+		t.Error("nil receiver should return nil")
+	}
+}

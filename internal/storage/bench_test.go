@@ -1,0 +1,68 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+
+	"indexmerge/internal/value"
+)
+
+func BenchmarkBTreeInsertRandom(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	bt := NewBTree(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bt.Insert(value.Key{value.NewInt(rng.Int63())}, RowID(i))
+	}
+}
+
+func BenchmarkBTreeInsertSequential(b *testing.B) {
+	bt := NewBTree(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bt.Insert(value.Key{value.NewInt(int64(i))}, RowID(i))
+	}
+}
+
+func BenchmarkBTreeSeek(b *testing.B) {
+	bt := NewBTree(8)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		bt.Insert(value.Key{value.NewInt(int64(i))}, RowID(i))
+	}
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := value.Key{value.NewInt(rng.Int63n(n))}
+		c := bt.Seek(k, k, true)
+		if !c.Valid() {
+			b.Fatal("missing key")
+		}
+	}
+}
+
+func BenchmarkBTreeRangeScan100(b *testing.B) {
+	bt := NewBTree(8)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		bt.Insert(value.Key{value.NewInt(int64(i))}, RowID(i))
+	}
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := rng.Int63n(n - 100)
+		count := 0
+		for c := bt.Seek(value.Key{value.NewInt(lo)}, value.Key{value.NewInt(lo + 99)}, true); c.Valid(); c.Next() {
+			count++
+		}
+		if count != 100 {
+			b.Fatalf("count %d", count)
+		}
+	}
+}
+
+func BenchmarkEstimateIndexPages(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		EstimateIndexPages(int64(i%10000000)+1, 8+(i%200))
+	}
+}

@@ -1,0 +1,446 @@
+package storage
+
+import (
+	"fmt"
+
+	"indexmerge/internal/value"
+)
+
+// RowID identifies a heap row; it is the "row pointer" stored in every
+// secondary-index entry.
+type RowID int64
+
+// entry is one leaf slot: a key and the row it points at.
+type entry struct {
+	key value.Key
+	rid RowID
+}
+
+// node is one B+-tree page. Leaves hold entries and are chained through
+// next; internal nodes hold separator keys and child pointers with the
+// usual invariant len(children) == len(keys)+1.
+type node struct {
+	id       int64
+	leaf     bool
+	entries  []entry     // leaves only
+	keys     []value.Key // internal only: separators
+	children []*node     // internal only
+	next     *node       // leaf chain
+}
+
+// MaintenanceCounters accumulates the page traffic caused by index
+// maintenance. The paper's final experiment (Figure 8) measures batch
+// insertion cost; here that cost is the number of distinct leaf pages
+// dirtied plus pages allocated/written by splits — the same work a
+// buffer manager would flush.
+type MaintenanceCounters struct {
+	// LeafPagesDirtied counts distinct leaf pages written during the
+	// current accounting window (a batch insert dirties each touched
+	// leaf once no matter how many rows land on it).
+	LeafPagesDirtied int64
+	// SplitPages counts pages written due to node splits (the new page,
+	// the old page re-write beyond its dirty mark, and the parent).
+	SplitPages int64
+	// Inserts counts entries inserted.
+	Inserts int64
+
+	dirty map[int64]struct{}
+}
+
+// Cost is the total page writes attributed to maintenance in the window.
+func (m *MaintenanceCounters) Cost() int64 { return m.LeafPagesDirtied + m.SplitPages }
+
+// Reset starts a new accounting window.
+func (m *MaintenanceCounters) Reset() {
+	m.LeafPagesDirtied = 0
+	m.SplitPages = 0
+	m.Inserts = 0
+	m.dirty = nil
+}
+
+func (m *MaintenanceCounters) markDirty(id int64) {
+	if m.dirty == nil {
+		m.dirty = make(map[int64]struct{})
+	}
+	if _, seen := m.dirty[id]; !seen {
+		m.dirty[id] = struct{}{}
+		m.LeafPagesDirtied++
+	}
+}
+
+// BTree is an in-memory B+-tree shaped like an on-disk one: node
+// capacities are derived from the page size and the key width, so page
+// counts match what EstimateIndexPages predicts.
+type BTree struct {
+	root      *node
+	height    int
+	keyWidth  int
+	maxLeaf   int // max entries per leaf
+	maxInner  int // max children per internal node
+	nextID    int64
+	pageCount int64
+	count     int64
+
+	Maint MaintenanceCounters
+}
+
+// NewBTree creates an empty tree for keys of the given stored width.
+func NewBTree(keyWidth int) *BTree {
+	t := &BTree{keyWidth: keyWidth}
+	// Capacity at 100% fill; FillFactor governs steady-state occupancy,
+	// which emerges from the split policy below.
+	entry := keyWidth + RIDWidth
+	t.maxLeaf = maxInt(usablePageBytes()/maxInt(entry, 1), 4)
+	t.maxInner = maxInt(usablePageBytes()/maxInt(keyWidth+8, 1), 4)
+	t.root = t.newNode(true)
+	t.height = 1
+	return t
+}
+
+func (t *BTree) newNode(leaf bool) *node {
+	t.nextID++
+	t.pageCount++
+	return &node{id: t.nextID, leaf: leaf}
+}
+
+// Len returns the number of entries.
+func (t *BTree) Len() int64 { return t.count }
+
+// Pages returns the number of pages (nodes) allocated.
+func (t *BTree) Pages() int64 { return t.pageCount }
+
+// Bytes returns the tree's size in bytes (pages × page size).
+func (t *BTree) Bytes() int64 { return t.pageCount * PageSize }
+
+// Height returns the number of levels.
+func (t *BTree) Height() int { return t.height }
+
+// KeyWidth returns the stored key width the tree was created with.
+func (t *BTree) KeyWidth() int { return t.keyWidth }
+
+// Insert adds an entry. Duplicate keys are allowed (secondary index
+// semantics); ties break on RowID to keep the order deterministic.
+func (t *BTree) Insert(key value.Key, rid RowID) {
+	t.Maint.Inserts++
+	split, sepKey, right := t.insert(t.root, key, rid)
+	if split {
+		newRoot := t.newNode(false)
+		newRoot.keys = append(newRoot.keys, sepKey)
+		newRoot.children = append(newRoot.children, t.root, right)
+		t.root = newRoot
+		t.height++
+		t.Maint.SplitPages++ // new root write
+	}
+	t.count++
+}
+
+// insert descends to the leaf, returning split info when the child split.
+func (t *BTree) insert(n *node, key value.Key, rid RowID) (split bool, sep value.Key, right *node) {
+	if n.leaf {
+		pos := t.leafSearch(n, key, rid)
+		n.entries = append(n.entries, entry{})
+		copy(n.entries[pos+1:], n.entries[pos:])
+		n.entries[pos] = entry{key: key, rid: rid}
+		t.Maint.markDirty(n.id)
+		if len(n.entries) > t.maxLeaf {
+			return t.splitLeaf(n)
+		}
+		return false, nil, nil
+	}
+	ci := t.childIndex(n, key)
+	childSplit, sepKey, newChild := t.insert(n.children[ci], key, rid)
+	if !childSplit {
+		return false, nil, nil
+	}
+	n.keys = append(n.keys, nil)
+	copy(n.keys[ci+1:], n.keys[ci:])
+	n.keys[ci] = sepKey
+	n.children = append(n.children, nil)
+	copy(n.children[ci+2:], n.children[ci+1:])
+	n.children[ci+1] = newChild
+	t.Maint.SplitPages++ // parent page write
+	if len(n.children) > t.maxInner {
+		return t.splitInternal(n)
+	}
+	return false, nil, nil
+}
+
+func (t *BTree) splitLeaf(n *node) (bool, value.Key, *node) {
+	mid := len(n.entries) / 2
+	right := t.newNode(true)
+	right.entries = append(right.entries, n.entries[mid:]...)
+	n.entries = n.entries[:mid:mid]
+	right.next = n.next
+	n.next = right
+	t.Maint.SplitPages += 2 // old page rewrite + new page write
+	t.Maint.markDirty(right.id)
+	return true, right.entries[0].key, right
+}
+
+func (t *BTree) splitInternal(n *node) (bool, value.Key, *node) {
+	mid := len(n.keys) / 2
+	sep := n.keys[mid]
+	right := t.newNode(false)
+	right.keys = append(right.keys, n.keys[mid+1:]...)
+	right.children = append(right.children, n.children[mid+1:]...)
+	n.keys = n.keys[:mid:mid]
+	n.children = n.children[: mid+1 : mid+1]
+	t.Maint.SplitPages += 2
+	return true, sep, right
+}
+
+// leafSearch finds the insertion position within a leaf.
+func (t *BTree) leafSearch(n *node, key value.Key, rid RowID) int {
+	lo, hi := 0, len(n.entries)
+	for lo < hi {
+		m := (lo + hi) / 2
+		c := n.entries[m].key.Compare(key)
+		if c < 0 || (c == 0 && n.entries[m].rid < rid) {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	return lo
+}
+
+// childIndex picks the child to descend into for key.
+func (t *BTree) childIndex(n *node, key value.Key) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		m := (lo + hi) / 2
+		if n.keys[m].Compare(key) <= 0 {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	return lo
+}
+
+// Delete removes the entry with exactly this key and RowID, returning
+// whether it was found. Deletion is lazy (no rebalancing or page
+// merging), like ghost-record deletion in commercial engines: pages
+// stay allocated until the index is rebuilt. The leaf write is charged
+// to the maintenance counters.
+func (t *BTree) Delete(key value.Key, rid RowID) bool {
+	// Descend to the leftmost leaf that can hold the key: duplicates of
+	// a separator key may live on its left side, so the rid-blind
+	// rightward descent used for inserts would overshoot.
+	n := t.root
+	for !n.leaf {
+		n = n.children[t.lowerChildIndex(n, key)]
+	}
+	// Walk the leaf chain; entries are globally sorted by (key, rid),
+	// so the first entry ≥ (key, rid) decides.
+	for n != nil {
+		pos := t.leafSearch(n, key, rid)
+		if pos < len(n.entries) {
+			e := n.entries[pos]
+			c := e.key.Compare(key)
+			if c == 0 && e.rid == rid {
+				copy(n.entries[pos:], n.entries[pos+1:])
+				n.entries = n.entries[:len(n.entries)-1]
+				t.count--
+				t.Maint.markDirty(n.id)
+				return true
+			}
+			if c > 0 || (c == 0 && e.rid > rid) {
+				return false // first entry past the target: absent
+			}
+		}
+		n = n.next
+	}
+	return false
+}
+
+// Cursor iterates leaf entries in key order.
+type Cursor struct {
+	n      *node
+	pos    int
+	hi     value.Key // exclusive upper bound prefix; nil = unbounded
+	hiIncl bool
+}
+
+// Valid reports whether the cursor points at an entry.
+func (c *Cursor) Valid() bool { return c.n != nil && c.pos < len(c.n.entries) }
+
+// Key returns the current key.
+func (c *Cursor) Key() value.Key { return c.n.entries[c.pos].key }
+
+// RID returns the current row id.
+func (c *Cursor) RID() RowID { return c.n.entries[c.pos].rid }
+
+// Next advances; it returns false once past the end or the upper bound.
+func (c *Cursor) Next() bool {
+	c.pos++
+	for c.n != nil && c.pos >= len(c.n.entries) {
+		c.n = c.n.next
+		c.pos = 0
+	}
+	return c.checkBound()
+}
+
+func (c *Cursor) checkBound() bool {
+	if !c.Valid() {
+		c.n = nil
+		return false
+	}
+	if c.hi == nil {
+		return true
+	}
+	// Compare only the bound's prefix length, giving prefix-range scans.
+	k := c.Key()
+	if len(k) > len(c.hi) {
+		k = k[:len(c.hi)]
+	}
+	cmp := k.Compare(c.hi)
+	if cmp < 0 || (cmp == 0 && c.hiIncl) {
+		return true
+	}
+	c.n = nil
+	return false
+}
+
+// SeekFirst positions a cursor at the smallest entry.
+func (t *BTree) SeekFirst() *Cursor {
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	c := &Cursor{n: n, pos: 0}
+	for c.n != nil && len(c.n.entries) == 0 {
+		c.n = c.n.next
+	}
+	if c.n == nil {
+		return &Cursor{}
+	}
+	return c
+}
+
+// Seek positions a cursor at the first entry with key >= lo (comparing
+// the full key against the possibly shorter lo prefix) and bounds the
+// scan at hi (prefix compare; inclusive when hiIncl). Passing nil lo
+// starts at the beginning; nil hi leaves the scan unbounded.
+func (t *BTree) Seek(lo, hi value.Key, hiIncl bool) *Cursor {
+	var c *Cursor
+	if lo == nil {
+		c = t.SeekFirst()
+	} else {
+		n := t.root
+		for !n.leaf {
+			n = n.children[t.lowerChildIndex(n, lo)]
+		}
+		pos := lowerBound(n.entries, lo)
+		c = &Cursor{n: n, pos: pos}
+		for c.n != nil && c.pos >= len(c.n.entries) {
+			c.n = c.n.next
+			c.pos = 0
+		}
+	}
+	c.hi = hi
+	c.hiIncl = hiIncl
+	c.checkBound()
+	return c
+}
+
+// lowerChildIndex descends toward the first key >= lo.
+func (t *BTree) lowerChildIndex(n *node, lo value.Key) int {
+	i, hi := 0, len(n.keys)
+	for i < hi {
+		m := (i + hi) / 2
+		// Separator < lo prefix ⇒ go right of it.
+		sep := n.keys[m]
+		cmp := comparePrefix(sep, lo)
+		if cmp < 0 {
+			i = m + 1
+		} else {
+			hi = m
+		}
+	}
+	return i
+}
+
+// comparePrefix compares k against the prefix bound b: only the first
+// len(b) components of k participate.
+func comparePrefix(k, b value.Key) int {
+	if len(k) > len(b) {
+		k = k[:len(b)]
+	}
+	return k.Compare(b)
+}
+
+func lowerBound(es []entry, lo value.Key) int {
+	i, hi := 0, len(es)
+	for i < hi {
+		m := (i + hi) / 2
+		if comparePrefix(es[m].key, lo) < 0 {
+			i = m + 1
+		} else {
+			hi = m
+		}
+	}
+	return i
+}
+
+// Validate checks structural invariants; used by property tests.
+func (t *BTree) Validate() error {
+	leafDepth := -1
+	var walk func(n *node, depth int, lo, hi value.Key) (int64, error)
+	walk = func(n *node, depth int, lo, hi value.Key) (int64, error) {
+		if n.leaf {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				return 0, fmt.Errorf("btree: leaves at different depths %d vs %d", leafDepth, depth)
+			}
+			for i := 1; i < len(n.entries); i++ {
+				if n.entries[i-1].key.Compare(n.entries[i].key) > 0 {
+					return 0, fmt.Errorf("btree: leaf %d entries out of order", n.id)
+				}
+			}
+			for _, e := range n.entries {
+				if lo != nil && e.key.Compare(lo) < 0 {
+					return 0, fmt.Errorf("btree: leaf %d key below separator", n.id)
+				}
+				if hi != nil && e.key.Compare(hi) >= 0 && comparePrefix(e.key, hi) != 0 {
+					// Keys equal to the separator may legally spill right
+					// on duplicate-heavy data; require prefix-equality.
+					return 0, fmt.Errorf("btree: leaf %d key above separator", n.id)
+				}
+			}
+			return int64(len(n.entries)), nil
+		}
+		if len(n.children) != len(n.keys)+1 {
+			return 0, fmt.Errorf("btree: node %d has %d children for %d keys", n.id, len(n.children), len(n.keys))
+		}
+		var total int64
+		for i, ch := range n.children {
+			var clo, chi value.Key
+			if i > 0 {
+				clo = n.keys[i-1]
+			} else {
+				clo = lo
+			}
+			if i < len(n.keys) {
+				chi = n.keys[i]
+			} else {
+				chi = hi
+			}
+			sub, err := walk(ch, depth+1, clo, chi)
+			if err != nil {
+				return 0, err
+			}
+			total += sub
+		}
+		return total, nil
+	}
+	total, err := walk(t.root, 1, nil, nil)
+	if err != nil {
+		return err
+	}
+	if total != t.count {
+		return fmt.Errorf("btree: count %d but %d entries reachable", t.count, total)
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+
+	"indexmerge/internal/value"
+)
+
+func TestBTreeDeleteBasic(t *testing.T) {
+	bt := NewBTree(8)
+	for i := 0; i < 100; i++ {
+		bt.Insert(intKey(int64(i)), RowID(i))
+	}
+	if !bt.Delete(intKey(50), 50) {
+		t.Fatal("existing entry not found")
+	}
+	if bt.Delete(intKey(50), 50) {
+		t.Fatal("double delete succeeded")
+	}
+	if bt.Delete(intKey(1000), 1) {
+		t.Fatal("missing key deleted")
+	}
+	if bt.Len() != 99 {
+		t.Errorf("Len = %d", bt.Len())
+	}
+	if c := bt.Seek(intKey(50), intKey(50), true); c.Valid() {
+		t.Error("deleted entry still visible")
+	}
+	if err := bt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTreeDeleteDuplicatesByRID(t *testing.T) {
+	bt := NewBTree(8)
+	// 10 duplicates of the same key with distinct RIDs.
+	for i := 0; i < 10; i++ {
+		bt.Insert(intKey(7), RowID(i))
+	}
+	if !bt.Delete(intKey(7), 4) {
+		t.Fatal("duplicate with rid 4 not found")
+	}
+	count := 0
+	for c := bt.Seek(intKey(7), intKey(7), true); c.Valid(); c.Next() {
+		if c.RID() == 4 {
+			t.Fatal("rid 4 still present")
+		}
+		count++
+	}
+	if count != 9 {
+		t.Errorf("remaining duplicates = %d", count)
+	}
+}
+
+func TestBTreeDeleteAcrossLeafBoundaries(t *testing.T) {
+	bt := NewBTree(8)
+	// Enough duplicates of one key to span several leaves.
+	const dup = 3000
+	for i := 0; i < dup; i++ {
+		bt.Insert(intKey(42), RowID(i))
+	}
+	// Delete a late RID that lives in a later leaf than the descent
+	// lands on.
+	if !bt.Delete(intKey(42), RowID(dup-1)) {
+		t.Fatal("entry in later leaf not found")
+	}
+	if bt.Len() != dup-1 {
+		t.Errorf("Len = %d", bt.Len())
+	}
+	if err := bt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBTreeInsertDeleteChurnModel runs random interleaved inserts and
+// deletes against a reference multiset and checks the tree agrees on
+// every equality count afterwards.
+func TestBTreeInsertDeleteChurnModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for round := 0; round < 10; round++ {
+		bt := NewBTree(8)
+		type entryID struct {
+			k   int64
+			rid RowID
+		}
+		live := map[entryID]bool{}
+		nextRID := RowID(0)
+		const domain = 40
+		for op := 0; op < 3000; op++ {
+			if rng.Intn(3) > 0 || len(live) == 0 { // 2/3 inserts
+				k := rng.Int63n(domain)
+				bt.Insert(intKey(k), nextRID)
+				live[entryID{k, nextRID}] = true
+				nextRID++
+			} else {
+				// Delete a random live entry.
+				var pick entryID
+				n := rng.Intn(len(live))
+				for e := range live {
+					if n == 0 {
+						pick = e
+						break
+					}
+					n--
+				}
+				if !bt.Delete(intKey(pick.k), pick.rid) {
+					t.Fatalf("round %d: live entry %v not deletable", round, pick)
+				}
+				delete(live, pick)
+			}
+		}
+		if bt.Len() != int64(len(live)) {
+			t.Fatalf("round %d: Len %d, model %d", round, bt.Len(), len(live))
+		}
+		if err := bt.Validate(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for k := int64(0); k < domain; k++ {
+			want := 0
+			for e := range live {
+				if e.k == k {
+					want++
+				}
+			}
+			got := 0
+			for c := bt.Seek(intKey(k), intKey(k), true); c.Valid(); c.Next() {
+				got++
+			}
+			if got != want {
+				t.Fatalf("round %d key %d: tree %d, model %d", round, k, got, want)
+			}
+		}
+	}
+}
+
+func TestHeapDeleteTombstones(t *testing.T) {
+	h := NewHeap(testTable(t))
+	for i := int64(0); i < 10; i++ {
+		h.Insert(row(i, "x", 0))
+	}
+	if err := h.Delete(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Delete(3); err == nil {
+		t.Error("double delete accepted")
+	}
+	if err := h.Delete(99); err == nil {
+		t.Error("out-of-range delete accepted")
+	}
+	if h.RowCount() != 9 {
+		t.Errorf("RowCount = %d", h.RowCount())
+	}
+	if _, err := h.Get(3); err == nil {
+		t.Error("deleted row readable")
+	}
+	seen := 0
+	h.Scan(func(id RowID, r value.Row) bool {
+		if id == 3 {
+			t.Error("scan visited deleted row")
+		}
+		seen++
+		return true
+	})
+	if seen != 9 {
+		t.Errorf("scan visited %d rows", seen)
+	}
+	// TruncateTo past a tombstone restores the deleted counter.
+	h.TruncateTo(2)
+	if h.RowCount() != 2 {
+		t.Errorf("RowCount after truncate = %d", h.RowCount())
+	}
+}

@@ -1,0 +1,100 @@
+package storage
+
+import (
+	"fmt"
+
+	"indexmerge/internal/catalog"
+	"indexmerge/internal/value"
+)
+
+// Index is a materialized secondary index: a B+-tree over the key
+// columns named by its definition, with RowIDs as payload.
+type Index struct {
+	def      catalog.IndexDef
+	tree     *BTree
+	colIdx   []int // ordinals of key columns within the table row
+	keyWidth int
+}
+
+// BuildIndex materializes an index over the heap's current contents.
+func BuildIndex(def catalog.IndexDef, h *Heap) (*Index, error) {
+	t := h.Table()
+	if def.Table != t.Name {
+		return nil, fmt.Errorf("storage: index %q is on table %q, heap holds %q", def.Name, def.Table, t.Name)
+	}
+	colIdx := make([]int, len(def.Columns))
+	keyWidth := 0
+	for i, c := range def.Columns {
+		ord := t.ColumnIndex(c)
+		if ord < 0 {
+			return nil, fmt.Errorf("storage: index %q references unknown column %s.%s", def.Name, t.Name, c)
+		}
+		colIdx[i] = ord
+		keyWidth += t.Columns[ord].Width
+	}
+	ix := &Index{def: def, tree: NewBTree(keyWidth), colIdx: colIdx, keyWidth: keyWidth}
+	h.Scan(func(id RowID, r value.Row) bool {
+		ix.tree.Insert(ix.keyOf(r), id)
+		return true
+	})
+	// Building is not maintenance; start accounting fresh.
+	ix.tree.Maint.Reset()
+	return ix, nil
+}
+
+// keyOf extracts the index key from a table row.
+func (ix *Index) keyOf(r value.Row) value.Key {
+	k := make(value.Key, len(ix.colIdx))
+	for i, ord := range ix.colIdx {
+		k[i] = r[ord]
+	}
+	return k
+}
+
+// Def returns the index definition.
+func (ix *Index) Def() catalog.IndexDef { return ix.def }
+
+// KeyWidth returns the summed stored width of the key columns.
+func (ix *Index) KeyWidth() int { return ix.keyWidth }
+
+// Pages returns the number of pages the index occupies.
+func (ix *Index) Pages() int64 { return ix.tree.Pages() }
+
+// Bytes returns the index size in bytes.
+func (ix *Index) Bytes() int64 { return ix.tree.Bytes() }
+
+// Height returns the B+-tree height.
+func (ix *Index) Height() int { return ix.tree.Height() }
+
+// Len returns the entry count.
+func (ix *Index) Len() int64 { return ix.tree.Len() }
+
+// InsertRow maintains the index for a newly inserted heap row. The
+// page writes it causes are recorded in the maintenance counters.
+func (ix *Index) InsertRow(id RowID, r value.Row) {
+	ix.tree.Insert(ix.keyOf(r), id)
+}
+
+// DeleteRow removes a heap row's entry from the index, returning
+// whether it was present. The page write is charged to maintenance.
+func (ix *Index) DeleteRow(id RowID, r value.Row) bool {
+	return ix.tree.Delete(ix.keyOf(r), id)
+}
+
+// ResetMaintenance starts a new maintenance accounting window.
+func (ix *Index) ResetMaintenance() { ix.tree.Maint.Reset() }
+
+// MaintenanceCost returns the page writes recorded since the last reset.
+func (ix *Index) MaintenanceCost() int64 { return ix.tree.Maint.Cost() }
+
+// Seek returns a cursor over entries in [lo, hi] using prefix-bound
+// semantics (see BTree.Seek).
+func (ix *Index) Seek(lo, hi value.Key, hiIncl bool) *Cursor {
+	return ix.tree.Seek(lo, hi, hiIncl)
+}
+
+// ScanAll returns a cursor over the whole index in key order.
+func (ix *Index) ScanAll() *Cursor { return ix.tree.SeekFirst() }
+
+// Validate checks B+-tree invariants.
+func (ix *Index) Validate() error { return ix.tree.Validate() }

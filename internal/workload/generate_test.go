@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"testing"
+
+	"indexmerge/internal/datagen"
+	"indexmerge/internal/engine"
+	"indexmerge/internal/sql"
+)
+
+func genDB(t testing.TB) *engine.Database {
+	t.Helper()
+	spec := datagen.Synthetic1Spec()
+	spec.RowsPer = 400
+	db, err := datagen.BuildSynthetic(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestGenerateProjectionOnly(t *testing.T) {
+	db := genDB(t)
+	w, err := Generate(db, Options{Class: ProjectionOnly, Queries: 25, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 25 {
+		t.Fatalf("generated %d queries", w.Len())
+	}
+	for i, q := range w.Queries {
+		if len(q.Stmt.Where) != 0 || len(q.Stmt.Joins) != 0 {
+			t.Errorf("q%d: projection-only query has predicates: %s", i, q.Stmt)
+		}
+		if len(q.Stmt.From) != 1 {
+			t.Errorf("q%d: projection-only query joins tables: %s", i, q.Stmt)
+		}
+		if len(q.Stmt.Select) == 0 {
+			t.Errorf("q%d: empty select list", i)
+		}
+		for _, it := range q.Stmt.Select {
+			if it.Agg != sql.AggNone {
+				t.Errorf("q%d: projection-only query aggregates: %s", i, q.Stmt)
+			}
+		}
+	}
+}
+
+func TestGenerateComplex(t *testing.T) {
+	db := genDB(t)
+	w, err := Generate(db, Options{Class: Complex, Queries: 40, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 40 {
+		t.Fatalf("generated %d queries", w.Len())
+	}
+	var joins, aggs, preds int
+	for _, q := range w.Queries {
+		if len(q.Stmt.Joins) > 0 {
+			joins++
+		}
+		if len(q.Stmt.GroupBy) > 0 {
+			aggs++
+		}
+		preds += len(q.Stmt.Where)
+		// Grouped queries must select only grouped columns + aggregates
+		// (required for executability).
+		if len(q.Stmt.GroupBy) > 0 {
+			grouped := map[string]bool{}
+			for _, g := range q.Stmt.GroupBy {
+				grouped[g.String()] = true
+			}
+			for _, it := range q.Stmt.Select {
+				if it.Agg == sql.AggNone && !grouped[it.Col.String()] {
+					t.Errorf("ungrouped plain column %s in %s", it.Col, q.Stmt)
+				}
+			}
+		}
+	}
+	// The class must actually exercise joins, aggregation and selections.
+	if joins == 0 {
+		t.Error("complex workload has no joins")
+	}
+	if aggs == 0 {
+		t.Error("complex workload has no aggregation")
+	}
+	if preds == 0 {
+		t.Error("complex workload has no selections")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	db := genDB(t)
+	w1, err := Generate(db, Options{Class: Complex, Queries: 10, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Generate(db, Options{Class: Complex, Queries: 10, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w1.Queries {
+		if w1.Queries[i].Stmt.String() != w2.Queries[i].Stmt.String() {
+			t.Fatalf("q%d differs across same-seed runs", i)
+		}
+	}
+	w3, err := Generate(db, Options{Class: Complex, Queries: 10, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range w1.Queries {
+		if w1.Queries[i].Stmt.String() != w3.Queries[i].Stmt.String() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+func TestGeneratedJoinsAreKeyLike(t *testing.T) {
+	db := genDB(t)
+	w, err := Generate(db, Options{Class: Complex, Queries: 50, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range w.Queries {
+		for _, j := range q.Stmt.Joins {
+			for _, side := range []sql.ColumnRef{j.Left, j.Right} {
+				ts := db.TableStats(side.Table)
+				cs := ts.Column(side.Column)
+				if cs == nil {
+					t.Fatalf("no stats for join column %s", side)
+				}
+				if cs.Distinct < cs.RowCount/10 {
+					t.Errorf("join on low-cardinality column %s (ndv %v of %v rows): %s",
+						side, cs.Distinct, cs.RowCount, q.Stmt)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateHotTableBias(t *testing.T) {
+	// Queries should concentrate on the largest tables (the fact-table
+	// skew that makes per-query tuning pile indexes onto hot tables).
+	db := genDB(t)
+	w, err := Generate(db, Options{Class: Complex, Queries: 60, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, q := range w.Queries {
+		for _, tb := range q.Stmt.TablesReferenced() {
+			counts[tb]++
+		}
+	}
+	// The byte-heaviest table must be referenced more than any other.
+	hot, hotBytes := "", int64(0)
+	for _, tab := range db.Schema().Tables() {
+		b := db.TableRowCount(tab.Name) * int64(tab.RowWidth())
+		if b > hotBytes {
+			hot, hotBytes = tab.Name, b
+		}
+	}
+	for name, c := range counts {
+		if name != hot && c > counts[hot] {
+			t.Errorf("hot-table bias missing: %s=%d > %s=%d", name, c, hot, counts[hot])
+		}
+	}
+}
