@@ -10,8 +10,10 @@
 package indexmerge
 
 import (
+	"runtime"
 	"testing"
 
+	"indexmerge/internal/core"
 	"indexmerge/internal/experiments"
 )
 
@@ -173,6 +175,65 @@ func BenchmarkFigure8(b *testing.B) {
 		red += 100 * r.Reduction() / float64(len(rows))
 	}
 	b.ReportMetric(red, "maint-saved-%")
+}
+
+// BenchmarkGreedyCosting compares serial and parallel candidate
+// costing in the Greedy search on a ≥20-index Synthetic2 configuration
+// (the parallelism tentpole). Sub-benchmark ns/op gives the speedup;
+// on a multicore machine the parallel variant should run ≥2× faster
+// while — asserted here — producing the identical final configuration.
+// A fresh checker (and so a cold what-if cache) is used per iteration
+// to keep the comparison fair.
+func BenchmarkGreedyCosting(b *testing.B) {
+	lab, err := experiments.NewSynthetic2Lab(experiments.LabOptions{Scale: 0.5, WorkloadQueries: 30, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defs, err := lab.InitialConfiguration(lab.Complex, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(defs) < 20 {
+		b.Fatalf("only %d initial indexes; need ≥20", len(defs))
+	}
+	initial := core.NewConfiguration(defs)
+	base, err := lab.WorkloadCost(lab.Complex, defs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seek, err := core.ComputeSeekCosts(lab.Opt, lab.Complex, initial)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mp := &core.MergePairCost{Seek: seek}
+
+	run := func(b *testing.B, parallelism int) *core.SearchResult {
+		var res *core.SearchResult
+		for i := 0; i < b.N; i++ {
+			check := core.NewOptimizerChecker(lab.Opt, lab.Complex, base, 0.10)
+			check.Parallelism = parallelism
+			res, err = core.GreedyWithOptions(initial, mp, check, lab.DB, core.GreedyOptions{Parallelism: parallelism})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		return res
+	}
+
+	var serialSig, parallelSig string
+	b.Run("serial", func(b *testing.B) {
+		res := run(b, 1)
+		serialSig = res.Final.Signature()
+		b.ReportMetric(float64(res.OptimizerCalls), "opt-calls")
+	})
+	b.Run("parallel", func(b *testing.B) {
+		res := run(b, runtime.GOMAXPROCS(0))
+		parallelSig = res.Final.Signature()
+		b.ReportMetric(float64(res.OptimizerCalls), "opt-calls")
+	})
+	if serialSig != "" && parallelSig != "" && serialSig != parallelSig {
+		b.Fatalf("parallel final configuration differs from serial:\n serial   %s\n parallel %s", serialSig, parallelSig)
+	}
 }
 
 // BenchmarkAblationPrefixChoice measures MergePair-Cost's leading-

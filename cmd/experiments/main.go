@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"indexmerge/internal/experiments"
@@ -27,7 +28,12 @@ func main() {
 	only := flag.String("only", "", "comma-separated subset: intro,fig5,fig6,fig7,fig8,ablations,compression,dual")
 	projection := flag.Bool("projection", false, "use the projection-only workload class for Figures 5-7")
 	fig8ns := flag.String("fig8n", "5,10,15,20,25,30", "comma-separated initial index counts for Figure 8")
+	parallel := flag.Int("parallel", 1, "concurrent candidate costings per search step (0 = GOMAXPROCS); figures are identical for any value")
 	flag.Parse()
+
+	if *parallel <= 0 {
+		*parallel = runtime.GOMAXPROCS(0)
+	}
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -37,8 +43,8 @@ func main() {
 	}
 	enabled := func(name string) bool { return len(want) == 0 || want[name] }
 
-	fmt.Printf("Index Merging (ICDE 1999) — experiment harness (scale=%.2f, queries=%d, seed=%d)\n\n", *scale, *queries, *seed)
-	labs, err := experiments.StandardLabs(experiments.LabOptions{Scale: *scale, WorkloadQueries: *queries, Seed: *seed})
+	fmt.Printf("Index Merging (ICDE 1999) — experiment harness (scale=%.2f, queries=%d, seed=%d, parallel=%d)\n\n", *scale, *queries, *seed, *parallel)
+	labs, err := experiments.StandardLabs(experiments.LabOptions{Scale: *scale, WorkloadQueries: *queries, Seed: *seed, Parallelism: *parallel})
 	if err != nil {
 		fatal(err)
 	}

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"indexmerge"
@@ -41,7 +42,12 @@ func main() {
 	costModel := flag.String("costmodel", "opt", "cost evaluation: opt | nocost | prefilter")
 	explain := flag.Bool("explain", false, "print per-query plans under the final configuration")
 	dualBudget := flag.Float64("dual", 0, "solve the Cost-Minimal dual instead: storage budget as a fraction of the initial configuration (e.g. 0.5)")
+	parallel := flag.Int("parallel", 1, "concurrent candidate costings per search step (0 = GOMAXPROCS); results are identical for any value")
 	flag.Parse()
+
+	if *parallel <= 0 {
+		*parallel = runtime.GOMAXPROCS(0)
+	}
 
 	db, err := buildDatabase(*dbName, *scale, *seed)
 	if err != nil {
@@ -63,6 +69,7 @@ func main() {
 	var defs []indexmerge.IndexDef
 	if *n > 0 {
 		adv := advisor.New(db, m.Optimizer())
+		adv.Parallelism = *parallel
 		defs, err = advisor.BuildInitialConfiguration(adv, w, *n, *seed)
 	} else {
 		defs, err = m.TuneWorkload()
@@ -89,7 +96,7 @@ func main() {
 		return
 	}
 
-	opts := indexmerge.MergeOptions{CostConstraint: *constraint}
+	opts := indexmerge.MergeOptions{CostConstraint: *constraint, Parallelism: *parallel}
 	switch *mergePair {
 	case "syntactic":
 		opts.MergePair = indexmerge.MergePairSyntactic

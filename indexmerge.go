@@ -161,6 +161,13 @@ type MergeOptions struct {
 	// NoCostF / NoCostP are the No-Cost model thresholds (defaults:
 	// the paper's best-performing f=0.60, p=0.25).
 	NoCostF, NoCostP float64
+	// Parallelism bounds concurrent candidate costing during the
+	// search: candidate merges of one search step are constraint-
+	// checked in a bounded worker pool, backed by a thread-safe
+	// what-if cost cache. <= 1 (the default) runs fully serially.
+	// Results are identical for any value — see core.GreedyOptions
+	// and core.ExhaustiveOptions.
+	Parallelism int
 }
 
 // Merger runs index merging for one database + workload.
@@ -273,12 +280,14 @@ func (m *Merger) merge(initial *core.Configuration, opts MergeOptions) (*MergeRe
 		check = &core.NoCostChecker{F: opts.NoCostF, P: opts.NoCostP, Tables: m.db}
 	case PrefilteredOptimizerCost:
 		inner := core.NewOptimizerChecker(m.opt, m.w, baseCost, opts.CostConstraint)
+		inner.Parallelism = opts.Parallelism
 		ext := &core.ExternalCostModel{Meta: m.db, W: m.w}
 		ext.SetBaseline(initial)
 		check = &core.PrefilteredChecker{External: ext, Inner: inner, SlackPct: opts.CostConstraint}
 		bound = inner.U
 	default:
 		inner := core.NewOptimizerChecker(m.opt, m.w, baseCost, opts.CostConstraint)
+		inner.Parallelism = opts.Parallelism
 		check = inner
 		bound = inner.U
 	}
@@ -286,9 +295,9 @@ func (m *Merger) merge(initial *core.Configuration, opts MergeOptions) (*MergeRe
 	// Search strategy.
 	var res *core.SearchResult
 	if opts.Search == ExhaustiveSearch {
-		res, err = core.Exhaustive(initial, mp, check, m.db, core.ExhaustiveOptions{})
+		res, err = core.Exhaustive(initial, mp, check, m.db, core.ExhaustiveOptions{Parallelism: opts.Parallelism})
 	} else {
-		res, err = core.Greedy(initial, mp, check, m.db)
+		res, err = core.GreedyWithOptions(initial, mp, check, m.db, core.GreedyOptions{Parallelism: opts.Parallelism})
 	}
 	if err != nil {
 		return nil, err

@@ -12,6 +12,8 @@ package advisor
 import (
 	"math/rand"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"indexmerge/internal/catalog"
 	"indexmerge/internal/optimizer"
@@ -22,6 +24,13 @@ import (
 type Advisor struct {
 	Meta catalog.SchemaHolder
 	Opt  *optimizer.Optimizer
+
+	// Parallelism bounds concurrent candidate costing in TuneQuery.
+	// <= 1 (the default) costs candidates serially. Recommendations
+	// are identical for any value: all candidates are costed against
+	// the same already-chosen set, then the winner is picked in
+	// candidate order.
+	Parallelism int
 }
 
 // New creates an advisor over the database's metadata and an optimizer.
@@ -48,15 +57,16 @@ func (a *Advisor) TuneQuery(stmt *sql.SelectStmt) ([]catalog.IndexDef, error) {
 	})
 	for _, tname := range tables {
 		cands := a.candidatesFor(stmt, tname)
+		costs, err := a.costCandidates(stmt, chosen, cands)
+		if err != nil {
+			return nil, err
+		}
+		// Pick in candidate order so the recommendation is identical
+		// to a serial sweep regardless of Parallelism.
 		var bestCand *catalog.IndexDef
 		for i := range cands {
-			cfg := optimizer.Configuration(append(append([]catalog.IndexDef{}, chosen...), cands[i]))
-			cost, err := a.Opt.Cost(stmt, cfg)
-			if err != nil {
-				return nil, err
-			}
-			if cost < bestCost {
-				bestCost = cost
+			if costs[i] < bestCost {
+				bestCost = costs[i]
 				bestCand = &cands[i]
 			}
 		}
@@ -65,6 +75,57 @@ func (a *Advisor) TuneQuery(stmt *sql.SelectStmt) ([]catalog.IndexDef, error) {
 		}
 	}
 	return chosen, nil
+}
+
+// costCandidates costs every candidate added on top of the chosen set,
+// concurrently when Parallelism > 1. Every candidate is costed against
+// the same base, so costs are independent of evaluation order.
+func (a *Advisor) costCandidates(stmt *sql.SelectStmt, chosen, cands []catalog.IndexDef) ([]float64, error) {
+	costs := make([]float64, len(cands))
+	eval := func(i int) error {
+		cfg := optimizer.Configuration(append(append([]catalog.IndexDef{}, chosen...), cands[i]))
+		cost, err := a.Opt.Cost(stmt, cfg)
+		if err != nil {
+			return err
+		}
+		costs[i] = cost
+		return nil
+	}
+	if a.Parallelism <= 1 || len(cands) <= 1 {
+		for i := range cands {
+			if err := eval(i); err != nil {
+				return nil, err
+			}
+		}
+		return costs, nil
+	}
+	workers := a.Parallelism
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	errs := make([]error, len(cands))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cands) {
+					return
+				}
+				errs[i] = eval(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return costs, nil
 }
 
 func (a *Advisor) tableRows(name string) int64 {

@@ -2,8 +2,12 @@ package core
 
 import (
 	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
 
 	"indexmerge/internal/catalog"
+	"indexmerge/internal/core/costcache"
 	"indexmerge/internal/optimizer"
 	"indexmerge/internal/sql"
 )
@@ -13,21 +17,51 @@ import (
 // paper Figure 4). The candidate's newly merged index and its
 // immediate pair are supplied for syntactic models that never consult
 // a cost function.
+//
+// Implementations in this package are safe for concurrent Accepts
+// calls, which the parallel search strategies rely on.
 type ConstraintChecker interface {
 	// Accepts reports whether cfg (obtained by replacing pair a,b with
 	// merged index m) satisfies the constraint.
 	Accepts(cfg *Configuration, m, a, b *Index) (bool, error)
 	// Description names the strategy in reports.
 	Description() string
-	// Evaluations counts how many (potentially expensive) constraint
-	// evaluations have been performed.
+	// Evaluations counts how many constraint evaluations have been
+	// performed. A constraint evaluation is one Accepts/WorkloadCost
+	// call; it is NOT necessarily an optimizer invocation — see
+	// OptimizerCallCounter for the expensive count.
 	Evaluations() int64
 }
 
+// OptimizerCallCounter is implemented by checkers that can report how
+// many actual optimizer invocations (Server.Optimize calls) they have
+// issued. The distinction matters for replicating §3.4.2: constraint
+// checks that are fully served from the what-if cost cache are cheap,
+// while optimizer invocations dominate running time.
+type OptimizerCallCounter interface {
+	OptimizerCalls() int64
+}
+
 // Schema provides table metadata for syntactic checks; the engine's
-// Database satisfies it via Schema().
+// Database satisfies it.
 type SchemaProvider interface {
 	Schema() *catalog.Schema
+}
+
+// Cache-key separators. Index keys are built from SQL identifiers and
+// "(),", so the ASCII unit/record separators can never occur inside
+// them; they make the concatenated key unambiguous (no two distinct
+// relevant-configuration states can collide).
+const (
+	keySepIndex = '\x1f' // terminates each index key
+	keySepTable = '\x1e' // terminates each table group
+)
+
+// checkerQuery is per-query metadata precomputed once so the hot
+// cache-key path does no parsing or formatting.
+type checkerQuery struct {
+	prefix string   // "q<idx>|"
+	tables []string // distinct referenced tables, FROM order
 }
 
 // OptimizerChecker implements the optimizer-estimated cost evaluation
@@ -36,13 +70,30 @@ type SchemaProvider interface {
 // Cost(W, C') ≤ U. Per-query costs are cached keyed by the subset of
 // the configuration relevant to the query (the paper's "cost needs to
 // be obtained only for relevant queries" shortcut).
+//
+// The checker is safe for concurrent use: the cache is sharded and
+// deduplicates in-flight computations so two workers never optimize
+// the same (query, relevant-config) key twice, and all counters are
+// atomic. Server must be safe for concurrent Optimize calls
+// (optimizer.Optimizer is) and Parallelism must be set before the
+// first evaluation.
 type OptimizerChecker struct {
 	Server CostServer
 	W      *sql.Workload
 	U      float64 // absolute workload-cost upper bound
 
-	evals int64
-	cache map[string]float64 // queryIdx + relevant-config signature → cost
+	// Parallelism bounds concurrent Server.Optimize calls issued by
+	// this checker across all concurrent WorkloadCost invocations.
+	// <= 1 means fully serial per-query costing.
+	Parallelism int
+
+	once    sync.Once
+	cache   *costcache.Cache
+	sem     chan struct{} // tokens for actual optimizer invocations
+	queries []checkerQuery
+
+	checks   atomic.Int64 // constraint checks (Accepts/WorkloadCost calls)
+	optCalls atomic.Int64 // actual Server.Optimize invocations
 }
 
 // NewOptimizerChecker builds a checker with U = baseCost × (1 + slackPct).
@@ -53,15 +104,47 @@ func NewOptimizerChecker(server CostServer, w *sql.Workload, baseCost, slackPct 
 		Server: server,
 		W:      w,
 		U:      baseCost * (1 + slackPct),
-		cache:  make(map[string]float64),
 	}
+}
+
+// lazyInit builds the cache, the worker semaphore and the per-query
+// key metadata on first use.
+func (c *OptimizerChecker) lazyInit() {
+	c.once.Do(func() {
+		c.cache = costcache.New(0)
+		p := c.Parallelism
+		if p < 1 {
+			p = 1
+		}
+		c.sem = make(chan struct{}, p)
+		c.queries = make([]checkerQuery, len(c.W.Queries))
+		for qi, q := range c.W.Queries {
+			c.queries[qi] = checkerQuery{
+				prefix: fmt.Sprintf("q%d|", qi),
+				tables: q.Stmt.TablesReferenced(),
+			}
+		}
+	})
 }
 
 // Description implements ConstraintChecker.
 func (c *OptimizerChecker) Description() string { return "Cost-Opt" }
 
-// Evaluations implements ConstraintChecker.
-func (c *OptimizerChecker) Evaluations() int64 { return c.evals }
+// Evaluations implements ConstraintChecker: the number of constraint
+// checks (WorkloadCost calls), cached or not.
+func (c *OptimizerChecker) Evaluations() int64 { return c.checks.Load() }
+
+// OptimizerCalls implements OptimizerCallCounter: the number of actual
+// Server.Optimize invocations — the expensive quantity §3.4.2 says
+// dominates Greedy's running time. Cache hits never count here.
+func (c *OptimizerChecker) OptimizerCalls() int64 { return c.optCalls.Load() }
+
+// CacheStats exposes the underlying cost-cache counters (lookup hits,
+// computed misses, deduplicated in-flight waits).
+func (c *OptimizerChecker) CacheStats() (hits, misses, dedups int64) {
+	c.lazyInit()
+	return c.cache.Stats()
+}
 
 // Accepts implements ConstraintChecker.
 func (c *OptimizerChecker) Accepts(cfg *Configuration, _, _, _ *Index) (bool, error) {
@@ -72,46 +155,140 @@ func (c *OptimizerChecker) Accepts(cfg *Configuration, _, _, _ *Index) (bool, er
 	return cost <= c.U, nil
 }
 
-// WorkloadCost computes Cost(W, C) with per-query caching.
+// WorkloadCost computes Cost(W, C) with per-query caching. Cache
+// misses are optimized concurrently (up to Parallelism at a time);
+// the total is summed in query order so results are byte-identical to
+// a serial evaluation.
 func (c *OptimizerChecker) WorkloadCost(cfg *Configuration) (float64, error) {
-	c.evals++
-	if c.cache == nil {
-		c.cache = make(map[string]float64)
+	c.lazyInit()
+	c.checks.Add(1)
+
+	groups := c.groupKeysByTable(cfg)
+	keys := make([]string, len(c.W.Queries))
+	costs := make([]float64, len(c.W.Queries))
+	var misses []int
+	for qi := range c.W.Queries {
+		keys[qi] = c.queryKey(qi, groups)
+		if v, ok := c.cache.Get(keys[qi]); ok {
+			costs[qi] = v
+		} else {
+			misses = append(misses, qi)
+		}
 	}
-	ocfg := optimizer.Configuration(cfg.Defs())
+
+	if len(misses) > 0 {
+		ocfg := optimizer.Configuration(cfg.Defs())
+		eval := func(qi int) error {
+			v, err := c.cache.Do(keys[qi], func() (float64, error) {
+				c.sem <- struct{}{}
+				defer func() { <-c.sem }()
+				c.optCalls.Add(1)
+				plan, err := c.Server.Optimize(c.W.Queries[qi].Stmt, ocfg)
+				if err != nil {
+					return 0, err
+				}
+				return plan.Cost, nil
+			})
+			if err != nil {
+				return err
+			}
+			costs[qi] = v
+			return nil
+		}
+		if err := c.evalMisses(misses, eval); err != nil {
+			return 0, err
+		}
+	}
+
 	total := 0.0
 	for qi, q := range c.W.Queries {
-		key := c.queryKey(qi, q.Stmt, cfg)
-		cost, ok := c.cache[key]
-		if !ok {
-			plan, err := c.Server.Optimize(q.Stmt, ocfg)
-			if err != nil {
-				return 0, err
-			}
-			cost = plan.Cost
-			c.cache[key] = cost
-		}
-		total += cost * q.Freq
+		total += costs[qi] * q.Freq
 	}
 	return total, nil
 }
 
-// queryKey builds the cache key: a query's cost depends only on the
-// configuration's indexes over the tables it references.
-func (c *OptimizerChecker) queryKey(qi int, stmt *sql.SelectStmt, cfg *Configuration) string {
-	tables := make(map[string]bool)
-	for _, t := range stmt.TablesReferenced() {
-		tables[t] = true
+// evalMisses runs eval for every missed query index, concurrently when
+// Parallelism > 1. On failure it returns the error of the
+// smallest-indexed failing query, matching serial evaluation order.
+func (c *OptimizerChecker) evalMisses(misses []int, eval func(int) error) error {
+	workers := c.Parallelism
+	if workers > len(misses) {
+		workers = len(misses)
 	}
-	key := fmt.Sprintf("q%d|", qi)
-	// Configuration indexes are held in stable order, so concatenation
-	// is canonical per configuration state.
-	for _, ix := range cfg.Indexes {
-		if tables[ix.Def.Table] {
-			key += ix.Key() + ";"
+	if workers <= 1 {
+		for _, qi := range misses {
+			if err := eval(qi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(misses))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(misses) {
+					return
+				}
+				errs[i] = eval(misses[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
 		}
 	}
-	return key
+	return nil
+}
+
+// groupKeysByTable concatenates the configuration's index keys per
+// table (configuration order, each key terminated by keySepIndex), so
+// building a query's cache key is a few map lookups instead of a scan
+// over every index for every query.
+func (c *OptimizerChecker) groupKeysByTable(cfg *Configuration) map[string]string {
+	bs := make(map[string]*strings.Builder)
+	for _, ix := range cfg.Indexes {
+		b := bs[ix.Def.Table]
+		if b == nil {
+			b = &strings.Builder{}
+			bs[ix.Def.Table] = b
+		}
+		b.WriteString(ix.Key())
+		b.WriteByte(keySepIndex)
+	}
+	groups := make(map[string]string, len(bs))
+	for t, b := range bs {
+		groups[t] = b.String()
+	}
+	return groups
+}
+
+// queryKey builds the cache key: a query's cost depends only on the
+// configuration's indexes over the tables it references. Table groups
+// are emitted in the query's FROM order, each terminated by
+// keySepTable, so distinct relevant-configuration states can never
+// produce the same key.
+func (c *OptimizerChecker) queryKey(qi int, groups map[string]string) string {
+	q := &c.queries[qi]
+	n := len(q.prefix) + len(q.tables)
+	for _, t := range q.tables {
+		n += len(groups[t])
+	}
+	var b strings.Builder
+	b.Grow(n)
+	b.WriteString(q.prefix)
+	for _, t := range q.tables {
+		b.WriteString(groups[t])
+		b.WriteByte(keySepTable)
+	}
+	return b.String()
 }
 
 // NoCostChecker implements the No-Cost model (§3.5.1): a merged index
@@ -120,23 +297,26 @@ func (c *OptimizerChecker) queryKey(qi int, stmt *sql.SelectStmt, cfg *Configura
 // width by more than fraction P. No cost function is ever consulted,
 // so the final configuration carries no cost guarantee — exactly the
 // drawback §3.5.1 notes.
+//
+// Safe for concurrent Accepts calls (the schema is read-only and the
+// counter is atomic).
 type NoCostChecker struct {
 	F      float64 // max merged-index width as a fraction of table width
 	P      float64 // max growth over either immediate parent
 	Tables SchemaProvider
 
-	evals int64
+	evals atomic.Int64
 }
 
 // Description implements ConstraintChecker.
 func (c *NoCostChecker) Description() string { return "Cost-None" }
 
 // Evaluations implements ConstraintChecker.
-func (c *NoCostChecker) Evaluations() int64 { return c.evals }
+func (c *NoCostChecker) Evaluations() int64 { return c.evals.Load() }
 
 // Accepts implements ConstraintChecker.
 func (c *NoCostChecker) Accepts(_ *Configuration, m, a, b *Index) (bool, error) {
-	c.evals++
+	c.evals.Add(1)
 	t, ok := c.Tables.Schema().Table(m.Def.Table)
 	if !ok {
 		return false, fmt.Errorf("core: unknown table %q", m.Def.Table)
@@ -161,6 +341,10 @@ func (c *NoCostChecker) Accepts(_ *Configuration, m, a, b *Index) (bool, error) 
 // The external bound is calibrated against the initial configuration:
 // a candidate is vetoed only when its external cost exceeds the
 // external baseline by more than the slack allowance times Margin.
+//
+// Safe for concurrent Accepts calls: the external model is read-only
+// after SetBaseline, the rejection counter is atomic, and Inner is
+// itself concurrency-safe.
 type PrefilteredChecker struct {
 	External *ExternalCostModel
 	Inner    *OptimizerChecker
@@ -170,7 +354,7 @@ type PrefilteredChecker struct {
 	// vetoes clearly hopeless candidates; >1 means permissive.
 	Margin float64
 
-	prefilterHits int64
+	prefilterHits atomic.Int64
 }
 
 // Description implements ConstraintChecker.
@@ -179,9 +363,12 @@ func (c *PrefilteredChecker) Description() string { return "Cost-Opt+Prefilter" 
 // Evaluations implements ConstraintChecker.
 func (c *PrefilteredChecker) Evaluations() int64 { return c.Inner.Evaluations() }
 
+// OptimizerCalls implements OptimizerCallCounter.
+func (c *PrefilteredChecker) OptimizerCalls() int64 { return c.Inner.OptimizerCalls() }
+
 // PrefilterRejections counts candidates the external model vetoed
 // without an optimizer call.
-func (c *PrefilteredChecker) PrefilterRejections() int64 { return c.prefilterHits }
+func (c *PrefilteredChecker) PrefilterRejections() int64 { return c.prefilterHits.Load() }
 
 // Accepts implements ConstraintChecker.
 func (c *PrefilteredChecker) Accepts(cfg *Configuration, m, a, b *Index) (bool, error) {
@@ -193,7 +380,7 @@ func (c *PrefilteredChecker) Accepts(cfg *Configuration, m, a, b *Index) (bool, 
 	if extBase > 0 {
 		extCost := c.External.WorkloadCost(cfg)
 		if extCost > extBase*(1+c.SlackPct*margin) {
-			c.prefilterHits++
+			c.prefilterHits.Add(1)
 			return false, nil
 		}
 	}

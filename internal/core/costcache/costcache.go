@@ -1,0 +1,141 @@
+// Package costcache provides a sharded, thread-safe cost cache with
+// in-flight deduplication for what-if optimizer invocations. A cost
+// evaluation keyed by (query, relevant-configuration) is expensive —
+// a full optimizer pass — so the cache guarantees that concurrent
+// workers never compute the same key twice: the first caller becomes
+// the leader and runs the computation, later callers for the same key
+// block until the leader publishes the value (the singleflight
+// pattern, specialized to float64 costs).
+//
+// Sharding bounds lock contention: keys hash onto independent
+// sync.RWMutex-protected maps, so workers costing candidates on
+// different tables rarely touch the same lock.
+package costcache
+
+import (
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultShards is the shard count used when New is given n <= 0.
+// 32 shards keep contention negligible for worker pools up to a few
+// dozen goroutines while wasting little memory for small runs.
+const DefaultShards = 32
+
+// call is one in-flight computation. Waiters block on done; the
+// happens-before edge of close(done) publishes val and err.
+type call struct {
+	done chan struct{}
+	val  float64
+	err  error
+}
+
+type shard struct {
+	mu       sync.RWMutex
+	vals     map[string]float64
+	inflight map[string]*call
+}
+
+// Cache is a sharded map from string keys to float64 costs, safe for
+// concurrent use. The zero value is not usable; call New.
+type Cache struct {
+	seed   maphash.Seed
+	shards []shard
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	dedups atomic.Int64
+}
+
+// New creates a cache with the given shard count (DefaultShards when
+// n <= 0).
+func New(n int) *Cache {
+	if n <= 0 {
+		n = DefaultShards
+	}
+	c := &Cache{seed: maphash.MakeSeed(), shards: make([]shard, n)}
+	for i := range c.shards {
+		c.shards[i].vals = make(map[string]float64)
+		c.shards[i].inflight = make(map[string]*call)
+	}
+	return c
+}
+
+func (c *Cache) shard(key string) *shard {
+	return &c.shards[maphash.String(c.seed, key)%uint64(len(c.shards))]
+}
+
+// Get returns the cached value for key, if present.
+func (c *Cache) Get(key string) (float64, bool) {
+	s := c.shard(key)
+	s.mu.RLock()
+	v, ok := s.vals[key]
+	s.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	}
+	return v, ok
+}
+
+// Do returns the cached value for key, computing it with fn on a miss.
+// Concurrent Do calls for the same key run fn exactly once: the first
+// caller computes, the rest wait and share the result. fn runs without
+// any shard lock held, so it may be arbitrarily expensive. Errors are
+// propagated to every waiter and are not cached — a later Do retries.
+func (c *Cache) Do(key string, fn func() (float64, error)) (float64, error) {
+	s := c.shard(key)
+	s.mu.RLock()
+	v, ok := s.vals[key]
+	s.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return v, nil
+	}
+
+	s.mu.Lock()
+	if v, ok := s.vals[key]; ok {
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return v, nil
+	}
+	if cl, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		c.dedups.Add(1)
+		<-cl.done
+		return cl.val, cl.err
+	}
+	cl := &call{done: make(chan struct{})}
+	s.inflight[key] = cl
+	s.mu.Unlock()
+
+	c.misses.Add(1)
+	cl.val, cl.err = fn()
+
+	s.mu.Lock()
+	if cl.err == nil {
+		s.vals[key] = cl.val
+	}
+	delete(s.inflight, key)
+	s.mu.Unlock()
+	close(cl.done)
+	return cl.val, cl.err
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n += len(s.vals)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Stats reports lookup hits, computed misses, and deduplicated waits
+// (calls that piggybacked on another worker's in-flight computation).
+func (c *Cache) Stats() (hits, misses, dedups int64) {
+	return c.hits.Load(), c.misses.Load(), c.dedups.Load()
+}

@@ -1,0 +1,142 @@
+package costcache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGetAndDo(t *testing.T) {
+	c := New(0)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache returned a value")
+	}
+	v, err := c.Do("a", func() (float64, error) { return 42, nil })
+	if err != nil || v != 42 {
+		t.Fatalf("Do = %v, %v", v, err)
+	}
+	if v, ok := c.Get("a"); !ok || v != 42 {
+		t.Fatalf("Get after Do = %v, %v", v, ok)
+	}
+	// Second Do must not recompute.
+	v, err = c.Do("a", func() (float64, error) {
+		t.Error("recomputed a cached key")
+		return 0, nil
+	})
+	if err != nil || v != 42 {
+		t.Fatalf("cached Do = %v, %v", v, err)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestErrorsNotCached(t *testing.T) {
+	c := New(4)
+	boom := errors.New("boom")
+	if _, err := c.Do("k", func() (float64, error) { return 0, boom }); err != boom {
+		t.Fatalf("err = %v", err)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("error value was cached")
+	}
+	// A later Do retries and can succeed.
+	v, err := c.Do("k", func() (float64, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("retry = %v, %v", v, err)
+	}
+}
+
+// TestInflightDedup: concurrent Do calls for one key run fn exactly
+// once and all observe the same value.
+func TestInflightDedup(t *testing.T) {
+	c := New(1) // single shard maximizes contention
+	var computed atomic.Int64
+	release := make(chan struct{})
+	const workers = 16
+
+	var wg sync.WaitGroup
+	results := make([]float64, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := c.Do("key", func() (float64, error) {
+				computed.Add(1)
+				<-release // hold the computation so others pile up
+				return 99, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+	if n := computed.Load(); n != 1 {
+		t.Errorf("fn ran %d times, want 1", n)
+	}
+	for i, v := range results {
+		if v != 99 {
+			t.Errorf("worker %d saw %v", i, v)
+		}
+	}
+	hits, misses, dedups := c.Stats()
+	if misses != 1 {
+		t.Errorf("misses = %d, want 1", misses)
+	}
+	if hits+dedups != workers-1 {
+		t.Errorf("hits(%d)+dedups(%d) != %d", hits, dedups, workers-1)
+	}
+}
+
+// TestConcurrentStress hammers many keys from many goroutines; run
+// under -race this validates the locking discipline, and the
+// per-key computation counts validate exactly-once semantics.
+func TestConcurrentStress(t *testing.T) {
+	c := New(8)
+	const keys = 64
+	const workers = 32
+	const rounds = 50
+
+	var computed [keys]atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				k := (w*7 + r) % keys
+				key := fmt.Sprintf("key-%d", k)
+				v, err := c.Do(key, func() (float64, error) {
+					computed[k].Add(1)
+					return float64(k), nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if v != float64(k) {
+					t.Errorf("key %d = %v", k, v)
+					return
+				}
+				if got, ok := c.Get(key); ok && got != float64(k) {
+					t.Errorf("Get(%s) = %v", key, got)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for k := range computed {
+		if n := computed[k].Load(); n != 1 {
+			t.Errorf("key %d computed %d times, want 1", k, n)
+		}
+	}
+	if c.Len() != keys {
+		t.Errorf("Len = %d, want %d", c.Len(), keys)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -9,6 +10,23 @@ import (
 type ExhaustiveOptions struct {
 	// MaxConfigs aborts runaway enumerations (0 = default bound).
 	MaxConfigs int64
+	// Parallelism bounds how many sibling candidates of one DFS node
+	// are constraint-checked concurrently. <= 1 evaluates serially.
+	// Any value produces byte-identical SearchResults: Accepts is pure
+	// with respect to search state, so checking a sibling early cannot
+	// change its verdict, and candidates are still consumed in
+	// enumeration order with the visited set re-checked at consume
+	// time.
+	Parallelism int
+}
+
+// exhCandidate is one sibling merge of a DFS node.
+type exhCandidate struct {
+	a, b, m *Index
+	next    *Configuration
+	sig     string
+	ok      bool
+	err     error
 }
 
 // Exhaustive enumerates every minimal merged configuration reachable
@@ -25,6 +43,10 @@ func Exhaustive(initial *Configuration, mp MergePair, check ConstraintChecker, e
 	if maxConfigs <= 0 {
 		maxConfigs = 2_000_000
 	}
+	wave := opt.Parallelism
+	if wave < 1 {
+		wave = 1
+	}
 	res := &SearchResult{
 		Initial:      initial,
 		InitialBytes: initial.Bytes(env),
@@ -33,7 +55,7 @@ func Exhaustive(initial *Configuration, mp MergePair, check ConstraintChecker, e
 	best := initial
 	bestBytes := res.InitialBytes
 	visited := map[string]bool{initial.Signature(): true}
-	startEvals := check.Evaluations()
+	startCalls := optimizerCallsOf(check)
 
 	// DFS over the merge lattice. A configuration is only expanded
 	// (not necessarily accepted) — acceptance is checked per candidate,
@@ -41,12 +63,21 @@ func Exhaustive(initial *Configuration, mp MergePair, check ConstraintChecker, e
 	// merge contains this one's indexes and by monotonicity of the cost
 	// constraint would be checked on its own path anyway; pruning
 	// rejected branches matches the minimal-merged-configuration space.
+	//
+	// Concurrency: all of a node's merges are constructed serially up
+	// front (MergePair implementations are not required to be
+	// concurrency-safe), then siblings are constraint-checked in waves
+	// of size Parallelism. A wave is speculative — an earlier sibling's
+	// subtree may visit a later sibling's configuration first, in which
+	// case its precomputed verdict is discarded at consume time exactly
+	// as the serial DFS would have skipped it.
 	var dfs func(cur *Configuration) error
 	dfs = func(cur *Configuration) error {
 		if ba, ok := mp.(baseAware); ok {
 			ba.SetBase(cur)
 		}
 		pairs := cur.PairsByTable()
+		cands := make([]exhCandidate, 0, len(pairs))
 		for _, pair := range pairs {
 			a, b := pair[0], pair[1]
 			m, err := mp.Merge(a, b)
@@ -54,31 +85,56 @@ func Exhaustive(initial *Configuration, mp MergePair, check ConstraintChecker, e
 				return err
 			}
 			next := cur.ReplacePair(a, b, m)
-			sig := next.Signature()
-			if visited[sig] {
-				continue
+			cands = append(cands, exhCandidate{a: a, b: b, m: m, next: next, sig: next.Signature()})
+		}
+		for w := 0; w < len(cands); w += wave {
+			end := w + wave
+			if end > len(cands) {
+				end = len(cands)
 			}
-			visited[sig] = true
-			res.ConfigsExplored++
-			if res.ConfigsExplored > maxConfigs {
-				return fmt.Errorf("core: exhaustive search exceeded %d configurations", maxConfigs)
+			batch := cands[w:end]
+			if wave > 1 {
+				var wg sync.WaitGroup
+				for i := range batch {
+					if visited[batch[i].sig] {
+						continue
+					}
+					wg.Add(1)
+					go func(i int) {
+						defer wg.Done()
+						c := &batch[i]
+						c.ok, c.err = check.Accepts(c.next, c.m, c.a, c.b)
+					}(i)
+				}
+				wg.Wait()
 			}
-			ok, err := check.Accepts(next, m, a, b)
-			if err != nil {
-				return err
-			}
-			if !ok {
-				continue
-			}
-			if nb := next.Bytes(env); nb < bestBytes {
-				bestBytes = nb
-				best = next
-			}
-			if err := dfs(next); err != nil {
-				return err
-			}
-			if ba, ok := mp.(baseAware); ok {
-				ba.SetBase(cur) // restore context after recursion
+			for i := range batch {
+				cand := &batch[i]
+				if visited[cand.sig] {
+					continue
+				}
+				visited[cand.sig] = true
+				res.ConfigsExplored++
+				if res.ConfigsExplored > maxConfigs {
+					return fmt.Errorf("core: exhaustive search exceeded %d configurations", maxConfigs)
+				}
+				if wave <= 1 {
+					cand.ok, cand.err = check.Accepts(cand.next, cand.m, cand.a, cand.b)
+				}
+				res.CostEvaluations++
+				if cand.err != nil {
+					return cand.err
+				}
+				if !cand.ok {
+					continue
+				}
+				if nb := cand.next.Bytes(env); nb < bestBytes {
+					bestBytes = nb
+					best = cand.next
+				}
+				if err := dfs(cand.next); err != nil {
+					return err
+				}
 			}
 		}
 		return nil
@@ -89,7 +145,7 @@ func Exhaustive(initial *Configuration, mp MergePair, check ConstraintChecker, e
 
 	res.Final = best
 	res.FinalBytes = bestBytes
-	res.CostEvaluations = check.Evaluations() - startEvals
+	res.OptimizerCalls = optimizerCallsOf(check) - startCalls
 	res.Elapsed = time.Since(start)
 	return res, nil
 }

@@ -22,8 +22,18 @@ type SearchResult struct {
 	FinalBytes   int64
 	// Steps traces the accepted merges (Greedy only).
 	Steps []MergeStep
-	// CostEvaluations counts constraint-checker invocations.
+	// CostEvaluations counts constraint checks the search consumed:
+	// the candidate evaluations that determined its decisions. It is
+	// deterministic — identical for serial and parallel runs of the
+	// same search (speculative checks a parallel wave evaluated but
+	// never consumed are excluded).
 	CostEvaluations int64
+	// OptimizerCalls counts actual optimizer invocations the
+	// constraint checker issued during the search (0 for checkers
+	// that never consult a cost function). Unlike CostEvaluations
+	// this is a measured quantity: parallel runs may speculate and
+	// so issue a different number of calls than serial runs.
+	OptimizerCalls int64
 	// ConfigsExplored counts candidate configurations considered.
 	ConfigsExplored int64
 	// Elapsed is the wall-clock search time.
@@ -53,6 +63,14 @@ const (
 // GreedyOptions tunes the Greedy search.
 type GreedyOptions struct {
 	Order GreedyOrder
+	// Parallelism bounds how many candidate configurations are
+	// constraint-checked concurrently in each inner-loop wave. <= 1
+	// (the default) evaluates candidates strictly serially. Any value
+	// yields byte-identical final configurations, steps, byte totals
+	// and CostEvaluations: candidates are still consumed in the
+	// paper's storage-reduction order, a wave merely computes their
+	// verdicts ahead of time.
+	Parallelism int
 }
 
 // baseAware lets MergePair implementations that evaluate candidate
@@ -65,6 +83,15 @@ type baseAware interface {
 // SetBase implements baseAware for MergePairExhaustive.
 func (m *MergePairExhaustive) SetBase(c *Configuration) { m.Base = c }
 
+// optimizerCallsOf reads the expensive-call counter when the checker
+// exposes one.
+func optimizerCallsOf(check ConstraintChecker) int64 {
+	if oc, ok := check.(OptimizerCallCounter); ok {
+		return oc.OptimizerCalls()
+	}
+	return 0
+}
+
 // Greedy runs the paper's Figure 4 algorithm: in each outer iteration,
 // merge every same-table pair in the current configuration with mp,
 // order the results by storage reduction, and adopt the first merged
@@ -75,7 +102,22 @@ func Greedy(initial *Configuration, mp MergePair, check ConstraintChecker, env S
 	return GreedyWithOptions(initial, mp, check, env, GreedyOptions{})
 }
 
-// GreedyWithOptions is Greedy with ablation knobs.
+// greedyCandidate is one candidate merge of an outer iteration.
+type greedyCandidate struct {
+	a, b, m   *Index
+	sa, sb, sm int64
+	reduction int64
+	growth    int64
+}
+
+// verdict is the outcome of one speculative constraint check.
+type verdict struct {
+	next *Configuration
+	ok   bool
+	err  error
+}
+
+// GreedyWithOptions is Greedy with ablation and concurrency knobs.
 func GreedyWithOptions(initial *Configuration, mp MergePair, check ConstraintChecker, env SizeEstimator, opt GreedyOptions) (*SearchResult, error) {
 	start := time.Now()
 	res := &SearchResult{
@@ -83,18 +125,22 @@ func GreedyWithOptions(initial *Configuration, mp MergePair, check ConstraintChe
 		InitialBytes: initial.Bytes(env),
 	}
 	cur := initial.Clone()
-	startEvals := check.Evaluations()
+	// curBytes tracks the current configuration's size incrementally:
+	// each accepted step adjusts it from the candidate's
+	// already-computed index sizes instead of rescanning the whole
+	// configuration.
+	curBytes := res.InitialBytes
+	startCalls := optimizerCallsOf(check)
+	wave := opt.Parallelism
+	if wave < 1 {
+		wave = 1
+	}
 
 	for {
 		if ba, ok := mp.(baseAware); ok {
 			ba.SetBase(cur)
 		}
-		type candidate struct {
-			a, b, m   *Index
-			reduction int64
-			growth    int64
-		}
-		var cands []candidate
+		var cands []greedyCandidate
 		for _, pair := range cur.PairsByTable() {
 			a, b := pair[0], pair[1]
 			m, err := mp.Merge(a, b)
@@ -105,8 +151,9 @@ func GreedyWithOptions(initial *Configuration, mp MergePair, check ConstraintChe
 			sa := env.EstimateIndexBytes(a.Def)
 			sb := env.EstimateIndexBytes(b.Def)
 			sm := env.EstimateIndexBytes(m.Def)
-			cands = append(cands, candidate{
+			cands = append(cands, greedyCandidate{
 				a: a, b: b, m: m,
+				sa: sa, sb: sb, sm: sm,
 				reduction: sa + sb - sm,
 				growth:    sm - maxI64(sa, sb),
 			})
@@ -120,30 +167,60 @@ func GreedyWithOptions(initial *Configuration, mp MergePair, check ConstraintChe
 		default:
 			sort.SliceStable(cands, func(i, j int) bool { return cands[i].reduction > cands[j].reduction })
 		}
-		accepted := false
+
+		// Guard: a pairwise merge of very wide keys can *grow* storage
+		// (the per-row RID saving loses to the extra internal B+-tree
+		// levels wide keys need). Such merges can never serve the
+		// storage-minimal objective, so the greedy skips them;
+		// Exhaustive still explores every partition.
+		eligible := cands[:0:0]
 		for _, cand := range cands {
-			// Guard: a pairwise merge of very wide keys can *grow*
-			// storage (the per-row RID saving loses to the extra
-			// internal B+-tree levels wide keys need). Such merges can
-			// never serve the storage-minimal objective, so the greedy
-			// skips them; Exhaustive still explores every partition.
-			if cand.reduction <= 0 {
-				continue
+			if cand.reduction > 0 {
+				eligible = append(eligible, cand)
 			}
-			next := cur.ReplacePair(cand.a, cand.b, cand.m)
-			ok, err := check.Accepts(next, cand.m, cand.a, cand.b)
-			if err != nil {
-				return nil, err
+		}
+
+		// Constraint-check eligible candidates in waves of size
+		// opt.Parallelism, consuming verdicts strictly in rank order —
+		// the first accepted candidate wins exactly as in the serial
+		// algorithm, so results are identical for any parallelism.
+		accepted := false
+		for w := 0; w < len(eligible) && !accepted; w += wave {
+			end := w + wave
+			if end > len(eligible) {
+				end = len(eligible)
 			}
-			if ok {
+			batch := eligible[w:end]
+			// Serial evaluation stops at the first acceptance, so
+			// verdicts may be shorter than batch; consume what exists.
+			verdicts := evaluateWave(cur, batch, check, wave)
+			for bi := range verdicts {
+				cand := batch[bi]
+				v := verdicts[bi]
+				res.CostEvaluations++
+				if v.err != nil {
+					return nil, v.err
+				}
+				if !v.ok {
+					continue
+				}
+				nextBytes := curBytes - cand.reduction
+				if v.next.Len() == cur.Len()-2 {
+					// The merged index coincided with an existing one
+					// and the two collapsed; the duplicate's bytes
+					// (equal to sm — sizes depend only on the
+					// definition) vanish as well.
+					nextBytes -= cand.sm
+				}
 				res.Steps = append(res.Steps, MergeStep{
 					ParentA:     cand.a.Key(),
 					ParentB:     cand.b.Key(),
 					Result:      cand.m.Key(),
-					BytesBefore: cur.Bytes(env),
-					BytesAfter:  next.Bytes(env),
+					BytesBefore: curBytes,
+					BytesAfter:  nextBytes,
 				})
-				cur = next
+				cur = v.next
+				curBytes = nextBytes
 				accepted = true
 				break
 			}
@@ -154,10 +231,44 @@ func GreedyWithOptions(initial *Configuration, mp MergePair, check ConstraintChe
 	}
 
 	res.Final = cur
-	res.FinalBytes = cur.Bytes(env)
-	res.CostEvaluations = check.Evaluations() - startEvals
+	res.FinalBytes = curBytes
+	res.OptimizerCalls = optimizerCallsOf(check) - startCalls
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// evaluateWave constraint-checks a batch of candidates against cur,
+// concurrently when parallelism > 1. Checks are speculative: the
+// caller consumes verdicts in order and may discard trailing ones.
+func evaluateWave(cur *Configuration, batch []greedyCandidate, check ConstraintChecker, parallelism int) []verdict {
+	verdicts := make([]verdict, len(batch))
+	if parallelism <= 1 || len(batch) == 1 {
+		for i, cand := range batch {
+			next := cur.ReplacePair(cand.a, cand.b, cand.m)
+			ok, err := check.Accepts(next, cand.m, cand.a, cand.b)
+			verdicts[i] = verdict{next: next, ok: ok, err: err}
+			// The serial algorithm stops at the first acceptance (or
+			// error); avoid wasted checks when running serially.
+			if ok || err != nil {
+				return verdicts[:i+1]
+			}
+		}
+		return verdicts
+	}
+	done := make(chan int, len(batch))
+	for i := range batch {
+		go func(i int) {
+			cand := batch[i]
+			next := cur.ReplacePair(cand.a, cand.b, cand.m)
+			ok, err := check.Accepts(next, cand.m, cand.a, cand.b)
+			verdicts[i] = verdict{next: next, ok: ok, err: err}
+			done <- i
+		}(i)
+	}
+	for range batch {
+		<-done
+	}
+	return verdicts
 }
 
 func maxI64(a, b int64) int64 {

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+const testParallelism = 8
+
+// runsEqual verifies two SearchResults are identical in every
+// deterministic field (Elapsed and OptimizerCalls are measured
+// quantities and excluded by design).
+func runsEqual(t *testing.T, serial, parallel *SearchResult) {
+	t.Helper()
+	if serial.Final.Signature() != parallel.Final.Signature() {
+		t.Errorf("final configs differ:\n serial   %s\n parallel %s",
+			serial.Final.Signature(), parallel.Final.Signature())
+	}
+	if serial.FinalBytes != parallel.FinalBytes {
+		t.Errorf("final bytes differ: %d vs %d", serial.FinalBytes, parallel.FinalBytes)
+	}
+	if serial.InitialBytes != parallel.InitialBytes {
+		t.Errorf("initial bytes differ: %d vs %d", serial.InitialBytes, parallel.InitialBytes)
+	}
+	if !reflect.DeepEqual(serial.Steps, parallel.Steps) {
+		t.Errorf("steps differ:\n serial   %+v\n parallel %+v", serial.Steps, parallel.Steps)
+	}
+	if serial.CostEvaluations != parallel.CostEvaluations {
+		t.Errorf("consumed evaluations differ: %d vs %d", serial.CostEvaluations, parallel.CostEvaluations)
+	}
+	if serial.ConfigsExplored != parallel.ConfigsExplored {
+		t.Errorf("configs explored differ: %d vs %d", serial.ConfigsExplored, parallel.ConfigsExplored)
+	}
+}
+
+func TestGreedyParallelDeterminism(t *testing.T) {
+	f := newSearchFixture(t)
+	mp := &MergePairCost{Seek: f.seek}
+	for _, slack := range []float64{0.05, 0.15, 0.50} {
+		serialCheck := f.checker(slack)
+		serial, err := GreedyWithOptions(f.initial, mp, serialCheck, f.db, GreedyOptions{Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parCheck := f.checker(slack)
+		parCheck.Parallelism = testParallelism
+		parallel, err := GreedyWithOptions(f.initial, mp, parCheck, f.db, GreedyOptions{Parallelism: testParallelism})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runsEqual(t, serial, parallel)
+	}
+}
+
+func TestGreedyParallelDeterminismNoCost(t *testing.T) {
+	f := newSearchFixture(t)
+	mp := &MergePairCost{Seek: f.seek}
+	serial, err := GreedyWithOptions(f.initial, mp, &NoCostChecker{F: 0.60, P: 0.60, Tables: f.db}, f.db, GreedyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := GreedyWithOptions(f.initial, mp, &NoCostChecker{F: 0.60, P: 0.60, Tables: f.db}, f.db, GreedyOptions{Parallelism: testParallelism})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runsEqual(t, serial, parallel)
+}
+
+func TestExhaustiveParallelDeterminism(t *testing.T) {
+	f := newSearchFixture(t)
+	mp := &MergePairCost{Seek: f.seek}
+	for _, slack := range []float64{0.05, 0.15, 0.50} {
+		serial, err := Exhaustive(f.initial, mp, f.checker(slack), f.db, ExhaustiveOptions{Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parCheck := f.checker(slack)
+		parCheck.Parallelism = testParallelism
+		parallel, err := Exhaustive(f.initial, mp, parCheck, f.db, ExhaustiveOptions{Parallelism: testParallelism})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runsEqual(t, serial, parallel)
+	}
+}
+
+// TestGreedyIncrementalBytesConsistent checks the running byte totals
+// against a from-scratch recomputation: the incremental accounting must
+// agree with Configuration.Bytes at every step boundary.
+func TestGreedyIncrementalBytesConsistent(t *testing.T) {
+	f := newSearchFixture(t)
+	res, err := GreedyWithOptions(f.initial, &MergePairCost{Seek: f.seek}, f.checker(0.50), f.db, GreedyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) == 0 {
+		t.Fatal("fixture should allow at least one merge")
+	}
+	if res.Steps[0].BytesBefore != res.InitialBytes {
+		t.Errorf("first step starts at %d, initial is %d", res.Steps[0].BytesBefore, res.InitialBytes)
+	}
+	for i := 1; i < len(res.Steps); i++ {
+		if res.Steps[i].BytesBefore != res.Steps[i-1].BytesAfter {
+			t.Errorf("step %d bytes discontinuous: %d after vs %d before",
+				i, res.Steps[i-1].BytesAfter, res.Steps[i].BytesBefore)
+		}
+	}
+	if last := res.Steps[len(res.Steps)-1].BytesAfter; last != res.FinalBytes {
+		t.Errorf("last step ends at %d, final is %d", last, res.FinalBytes)
+	}
+	if got := res.Final.Bytes(f.db); got != res.FinalBytes {
+		t.Errorf("incremental final bytes %d != recomputed %d", res.FinalBytes, got)
+	}
+}
+
+// TestCheckerCounterSplit verifies the two counters measure different
+// things: Evaluations counts constraint checks, OptimizerCalls counts
+// actual optimizer invocations, and cache hits advance only the former.
+func TestCheckerCounterSplit(t *testing.T) {
+	f := newSearchFixture(t)
+	check := f.checker(0.10)
+	cfg := f.initial.Clone()
+
+	before := f.opt.InvocationCount()
+	if _, err := check.WorkloadCost(cfg); err != nil {
+		t.Fatal(err)
+	}
+	wantCalls := f.opt.InvocationCount() - before
+	if wantCalls == 0 {
+		t.Fatal("first evaluation issued no optimizer calls")
+	}
+	if got := check.OptimizerCalls(); got != wantCalls {
+		t.Errorf("OptimizerCalls = %d, optimizer counted %d", got, wantCalls)
+	}
+	if got := check.Evaluations(); got != 1 {
+		t.Errorf("Evaluations = %d after one WorkloadCost", got)
+	}
+
+	// Fully cached re-evaluation: constraint checks advance, optimizer
+	// calls do not.
+	for i := 0; i < 3; i++ {
+		if _, err := check.WorkloadCost(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := check.Evaluations(); got != 4 {
+		t.Errorf("Evaluations = %d after four WorkloadCosts", got)
+	}
+	if got := check.OptimizerCalls(); got != wantCalls {
+		t.Errorf("cached evaluations issued %d extra optimizer calls", got-wantCalls)
+	}
+	hits, misses, _ := check.CacheStats()
+	if hits == 0 || misses == 0 {
+		t.Errorf("cache stats hits=%d misses=%d, want both > 0", hits, misses)
+	}
+}
+
+// TestWorkloadCostConcurrentStress hammers one checker from many
+// goroutines across alternating configurations; every result must be
+// bit-identical to a serial evaluation with a fresh checker.
+func TestWorkloadCostConcurrentStress(t *testing.T) {
+	f := newSearchFixture(t)
+
+	// Build a few distinct configurations by merging different pairs.
+	configs := []*Configuration{f.initial.Clone()}
+	mp := &MergePairCost{Seek: f.seek}
+	for _, pair := range f.initial.PairsByTable() {
+		m, err := mp.Merge(pair[0], pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		configs = append(configs, f.initial.ReplacePair(pair[0], pair[1], m))
+	}
+
+	want := make([]float64, len(configs))
+	serial := f.checker(0.10)
+	for i, cfg := range configs {
+		v, err := serial.WorkloadCost(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = v
+	}
+
+	check := f.checker(0.10)
+	check.Parallelism = testParallelism
+	const workers = 16
+	const rounds = 20
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				i := (w + r) % len(configs)
+				v, err := check.WorkloadCost(configs[i])
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if v != want[i] {
+					t.Errorf("config %d: concurrent cost %v != serial %v", i, v, want[i])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if got, want := check.Evaluations(), int64(workers*rounds); got != want {
+		t.Errorf("Evaluations = %d, want %d", got, want)
+	}
+}
+
+// TestQueryKeyUnambiguous verifies the cache key's injectivity
+// contract: two configurations share a query's key exactly when their
+// relevant subsets (indexes on the query's tables, in configuration
+// order) coincide, and the separator bytes can never occur inside an
+// index key.
+func TestQueryKeyUnambiguous(t *testing.T) {
+	f := newSearchFixture(t)
+	check := f.checker(0.10)
+	check.lazyInit()
+
+	for _, ix := range f.initial.Indexes {
+		if strings.ContainsRune(ix.Key(), keySepIndex) || strings.ContainsRune(ix.Key(), keySepTable) {
+			t.Fatalf("index key %q contains a reserved separator byte", ix.Key())
+		}
+	}
+
+	// All subsets of the five fixture indexes.
+	var configs []*Configuration
+	n := f.initial.Len()
+	for mask := 0; mask < 1<<n; mask++ {
+		var ixs []*Index
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				ixs = append(ixs, f.initial.Indexes[i])
+			}
+		}
+		configs = append(configs, &Configuration{Indexes: ixs})
+	}
+
+	relevant := func(cfg *Configuration, tables []string) string {
+		inQ := make(map[string]bool, len(tables))
+		for _, t := range tables {
+			inQ[t] = true
+		}
+		var sb strings.Builder
+		for _, ix := range cfg.Indexes {
+			if inQ[ix.Def.Table] {
+				sb.WriteString(ix.Key())
+				sb.WriteByte(0)
+			}
+		}
+		return sb.String()
+	}
+
+	for qi := range check.W.Queries {
+		tables := check.queries[qi].tables
+		byKey := make(map[string]string) // cache key -> relevant subset
+		for _, cfg := range configs {
+			key := check.queryKey(qi, check.groupKeysByTable(cfg))
+			rel := relevant(cfg, tables)
+			if prev, seen := byKey[key]; seen {
+				if prev != rel {
+					t.Fatalf("q%d: key collision between relevant subsets %q and %q", qi, prev, rel)
+				}
+			} else {
+				byKey[key] = rel
+			}
+		}
+		// The same relevant subset must also map to the same key (cache
+		// hits across configurations differing only on other tables).
+		byRel := make(map[string]string)
+		for _, cfg := range configs {
+			key := check.queryKey(qi, check.groupKeysByTable(cfg))
+			rel := relevant(cfg, tables)
+			if prev, seen := byRel[rel]; seen && prev != key {
+				t.Fatalf("q%d: relevant subset %q produced two keys", qi, rel)
+			}
+			byRel[rel] = key
+		}
+	}
+}

@@ -338,23 +338,23 @@ func TestOptimizerCheckerCaching(t *testing.T) {
 	if _, err := check.WorkloadCost(cfg); err != nil {
 		t.Fatal(err)
 	}
-	before := f.opt.Invocations
+	before := f.opt.InvocationCount()
 	// Same configuration again: every per-query cost is cached.
 	if _, err := check.WorkloadCost(cfg); err != nil {
 		t.Fatal(err)
 	}
-	if f.opt.Invocations != before {
-		t.Errorf("cache miss: %d extra optimizer calls", f.opt.Invocations-before)
+	if f.opt.InvocationCount() != before {
+		t.Errorf("cache miss: %d extra optimizer calls", f.opt.InvocationCount()-before)
 	}
 	// A config differing only on `dim` must not re-cost fact-only queries.
 	dimIdx := f.initial.Indexes[4]
 	other := NewIndex(def("dim", "name", "k"))
 	next := cfg.ReplacePair(dimIdx, dimIdx, other) // replace dim index
-	before = f.opt.Invocations
+	before = f.opt.InvocationCount()
 	if _, err := check.WorkloadCost(next); err != nil {
 		t.Fatal(err)
 	}
-	extra := f.opt.Invocations - before
+	extra := f.opt.InvocationCount() - before
 	if extra > 1 {
 		t.Errorf("changing the dim index re-costed %d queries; only the join query references dim", extra)
 	}

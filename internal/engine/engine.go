@@ -16,6 +16,14 @@ import (
 )
 
 // Database is an in-memory database instance.
+//
+// Concurrency contract: the read path — Schema, Heap, Index(es),
+// TableStats, TableRowCount, DataBytes, EstimateIndexBytes,
+// ConfigurationBytes — is safe for concurrent use provided no mutator
+// (CreateTable, CreateIndex, DropIndex, Insert, DeleteWhere, BulkLoad,
+// Materialize, Analyze*) runs at the same time. The parallel merge
+// search only ever uses the read path; experiments that materialize
+// configurations do so strictly between searches.
 type Database struct {
 	schema  *catalog.Schema
 	heaps   map[string]*storage.Heap

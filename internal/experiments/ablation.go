@@ -92,12 +92,12 @@ func RunAblationPrefilter(labs []*Lab, n int, constraint float64) ([]AblationRow
 		}
 		mp := &core.MergePairCost{Seek: s.seek}
 
-		before := lab.Opt.Invocations
+		before := lab.Opt.InvocationCount()
 		base, err := core.Greedy(s.initial, mp, s.optChecker(constraint), lab.DB)
 		if err != nil {
 			return nil, err
 		}
-		baseCalls := lab.Opt.Invocations - before
+		baseCalls := lab.Opt.InvocationCount() - before
 
 		ext := &core.ExternalCostModel{Meta: lab.DB, W: s.w}
 		ext.SetBaseline(s.initial)
@@ -106,12 +106,12 @@ func RunAblationPrefilter(labs []*Lab, n int, constraint float64) ([]AblationRow
 			Inner:    s.optChecker(constraint),
 			SlackPct: constraint,
 		}
-		before = lab.Opt.Invocations
+		before = lab.Opt.InvocationCount()
 		variant, err := core.Greedy(s.initial, mp, pre, lab.DB)
 		if err != nil {
 			return nil, err
 		}
-		variantCalls := lab.Opt.Invocations - before
+		variantCalls := lab.Opt.InvocationCount() - before
 
 		row, err := ablationRow(lab, s, "external-prefilter", base, variant)
 		if err != nil {
@@ -199,12 +199,12 @@ func RunWorkloadCompression(labs []*Lab, n, k int, constraint float64) ([]Compre
 		}
 		mp := &core.MergePairCost{Seek: s.seek}
 
-		before := lab.Opt.Invocations
+		before := lab.Opt.InvocationCount()
 		full, err := core.Greedy(s.initial, mp, s.optChecker(constraint), lab.DB)
 		if err != nil {
 			return nil, err
 		}
-		fullCalls := lab.Opt.Invocations - before
+		fullCalls := lab.Opt.InvocationCount() - before
 
 		// Compress: dedup identical queries, then keep the k most
 		// expensive under the initial configuration.
@@ -226,12 +226,12 @@ func RunWorkloadCompression(labs []*Lab, n, k int, constraint float64) ([]Compre
 			return nil, err
 		}
 		check := core.NewOptimizerChecker(lab.Opt, smallW, smallBase, constraint)
-		before = lab.Opt.Invocations
+		before = lab.Opt.InvocationCount()
 		small, err := core.Greedy(s.initial, &core.MergePairCost{Seek: seek}, check, lab.DB)
 		if err != nil {
 			return nil, err
 		}
-		smallCalls := lab.Opt.Invocations - before
+		smallCalls := lab.Opt.InvocationCount() - before
 
 		rows = append(rows, CompressionRow{
 			Database:            lab.Name,

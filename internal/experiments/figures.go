@@ -37,8 +37,14 @@ type SearchComparisonRow struct {
 	GreedyOptTime  time.Duration
 	GreedyNoneTime time.Duration
 
-	ExhaustiveEvals int64
-	GreedyOptEvals  int64
+	// *Evals count constraint checks the search consumed; *OptCalls
+	// count actual optimizer invocations the checker issued (§3.4.2's
+	// expensive quantity). Cache hits keep the latter well below the
+	// former.
+	ExhaustiveEvals    int64
+	GreedyOptEvals     int64
+	ExhaustiveOptCalls int64
+	GreedyOptOptCalls  int64
 
 	// FinalCostIncrease is Greedy-Cost-Opt's achieved workload cost
 	// increase over the initial configuration.
@@ -81,7 +87,19 @@ func newSetup(lab *Lab, w *sql.Workload, n int) (*setup, error) {
 }
 
 func (s *setup) optChecker(constraint float64) *core.OptimizerChecker {
-	return core.NewOptimizerChecker(s.lab.Opt, s.w, s.baseCost, constraint)
+	c := core.NewOptimizerChecker(s.lab.Opt, s.w, s.baseCost, constraint)
+	c.Parallelism = s.lab.Parallelism
+	return c
+}
+
+// greedyOpts and exhaustiveOpts carry the lab's parallelism into the
+// search strategies.
+func (s *setup) greedyOpts() core.GreedyOptions {
+	return core.GreedyOptions{Parallelism: s.lab.Parallelism}
+}
+
+func (s *setup) exhaustiveOpts() core.ExhaustiveOptions {
+	return core.ExhaustiveOptions{Parallelism: s.lab.Parallelism}
 }
 
 // FigureOptions parameterizes the Figure 5-7 experiments. The paper
@@ -123,19 +141,19 @@ func RunSearchComparisonOpt(labs []*Lab, opt FigureOptions) ([]SearchComparisonR
 		mp := &core.MergePairCost{Seek: s.seek}
 
 		exCheck := s.optChecker(constraint)
-		exRes, err := core.Exhaustive(s.initial, mp, exCheck, lab.DB, core.ExhaustiveOptions{})
+		exRes, err := core.Exhaustive(s.initial, mp, exCheck, lab.DB, s.exhaustiveOpts())
 		if err != nil {
 			return nil, err
 		}
 
 		goCheck := s.optChecker(constraint)
-		goRes, err := core.Greedy(s.initial, mp, goCheck, lab.DB)
+		goRes, err := core.GreedyWithOptions(s.initial, mp, goCheck, lab.DB, s.greedyOpts())
 		if err != nil {
 			return nil, err
 		}
 
 		gnCheck := &core.NoCostChecker{F: NoCostF, P: NoCostP, Tables: lab.DB}
-		gnRes, err := core.Greedy(s.initial, mp, gnCheck, lab.DB)
+		gnRes, err := core.GreedyWithOptions(s.initial, mp, gnCheck, lab.DB, s.greedyOpts())
 		if err != nil {
 			return nil, err
 		}
@@ -158,6 +176,8 @@ func RunSearchComparisonOpt(labs []*Lab, opt FigureOptions) ([]SearchComparisonR
 			GreedyNoneTime:      gnRes.Elapsed,
 			ExhaustiveEvals:     exRes.CostEvaluations,
 			GreedyOptEvals:      goRes.CostEvaluations,
+			ExhaustiveOptCalls:  exRes.OptimizerCalls,
+			GreedyOptOptCalls:   goRes.OptimizerCalls,
 			FinalCostIncrease:   finalCost/s.baseCost - 1,
 			NoCostCostIncrease:  noneCost/s.baseCost - 1,
 		})
@@ -191,19 +211,19 @@ func RunMergePairComparisonOpt(labs []*Lab, opt FigureOptions) ([]MergePairCompa
 		}
 
 		mpe := &core.MergePairExhaustive{Server: lab.Opt, W: s.w, Base: s.initial, MaxCols: 7}
-		exRes, err := core.Greedy(s.initial, mpe, s.optChecker(constraint), lab.DB)
+		exRes, err := core.GreedyWithOptions(s.initial, mpe, s.optChecker(constraint), lab.DB, s.greedyOpts())
 		if err != nil {
 			return nil, err
 		}
 
 		mpc := &core.MergePairCost{Seek: s.seek}
-		costRes, err := core.Greedy(s.initial, mpc, s.optChecker(constraint), lab.DB)
+		costRes, err := core.GreedyWithOptions(s.initial, mpc, s.optChecker(constraint), lab.DB, s.greedyOpts())
 		if err != nil {
 			return nil, err
 		}
 
 		mps := &core.MergePairSyntactic{Freq: core.LeadingColumnFrequencies(s.w)}
-		synRes, err := core.Greedy(s.initial, mps, s.optChecker(constraint), lab.DB)
+		synRes, err := core.GreedyWithOptions(s.initial, mps, s.optChecker(constraint), lab.DB, s.greedyOpts())
 		if err != nil {
 			return nil, err
 		}
@@ -253,7 +273,7 @@ func RunMaintenanceComparison(labs []*Lab, ns []int, constraint float64) ([]Main
 			if err != nil {
 				return nil, err
 			}
-			res, err := core.Greedy(s.initial, &core.MergePairCost{Seek: s.seek}, s.optChecker(constraint), lab.DB)
+			res, err := core.GreedyWithOptions(s.initial, &core.MergePairCost{Seek: s.seek}, s.optChecker(constraint), lab.DB, s.greedyOpts())
 			if err != nil {
 				return nil, err
 			}

@@ -34,6 +34,11 @@ type Lab struct {
 	Complex    *sql.Workload
 	Projection *sql.Workload
 
+	// Parallelism bounds concurrent candidate costing in searches and
+	// advisor runs driven from this lab; results are identical for any
+	// value (see core.GreedyOptions).
+	Parallelism int
+
 	// insertRow generates one fresh row for a table (batch updates).
 	insertRow func(table string, rng *rand.Rand) (value.Row, error)
 	seed      int64
@@ -49,6 +54,10 @@ type LabOptions struct {
 	WorkloadQueries int
 	// Seed drives data and workload generation.
 	Seed int64
+	// Parallelism bounds concurrent candidate costing in the searches
+	// the labs run (<= 1 = serial). Reported figures are identical for
+	// any value; only running time and optimizer-call counts vary.
+	Parallelism int
 }
 
 func (o *LabOptions) fill() {
@@ -131,12 +140,15 @@ func newSyntheticLab(spec datagen.SyntheticSpec, opt LabOptions) (*Lab, error) {
 
 func newLab(name string, db *engine.Database, opt LabOptions) (*Lab, error) {
 	o := optimizer.New(db)
+	adv := advisor.New(db, o)
+	adv.Parallelism = opt.Parallelism
 	lab := &Lab{
-		Name: name,
-		DB:   db,
-		Opt:  o,
-		Adv:  advisor.New(db, o),
-		seed: opt.Seed,
+		Name:        name,
+		DB:          db,
+		Opt:         o,
+		Adv:         adv,
+		Parallelism: opt.Parallelism,
+		seed:        opt.Seed,
 	}
 	var err error
 	lab.Complex, err = workload.Generate(db, workload.Options{

@@ -14,6 +14,11 @@ import (
 
 // Meta is the read-only database metadata the optimizer needs. The
 // engine's Database satisfies it.
+//
+// Implementations must be safe for concurrent calls as long as the
+// underlying database is not mutated — the parallel merge search
+// issues Schema/TableRowCount/TableStats reads from many goroutines
+// at once.
 type Meta interface {
 	Schema() *catalog.Schema
 	TableRowCount(table string) int64

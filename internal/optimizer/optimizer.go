@@ -3,6 +3,7 @@ package optimizer
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"indexmerge/internal/sql"
 	"indexmerge/internal/storage"
@@ -10,17 +11,25 @@ import (
 
 // Optimizer produces plans and cost estimates for queries against a
 // configuration of (possibly hypothetical) indexes.
+//
+// Concurrency contract: Optimize and Cost are safe for concurrent use
+// — planning state is per-call, metadata access is read-only, and the
+// invocation counter is atomic. The caller must not mutate the
+// underlying database (inserts, index creation, Analyze) or toggle
+// DisableIndexIntersection while concurrent optimizations run; the
+// parallel merge search relies on exactly this read-only contract.
 type Optimizer struct {
 	meta Meta
 
-	// Invocations counts Optimize calls — the quantity the paper's
+	// invocations counts Optimize calls — the quantity the paper's
 	// §3.5.3 optimizations (workload compression, external-cost
-	// pre-filtering) aim to reduce.
-	Invocations int64
+	// pre-filtering) aim to reduce. Read it with InvocationCount.
+	invocations atomic.Int64
 
 	// DisableIndexIntersection turns off RID-intersection access paths;
 	// used by the ablation that measures how optimizer sophistication
-	// affects merge quality.
+	// affects merge quality. Must not be toggled while Optimize calls
+	// are in flight.
 	DisableIndexIntersection bool
 }
 
@@ -29,10 +38,13 @@ func New(meta Meta) *Optimizer {
 	return &Optimizer{meta: meta}
 }
 
+// InvocationCount returns the number of Optimize calls performed.
+func (o *Optimizer) InvocationCount() int64 { return o.invocations.Load() }
+
 // Optimize returns the cheapest plan found for the statement under the
 // configuration. The statement must already be resolved.
 func (o *Optimizer) Optimize(stmt *sql.SelectStmt, cfg Configuration) (*Plan, error) {
-	o.Invocations++
+	o.invocations.Add(1)
 	ctx, err := o.newContext(stmt, cfg)
 	if err != nil {
 		return nil, err

@@ -108,8 +108,8 @@ func TestTableScanWithoutIndexes(t *testing.T) {
 	if len(plan.Uses) != 0 {
 		t.Errorf("no indexes exist, but usage reported: %v", plan.Uses)
 	}
-	if o.Invocations != 1 {
-		t.Errorf("Invocations = %d", o.Invocations)
+	if o.InvocationCount() != 1 {
+		t.Errorf("Invocations = %d", o.InvocationCount())
 	}
 }
 

@@ -3,6 +3,11 @@
 // sample ([CMN98]). These statistics are all a what-if (hypothetical)
 // index consists of — the optimizer costs plans over indexes that do
 // not physically exist using exactly this information (paper §3.5.3).
+//
+// Built statistics are immutable: every query method (Density,
+// SelectivityEq, SelectivityRange, Column) is a pure read, so
+// TableStats/ColumnStats values are safe to share across concurrent
+// optimizer invocations once Build has returned.
 package stats
 
 import (
