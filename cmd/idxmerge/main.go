@@ -6,25 +6,36 @@
 //
 //	idxmerge -db tpcd [-workload queries.sql] [-n 10] [-constraint 0.10]
 //	         [-mergepair cost|syntactic|exhaustive] [-search greedy|exhaustive]
-//	         [-costmodel opt|nocost|prefilter] [-explain]
+//	         [-costmodel opt|nocost|prefilter] [-explain] [-json]
 //
 // Without -workload, a complex workload is generated (RAGS-style).
 // The initial configuration comes from per-query tuning unless -n is 0,
 // in which case the whole workload is tuned query by query.
+//
+// With -json, the final result is printed to stdout as the same JSON
+// structure the idxmerged service serves for its jobs, and search
+// progress snapshots stream to stderr as JSON lines. Ctrl-C (SIGINT)
+// or SIGTERM cancels the search cleanly.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 
 	"indexmerge"
 	"indexmerge/internal/advisor"
 	"indexmerge/internal/datagen"
 	"indexmerge/internal/engine"
 	"indexmerge/internal/optimizer"
+	"indexmerge/internal/server"
 	"indexmerge/internal/sql"
 	"indexmerge/internal/workload"
 )
@@ -43,10 +54,21 @@ func main() {
 	explain := flag.Bool("explain", false, "print per-query plans under the final configuration")
 	dualBudget := flag.Float64("dual", 0, "solve the Cost-Minimal dual instead: storage budget as a fraction of the initial configuration (e.g. 0.5)")
 	parallel := flag.Int("parallel", 1, "concurrent candidate costings per search step (0 = GOMAXPROCS); results are identical for any value")
+	jsonOut := flag.Bool("json", false, "emit the result as JSON on stdout (the idxmerged job-result schema) and progress JSON lines on stderr")
 	flag.Parse()
 
 	if *parallel <= 0 {
 		*parallel = runtime.GOMAXPROCS(0)
+	}
+
+	// Ctrl-C / SIGTERM cancels the search cleanly mid-step.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	human := func(format string, args ...any) {
+		if !*jsonOut {
+			fmt.Printf(format, args...)
+		}
 	}
 
 	db, err := buildDatabase(*dbName, *scale, *seed)
@@ -57,7 +79,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("database %s: %d tables, %.1f MB data; workload: %d queries\n",
+	human("database %s: %d tables, %.1f MB data; workload: %d queries\n",
 		*dbName, len(db.Schema().Tables()), float64(db.DataBytes())/(1<<20), w.Len())
 
 	m, err := indexmerge.NewMerger(db, w)
@@ -70,9 +92,9 @@ func main() {
 	if *n > 0 {
 		adv := advisor.New(db, m.Optimizer())
 		adv.Parallelism = *parallel
-		defs, err = advisor.BuildInitialConfiguration(adv, w, *n, *seed)
+		defs, err = advisor.BuildInitialConfigurationContext(ctx, adv, w, *n, *seed)
 	} else {
-		defs, err = m.TuneWorkload()
+		defs, err = m.TuneWorkloadContext(ctx)
 	}
 	if err != nil {
 		fatal(err)
@@ -80,16 +102,20 @@ func main() {
 	if len(defs) == 0 {
 		fatal(fmt.Errorf("no initial indexes recommended; nothing to merge"))
 	}
-	fmt.Printf("\ninitial configuration (%d indexes):\n", len(defs))
+	human("\ninitial configuration (%d indexes):\n", len(defs))
 	for _, d := range defs {
-		fmt.Printf("  %s  (%.2f MB est.)\n", d, float64(db.EstimateIndexBytes(d))/(1<<20))
+		human("  %s  (%.2f MB est.)\n", d, float64(db.EstimateIndexBytes(d))/(1<<20))
 	}
 
 	if *dualBudget > 0 {
 		budget := int64(float64(db.ConfigurationBytes(defs)) * *dualBudget)
-		res, err := m.MergeDual(defs, budget)
+		res, err := m.MergeDualContext(ctx, defs, budget)
 		if err != nil {
 			fatal(err)
+		}
+		if *jsonOut {
+			emitJSON(server.NewDualResultPayload(res))
+			return
 		}
 		fmt.Printf("\ncost-minimal dual result (budget %.0f%% of initial):\n%s",
 			*dualBudget*100, res.Report())
@@ -112,15 +138,27 @@ func main() {
 	case "prefilter":
 		opts.CostModel = indexmerge.PrefilteredOptimizerCost
 	}
+	if *jsonOut {
+		// Stream progress snapshots as JSON lines on stderr — the same
+		// struct idxmerged serves while a job runs.
+		enc := json.NewEncoder(os.Stderr)
+		opts.Progress = func(p indexmerge.SearchProgress) {
+			_ = enc.Encode(server.NewProgressPayload(p))
+		}
+	}
 
-	res, err := m.MergeDefs(defs, opts)
+	res, err := m.MergeDefsContext(ctx, defs, opts)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("\nmerge result (%s / %s / %s, constraint %.0f%%):\n%s",
-		*mergePair, *search, *costModel, *constraint*100, res.Report())
+	if *jsonOut {
+		emitJSON(server.NewMergeResultPayload(res))
+	} else {
+		fmt.Printf("\nmerge result (%s / %s / %s, constraint %.0f%%):\n%s",
+			*mergePair, *search, *costModel, *constraint*100, res.Report())
+	}
 
-	if *explain {
+	if *explain && !*jsonOut {
 		fmt.Println("\nper-query plans under the final configuration:")
 		cfg := optimizer.Configuration(res.Final.Defs())
 		for i, q := range w.Queries {
@@ -130,6 +168,14 @@ func main() {
 			}
 			fmt.Printf("-- Q%d: %s\n%s\n", i+1, q.Stmt, plan.Explain())
 		}
+	}
+}
+
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fatal(err)
 	}
 }
 
@@ -170,6 +216,10 @@ func loadWorkload(db *engine.Database, path string, queries int, seed int64) (*s
 }
 
 func fatal(err error) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "idxmerge: canceled")
+		os.Exit(130)
+	}
 	fmt.Fprintln(os.Stderr, "idxmerge:", err)
 	os.Exit(1)
 }

@@ -1,0 +1,81 @@
+// Command idxmerged is the index-merging advisor service: a
+// long-running HTTP JSON API over the same engine cmd/idxmerge drives
+// in batch. It manages named sessions (schema + generated data +
+// analyzed statistics), registers workloads, answers synchronous
+// what-if costing requests, and runs tune/merge searches as
+// asynchronous, cancellable jobs on a bounded worker pool, exposing
+// Prometheus-style metrics on /metrics.
+//
+// Usage:
+//
+//	idxmerged [-addr :7781] [-workers 2] [-queue 8] [-cache 1048576]
+//	          [-drain-timeout 30s]
+//
+// SIGINT/SIGTERM drain gracefully: the listener stops, queued and
+// running jobs get -drain-timeout to finish, then are canceled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"indexmerge/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7781", "listen address")
+	workers := flag.Int("workers", 2, "job worker pool size (jobs on distinct sessions run in parallel)")
+	queue := flag.Int("queue", 8, "pending job queue capacity (submissions beyond it get 429)")
+	cacheMax := flag.Int("cache", 1<<20, "per-session what-if cost cache bound, entries (0 = unbounded)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget for in-flight jobs")
+	flag.Parse()
+
+	log := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	srv := server.New(server.Config{
+		Workers:         *workers,
+		QueueCap:        *queue,
+		CacheMaxEntries: *cacheMax,
+		Logger:          log,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Info("idxmerged listening", "addr", *addr, "workers", *workers, "queue", *queue)
+
+	select {
+	case err := <-errc:
+		// Listener failed before any signal (e.g. port in use).
+		log.Error("serve", "error", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Info("shutting down", "drain_timeout", drainTimeout.String())
+
+	sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(sctx); err != nil {
+		log.Warn("http shutdown", "error", err)
+	}
+	if err := srv.Drain(sctx); err != nil {
+		log.Warn("jobs canceled at drain deadline", "error", err)
+		fmt.Fprintln(os.Stderr, "idxmerged: drain deadline hit; remaining jobs canceled")
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Error("serve", "error", err)
+		os.Exit(1)
+	}
+	log.Info("idxmerged stopped")
+}

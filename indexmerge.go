@@ -20,6 +20,7 @@
 package indexmerge
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -27,6 +28,7 @@ import (
 	"indexmerge/internal/advisor"
 	"indexmerge/internal/catalog"
 	"indexmerge/internal/core"
+	"indexmerge/internal/core/costcache"
 	"indexmerge/internal/engine"
 	"indexmerge/internal/optimizer"
 	"indexmerge/internal/sql"
@@ -64,7 +66,21 @@ type (
 	SearchResult = core.SearchResult
 	// Advisor tunes indexes for individual queries.
 	Advisor = advisor.Advisor
+	// SearchProgress is a point-in-time snapshot of a running search,
+	// delivered to MergeOptions.Progress.
+	SearchProgress = core.Progress
+	// CostCache is a shareable, optionally size-bounded what-if cost
+	// cache; see NewCostCache and MergeOptions.CostCache.
+	CostCache = costcache.Cache
 )
+
+// NewCostCache builds a what-if cost cache that can be shared across
+// merging runs via MergeOptions.CostCache. maxEntries bounds the
+// number of cached per-query costs (<= 0 means unbounded); long-lived
+// processes should set a bound. See also (*CostCache).Reset.
+func NewCostCache(maxEntries int) *CostCache {
+	return costcache.NewBounded(0, maxEntries)
+}
 
 // Value constructors, re-exported.
 var (
@@ -168,6 +184,19 @@ type MergeOptions struct {
 	// Results are identical for any value — see core.GreedyOptions
 	// and core.ExhaustiveOptions.
 	Parallelism int
+	// Progress, when non-nil, receives point-in-time search snapshots
+	// (accepted steps, bytes saved so far, evaluations consumed). It is
+	// called synchronously from the searching goroutine and must be
+	// cheap.
+	Progress func(SearchProgress)
+	// CostCache, when non-nil, supplies a shared what-if cost cache so
+	// repeated runs (or a service running many jobs over one database)
+	// reuse per-query costs. When one cache serves runs over different
+	// workloads, set CacheNamespace to a distinct value per workload —
+	// cache keys embed only a query's position within its workload.
+	CostCache *CostCache
+	// CacheNamespace disambiguates CostCache keys across workloads.
+	CacheNamespace string
 }
 
 // Merger runs index merging for one database + workload.
@@ -225,13 +254,25 @@ func (r *MergeResult) Report() string {
 // MergeDefs runs Storage-Minimal Index Merging over the given initial
 // index definitions.
 func (m *Merger) MergeDefs(initialDefs []IndexDef, opts MergeOptions) (*MergeResult, error) {
+	return m.MergeDefsContext(context.Background(), initialDefs, opts)
+}
+
+// MergeDefsContext is MergeDefs under a context: a long search stops
+// promptly when ctx is canceled and returns ctx.Err().
+func (m *Merger) MergeDefsContext(ctx context.Context, initialDefs []IndexDef, opts MergeOptions) (*MergeResult, error) {
 	initial := core.NewConfiguration(initialDefs)
-	return m.merge(initial, opts)
+	return m.merge(ctx, initial, opts)
 }
 
 // Merge runs merging using the database's materialized indexes as the
 // initial configuration.
 func (m *Merger) Merge(opts MergeOptions) (*MergeResult, error) {
+	return m.MergeContext(context.Background(), opts)
+}
+
+// MergeContext is Merge under a context: a long search stops promptly
+// when ctx is canceled and returns ctx.Err().
+func (m *Merger) MergeContext(ctx context.Context, opts MergeOptions) (*MergeResult, error) {
 	var defs []IndexDef
 	for _, ix := range m.db.Indexes() {
 		defs = append(defs, ix.Def())
@@ -239,10 +280,13 @@ func (m *Merger) Merge(opts MergeOptions) (*MergeResult, error) {
 	if len(defs) == 0 {
 		return nil, fmt.Errorf("indexmerge: no indexes to merge; create indexes or use MergeDefs")
 	}
-	return m.MergeDefs(defs, opts)
+	return m.MergeDefsContext(ctx, defs, opts)
 }
 
-func (m *Merger) merge(initial *core.Configuration, opts MergeOptions) (*MergeResult, error) {
+func (m *Merger) merge(ctx context.Context, initial *core.Configuration, opts MergeOptions) (*MergeResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	baseCost, err := m.opt.WorkloadCost(m.w, optimizer.Configuration(initial.Defs()))
 	if err != nil {
 		return nil, err
@@ -281,6 +325,8 @@ func (m *Merger) merge(initial *core.Configuration, opts MergeOptions) (*MergeRe
 	case PrefilteredOptimizerCost:
 		inner := core.NewOptimizerChecker(m.opt, m.w, baseCost, opts.CostConstraint)
 		inner.Parallelism = opts.Parallelism
+		inner.Cache = opts.CostCache
+		inner.KeyNamespace = opts.CacheNamespace
 		ext := &core.ExternalCostModel{Meta: m.db, W: m.w}
 		ext.SetBaseline(initial)
 		check = &core.PrefilteredChecker{External: ext, Inner: inner, SlackPct: opts.CostConstraint}
@@ -288,6 +334,8 @@ func (m *Merger) merge(initial *core.Configuration, opts MergeOptions) (*MergeRe
 	default:
 		inner := core.NewOptimizerChecker(m.opt, m.w, baseCost, opts.CostConstraint)
 		inner.Parallelism = opts.Parallelism
+		inner.Cache = opts.CostCache
+		inner.KeyNamespace = opts.CacheNamespace
 		check = inner
 		bound = inner.U
 	}
@@ -295,9 +343,9 @@ func (m *Merger) merge(initial *core.Configuration, opts MergeOptions) (*MergeRe
 	// Search strategy.
 	var res *core.SearchResult
 	if opts.Search == ExhaustiveSearch {
-		res, err = core.Exhaustive(initial, mp, check, m.db, core.ExhaustiveOptions{Parallelism: opts.Parallelism})
+		res, err = core.ExhaustiveContext(ctx, initial, mp, check, m.db, core.ExhaustiveOptions{Parallelism: opts.Parallelism, Progress: opts.Progress})
 	} else {
-		res, err = core.GreedyWithOptions(initial, mp, check, m.db, core.GreedyOptions{Parallelism: opts.Parallelism})
+		res, err = core.GreedyContext(ctx, initial, mp, check, m.db, core.GreedyOptions{Parallelism: opts.Parallelism, Progress: opts.Progress})
 	}
 	if err != nil {
 		return nil, err
@@ -334,6 +382,12 @@ func (r *DualResult) Report() string {
 // in bytes. The paper states the dual but leaves it unexplored; this
 // is an extension.
 func (m *Merger) MergeDual(initialDefs []IndexDef, storageBudget int64) (*DualResult, error) {
+	return m.MergeDualContext(context.Background(), initialDefs, storageBudget)
+}
+
+// MergeDualContext is MergeDual under a context; cancellation stops
+// the search promptly and returns ctx.Err().
+func (m *Merger) MergeDualContext(ctx context.Context, initialDefs []IndexDef, storageBudget int64) (*DualResult, error) {
 	initial := core.NewConfiguration(initialDefs)
 	baseCost, err := m.opt.WorkloadCost(m.w, optimizer.Configuration(initialDefs))
 	if err != nil {
@@ -344,7 +398,7 @@ func (m *Merger) MergeDual(initialDefs []IndexDef, storageBudget int64) (*DualRe
 		return nil, err
 	}
 	coster := core.NewOptimizerChecker(m.opt, m.w, baseCost, 0)
-	res, err := core.CostMinimal(initial, &core.MergePairCost{Seek: seek}, coster, m.db, storageBudget)
+	res, err := core.CostMinimalContext(ctx, initial, &core.MergePairCost{Seek: seek}, coster, m.db, storageBudget)
 	if err != nil {
 		return nil, err
 	}
@@ -354,7 +408,13 @@ func (m *Merger) MergeDual(initialDefs []IndexDef, storageBudget int64) (*DualRe
 // TuneWorkload recommends per-query indexes for every workload query
 // and unions them — the baseline whose storage blow-up merging fixes.
 func (m *Merger) TuneWorkload() ([]IndexDef, error) {
-	return advisor.New(m.db, m.opt).TuneWorkload(m.w)
+	return m.TuneWorkloadContext(context.Background())
+}
+
+// TuneWorkloadContext is TuneWorkload under a context; cancellation
+// surfaces as ctx.Err().
+func (m *Merger) TuneWorkloadContext(ctx context.Context) ([]IndexDef, error) {
+	return advisor.New(m.db, m.opt).TuneWorkloadContext(ctx, m.w)
 }
 
 // WorkloadCost returns Cost(W, C) for an arbitrary configuration.

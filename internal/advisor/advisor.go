@@ -10,6 +10,7 @@
 package advisor
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"sync"
@@ -42,6 +43,12 @@ func New(meta catalog.SchemaHolder, opt *optimizer.Optimizer) *Advisor {
 // table) minimizing the query's optimizer-estimated cost. Only indexes
 // that actually lower the cost below the no-index plan are returned.
 func (a *Advisor) TuneQuery(stmt *sql.SelectStmt) ([]catalog.IndexDef, error) {
+	return a.TuneQueryContext(context.Background(), stmt)
+}
+
+// TuneQueryContext is TuneQuery under a context: cancellation is
+// observed between candidate costings and surfaces as ctx.Err().
+func (a *Advisor) TuneQueryContext(ctx context.Context, stmt *sql.SelectStmt) ([]catalog.IndexDef, error) {
 	baseCost, err := a.Opt.Cost(stmt, nil)
 	if err != nil {
 		return nil, err
@@ -57,7 +64,7 @@ func (a *Advisor) TuneQuery(stmt *sql.SelectStmt) ([]catalog.IndexDef, error) {
 	})
 	for _, tname := range tables {
 		cands := a.candidatesFor(stmt, tname)
-		costs, err := a.costCandidates(stmt, chosen, cands)
+		costs, err := a.costCandidates(ctx, stmt, chosen, cands)
 		if err != nil {
 			return nil, err
 		}
@@ -80,9 +87,12 @@ func (a *Advisor) TuneQuery(stmt *sql.SelectStmt) ([]catalog.IndexDef, error) {
 // costCandidates costs every candidate added on top of the chosen set,
 // concurrently when Parallelism > 1. Every candidate is costed against
 // the same base, so costs are independent of evaluation order.
-func (a *Advisor) costCandidates(stmt *sql.SelectStmt, chosen, cands []catalog.IndexDef) ([]float64, error) {
+func (a *Advisor) costCandidates(ctx context.Context, stmt *sql.SelectStmt, chosen, cands []catalog.IndexDef) ([]float64, error) {
 	costs := make([]float64, len(cands))
 	eval := func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		cfg := optimizer.Configuration(append(append([]catalog.IndexDef{}, chosen...), cands[i]))
 		cost, err := a.Opt.Cost(stmt, cfg)
 		if err != nil {
@@ -243,6 +253,12 @@ func (a *Advisor) candidatesFor(stmt *sql.SelectStmt, tname string) []catalog.In
 // the recommended indexes until the configuration holds n distinct
 // indexes (or the draw budget runs out).
 func BuildInitialConfiguration(a *Advisor, w *sql.Workload, n int, seed int64) ([]catalog.IndexDef, error) {
+	return BuildInitialConfigurationContext(context.Background(), a, w, n, seed)
+}
+
+// BuildInitialConfigurationContext is BuildInitialConfiguration under
+// a context; cancellation surfaces as ctx.Err().
+func BuildInitialConfigurationContext(ctx context.Context, a *Advisor, w *sql.Workload, n int, seed int64) ([]catalog.IndexDef, error) {
 	rng := rand.New(rand.NewSource(seed))
 	var defs []catalog.IndexDef
 	seen := make(map[string]bool)
@@ -252,7 +268,7 @@ func BuildInitialConfiguration(a *Advisor, w *sql.Workload, n int, seed int64) (
 	}
 	for draws := 0; len(defs) < n && draws < maxDraws; draws++ {
 		q := w.Queries[rng.Intn(len(w.Queries))]
-		recs, err := a.TuneQuery(q.Stmt)
+		recs, err := a.TuneQueryContext(ctx, q.Stmt)
 		if err != nil {
 			return nil, err
 		}
@@ -273,10 +289,16 @@ func BuildInitialConfiguration(a *Advisor, w *sql.Workload, n int, seed int64) (
 // recommendations — the "tune each query individually" baseline from
 // the paper's introduction (storage ≈ 5× data on TPC-D).
 func (a *Advisor) TuneWorkload(w *sql.Workload) ([]catalog.IndexDef, error) {
+	return a.TuneWorkloadContext(context.Background(), w)
+}
+
+// TuneWorkloadContext is TuneWorkload under a context; cancellation is
+// observed between candidate costings and surfaces as ctx.Err().
+func (a *Advisor) TuneWorkloadContext(ctx context.Context, w *sql.Workload) ([]catalog.IndexDef, error) {
 	var defs []catalog.IndexDef
 	seen := make(map[string]bool)
 	for _, q := range w.Queries {
-		recs, err := a.TuneQuery(q.Stmt)
+		recs, err := a.TuneQueryContext(ctx, q.Stmt)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -55,6 +56,7 @@ type SchemaProvider interface {
 const (
 	keySepIndex = '\x1f' // terminates each index key
 	keySepTable = '\x1e' // terminates each table group
+	keySepNS    = '\x1d' // terminates the checker's key namespace
 )
 
 // checkerQuery is per-query metadata precomputed once so the hot
@@ -87,6 +89,18 @@ type OptimizerChecker struct {
 	// <= 1 means fully serial per-query costing.
 	Parallelism int
 
+	// Cache, when non-nil, supplies an external what-if cost cache to
+	// use instead of a private one — the advisor service shares one
+	// bounded cache across all of a session's jobs. Set before the
+	// first evaluation. When the cache is shared across checkers built
+	// over *different* workloads, KeyNamespace must distinguish them:
+	// per-query keys embed only the query's position in the workload.
+	Cache *costcache.Cache
+	// KeyNamespace is prepended (with a reserved separator) to every
+	// cache key. Choose one distinct namespace per workload when
+	// sharing Cache.
+	KeyNamespace string
+
 	once    sync.Once
 	cache   *costcache.Cache
 	sem     chan struct{} // tokens for actual optimizer invocations
@@ -111,7 +125,11 @@ func NewOptimizerChecker(server CostServer, w *sql.Workload, baseCost, slackPct 
 // key metadata on first use.
 func (c *OptimizerChecker) lazyInit() {
 	c.once.Do(func() {
-		c.cache = costcache.New(0)
+		if c.Cache != nil {
+			c.cache = c.Cache
+		} else {
+			c.cache = costcache.New(0)
+		}
 		p := c.Parallelism
 		if p < 1 {
 			p = 1
@@ -120,7 +138,7 @@ func (c *OptimizerChecker) lazyInit() {
 		c.queries = make([]checkerQuery, len(c.W.Queries))
 		for qi, q := range c.W.Queries {
 			c.queries[qi] = checkerQuery{
-				prefix: fmt.Sprintf("q%d|", qi),
+				prefix: fmt.Sprintf("%s%cq%d|", c.KeyNamespace, keySepNS, qi),
 				tables: q.Stmt.TablesReferenced(),
 			}
 		}
@@ -147,8 +165,14 @@ func (c *OptimizerChecker) CacheStats() (hits, misses, dedups int64) {
 }
 
 // Accepts implements ConstraintChecker.
-func (c *OptimizerChecker) Accepts(cfg *Configuration, _, _, _ *Index) (bool, error) {
-	cost, err := c.WorkloadCost(cfg)
+func (c *OptimizerChecker) Accepts(cfg *Configuration, m, a, b *Index) (bool, error) {
+	return c.AcceptsContext(context.Background(), cfg, m, a, b)
+}
+
+// AcceptsContext implements ContextChecker: cancellation is observed
+// between the per-query optimizer invocations of the workload costing.
+func (c *OptimizerChecker) AcceptsContext(ctx context.Context, cfg *Configuration, _, _, _ *Index) (bool, error) {
+	cost, err := c.WorkloadCostContext(ctx, cfg)
 	if err != nil {
 		return false, err
 	}
@@ -160,8 +184,20 @@ func (c *OptimizerChecker) Accepts(cfg *Configuration, _, _, _ *Index) (bool, er
 // the total is summed in query order so results are byte-identical to
 // a serial evaluation.
 func (c *OptimizerChecker) WorkloadCost(cfg *Configuration) (float64, error) {
+	return c.WorkloadCostContext(context.Background(), cfg)
+}
+
+// WorkloadCostContext is WorkloadCost under a context: ctx is checked
+// before every actual optimizer invocation, so a canceled caller stops
+// after at most one in-flight per-query optimization. Cached entries
+// are still served after cancellation begins; a cancellation error is
+// never cached.
+func (c *OptimizerChecker) WorkloadCostContext(ctx context.Context, cfg *Configuration) (float64, error) {
 	c.lazyInit()
 	c.checks.Add(1)
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 
 	groups := c.groupKeysByTable(cfg)
 	keys := make([]string, len(c.W.Queries))
@@ -180,8 +216,15 @@ func (c *OptimizerChecker) WorkloadCost(cfg *Configuration) (float64, error) {
 		ocfg := optimizer.Configuration(cfg.Defs())
 		eval := func(qi int) error {
 			v, err := c.cache.Do(keys[qi], func() (float64, error) {
-				c.sem <- struct{}{}
+				select {
+				case c.sem <- struct{}{}:
+				case <-ctx.Done():
+					return 0, ctx.Err()
+				}
 				defer func() { <-c.sem }()
+				if err := ctx.Err(); err != nil {
+					return 0, err
+				}
 				c.optCalls.Add(1)
 				plan, err := c.Server.Optimize(c.W.Queries[qi].Stmt, ocfg)
 				if err != nil {
@@ -372,6 +415,13 @@ func (c *PrefilteredChecker) PrefilterRejections() int64 { return c.prefilterHit
 
 // Accepts implements ConstraintChecker.
 func (c *PrefilteredChecker) Accepts(cfg *Configuration, m, a, b *Index) (bool, error) {
+	return c.AcceptsContext(context.Background(), cfg, m, a, b)
+}
+
+// AcceptsContext implements ContextChecker; the cheap external
+// prefilter runs unconditionally, the optimizer-backed inner check
+// observes ctx.
+func (c *PrefilteredChecker) AcceptsContext(ctx context.Context, cfg *Configuration, m, a, b *Index) (bool, error) {
 	margin := c.Margin
 	if margin <= 0 {
 		margin = 2.0
@@ -384,5 +434,5 @@ func (c *PrefilteredChecker) Accepts(cfg *Configuration, m, a, b *Index) (bool, 
 			return false, nil
 		}
 	}
-	return c.Inner.Accepts(cfg, m, a, b)
+	return c.Inner.AcceptsContext(ctx, cfg, m, a, b)
 }

@@ -35,26 +35,50 @@ type shard struct {
 	mu       sync.RWMutex
 	vals     map[string]float64
 	inflight map[string]*call
+	// fifo records insertion order for bounded caches. An entry may be
+	// stale (its key already evicted through an older duplicate); evict
+	// skips those. Unbounded caches leave it nil.
+	fifo []string
 }
 
 // Cache is a sharded map from string keys to float64 costs, safe for
-// concurrent use. The zero value is not usable; call New.
+// concurrent use. The zero value is not usable; call New or NewBounded.
 type Cache struct {
-	seed   maphash.Seed
-	shards []shard
+	seed        maphash.Seed
+	shards      []shard
+	maxPerShard int // 0 = unbounded
 
-	hits   atomic.Int64
-	misses atomic.Int64
-	dedups atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	dedups    atomic.Int64
+	evictions atomic.Int64
 }
 
-// New creates a cache with the given shard count (DefaultShards when
-// n <= 0).
+// New creates an unbounded cache with the given shard count
+// (DefaultShards when n <= 0).
 func New(n int) *Cache {
-	if n <= 0 {
-		n = DefaultShards
+	return NewBounded(n, 0)
+}
+
+// NewBounded creates a cache with the given shard count (DefaultShards
+// when shards <= 0) holding at most maxEntries values (<= 0 means
+// unbounded). The bound is enforced per shard — each shard holds at
+// most ceil(maxEntries/shards) entries, evicting its oldest entry
+// first (FIFO) — so the global entry count never exceeds maxEntries
+// rounded up to a multiple of the shard count. A long-running daemon
+// must bound the cache: what-if cost keys grow with every distinct
+// (query, relevant-configuration) pair ever evaluated.
+func NewBounded(shards, maxEntries int) *Cache {
+	if shards <= 0 {
+		shards = DefaultShards
 	}
-	c := &Cache{seed: maphash.MakeSeed(), shards: make([]shard, n)}
+	c := &Cache{seed: maphash.MakeSeed(), shards: make([]shard, shards)}
+	if maxEntries > 0 {
+		c.maxPerShard = (maxEntries + shards - 1) / shards
+		if c.maxPerShard < 1 {
+			c.maxPerShard = 1
+		}
+	}
 	for i := range c.shards {
 		c.shards[i].vals = make(map[string]float64)
 		c.shards[i].inflight = make(map[string]*call)
@@ -114,12 +138,44 @@ func (c *Cache) Do(key string, fn func() (float64, error)) (float64, error) {
 
 	s.mu.Lock()
 	if cl.err == nil {
-		s.vals[key] = cl.val
+		c.insertLocked(s, key, cl.val)
 	}
 	delete(s.inflight, key)
 	s.mu.Unlock()
 	close(cl.done)
 	return cl.val, cl.err
+}
+
+// insertLocked stores key, evicting the shard's oldest entries first
+// when the shard is at capacity. Caller holds s.mu.
+func (c *Cache) insertLocked(s *shard, key string, val float64) {
+	if _, exists := s.vals[key]; !exists && c.maxPerShard > 0 {
+		for len(s.fifo) > 0 && len(s.vals) >= c.maxPerShard {
+			old := s.fifo[0]
+			s.fifo = s.fifo[1:]
+			if _, ok := s.vals[old]; ok {
+				delete(s.vals, old)
+				c.evictions.Add(1)
+			}
+		}
+		s.fifo = append(s.fifo, key)
+	}
+	s.vals[key] = val
+}
+
+// Reset discards every cached value (and pending eviction order) while
+// keeping the cumulative hit/miss/dedup/eviction counters. In-flight
+// computations are unaffected: they publish into the emptied cache
+// when they finish. The advisor service calls this when a session's
+// statistics are rebuilt and previously cached costs go stale.
+func (c *Cache) Reset() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.vals = make(map[string]float64)
+		s.fifo = nil
+		s.mu.Unlock()
+	}
 }
 
 // Len returns the number of cached entries.
@@ -139,3 +195,6 @@ func (c *Cache) Len() int {
 func (c *Cache) Stats() (hits, misses, dedups int64) {
 	return c.hits.Load(), c.misses.Load(), c.dedups.Load()
 }
+
+// Evictions reports how many entries the size bound has pushed out.
+func (c *Cache) Evictions() int64 { return c.evictions.Load() }

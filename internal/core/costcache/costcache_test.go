@@ -93,6 +93,130 @@ func TestInflightDedup(t *testing.T) {
 	}
 }
 
+func put(t *testing.T, c *Cache, key string, val float64) {
+	t.Helper()
+	got, err := c.Do(key, func() (float64, error) { return val, nil })
+	if err != nil {
+		t.Fatalf("Do(%q): %v", key, err)
+	}
+	if got != val {
+		t.Fatalf("Do(%q) = %v, want %v", key, got, val)
+	}
+}
+
+func TestBoundedEvictsOldestFirst(t *testing.T) {
+	c := NewBounded(1, 4) // one shard so FIFO order is global
+	for i := 0; i < 6; i++ {
+		put(t, c, fmt.Sprintf("k%d", i), float64(i))
+	}
+	if n := c.Len(); n != 4 {
+		t.Fatalf("Len = %d after 6 inserts with bound 4, want 4", n)
+	}
+	if ev := c.Evictions(); ev != 2 {
+		t.Fatalf("Evictions = %d, want 2", ev)
+	}
+	for _, gone := range []string{"k0", "k1"} {
+		if _, ok := c.Get(gone); ok {
+			t.Errorf("oldest key %s survived eviction", gone)
+		}
+	}
+	for _, kept := range []string{"k2", "k3", "k4", "k5"} {
+		if _, ok := c.Get(kept); !ok {
+			t.Errorf("recent key %s was evicted", kept)
+		}
+	}
+}
+
+func TestBoundedRecomputesEvictedKey(t *testing.T) {
+	c := NewBounded(1, 2)
+	calls := 0
+	compute := func() (float64, error) { calls++; return 7, nil }
+	if _, err := c.Do("a", compute); err != nil {
+		t.Fatal(err)
+	}
+	put(t, c, "b", 1)
+	put(t, c, "c", 2) // evicts "a"
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a should have been evicted")
+	}
+	if v, err := c.Do("a", compute); err != nil || v != 7 {
+		t.Fatalf("recompute a: %v, %v", v, err)
+	}
+	if calls != 2 {
+		t.Fatalf("compute ran %d times, want 2 (evicted key must recompute)", calls)
+	}
+}
+
+func TestUnboundedNeverEvicts(t *testing.T) {
+	c := New(1)
+	for i := 0; i < 1000; i++ {
+		put(t, c, fmt.Sprintf("k%d", i), float64(i))
+	}
+	if n := c.Len(); n != 1000 {
+		t.Fatalf("Len = %d, want 1000", n)
+	}
+	if ev := c.Evictions(); ev != 0 {
+		t.Fatalf("Evictions = %d, want 0", ev)
+	}
+}
+
+func TestResetEmptiesAndStaysCorrect(t *testing.T) {
+	c := NewBounded(4, 100)
+	for i := 0; i < 20; i++ {
+		put(t, c, fmt.Sprintf("k%d", i), float64(i))
+	}
+	c.Reset()
+	if n := c.Len(); n != 0 {
+		t.Fatalf("Len = %d after Reset, want 0", n)
+	}
+	if _, ok := c.Get("k3"); ok {
+		t.Fatal("Get hit after Reset")
+	}
+	// Values recompute and the cache keeps working post-reset,
+	// including the bound.
+	_, missesBefore, _ := c.Stats()
+	for i := 0; i < 20; i++ {
+		put(t, c, fmt.Sprintf("k%d", i), float64(i*10))
+	}
+	_, missesAfter, _ := c.Stats()
+	if missesAfter-missesBefore != 20 {
+		t.Fatalf("recomputed %d keys after Reset, want 20", missesAfter-missesBefore)
+	}
+	if v, ok := c.Get("k3"); !ok || v != 30 {
+		t.Fatalf("Get(k3) after reset+recompute = %v, %v; want 30, true", v, ok)
+	}
+}
+
+// TestBoundedConcurrentStaysWithinBound mixes concurrent Do with
+// periodic Reset; under -race this validates the eviction locking, and
+// the final size validates the bound.
+func TestBoundedConcurrentStaysWithinBound(t *testing.T) {
+	const shards, maxEntries, workers, keys = 4, 16, 8, 200
+	c := NewBounded(shards, maxEntries)
+	perShard := (maxEntries + shards - 1) / shards
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < keys; i++ {
+				k := fmt.Sprintf("k%d", (i+w)%keys)
+				if _, err := c.Do(k, func() (float64, error) { return float64(i), nil }); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%50 == 0 && w == 0 {
+					c.Reset()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := c.Len(); n > perShard*shards {
+		t.Fatalf("Len = %d exceeds bound %d", n, perShard*shards)
+	}
+}
+
 // TestConcurrentStress hammers many keys from many goroutines; run
 // under -race this validates the locking discipline, and the
 // per-key computation counts validate exactly-once semantics.

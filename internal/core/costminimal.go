@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"time"
 )
@@ -8,6 +9,24 @@ import (
 // WorkloadCoster evaluates Cost(W, C); OptimizerChecker satisfies it.
 type WorkloadCoster interface {
 	WorkloadCost(cfg *Configuration) (float64, error)
+}
+
+// ContextWorkloadCoster is a WorkloadCoster that observes cancellation
+// between per-query optimizer calls; OptimizerChecker satisfies it.
+type ContextWorkloadCoster interface {
+	WorkloadCostContext(ctx context.Context, cfg *Configuration) (float64, error)
+}
+
+// workloadCostCtx evaluates Cost(W, C) under ctx when the coster
+// supports it, degrading to a coarse pre-check otherwise.
+func workloadCostCtx(ctx context.Context, coster WorkloadCoster, cfg *Configuration) (float64, error) {
+	if cc, ok := coster.(ContextWorkloadCoster); ok {
+		return cc.WorkloadCostContext(ctx, cfg)
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return coster.WorkloadCost(cfg)
 }
 
 // CostMinimalResult extends SearchResult with the dual problem's cost
@@ -28,19 +47,31 @@ type CostMinimalResult struct {
 // strategy repeatedly applies the merge with the smallest workload-cost
 // increase until the configuration fits in storageBudget bytes.
 func CostMinimal(initial *Configuration, mp MergePair, coster WorkloadCoster, env SizeEstimator, storageBudget int64) (*CostMinimalResult, error) {
+	return CostMinimalContext(context.Background(), initial, mp, coster, env, storageBudget)
+}
+
+// CostMinimalContext is CostMinimal under a context; cancellation
+// surfaces as ctx.Err() with no partial result.
+func CostMinimalContext(ctx context.Context, initial *Configuration, mp MergePair, coster WorkloadCoster, env SizeEstimator, storageBudget int64) (*CostMinimalResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	res := &CostMinimalResult{}
 	res.Initial = initial
 	res.InitialBytes = initial.Bytes(env)
 
 	cur := initial.Clone()
-	curCost, err := coster.WorkloadCost(cur)
+	curCost, err := workloadCostCtx(ctx, coster, cur)
 	if err != nil {
 		return nil, err
 	}
 	res.InitialCost = curCost
 
 	for cur.Bytes(env) > storageBudget {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if ba, ok := mp.(baseAware); ok {
 			ba.SetBase(cur)
 		}
@@ -62,7 +93,7 @@ func CostMinimal(initial *Configuration, mp MergePair, coster WorkloadCoster, en
 				continue // merge must actually save storage
 			}
 			res.ConfigsExplored++
-			cost, err := coster.WorkloadCost(next)
+			cost, err := workloadCostCtx(ctx, coster, next)
 			if err != nil {
 				return nil, err
 			}

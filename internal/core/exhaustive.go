@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -18,6 +19,10 @@ type ExhaustiveOptions struct {
 	// enumeration order with the visited set re-checked at consume
 	// time.
 	Parallelism int
+	// Progress, when non-nil, receives a snapshot after every wave of
+	// sibling constraint checks. Called synchronously from the
+	// searching goroutine.
+	Progress func(Progress)
 }
 
 // exhCandidate is one sibling merge of a DFS node.
@@ -38,6 +43,19 @@ type exhCandidate struct {
 // but is still exponential — the paper deems it infeasible past
 // N ≈ 20, and the experiments use it only at N = 5.
 func Exhaustive(initial *Configuration, mp MergePair, check ConstraintChecker, env SizeEstimator, opt ExhaustiveOptions) (*SearchResult, error) {
+	return ExhaustiveContext(context.Background(), initial, mp, check, env, opt)
+}
+
+// ExhaustiveContext is Exhaustive under a context: the search observes
+// ctx at every DFS node and every sibling wave, and checkers that
+// implement ContextChecker observe it between per-query optimizer
+// calls, so cancellation stops the enumeration promptly. On
+// cancellation it returns ctx.Err() (no partial result); counters
+// already delivered through opt.Progress remain valid.
+func ExhaustiveContext(ctx context.Context, initial *Configuration, mp MergePair, check ConstraintChecker, env SizeEstimator, opt ExhaustiveOptions) (*SearchResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	maxConfigs := opt.MaxConfigs
 	if maxConfigs <= 0 {
@@ -56,6 +74,18 @@ func Exhaustive(initial *Configuration, mp MergePair, check ConstraintChecker, e
 	bestBytes := res.InitialBytes
 	visited := map[string]bool{initial.Signature(): true}
 	startCalls := optimizerCallsOf(check)
+	emit := func() {
+		if opt.Progress == nil {
+			return
+		}
+		opt.Progress(Progress{
+			ConfigsExplored: res.ConfigsExplored,
+			CostEvaluations: res.CostEvaluations,
+			OptimizerCalls:  optimizerCallsOf(check) - startCalls,
+			InitialBytes:    res.InitialBytes,
+			CurrentBytes:    bestBytes,
+		})
+	}
 
 	// DFS over the merge lattice. A configuration is only expanded
 	// (not necessarily accepted) — acceptance is checked per candidate,
@@ -73,6 +103,9 @@ func Exhaustive(initial *Configuration, mp MergePair, check ConstraintChecker, e
 	// as the serial DFS would have skipped it.
 	var dfs func(cur *Configuration) error
 	dfs = func(cur *Configuration) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if ba, ok := mp.(baseAware); ok {
 			ba.SetBase(cur)
 		}
@@ -103,7 +136,7 @@ func Exhaustive(initial *Configuration, mp MergePair, check ConstraintChecker, e
 					go func(i int) {
 						defer wg.Done()
 						c := &batch[i]
-						c.ok, c.err = check.Accepts(c.next, c.m, c.a, c.b)
+						c.ok, c.err = acceptsCtx(ctx, check, c.next, c.m, c.a, c.b)
 					}(i)
 				}
 				wg.Wait()
@@ -119,7 +152,7 @@ func Exhaustive(initial *Configuration, mp MergePair, check ConstraintChecker, e
 					return fmt.Errorf("core: exhaustive search exceeded %d configurations", maxConfigs)
 				}
 				if wave <= 1 {
-					cand.ok, cand.err = check.Accepts(cand.next, cand.m, cand.a, cand.b)
+					cand.ok, cand.err = acceptsCtx(ctx, check, cand.next, cand.m, cand.a, cand.b)
 				}
 				res.CostEvaluations++
 				if cand.err != nil {
@@ -136,6 +169,7 @@ func Exhaustive(initial *Configuration, mp MergePair, check ConstraintChecker, e
 					return err
 				}
 			}
+			emit()
 		}
 		return nil
 	}
@@ -147,5 +181,6 @@ func Exhaustive(initial *Configuration, mp MergePair, check ConstraintChecker, e
 	res.FinalBytes = bestBytes
 	res.OptimizerCalls = optimizerCallsOf(check) - startCalls
 	res.Elapsed = time.Since(start)
+	emit()
 	return res, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"time"
 )
@@ -71,6 +72,10 @@ type GreedyOptions struct {
 	// paper's storage-reduction order, a wave merely computes their
 	// verdicts ahead of time.
 	Parallelism int
+	// Progress, when non-nil, receives a snapshot after every wave of
+	// constraint checks and after every accepted step. Called
+	// synchronously from the searching goroutine.
+	Progress func(Progress)
 }
 
 // baseAware lets MergePair implementations that evaluate candidate
@@ -99,15 +104,15 @@ func optimizerCallsOf(check ConstraintChecker) int64 {
 // acceptable. Runs in O(N³) merged-pair constructions; constraint
 // checks dominate in practice exactly as §3.4.2 predicts.
 func Greedy(initial *Configuration, mp MergePair, check ConstraintChecker, env SizeEstimator) (*SearchResult, error) {
-	return GreedyWithOptions(initial, mp, check, env, GreedyOptions{})
+	return GreedyContext(context.Background(), initial, mp, check, env, GreedyOptions{})
 }
 
 // greedyCandidate is one candidate merge of an outer iteration.
 type greedyCandidate struct {
-	a, b, m   *Index
+	a, b, m    *Index
 	sa, sb, sm int64
-	reduction int64
-	growth    int64
+	reduction  int64
+	growth     int64
 }
 
 // verdict is the outcome of one speculative constraint check.
@@ -119,6 +124,19 @@ type verdict struct {
 
 // GreedyWithOptions is Greedy with ablation and concurrency knobs.
 func GreedyWithOptions(initial *Configuration, mp MergePair, check ConstraintChecker, env SizeEstimator, opt GreedyOptions) (*SearchResult, error) {
+	return GreedyContext(context.Background(), initial, mp, check, env, opt)
+}
+
+// GreedyContext is GreedyWithOptions under a context: the search
+// observes ctx between iterations, between waves, and — for checkers
+// implementing ContextChecker — between the per-query optimizer calls
+// of one constraint check, so an in-flight search stops promptly on
+// cancel. On cancellation it returns ctx.Err() (no partial result);
+// counters already delivered through opt.Progress remain valid.
+func GreedyContext(ctx context.Context, initial *Configuration, mp MergePair, check ConstraintChecker, env SizeEstimator, opt GreedyOptions) (*SearchResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	res := &SearchResult{
 		Initial:      initial,
@@ -135,8 +153,24 @@ func GreedyWithOptions(initial *Configuration, mp MergePair, check ConstraintChe
 	if wave < 1 {
 		wave = 1
 	}
+	emit := func() {
+		if opt.Progress == nil {
+			return
+		}
+		opt.Progress(Progress{
+			Steps:           len(res.Steps),
+			ConfigsExplored: res.ConfigsExplored,
+			CostEvaluations: res.CostEvaluations,
+			OptimizerCalls:  optimizerCallsOf(check) - startCalls,
+			InitialBytes:    res.InitialBytes,
+			CurrentBytes:    curBytes,
+		})
+	}
 
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if ba, ok := mp.(baseAware); ok {
 			ba.SetBase(cur)
 		}
@@ -193,7 +227,7 @@ func GreedyWithOptions(initial *Configuration, mp MergePair, check ConstraintChe
 			batch := eligible[w:end]
 			// Serial evaluation stops at the first acceptance, so
 			// verdicts may be shorter than batch; consume what exists.
-			verdicts := evaluateWave(cur, batch, check, wave)
+			verdicts := evaluateWave(ctx, cur, batch, check, wave)
 			for bi := range verdicts {
 				cand := batch[bi]
 				v := verdicts[bi]
@@ -224,6 +258,7 @@ func GreedyWithOptions(initial *Configuration, mp MergePair, check ConstraintChe
 				accepted = true
 				break
 			}
+			emit()
 		}
 		if !accepted {
 			break
@@ -234,18 +269,19 @@ func GreedyWithOptions(initial *Configuration, mp MergePair, check ConstraintChe
 	res.FinalBytes = curBytes
 	res.OptimizerCalls = optimizerCallsOf(check) - startCalls
 	res.Elapsed = time.Since(start)
+	emit()
 	return res, nil
 }
 
 // evaluateWave constraint-checks a batch of candidates against cur,
 // concurrently when parallelism > 1. Checks are speculative: the
 // caller consumes verdicts in order and may discard trailing ones.
-func evaluateWave(cur *Configuration, batch []greedyCandidate, check ConstraintChecker, parallelism int) []verdict {
+func evaluateWave(ctx context.Context, cur *Configuration, batch []greedyCandidate, check ConstraintChecker, parallelism int) []verdict {
 	verdicts := make([]verdict, len(batch))
 	if parallelism <= 1 || len(batch) == 1 {
 		for i, cand := range batch {
 			next := cur.ReplacePair(cand.a, cand.b, cand.m)
-			ok, err := check.Accepts(next, cand.m, cand.a, cand.b)
+			ok, err := acceptsCtx(ctx, check, next, cand.m, cand.a, cand.b)
 			verdicts[i] = verdict{next: next, ok: ok, err: err}
 			// The serial algorithm stops at the first acceptance (or
 			// error); avoid wasted checks when running serially.
@@ -260,7 +296,7 @@ func evaluateWave(cur *Configuration, batch []greedyCandidate, check ConstraintC
 		go func(i int) {
 			cand := batch[i]
 			next := cur.ReplacePair(cand.a, cand.b, cand.m)
-			ok, err := check.Accepts(next, cand.m, cand.a, cand.b)
+			ok, err := acceptsCtx(ctx, check, next, cand.m, cand.a, cand.b)
 			verdicts[i] = verdict{next: next, ok: ok, err: err}
 			done <- i
 		}(i)

@@ -1,0 +1,268 @@
+// Package server implements idxmerged, a long-running index-merging
+// advisor service: an HTTP JSON API that manages named sessions
+// (schema + generated data + analyzed statistics), registers
+// workloads, answers synchronous what-if costing requests, and runs
+// tune/merge searches as asynchronous, cancellable jobs on a bounded
+// worker pool — the continuously-available counterpart of the batch
+// cmd/idxmerge client, in the spirit of interactive what-if advisors
+// and always-on index management services over live workloads.
+package server
+
+import (
+	"time"
+
+	"indexmerge"
+	"indexmerge/internal/catalog"
+	"indexmerge/internal/core"
+)
+
+// IndexDefPayload is the wire form of an index definition.
+type IndexDefPayload struct {
+	Name    string   `json:"name,omitempty"`
+	Table   string   `json:"table"`
+	Columns []string `json:"columns"`
+}
+
+// NewIndexDefPayloads converts catalog definitions to wire form.
+func NewIndexDefPayloads(defs []catalog.IndexDef) []IndexDefPayload {
+	out := make([]IndexDefPayload, len(defs))
+	for i, d := range defs {
+		out[i] = IndexDefPayload{Name: d.Name, Table: d.Table, Columns: append([]string(nil), d.Columns...)}
+	}
+	return out
+}
+
+// MergeStepPayload is the wire form of one accepted merge step.
+type MergeStepPayload struct {
+	ParentA     string `json:"parent_a"`
+	ParentB     string `json:"parent_b"`
+	Result      string `json:"result"`
+	BytesBefore int64  `json:"bytes_before"`
+	BytesAfter  int64  `json:"bytes_after"`
+}
+
+// ProgressPayload is the wire form of a search progress snapshot. It
+// is served while a job runs and embedded in terminal job status, and
+// cmd/idxmerge -json streams the same struct.
+type ProgressPayload struct {
+	Steps           int   `json:"steps"`
+	ConfigsExplored int64 `json:"configs_explored"`
+	CostEvaluations int64 `json:"cost_evaluations"`
+	OptimizerCalls  int64 `json:"optimizer_calls"`
+	InitialBytes    int64 `json:"initial_bytes"`
+	CurrentBytes    int64 `json:"current_bytes"`
+	SavedBytes      int64 `json:"saved_bytes"`
+}
+
+// NewProgressPayload converts a core progress snapshot to wire form.
+func NewProgressPayload(p core.Progress) ProgressPayload {
+	return ProgressPayload{
+		Steps:           p.Steps,
+		ConfigsExplored: p.ConfigsExplored,
+		CostEvaluations: p.CostEvaluations,
+		OptimizerCalls:  p.OptimizerCalls,
+		InitialBytes:    p.InitialBytes,
+		CurrentBytes:    p.CurrentBytes,
+		SavedBytes:      p.SavedBytes(),
+	}
+}
+
+// MergeResultPayload is the wire form of a completed merging run —
+// one schema shared by the service's job results and the batch CLI's
+// -json output.
+type MergeResultPayload struct {
+	Initial             []IndexDefPayload  `json:"initial"`
+	Final               []IndexDefPayload  `json:"final"`
+	Steps               []MergeStepPayload `json:"steps,omitempty"`
+	InitialBytes        int64              `json:"initial_bytes"`
+	FinalBytes          int64              `json:"final_bytes"`
+	StorageReductionPct float64            `json:"storage_reduction_pct"`
+	InitialCost         float64            `json:"initial_cost"`
+	FinalCost           float64            `json:"final_cost"`
+	CostIncreasePct     float64            `json:"cost_increase_pct"`
+	Bound               float64            `json:"bound,omitempty"`
+	MetBudget           *bool              `json:"met_budget,omitempty"` // Cost-Minimal dual only
+	CostEvaluations     int64              `json:"cost_evaluations"`
+	OptimizerCalls      int64              `json:"optimizer_calls"`
+	ConfigsExplored     int64              `json:"configs_explored"`
+	ElapsedSeconds      float64            `json:"elapsed_seconds"`
+}
+
+func newSearchPayload(res *core.SearchResult) MergeResultPayload {
+	steps := make([]MergeStepPayload, len(res.Steps))
+	for i, s := range res.Steps {
+		steps[i] = MergeStepPayload{
+			ParentA:     s.ParentA,
+			ParentB:     s.ParentB,
+			Result:      s.Result,
+			BytesBefore: s.BytesBefore,
+			BytesAfter:  s.BytesAfter,
+		}
+	}
+	return MergeResultPayload{
+		Initial:             NewIndexDefPayloads(res.Initial.Defs()),
+		Final:               NewIndexDefPayloads(res.Final.Defs()),
+		Steps:               steps,
+		InitialBytes:        res.InitialBytes,
+		FinalBytes:          res.FinalBytes,
+		StorageReductionPct: 100 * res.StorageReduction(),
+		CostEvaluations:     res.CostEvaluations,
+		OptimizerCalls:      res.OptimizerCalls,
+		ConfigsExplored:     res.ConfigsExplored,
+		ElapsedSeconds:      res.Elapsed.Seconds(),
+	}
+}
+
+// NewMergeResultPayload converts a facade merge result to wire form.
+func NewMergeResultPayload(res *indexmerge.MergeResult) MergeResultPayload {
+	p := newSearchPayload(res.SearchResult)
+	p.InitialCost = res.InitialCost
+	p.FinalCost = res.FinalCost
+	p.CostIncreasePct = 100 * res.CostIncrease()
+	p.Bound = res.Bound
+	return p
+}
+
+// NewDualResultPayload converts a Cost-Minimal dual result to wire form.
+func NewDualResultPayload(res *indexmerge.DualResult) MergeResultPayload {
+	p := newSearchPayload(&res.SearchResult)
+	p.InitialCost = res.InitialCost
+	p.FinalCost = res.FinalCost
+	if res.InitialCost != 0 {
+		p.CostIncreasePct = 100 * (res.FinalCost/res.InitialCost - 1)
+	}
+	met := res.MetBudget
+	p.MetBudget = &met
+	return p
+}
+
+// TuneResultPayload is the wire form of a workload-tuning job result.
+type TuneResultPayload struct {
+	Indexes    []IndexDefPayload `json:"indexes"`
+	TotalBytes int64             `json:"total_bytes"`
+}
+
+// CreateSessionRequest creates a named session over one of the
+// built-in experimental databases (or a snapshot file).
+type CreateSessionRequest struct {
+	Name string `json:"name"`
+	// DB is tpcd | synthetic1 | synthetic2 | file:PATH.
+	DB    string  `json:"db"`
+	Scale float64 `json:"scale,omitempty"` // default 1.0
+	Seed  int64   `json:"seed,omitempty"`
+}
+
+// SessionInfo describes a session.
+type SessionInfo struct {
+	Name      string    `json:"name"`
+	DB        string    `json:"db"`
+	Tables    int       `json:"tables"`
+	DataBytes int64     `json:"data_bytes"`
+	Workloads []string  `json:"workloads"`
+	CacheLen  int       `json:"cache_entries"`
+	CreatedAt time.Time `json:"created_at"`
+}
+
+// RegisterWorkloadRequest registers a named workload with a session:
+// either inline SQL (one query per line, optional "freq|" prefix) or
+// a generation spec.
+type RegisterWorkloadRequest struct {
+	Name     string        `json:"name"`
+	SQL      string        `json:"sql,omitempty"`
+	Generate *GenerateSpec `json:"generate,omitempty"`
+}
+
+// GenerateSpec generates a stochastic workload (RAGS-style).
+type GenerateSpec struct {
+	// Class is complex (default) or projection.
+	Class   string `json:"class,omitempty"`
+	Queries int    `json:"queries,omitempty"` // default 30
+	Seed    int64  `json:"seed,omitempty"`
+}
+
+// WorkloadInfo describes a registered workload.
+type WorkloadInfo struct {
+	Name    string `json:"name"`
+	Queries int    `json:"queries"`
+}
+
+// CostRequest asks for the synchronous optimizer-estimated workload
+// cost Cost(W, C) of an arbitrary index configuration.
+type CostRequest struct {
+	Workload string            `json:"workload"`
+	Indexes  []IndexDefPayload `json:"indexes"`
+}
+
+// CostResponse carries Cost(W, C).
+type CostResponse struct {
+	Cost float64 `json:"cost"`
+}
+
+// InitialSpec selects a job's initial index configuration: explicit
+// definitions, or per-query tuning (N > 0 draws random queries until N
+// distinct indexes accumulate; N == 0 tunes every workload query).
+type InitialSpec struct {
+	N       int               `json:"n,omitempty"`
+	Seed    int64             `json:"seed,omitempty"`
+	Indexes []IndexDefPayload `json:"indexes,omitempty"`
+}
+
+// JobOptions mirrors the batch CLI's merging knobs.
+type JobOptions struct {
+	Constraint float64 `json:"constraint,omitempty"` // default 0.10
+	// MergePair is cost (default) | syntactic | exhaustive.
+	MergePair string `json:"mergepair,omitempty"`
+	// Search is greedy (default) | exhaustive.
+	Search string `json:"search,omitempty"`
+	// CostModel is opt (default) | nocost | prefilter.
+	CostModel string  `json:"costmodel,omitempty"`
+	NoCostF   float64 `json:"nocost_f,omitempty"`
+	NoCostP   float64 `json:"nocost_p,omitempty"`
+	// Parallelism bounds concurrent candidate costings within the job.
+	Parallelism int `json:"parallelism,omitempty"`
+	// DualBudgetFrac, when > 0, solves the Cost-Minimal dual instead
+	// with a storage budget of this fraction of the initial bytes.
+	DualBudgetFrac float64 `json:"dual_budget_frac,omitempty"`
+}
+
+// SubmitJobRequest submits an asynchronous job against a session.
+type SubmitJobRequest struct {
+	// Kind is merge (default) or tune.
+	Kind     string       `json:"kind,omitempty"`
+	Workload string       `json:"workload"`
+	Initial  *InitialSpec `json:"initial,omitempty"`
+	Options  JobOptions   `json:"options"`
+}
+
+// JobStatus is the pollable state of a job.
+type JobStatus struct {
+	ID         string          `json:"id"`
+	Kind       string          `json:"kind"`
+	Session    string          `json:"session"`
+	Workload   string          `json:"workload"`
+	State      string          `json:"state"`
+	Error      string          `json:"error,omitempty"`
+	Progress   ProgressPayload `json:"progress"`
+	CreatedAt  time.Time       `json:"created_at"`
+	StartedAt  *time.Time      `json:"started_at,omitempty"`
+	FinishedAt *time.Time      `json:"finished_at,omitempty"`
+}
+
+// JobResult is a terminal job's payload.
+type JobResult struct {
+	ID    string              `json:"id"`
+	State string              `json:"state"`
+	Merge *MergeResultPayload `json:"merge,omitempty"`
+	Tune  *TuneResultPayload  `json:"tune,omitempty"`
+}
+
+// SubmitJobResponse acknowledges an accepted job.
+type SubmitJobResponse struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+}
+
+// ErrorResponse is the uniform error body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

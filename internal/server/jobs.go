@@ -1,0 +1,369 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// JobState is a job's lifecycle state.
+type JobState string
+
+const (
+	// JobQueued: accepted, waiting for a worker (or the session lock).
+	JobQueued JobState = "queued"
+	// JobRunning: a worker holds the session lock and is searching.
+	JobRunning JobState = "running"
+	// JobDone: finished successfully; the result is retrievable.
+	JobDone JobState = "done"
+	// JobFailed: finished with an error other than cancellation.
+	JobFailed JobState = "failed"
+	// JobCanceled: canceled by the client (or server drain) before
+	// completing. The session remains usable.
+	JobCanceled JobState = "canceled"
+)
+
+func (s JobState) terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// Submission errors, mapped to HTTP statuses by the handlers.
+var (
+	// ErrQueueFull signals backpressure (429).
+	ErrQueueFull = errors.New("job queue full")
+	// ErrDraining means the server is shutting down (503).
+	ErrDraining = errors.New("server draining, not accepting jobs")
+)
+
+// Job is one asynchronous tune/merge run against a session.
+type Job struct {
+	id       string
+	kind     string
+	session  *Session
+	workload string
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// run executes the search. It must honor ctx.
+	run func(ctx context.Context, j *Job) (*JobResult, error)
+
+	mu         sync.Mutex
+	state      JobState
+	errMsg     string
+	progress   ProgressPayload
+	result     *JobResult
+	createdAt  time.Time
+	startedAt  *time.Time
+	finishedAt *time.Time
+}
+
+// setProgress publishes a search progress snapshot for polling.
+func (j *Job) setProgress(p ProgressPayload) {
+	j.mu.Lock()
+	j.progress = p
+	j.mu.Unlock()
+}
+
+// Status snapshots the job's pollable state.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStatus{
+		ID:         j.id,
+		Kind:       j.kind,
+		Session:    j.session.name,
+		Workload:   j.workload,
+		State:      string(j.state),
+		Error:      j.errMsg,
+		Progress:   j.progress,
+		CreatedAt:  j.createdAt,
+		StartedAt:  j.startedAt,
+		FinishedAt: j.finishedAt,
+	}
+}
+
+// Result returns the terminal payload, or ok=false while the job is
+// still queued or running.
+func (j *Job) Result() (*JobResult, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.state.terminal() {
+		return nil, false
+	}
+	if j.result != nil {
+		return j.result, true
+	}
+	return &JobResult{ID: j.id, State: string(j.state)}, true
+}
+
+// finish transitions to a terminal state exactly once.
+func (j *Job) finish(state JobState, errMsg string, result *JobResult) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.terminal() {
+		return false
+	}
+	now := time.Now()
+	j.state = state
+	j.errMsg = errMsg
+	j.result = result
+	j.finishedAt = &now
+	return true
+}
+
+// Manager owns the bounded worker pool and the job registry. Jobs on
+// distinct sessions run in parallel (up to the worker count); jobs on
+// one session are serialized by the session lock.
+type Manager struct {
+	queue   chan *Job
+	metrics *Metrics
+	log     *slog.Logger
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string
+	draining bool
+
+	nextID atomic.Int64
+	wg     sync.WaitGroup
+
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+
+	// progressHook, when non-nil, is invoked synchronously after every
+	// progress snapshot. Tests use it to pace searches deterministically.
+	progressHook func(jobID string, p ProgressPayload)
+}
+
+// NewManager starts workers goroutines consuming a queue of queueCap
+// pending jobs. Submissions beyond running+queued capacity are
+// rejected with ErrQueueFull.
+func NewManager(workers, queueCap int, metrics *Metrics, log *slog.Logger) *Manager {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueCap < 1 {
+		queueCap = 1
+	}
+	if log == nil {
+		log = slog.Default()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		queue:     make(chan *Job, queueCap),
+		metrics:   metrics,
+		log:       log,
+		jobs:      make(map[string]*Job),
+		baseCtx:   ctx,
+		cancelAll: cancel,
+	}
+	for i := 0; i < workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Submit registers and enqueues a job. kind and run are trusted (the
+// handler validated the request already).
+func (m *Manager) Submit(kind string, sess *Session, workloadName string,
+	run func(ctx context.Context, j *Job) (*JobResult, error)) (*Job, error) {
+
+	jctx, jcancel := context.WithCancel(m.baseCtx)
+	j := &Job{
+		id:        fmt.Sprintf("job-%d", m.nextID.Add(1)),
+		kind:      kind,
+		session:   sess,
+		workload:  workloadName,
+		ctx:       jctx,
+		cancel:    jcancel,
+		run:       run,
+		state:     JobQueued,
+		createdAt: time.Now(),
+	}
+
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		jcancel()
+		return nil, ErrDraining
+	}
+	select {
+	case m.queue <- j:
+		m.jobs[j.id] = j
+		m.order = append(m.order, j.id)
+		m.mu.Unlock()
+		m.metrics.jobsSubmitted.Add(1)
+		return j, nil
+	default:
+		m.mu.Unlock()
+		jcancel()
+		m.metrics.jobsRejected.Add(1)
+		return nil, ErrQueueFull
+	}
+}
+
+// Get looks up a job by ID.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// List snapshots every job's status in submission order.
+func (m *Manager) List() []JobStatus {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, m.jobs[id])
+	}
+	m.mu.Unlock()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	return out
+}
+
+// Cancel requests cancellation. A queued job transitions to canceled
+// immediately; a running job's context is canceled and the search
+// stops at its next cancellation point. Canceling a terminal job is a
+// no-op. Returns the post-cancel status.
+func (m *Manager) Cancel(id string) (JobStatus, bool) {
+	j, ok := m.Get(id)
+	if !ok {
+		return JobStatus{}, false
+	}
+	j.cancel()
+	j.mu.Lock()
+	if j.state == JobQueued {
+		// Finish immediately; the worker skips it when it drains off
+		// the queue. A running job is finished by its worker once the
+		// search observes the canceled context.
+		now := time.Now()
+		j.state = JobCanceled
+		j.errMsg = context.Canceled.Error()
+		j.finishedAt = &now
+		j.mu.Unlock()
+		m.metrics.observeJobEnd(JobCanceled, 0, 0, 0)
+	} else {
+		j.mu.Unlock()
+	}
+	return j.Status(), true
+}
+
+// Gauges counts non-terminal jobs for the metrics scrape.
+func (m *Manager) Gauges() JobGauges {
+	var g JobGauges
+	for _, st := range m.List() {
+		switch JobState(st.State) {
+		case JobQueued:
+			g.Queued++
+		case JobRunning:
+			g.Running++
+		}
+	}
+	return g
+}
+
+// Drain stops accepting jobs, then waits for queued+running jobs to
+// finish. If ctx expires first, every remaining job is canceled and
+// Drain waits for the (now fast) wind-down before returning ctx's
+// error.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	already := m.draining
+	m.draining = true
+	m.mu.Unlock()
+	if !already {
+		close(m.queue)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		m.cancelAll()
+		<-done
+		return ctx.Err()
+	}
+}
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.runJob(j)
+	}
+}
+
+func (m *Manager) runJob(j *Job) {
+	// Skip jobs canceled while queued.
+	j.mu.Lock()
+	if j.state.terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.mu.Unlock()
+
+	// Serialize per session: wait for the session lock, abandoning the
+	// wait if the job is canceled first.
+	if err := j.session.acquire(j.ctx); err != nil {
+		if j.finish(JobCanceled, err.Error(), nil) {
+			m.metrics.observeJobEnd(JobCanceled, 0, 0, 0)
+		}
+		m.log.Info("job canceled while queued", "job", j.id, "session", j.session.name)
+		return
+	}
+	defer j.session.release()
+
+	if j.session.deleted.Load() {
+		if j.finish(JobFailed, "session deleted", nil) {
+			m.metrics.observeJobEnd(JobFailed, 0, 0, 0)
+		}
+		return
+	}
+
+	now := time.Now()
+	j.mu.Lock()
+	j.state = JobRunning
+	j.startedAt = &now
+	j.mu.Unlock()
+	m.log.Info("job started", "job", j.id, "kind", j.kind,
+		"session", j.session.name, "workload", j.workload)
+
+	result, err := j.run(j.ctx, j)
+	elapsed := time.Since(now).Seconds()
+
+	var state JobState
+	switch {
+	case err == nil:
+		state = JobDone
+		result.ID = j.id
+		result.State = string(JobDone)
+		j.finish(JobDone, "", result)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		state = JobCanceled
+		j.finish(JobCanceled, err.Error(), nil)
+	default:
+		state = JobFailed
+		j.finish(JobFailed, err.Error(), nil)
+	}
+
+	st := j.Status()
+	m.metrics.observeJobEnd(state, elapsed, st.Progress.OptimizerCalls, st.Progress.CostEvaluations)
+	m.log.Info("job finished", "job", j.id, "state", string(state),
+		"elapsed_s", elapsed, "steps", st.Progress.Steps,
+		"saved_bytes", st.Progress.SavedBytes, "error", st.Error)
+}

@@ -1,0 +1,172 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// histogram is a fixed-bucket latency histogram with Prometheus
+// cumulative-bucket semantics. Safe for concurrent observation.
+type histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // upper bounds, ascending; +Inf implied
+	counts []int64   // len(bounds)+1
+	sum    float64
+	count  int64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.count++
+}
+
+// write emits the histogram in Prometheus text exposition format.
+func (h *histogram) write(w io.Writer, name string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, b, cum)
+	}
+	cum += h.counts[len(h.bounds)]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count)
+}
+
+// Metrics aggregates service-level observability counters, exposed in
+// Prometheus text format on /metrics. Everything is hand-rolled — the
+// container deliberately takes no dependencies.
+type Metrics struct {
+	mu       sync.Mutex
+	requests map[string]int64 // "route|code" -> count
+	jobs     map[string]int64 // terminal state -> count
+
+	jobsSubmitted atomic.Int64
+	jobsRejected  atomic.Int64 // backpressure 429s
+
+	optimizerCalls  atomic.Int64 // summed over finished jobs + sync costings
+	costEvaluations atomic.Int64
+
+	searchSeconds *histogram
+	httpSeconds   *histogram
+}
+
+// NewMetrics builds an empty metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		requests:      make(map[string]int64),
+		jobs:          make(map[string]int64),
+		searchSeconds: newHistogram([]float64{0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 300}),
+		httpSeconds:   newHistogram([]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 30}),
+	}
+}
+
+func (m *Metrics) observeRequest(route string, code int, seconds float64) {
+	m.mu.Lock()
+	m.requests[fmt.Sprintf("%s|%d", route, code)]++
+	m.mu.Unlock()
+	m.httpSeconds.observe(seconds)
+}
+
+func (m *Metrics) observeJobEnd(state JobState, seconds float64, optimizerCalls, costEvaluations int64) {
+	m.mu.Lock()
+	m.jobs[string(state)]++
+	m.mu.Unlock()
+	m.searchSeconds.observe(seconds)
+	m.optimizerCalls.Add(optimizerCalls)
+	m.costEvaluations.Add(costEvaluations)
+}
+
+// SessionGauges is a point-in-time per-session snapshot gathered at
+// scrape time.
+type SessionGauges struct {
+	Name           string
+	CacheEntries   int
+	CacheHits      int64
+	CacheMisses    int64
+	CacheDedups    int64
+	CacheEvictions int64
+}
+
+// JobGauges is a point-in-time snapshot of non-terminal job states.
+type JobGauges struct {
+	Queued  int
+	Running int
+}
+
+// Write emits every series. Gauges are gathered by the caller at
+// scrape time (sessions and the job manager own that state).
+func (m *Metrics) Write(w io.Writer, jg JobGauges, sessions []SessionGauges) {
+	fmt.Fprintln(w, "# TYPE idxmerged_http_requests_total counter")
+	m.mu.Lock()
+	reqKeys := make([]string, 0, len(m.requests))
+	for k := range m.requests {
+		reqKeys = append(reqKeys, k)
+	}
+	sort.Strings(reqKeys)
+	for _, k := range reqKeys {
+		route, code := k, ""
+		for i := len(k) - 1; i >= 0; i-- {
+			if k[i] == '|' {
+				route, code = k[:i], k[i+1:]
+				break
+			}
+		}
+		fmt.Fprintf(w, "idxmerged_http_requests_total{route=%q,code=%q} %d\n", route, code, m.requests[k])
+	}
+	jobKeys := make([]string, 0, len(m.jobs))
+	for k := range m.jobs {
+		jobKeys = append(jobKeys, k)
+	}
+	sort.Strings(jobKeys)
+	fmt.Fprintln(w, "# TYPE idxmerged_jobs_total counter")
+	for _, k := range jobKeys {
+		fmt.Fprintf(w, "idxmerged_jobs_total{state=%q} %d\n", k, m.jobs[k])
+	}
+	m.mu.Unlock()
+
+	fmt.Fprintln(w, "# TYPE idxmerged_jobs_submitted_total counter")
+	fmt.Fprintf(w, "idxmerged_jobs_submitted_total %d\n", m.jobsSubmitted.Load())
+	fmt.Fprintln(w, "# TYPE idxmerged_jobs_rejected_total counter")
+	fmt.Fprintf(w, "idxmerged_jobs_rejected_total %d\n", m.jobsRejected.Load())
+
+	fmt.Fprintln(w, "# TYPE idxmerged_jobs_active gauge")
+	fmt.Fprintf(w, "idxmerged_jobs_active{state=\"queued\"} %d\n", jg.Queued)
+	fmt.Fprintf(w, "idxmerged_jobs_active{state=\"running\"} %d\n", jg.Running)
+
+	fmt.Fprintln(w, "# TYPE idxmerged_optimizer_calls_total counter")
+	fmt.Fprintf(w, "idxmerged_optimizer_calls_total %d\n", m.optimizerCalls.Load())
+	fmt.Fprintln(w, "# TYPE idxmerged_cost_evaluations_total counter")
+	fmt.Fprintf(w, "idxmerged_cost_evaluations_total %d\n", m.costEvaluations.Load())
+
+	fmt.Fprintln(w, "# TYPE idxmerged_sessions gauge")
+	fmt.Fprintf(w, "idxmerged_sessions %d\n", len(sessions))
+	fmt.Fprintln(w, "# TYPE idxmerged_costcache_entries gauge")
+	fmt.Fprintln(w, "# TYPE idxmerged_costcache_hits_total counter")
+	fmt.Fprintln(w, "# TYPE idxmerged_costcache_misses_total counter")
+	fmt.Fprintln(w, "# TYPE idxmerged_costcache_evictions_total counter")
+	for _, s := range sessions {
+		fmt.Fprintf(w, "idxmerged_costcache_entries{session=%q} %d\n", s.Name, s.CacheEntries)
+		fmt.Fprintf(w, "idxmerged_costcache_hits_total{session=%q} %d\n", s.Name, s.CacheHits)
+		fmt.Fprintf(w, "idxmerged_costcache_misses_total{session=%q} %d\n", s.Name, s.CacheMisses)
+		fmt.Fprintf(w, "idxmerged_costcache_evictions_total{session=%q} %d\n", s.Name, s.CacheEvictions)
+	}
+
+	fmt.Fprintln(w, "# TYPE idxmerged_search_seconds histogram")
+	m.searchSeconds.write(w, "idxmerged_search_seconds")
+	fmt.Fprintln(w, "# TYPE idxmerged_http_request_seconds histogram")
+	m.httpSeconds.write(w, "idxmerged_http_request_seconds")
+}

@@ -1,0 +1,535 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strings"
+	"time"
+
+	"indexmerge"
+	"indexmerge/internal/advisor"
+	"indexmerge/internal/catalog"
+	"indexmerge/internal/optimizer"
+	"indexmerge/internal/sql"
+	"indexmerge/internal/workload"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Workers is the job worker pool size (default 2). Jobs on distinct
+	// sessions run in parallel up to this bound.
+	Workers int
+	// QueueCap bounds pending jobs (default 8); submissions beyond it
+	// get 429.
+	QueueCap int
+	// CacheMaxEntries bounds each session's what-if cost cache
+	// (default 1 << 20 entries; <= 0 means unbounded).
+	CacheMaxEntries int
+	// Logger receives structured request and job logs (default
+	// slog.Default()).
+	Logger *slog.Logger
+}
+
+// Server is the idxmerged HTTP API: sessions, workloads, synchronous
+// what-if costing, and asynchronous tune/merge jobs.
+type Server struct {
+	reg     *Registry
+	jobs    *Manager
+	metrics *Metrics
+	log     *slog.Logger
+	mux     *http.ServeMux
+}
+
+// New assembles a server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.Workers < 1 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueCap < 1 {
+		cfg.QueueCap = 8
+	}
+	if cfg.CacheMaxEntries == 0 {
+		cfg.CacheMaxEntries = 1 << 20
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	s := &Server{
+		reg:     NewRegistry(cfg.CacheMaxEntries),
+		metrics: NewMetrics(),
+		log:     cfg.Logger,
+		mux:     http.NewServeMux(),
+	}
+	s.jobs = NewManager(cfg.Workers, cfg.QueueCap, s.metrics, s.log)
+
+	s.handle("GET /healthz", s.handleHealthz)
+	s.handle("GET /metrics", s.handleMetrics)
+	s.handle("POST /v1/sessions", s.handleCreateSession)
+	s.handle("GET /v1/sessions", s.handleListSessions)
+	s.handle("GET /v1/sessions/{name}", s.handleGetSession)
+	s.handle("DELETE /v1/sessions/{name}", s.handleDeleteSession)
+	s.handle("POST /v1/sessions/{name}/workloads", s.handleRegisterWorkload)
+	s.handle("GET /v1/sessions/{name}/workloads", s.handleListWorkloads)
+	s.handle("POST /v1/sessions/{name}/cost", s.handleCost)
+	s.handle("POST /v1/sessions/{name}/jobs", s.handleSubmitJob)
+	s.handle("GET /v1/jobs", s.handleListJobs)
+	s.handle("GET /v1/jobs/{id}", s.handleGetJob)
+	s.handle("POST /v1/jobs/{id}/cancel", s.handleCancelJob)
+	s.handle("GET /v1/jobs/{id}/result", s.handleJobResult)
+	return s
+}
+
+// Handler returns the root handler (request logging + metrics wrap
+// every route).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain stops accepting jobs and waits for in-flight ones; see
+// Manager.Drain.
+func (s *Server) Drain(ctx context.Context) error { return s.jobs.Drain(ctx) }
+
+// handle registers a route, wrapping it with request logging and
+// per-route metrics. pattern is a Go 1.22 "METHOD /path/{wildcard}"
+// mux pattern, also used as the metrics route label.
+func (s *Server) handle(pattern string, fn http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		fn(rec, r)
+		elapsed := time.Since(start)
+		s.metrics.observeRequest(pattern, rec.code, elapsed.Seconds())
+		if pattern != "GET /healthz" && pattern != "GET /metrics" {
+			s.log.Info("request", "method", r.Method, "path", r.URL.Path,
+				"status", rec.code, "elapsed_ms", float64(elapsed.Microseconds())/1000)
+		}
+	})
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeJSON parses a request body strictly: unknown fields and
+// trailing garbage are 400s, surfacing client typos early.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	var extra json.RawMessage
+	if err := dec.Decode(&extra); err == nil {
+		return errors.New("unexpected data after JSON body")
+	}
+	return nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	sessions := s.reg.List()
+	gauges := make([]SessionGauges, len(sessions))
+	for i, sess := range sessions {
+		gauges[i] = sess.gauges()
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.Write(w, s.jobs.Gauges(), gauges)
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req CreateSessionRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	sess, err := s.reg.Create(req)
+	switch {
+	case errors.Is(err, ErrSessionExists):
+		writeErr(w, http.StatusConflict, "%v", err)
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, "%v", err)
+	default:
+		writeJSON(w, http.StatusCreated, sess.Info())
+	}
+}
+
+func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
+	sessions := s.reg.List()
+	out := make([]SessionInfo, len(sessions))
+	for i, sess := range sessions {
+		out[i] = sess.Info()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// session resolves the {name} path wildcard, writing a 404 on miss.
+func (s *Server) session(w http.ResponseWriter, r *http.Request) (*Session, bool) {
+	sess, ok := s.reg.Get(r.PathValue("name"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "session %q not found", r.PathValue("name"))
+		return nil, false
+	}
+	return sess, true
+}
+
+func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
+	if sess, ok := s.session(w, r); ok {
+		writeJSON(w, http.StatusOK, sess.Info())
+	}
+}
+
+func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	err := s.reg.Delete(r.PathValue("name"))
+	switch {
+	case errors.Is(err, ErrSessionNotFound):
+		writeErr(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, ErrSessionBusy):
+		writeErr(w, http.StatusConflict, "%v", err)
+	case err != nil:
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"deleted": r.PathValue("name")})
+	}
+}
+
+func (s *Server) handleRegisterWorkload(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	var req RegisterWorkloadRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	if !validName(req.Name) {
+		writeErr(w, http.StatusBadRequest, "invalid workload name %q (want [A-Za-z0-9_-]{1,64})", req.Name)
+		return
+	}
+	if (req.SQL == "") == (req.Generate == nil) {
+		writeErr(w, http.StatusBadRequest, "exactly one of sql or generate is required")
+		return
+	}
+
+	var wl *sql.Workload
+	var err error
+	if req.SQL != "" {
+		wl, err = sql.ParseWorkload(strings.NewReader(req.SQL), sess.db.Schema())
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "parse workload: %v", err)
+			return
+		}
+	} else {
+		spec := *req.Generate
+		if spec.Queries <= 0 {
+			spec.Queries = 30
+		}
+		class := workload.Complex
+		switch spec.Class {
+		case "", "complex":
+		case "projection":
+			class = workload.ProjectionOnly
+		default:
+			writeErr(w, http.StatusBadRequest, "unknown workload class %q (want complex or projection)", spec.Class)
+			return
+		}
+		wl, err = workload.Generate(sess.db, workload.Options{Class: class, Queries: spec.Queries, Seed: spec.Seed})
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "generate workload: %v", err)
+			return
+		}
+	}
+	if wl.Len() == 0 {
+		writeErr(w, http.StatusBadRequest, "workload is empty")
+		return
+	}
+	if err := sess.RegisterWorkload(req.Name, wl); err != nil {
+		writeErr(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, WorkloadInfo{Name: req.Name, Queries: wl.Len()})
+}
+
+func (s *Server) handleListWorkloads(w http.ResponseWriter, r *http.Request) {
+	if sess, ok := s.session(w, r); ok {
+		writeJSON(w, http.StatusOK, sess.WorkloadInfos())
+	}
+}
+
+// resolveDefs validates wire index definitions against the session's
+// schema.
+func resolveDefs(sess *Session, payloads []IndexDefPayload) ([]catalog.IndexDef, error) {
+	defs := make([]catalog.IndexDef, len(payloads))
+	for i, p := range payloads {
+		def, err := catalog.NewIndexDef(sess.db.Schema(), p.Name, p.Table, p.Columns)
+		if err != nil {
+			return nil, fmt.Errorf("index %d: %w", i, err)
+		}
+		defs[i] = def
+	}
+	return defs, nil
+}
+
+// handleCost answers a synchronous what-if costing request: the
+// optimizer-estimated Cost(W, C) for an arbitrary configuration. It
+// runs concurrently with jobs — the costing read path is safe to
+// share and the request does not take the session's job slot.
+func (s *Server) handleCost(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	var req CostRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	wl, ok := sess.Workload(req.Workload)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "workload %q not found", req.Workload)
+		return
+	}
+	defs, err := resolveDefs(sess, req.Indexes)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cost, err := optimizer.New(sess.db).WorkloadCost(wl, optimizer.Configuration(defs))
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "cost: %v", err)
+		return
+	}
+	s.metrics.optimizerCalls.Add(int64(len(wl.Queries)))
+	writeJSON(w, http.StatusOK, CostResponse{Cost: cost})
+}
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	var req SubmitJobRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	kind := req.Kind
+	if kind == "" {
+		kind = "merge"
+	}
+	if kind != "merge" && kind != "tune" {
+		writeErr(w, http.StatusBadRequest, "unknown job kind %q (want merge or tune)", kind)
+		return
+	}
+	wl, ok := sess.Workload(req.Workload)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "workload %q not found", req.Workload)
+		return
+	}
+	opts, err := buildMergeOptions(req.Options)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Validate any explicit initial configuration now so the client
+	// gets a 400 instead of a failed job.
+	var explicitDefs []catalog.IndexDef
+	initial := InitialSpec{N: 10}
+	if req.Initial != nil {
+		initial = *req.Initial
+		if len(initial.Indexes) > 0 {
+			explicitDefs, err = resolveDefs(sess, initial.Indexes)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+		}
+	}
+
+	run := s.buildJobRun(kind, sess, req.Workload, wl, initial, explicitDefs, opts, req.Options.DualBudgetFrac)
+	job, err := s.jobs.Submit(kind, sess, req.Workload, run)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeErr(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, ErrDraining):
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+	case err != nil:
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+	default:
+		writeJSON(w, http.StatusAccepted, SubmitJobResponse{ID: job.id, State: string(JobQueued)})
+	}
+}
+
+func buildMergeOptions(o JobOptions) (indexmerge.MergeOptions, error) {
+	opts := indexmerge.MergeOptions{
+		CostConstraint: o.Constraint,
+		NoCostF:        o.NoCostF,
+		NoCostP:        o.NoCostP,
+		Parallelism:    o.Parallelism,
+	}
+	switch o.MergePair {
+	case "", "cost":
+	case "syntactic":
+		opts.MergePair = indexmerge.MergePairSyntactic
+	case "exhaustive":
+		opts.MergePair = indexmerge.MergePairExhaustive
+	default:
+		return opts, fmt.Errorf("unknown mergepair %q (want cost, syntactic or exhaustive)", o.MergePair)
+	}
+	switch o.Search {
+	case "", "greedy":
+	case "exhaustive":
+		opts.Search = indexmerge.ExhaustiveSearch
+	default:
+		return opts, fmt.Errorf("unknown search %q (want greedy or exhaustive)", o.Search)
+	}
+	switch o.CostModel {
+	case "", "opt":
+	case "nocost":
+		opts.CostModel = indexmerge.NoCost
+	case "prefilter":
+		opts.CostModel = indexmerge.PrefilteredOptimizerCost
+	default:
+		return opts, fmt.Errorf("unknown costmodel %q (want opt, nocost or prefilter)", o.CostModel)
+	}
+	if o.DualBudgetFrac < 0 || o.DualBudgetFrac >= 1 {
+		if o.DualBudgetFrac != 0 {
+			return opts, fmt.Errorf("dual_budget_frac %v out of range (0, 1)", o.DualBudgetFrac)
+		}
+	}
+	return opts, nil
+}
+
+// buildJobRun assembles the closure a worker executes: the exact same
+// facade calls the batch CLI makes, so a server job and a cmd/idxmerge
+// run over identical inputs produce byte-identical results. The
+// session's shared cost cache (namespaced by workload) carries what-if
+// costs across the session's jobs.
+func (s *Server) buildJobRun(kind string, sess *Session, workloadName string, wl *sql.Workload,
+	initial InitialSpec, explicitDefs []catalog.IndexDef, opts indexmerge.MergeOptions,
+	dualFrac float64) func(ctx context.Context, j *Job) (*JobResult, error) {
+
+	return func(ctx context.Context, j *Job) (*JobResult, error) {
+		m, err := indexmerge.NewMerger(sess.db, wl)
+		if err != nil {
+			return nil, err
+		}
+
+		if kind == "tune" {
+			defs, err := m.TuneWorkloadContext(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return &JobResult{Tune: &TuneResultPayload{
+				Indexes:    NewIndexDefPayloads(defs),
+				TotalBytes: sess.db.ConfigurationBytes(defs),
+			}}, nil
+		}
+
+		// Initial configuration: explicit defs, or per-query tuning
+		// (§4.2.3) exactly as cmd/idxmerge builds it.
+		defs := explicitDefs
+		if defs == nil {
+			if initial.N > 0 {
+				adv := advisor.New(sess.db, m.Optimizer())
+				adv.Parallelism = opts.Parallelism
+				defs, err = advisor.BuildInitialConfigurationContext(ctx, adv, wl, initial.N, initial.Seed)
+			} else {
+				defs, err = m.TuneWorkloadContext(ctx)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		if len(defs) == 0 {
+			return nil, errors.New("no initial indexes recommended; nothing to merge")
+		}
+
+		if dualFrac > 0 {
+			budget := int64(float64(sess.db.ConfigurationBytes(defs)) * dualFrac)
+			res, err := m.MergeDualContext(ctx, defs, budget)
+			if err != nil {
+				return nil, err
+			}
+			p := NewDualResultPayload(res)
+			return &JobResult{Merge: &p}, nil
+		}
+
+		opts.Progress = func(p indexmerge.SearchProgress) {
+			pp := NewProgressPayload(p)
+			j.setProgress(pp)
+			if s.jobs.progressHook != nil {
+				s.jobs.progressHook(j.id, pp)
+			}
+		}
+		opts.CostCache = sess.cache
+		opts.CacheNamespace = workloadName
+
+		res, err := m.MergeDefsContext(ctx, defs, opts)
+		if err != nil {
+			return nil, err
+		}
+		p := NewMergeResultPayload(res)
+		return &JobResult{Merge: &p}, nil
+	}
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.jobs.List())
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "job %q not found", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.jobs.Cancel(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "job %q not found", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "job %q not found", r.PathValue("id"))
+		return
+	}
+	res, done := j.Result()
+	if !done {
+		writeErr(w, http.StatusConflict, "job %s is %s; result not available yet", j.id, j.Status().State)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}

@@ -1,0 +1,624 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"indexmerge"
+	"indexmerge/internal/catalog"
+	"indexmerge/internal/engine"
+	"indexmerge/internal/sql"
+	"indexmerge/internal/value"
+)
+
+// ---- fixture -------------------------------------------------------
+
+// fixtureSQL is the test workload: five queries over a fact/dim pair
+// with known index overlap (two fact indexes share the d prefix).
+const fixtureSQL = `SELECT d, m1 FROM fact WHERE d BETWEEN DATE(100) AND DATE(110)
+SELECT d, m2 FROM fact WHERE d BETWEEN DATE(200) AND DATE(215)
+SELECT k, m3 FROM fact WHERE k = 17
+SELECT tag, m1 FROM fact WHERE tag = 'red'
+SELECT name, m1 FROM fact, dim WHERE fact.k = dim.k AND dim.k = 3`
+
+// fixtureIndexes is an initial configuration with mergeable overlap.
+var fixtureIndexes = []IndexDefPayload{
+	{Table: "fact", Columns: []string{"d", "m1"}},
+	{Table: "fact", Columns: []string{"d", "m2"}},
+	{Table: "fact", Columns: []string{"k", "m3"}},
+	{Table: "fact", Columns: []string{"tag", "m1"}},
+	{Table: "dim", Columns: []string{"k", "name"}},
+}
+
+var (
+	fixtureOnce sync.Once
+	fixturePath string // "file:..." DB spec for CreateSessionRequest
+	fixtureErr  error
+)
+
+// fixtureDB builds a small analyzed database once, snapshots it, and
+// returns the file: spec sessions are created from.
+func fixtureDB(t *testing.T) string {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		db := engine.NewDatabase()
+		if fixtureErr = db.CreateTable(catalog.MustNewTable("fact", []catalog.Column{
+			{Name: "d", Type: value.Date},
+			{Name: "k", Type: value.Int},
+			{Name: "m1", Type: value.Float},
+			{Name: "m2", Type: value.Float},
+			{Name: "m3", Type: value.Float},
+			{Name: "tag", Type: value.String, Width: 6},
+			{Name: "pad", Type: value.String, Width: 60},
+		})); fixtureErr != nil {
+			return
+		}
+		if fixtureErr = db.CreateTable(catalog.MustNewTable("dim", []catalog.Column{
+			{Name: "k", Type: value.Int},
+			{Name: "name", Type: value.String, Width: 12},
+		})); fixtureErr != nil {
+			return
+		}
+		rng := rand.New(rand.NewSource(21))
+		tags := []string{"red", "green", "blue", "black"}
+		for i := 0; i < 200; i++ {
+			db.Insert("dim", value.Row{value.NewInt(int64(i)), value.NewString("name")})
+		}
+		for i := 0; i < 10000; i++ {
+			db.Insert("fact", value.Row{
+				value.NewDate(rng.Int63n(1000)),
+				value.NewInt(rng.Int63n(200)),
+				value.NewFloat(rng.Float64()),
+				value.NewFloat(rng.Float64()),
+				value.NewFloat(rng.Float64()),
+				value.NewString(tags[rng.Intn(4)]),
+				value.NewString("padding"),
+			})
+		}
+		db.AnalyzeAll()
+		dir, err := os.MkdirTemp("", "idxmerged-test")
+		if err != nil {
+			fixtureErr = err
+			return
+		}
+		path := filepath.Join(dir, "fixture.snap")
+		if fixtureErr = db.SaveSnapshotFile(path); fixtureErr == nil {
+			fixturePath = "file:" + path
+		}
+	})
+	if fixtureErr != nil {
+		t.Fatal(fixtureErr)
+	}
+	return fixturePath
+}
+
+// directMerge runs the same merge the server executes, through the
+// same facade, on a separately loaded copy of the fixture — the
+// batch-CLI reference a job result must match byte for byte.
+func directMerge(t *testing.T, opts indexmerge.MergeOptions) MergeResultPayload {
+	t.Helper()
+	db, err := engine.LoadSnapshotFile(strings.TrimPrefix(fixturePath, "file:"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := sql.ParseWorkload(strings.NewReader(fixtureSQL), db.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := indexmerge.NewMerger(db, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defs := make([]catalog.IndexDef, len(fixtureIndexes))
+	for i, p := range fixtureIndexes {
+		if defs[i], err = catalog.NewIndexDef(db.Schema(), p.Name, p.Table, p.Columns); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := m.MergeDefs(defs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewMergeResultPayload(res)
+}
+
+// ---- harness -------------------------------------------------------
+
+type testServer struct {
+	srv *Server
+	ts  *httptest.Server
+}
+
+func newTestServer(t *testing.T, cfg Config) *testServer {
+	t.Helper()
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	srv := New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	})
+	return &testServer{srv: srv, ts: ts}
+}
+
+// call issues a JSON request and decodes the response into out (when
+// non-nil), returning the HTTP status.
+func (h *testServer) call(t *testing.T, method, path string, body, out any) int {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		if s, ok := body.(string); ok {
+			rd = strings.NewReader(s)
+		} else {
+			b, err := json.Marshal(body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rd = bytes.NewReader(b)
+		}
+	}
+	req, err := http.NewRequest(method, h.ts.URL+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := h.ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("%s %s: decode %q: %v", method, path, data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// mustCall is call with a required status.
+func (h *testServer) mustCall(t *testing.T, method, path string, body, out any, want int) {
+	t.Helper()
+	if got := h.call(t, method, path, body, out); got != want {
+		t.Fatalf("%s %s: status %d, want %d", method, path, got, want)
+	}
+}
+
+// newSession creates a fixture-backed session with a registered
+// workload named "w".
+func (h *testServer) newSession(t *testing.T, name string) {
+	t.Helper()
+	h.mustCall(t, "POST", "/v1/sessions",
+		CreateSessionRequest{Name: name, DB: fixtureDB(t)}, nil, http.StatusCreated)
+	h.mustCall(t, "POST", "/v1/sessions/"+name+"/workloads",
+		RegisterWorkloadRequest{Name: "w", SQL: fixtureSQL}, nil, http.StatusCreated)
+}
+
+// submitJob submits a merge job over the canonical fixture initial
+// configuration and returns the job ID.
+func (h *testServer) submitJob(t *testing.T, session string) string {
+	t.Helper()
+	var resp SubmitJobResponse
+	h.mustCall(t, "POST", "/v1/sessions/"+session+"/jobs", SubmitJobRequest{
+		Workload: "w",
+		Initial:  &InitialSpec{Indexes: fixtureIndexes},
+		Options:  JobOptions{Constraint: 0.3},
+	}, &resp, http.StatusAccepted)
+	return resp.ID
+}
+
+// waitTerminal polls a job until it leaves queued/running.
+func (h *testServer) waitTerminal(t *testing.T, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		var st JobStatus
+		h.mustCall(t, "GET", "/v1/jobs/"+id, nil, &st, http.StatusOK)
+		if JobState(st.State).terminal() {
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not reach a terminal state", id)
+	return JobStatus{}
+}
+
+// ---- tests ---------------------------------------------------------
+
+func TestSessionLifecycle(t *testing.T) {
+	h := newTestServer(t, Config{})
+	db := fixtureDB(t)
+
+	var info SessionInfo
+	h.mustCall(t, "POST", "/v1/sessions", CreateSessionRequest{Name: "s1", DB: db}, &info, http.StatusCreated)
+	if info.Name != "s1" || info.Tables != 2 || info.DataBytes <= 0 {
+		t.Fatalf("session info = %+v", info)
+	}
+	// Duplicate name conflicts; invalid inputs are 400s.
+	h.mustCall(t, "POST", "/v1/sessions", CreateSessionRequest{Name: "s1", DB: db}, nil, http.StatusConflict)
+	h.mustCall(t, "POST", "/v1/sessions", CreateSessionRequest{Name: "bad name!", DB: db}, nil, http.StatusBadRequest)
+	h.mustCall(t, "POST", "/v1/sessions", CreateSessionRequest{Name: "s2", DB: "nope"}, nil, http.StatusBadRequest)
+	h.mustCall(t, "POST", "/v1/sessions", `{"name": `, nil, http.StatusBadRequest)
+	h.mustCall(t, "POST", "/v1/sessions", `{"name": "x", "db": "tpcd", "bogus": 1}`, nil, http.StatusBadRequest)
+
+	var list []SessionInfo
+	h.mustCall(t, "GET", "/v1/sessions", nil, &list, http.StatusOK)
+	if len(list) != 1 || list[0].Name != "s1" {
+		t.Fatalf("list = %+v", list)
+	}
+	h.mustCall(t, "GET", "/v1/sessions/s1", nil, &info, http.StatusOK)
+	h.mustCall(t, "GET", "/v1/sessions/nope", nil, nil, http.StatusNotFound)
+
+	h.mustCall(t, "DELETE", "/v1/sessions/s1", nil, nil, http.StatusOK)
+	h.mustCall(t, "GET", "/v1/sessions/s1", nil, nil, http.StatusNotFound)
+	h.mustCall(t, "DELETE", "/v1/sessions/s1", nil, nil, http.StatusNotFound)
+}
+
+func TestWorkloadsAndSyncCost(t *testing.T) {
+	h := newTestServer(t, Config{})
+	h.mustCall(t, "POST", "/v1/sessions", CreateSessionRequest{Name: "s", DB: fixtureDB(t)}, nil, http.StatusCreated)
+
+	h.mustCall(t, "POST", "/v1/sessions/s/workloads",
+		RegisterWorkloadRequest{Name: "w", SQL: fixtureSQL}, nil, http.StatusCreated)
+	// Workload names are single-assignment (cache-namespace contract).
+	h.mustCall(t, "POST", "/v1/sessions/s/workloads",
+		RegisterWorkloadRequest{Name: "w", SQL: fixtureSQL}, nil, http.StatusConflict)
+	h.mustCall(t, "POST", "/v1/sessions/s/workloads",
+		RegisterWorkloadRequest{Name: "bad", SQL: "SELECT nope FROM nowhere"}, nil, http.StatusBadRequest)
+	h.mustCall(t, "POST", "/v1/sessions/s/workloads",
+		RegisterWorkloadRequest{Name: "both", SQL: "x", Generate: &GenerateSpec{}}, nil, http.StatusBadRequest)
+	h.mustCall(t, "POST", "/v1/sessions/s/workloads",
+		RegisterWorkloadRequest{Name: "neither"}, nil, http.StatusBadRequest)
+	h.mustCall(t, "POST", "/v1/sessions/s/workloads",
+		RegisterWorkloadRequest{Name: "badclass", Generate: &GenerateSpec{Class: "zig"}}, nil, http.StatusBadRequest)
+
+	var wls []WorkloadInfo
+	h.mustCall(t, "GET", "/v1/sessions/s/workloads", nil, &wls, http.StatusOK)
+	if len(wls) != 1 || wls[0].Name != "w" || wls[0].Queries != 5 {
+		t.Fatalf("workloads = %+v", wls)
+	}
+
+	// Synchronous what-if costing: more indexes can only help.
+	var bare, indexed CostResponse
+	h.mustCall(t, "POST", "/v1/sessions/s/cost",
+		CostRequest{Workload: "w"}, &bare, http.StatusOK)
+	h.mustCall(t, "POST", "/v1/sessions/s/cost",
+		CostRequest{Workload: "w", Indexes: fixtureIndexes}, &indexed, http.StatusOK)
+	if bare.Cost <= 0 || indexed.Cost <= 0 || indexed.Cost > bare.Cost {
+		t.Fatalf("costs: bare %v, indexed %v", bare.Cost, indexed.Cost)
+	}
+	h.mustCall(t, "POST", "/v1/sessions/s/cost",
+		CostRequest{Workload: "nope"}, nil, http.StatusNotFound)
+	h.mustCall(t, "POST", "/v1/sessions/s/cost",
+		CostRequest{Workload: "w", Indexes: []IndexDefPayload{{Table: "fact", Columns: []string{"ghost"}}}},
+		nil, http.StatusBadRequest)
+}
+
+func TestJobValidation(t *testing.T) {
+	h := newTestServer(t, Config{})
+	h.newSession(t, "s")
+
+	bad := []SubmitJobRequest{
+		{Kind: "explode", Workload: "w"},
+		{Workload: "w", Options: JobOptions{MergePair: "zig"}},
+		{Workload: "w", Options: JobOptions{Search: "zag"}},
+		{Workload: "w", Options: JobOptions{CostModel: "zog"}},
+		{Workload: "w", Options: JobOptions{DualBudgetFrac: 1.5}},
+		{Workload: "w", Initial: &InitialSpec{Indexes: []IndexDefPayload{{Table: "ghost", Columns: []string{"x"}}}}},
+	}
+	for i, req := range bad {
+		if got := h.call(t, "POST", "/v1/sessions/s/jobs", req, nil); got != http.StatusBadRequest {
+			t.Errorf("bad request %d: status %d, want 400", i, got)
+		}
+	}
+	h.mustCall(t, "POST", "/v1/sessions/s/jobs", SubmitJobRequest{Workload: "nope"}, nil, http.StatusNotFound)
+	h.mustCall(t, "POST", "/v1/sessions/s/jobs", `{"kind":`, nil, http.StatusBadRequest)
+	h.mustCall(t, "POST", "/v1/sessions/nope/jobs", SubmitJobRequest{Workload: "w"}, nil, http.StatusNotFound)
+
+	h.mustCall(t, "GET", "/v1/jobs/nope", nil, nil, http.StatusNotFound)
+	h.mustCall(t, "POST", "/v1/jobs/nope/cancel", nil, nil, http.StatusNotFound)
+	h.mustCall(t, "GET", "/v1/jobs/nope/result", nil, nil, http.StatusNotFound)
+}
+
+// TestMergeJobMatchesDirectRun is the tentpole acceptance check: a
+// merge job through the HTTP API returns the byte-identical result of
+// the same merge through the facade (what cmd/idxmerge -json prints),
+// modulo wall-clock elapsed time.
+func TestMergeJobMatchesDirectRun(t *testing.T) {
+	h := newTestServer(t, Config{})
+	h.newSession(t, "s")
+
+	id := h.submitJob(t, "s")
+	st := h.waitTerminal(t, id)
+	if st.State != string(JobDone) {
+		t.Fatalf("job state %s (error %q), want done", st.State, st.Error)
+	}
+	if st.Progress.Steps == 0 || st.Progress.SavedBytes <= 0 {
+		t.Fatalf("job progress %+v: expected accepted merge steps", st.Progress)
+	}
+	var res JobResult
+	h.mustCall(t, "GET", "/v1/jobs/"+id+"/result", nil, &res, http.StatusOK)
+	if res.State != string(JobDone) || res.Merge == nil {
+		t.Fatalf("result = %+v", res)
+	}
+
+	want := directMerge(t, indexmerge.MergeOptions{CostConstraint: 0.3})
+	got := *res.Merge
+	got.ElapsedSeconds, want.ElapsedSeconds = 0, 0
+	gotJSON, _ := json.Marshal(got)
+	wantJSON, _ := json.Marshal(want)
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Errorf("server job diverged from direct run:\n got: %s\nwant: %s", gotJSON, wantJSON)
+	}
+	if len(want.Steps) == 0 {
+		t.Error("fixture merge accepted no steps; test has no teeth")
+	}
+}
+
+// TestJobsOneSessionSerialized submits two jobs to one session on a
+// two-worker pool and verifies their running intervals do not overlap
+// (the session lock serializes them) while both complete.
+func TestJobsOneSessionSerialized(t *testing.T) {
+	h := newTestServer(t, Config{Workers: 2, QueueCap: 8})
+	h.newSession(t, "s")
+
+	id1 := h.submitJob(t, "s")
+	id2 := h.submitJob(t, "s")
+	st1 := h.waitTerminal(t, id1)
+	st2 := h.waitTerminal(t, id2)
+	if st1.State != string(JobDone) || st2.State != string(JobDone) {
+		t.Fatalf("states = %s / %s, want done/done", st1.State, st2.State)
+	}
+	overlap := st1.StartedAt.Before(*st2.FinishedAt) && st2.StartedAt.Before(*st1.FinishedAt)
+	if overlap {
+		t.Errorf("jobs on one session ran concurrently: [%v, %v] and [%v, %v]",
+			st1.StartedAt, st1.FinishedAt, st2.StartedAt, st2.FinishedAt)
+	}
+
+	var all []JobStatus
+	h.mustCall(t, "GET", "/v1/jobs", nil, &all, http.StatusOK)
+	if len(all) != 2 || all[0].ID != id1 || all[1].ID != id2 {
+		t.Errorf("job list = %+v", all)
+	}
+}
+
+// gateHook wires a progress hook that signals (once) when a job has
+// consumed at least one evaluation and then blocks the search until
+// released — making "cancel while mid-search" deterministic.
+func gateHook(srv *Server) (signaled <-chan string, release func()) {
+	sig := make(chan string, 1)
+	gate := make(chan struct{})
+	var once, relOnce sync.Once
+	srv.jobs.progressHook = func(id string, p ProgressPayload) {
+		if p.CostEvaluations > 0 {
+			once.Do(func() { sig <- id })
+			<-gate
+		}
+	}
+	return sig, func() { relOnce.Do(func() { close(gate) }) }
+}
+
+// TestCancelMidSearch cancels a running merge job and verifies it
+// terminates as canceled having consumed strictly fewer cost
+// evaluations than a full run — and that the session stays usable:
+// the rerun completes and matches the direct result.
+func TestCancelMidSearch(t *testing.T) {
+	h := newTestServer(t, Config{Workers: 1, QueueCap: 4})
+	sig, release := gateHook(h.srv)
+	defer release()
+	h.newSession(t, "s")
+
+	full := directMerge(t, indexmerge.MergeOptions{CostConstraint: 0.3})
+	if full.CostEvaluations < 2 {
+		t.Fatalf("fixture too small: %d evaluations", full.CostEvaluations)
+	}
+
+	id := h.submitJob(t, "s")
+	select {
+	case got := <-sig:
+		if got != id {
+			t.Fatalf("progress from job %s, want %s", got, id)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("job never reported progress")
+	}
+	var st JobStatus
+	h.mustCall(t, "GET", "/v1/jobs/"+id, nil, &st, http.StatusOK)
+	if st.State != string(JobRunning) {
+		t.Fatalf("state %s while gated, want running", st.State)
+	}
+	// Result is unavailable while running.
+	h.mustCall(t, "GET", "/v1/jobs/"+id+"/result", nil, nil, http.StatusConflict)
+
+	h.mustCall(t, "POST", "/v1/jobs/"+id+"/cancel", nil, nil, http.StatusAccepted)
+	release()
+	st = h.waitTerminal(t, id)
+	if st.State != string(JobCanceled) {
+		t.Fatalf("state %s after cancel, want canceled", st.State)
+	}
+	if st.Progress.CostEvaluations == 0 || st.Progress.CostEvaluations >= full.CostEvaluations {
+		t.Errorf("canceled job consumed %d evaluations, want in [1, %d)",
+			st.Progress.CostEvaluations, full.CostEvaluations)
+	}
+
+	// The session is reusable after cancellation; the rerun's final
+	// configuration matches the direct run (counters may differ — the
+	// session cache is warm from the canceled attempt).
+	id2 := h.submitJob(t, "s")
+	st2 := h.waitTerminal(t, id2)
+	if st2.State != string(JobDone) {
+		t.Fatalf("rerun state %s (error %q), want done", st2.State, st2.Error)
+	}
+	var res JobResult
+	h.mustCall(t, "GET", "/v1/jobs/"+id2+"/result", nil, &res, http.StatusOK)
+	got := *res.Merge
+	got.ElapsedSeconds, got.OptimizerCalls = 0, 0
+	want := full
+	want.ElapsedSeconds, want.OptimizerCalls = 0, 0
+	gotJSON, _ := json.Marshal(got)
+	wantJSON, _ := json.Marshal(want)
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Errorf("rerun diverged from direct run:\n got: %s\nwant: %s", gotJSON, wantJSON)
+	}
+}
+
+// TestBackpressure fills the 1-worker, 1-slot queue and verifies the
+// third submission bounces with 429, queued jobs cancel instantly,
+// and the gated first job still completes.
+func TestBackpressure(t *testing.T) {
+	h := newTestServer(t, Config{Workers: 1, QueueCap: 1})
+	sig, release := gateHook(h.srv)
+	defer release()
+	h.newSession(t, "s")
+
+	id1 := h.submitJob(t, "s")
+	select {
+	case <-sig: // job-1 is running and parked on the gate
+	case <-time.After(30 * time.Second):
+		t.Fatal("job-1 never reported progress")
+	}
+	id2 := h.submitJob(t, "s") // fills the queue slot
+
+	var errResp ErrorResponse
+	h.mustCall(t, "POST", "/v1/sessions/s/jobs", SubmitJobRequest{
+		Workload: "w",
+		Initial:  &InitialSpec{Indexes: fixtureIndexes},
+	}, &errResp, http.StatusTooManyRequests)
+	if !strings.Contains(errResp.Error, "queue full") {
+		t.Errorf("429 body = %+v", errResp)
+	}
+
+	// A queued job cancels immediately, without waiting for a worker.
+	var st JobStatus
+	h.mustCall(t, "POST", "/v1/jobs/"+id2+"/cancel", nil, &st, http.StatusAccepted)
+	if st.State != string(JobCanceled) {
+		t.Errorf("queued job state after cancel = %s, want canceled", st.State)
+	}
+
+	release()
+	if st := h.waitTerminal(t, id1); st.State != string(JobDone) {
+		t.Errorf("job-1 state %s (error %q), want done", st.State, st.Error)
+	}
+}
+
+func TestDrainRejectsNewJobs(t *testing.T) {
+	h := newTestServer(t, Config{})
+	h.newSession(t, "s")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := h.srv.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	h.mustCall(t, "POST", "/v1/sessions/s/jobs", SubmitJobRequest{
+		Workload: "w",
+		Initial:  &InitialSpec{Indexes: fixtureIndexes},
+	}, nil, http.StatusServiceUnavailable)
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	h := newTestServer(t, Config{})
+	h.newSession(t, "s")
+	id := h.submitJob(t, "s")
+	h.waitTerminal(t, id)
+
+	resp, err := h.ts.Client().Get(h.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	for _, series := range []string{
+		`idxmerged_http_requests_total{route="POST /v1/sessions",code="201"} 1`,
+		`idxmerged_jobs_total{state="done"} 1`,
+		"idxmerged_jobs_submitted_total 1",
+		"idxmerged_sessions 1",
+		`idxmerged_costcache_entries{session="s"}`,
+		"idxmerged_optimizer_calls_total",
+		"idxmerged_search_seconds_bucket",
+		`idxmerged_search_seconds_bucket{le="+Inf"} 1`,
+		"idxmerged_http_request_seconds_count",
+	} {
+		if !strings.Contains(text, series) {
+			t.Errorf("metrics output missing %q", series)
+		}
+	}
+}
+
+// TestParallelClients is the -race smoke: N clients hammer sessions,
+// workloads, jobs, cancels and metrics concurrently.
+func TestParallelClients(t *testing.T) {
+	h := newTestServer(t, Config{Workers: 4, QueueCap: 64})
+	db := fixtureDB(t)
+	for i := 0; i < 3; i++ {
+		h.newSession(t, fmt.Sprintf("s%d", i))
+	}
+
+	const clients = 8
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			sess := fmt.Sprintf("s%d", c%3)
+			// Racing duplicate creates: exactly 409 or 201.
+			if code := h.call(t, "POST", "/v1/sessions",
+				CreateSessionRequest{Name: sess, DB: db}, nil); code != http.StatusConflict {
+				t.Errorf("duplicate create returned %d", code)
+			}
+			var resp SubmitJobResponse
+			code := h.call(t, "POST", "/v1/sessions/"+sess+"/jobs", SubmitJobRequest{
+				Workload: "w",
+				Initial:  &InitialSpec{Indexes: fixtureIndexes},
+				Options:  JobOptions{Constraint: 0.3, Parallelism: 2},
+			}, &resp)
+			if code != http.StatusAccepted && code != http.StatusTooManyRequests {
+				t.Errorf("submit returned %d", code)
+				return
+			}
+			if code == http.StatusAccepted {
+				if c%2 == 0 {
+					h.call(t, "POST", "/v1/jobs/"+resp.ID+"/cancel", nil, nil)
+				}
+				h.waitTerminal(t, resp.ID)
+			}
+			h.call(t, "GET", "/v1/jobs", nil, nil)
+			h.call(t, "GET", "/v1/sessions", nil, nil)
+			if _, err := h.ts.Client().Get(h.ts.URL + "/metrics"); err != nil {
+				t.Error(err)
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// Every job must have reached a terminal state with a coherent
+	// status; canceled-or-done is client-race dependent, failed is not.
+	var all []JobStatus
+	h.mustCall(t, "GET", "/v1/jobs", nil, &all, http.StatusOK)
+	for _, st := range all {
+		if st.State == string(JobFailed) {
+			t.Errorf("job %s failed: %s", st.ID, st.Error)
+		}
+	}
+}

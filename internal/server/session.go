@@ -1,0 +1,277 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"indexmerge/internal/core/costcache"
+	"indexmerge/internal/datagen"
+	"indexmerge/internal/engine"
+	"indexmerge/internal/sql"
+)
+
+// Registry errors, mapped to HTTP statuses by the handlers.
+var (
+	ErrSessionExists    = errors.New("session already exists")
+	ErrSessionNotFound  = errors.New("session not found")
+	ErrSessionBusy      = errors.New("session has a running job")
+	ErrWorkloadExists   = errors.New("workload already registered")
+	ErrWorkloadNotFound = errors.New("workload not found")
+)
+
+// Session is a named database instance (schema + generated data +
+// analyzed statistics) that jobs and costing requests run against.
+//
+// Concurrency: the database is built and analyzed once at creation and
+// never mutated afterwards, so its read path (optimization, what-if
+// costing) is safe to share. Search jobs are serialized per session by
+// the cap-1 lock channel; jobs on different sessions run in parallel.
+// The shared cost cache carries what-if costs across a session's jobs,
+// namespaced per workload.
+type Session struct {
+	name      string
+	dbName    string
+	db        *engine.Database
+	cache     *costcache.Cache
+	createdAt time.Time
+	deleted   atomic.Bool
+
+	// lock serializes search jobs on this session. Cap 1: holding a
+	// token in the channel means a job is running.
+	lock chan struct{}
+
+	mu        sync.Mutex
+	workloads map[string]*sql.Workload
+}
+
+// acquire takes the session's job slot, abandoning the wait when ctx
+// is canceled.
+func (s *Session) acquire(ctx context.Context) error {
+	select {
+	case s.lock <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// tryAcquire takes the job slot without blocking.
+func (s *Session) tryAcquire() bool {
+	select {
+	case s.lock <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Session) release() { <-s.lock }
+
+// RegisterWorkload adds a named workload. Names are single-assignment:
+// the cost cache namespaces keys by workload name, so rebinding a name
+// to different queries would serve stale costs.
+func (s *Session) RegisterWorkload(name string, w *sql.Workload) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.workloads[name]; ok {
+		return ErrWorkloadExists
+	}
+	s.workloads[name] = w
+	return nil
+}
+
+// Workload looks up a registered workload.
+func (s *Session) Workload(name string) (*sql.Workload, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, ok := s.workloads[name]
+	return w, ok
+}
+
+// WorkloadInfos lists registered workloads sorted by name.
+func (s *Session) WorkloadInfos() []WorkloadInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]WorkloadInfo, 0, len(s.workloads))
+	for name, w := range s.workloads {
+		out = append(out, WorkloadInfo{Name: name, Queries: w.Len()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Info describes the session.
+func (s *Session) Info() SessionInfo {
+	infos := s.WorkloadInfos()
+	names := make([]string, len(infos))
+	for i, wi := range infos {
+		names[i] = wi.Name
+	}
+	return SessionInfo{
+		Name:      s.name,
+		DB:        s.dbName,
+		Tables:    len(s.db.Schema().Tables()),
+		DataBytes: s.db.DataBytes(),
+		Workloads: names,
+		CacheLen:  s.cache.Len(),
+		CreatedAt: s.createdAt,
+	}
+}
+
+// gauges snapshots the session's cache counters for the metrics scrape.
+func (s *Session) gauges() SessionGauges {
+	hits, misses, _ := s.cache.Stats()
+	return SessionGauges{
+		Name:           s.name,
+		CacheEntries:   s.cache.Len(),
+		CacheHits:      hits,
+		CacheMisses:    misses,
+		CacheEvictions: s.cache.Evictions(),
+	}
+}
+
+// Registry holds the server's sessions.
+type Registry struct {
+	mu       sync.Mutex
+	sessions map[string]*Session
+	building map[string]bool // names reserved while their DB builds
+	cacheMax int             // per-session cost cache bound (entries)
+}
+
+// NewRegistry creates an empty registry. cacheMax bounds each
+// session's cost cache (<= 0 means unbounded).
+func NewRegistry(cacheMax int) *Registry {
+	return &Registry{
+		sessions: make(map[string]*Session),
+		building: make(map[string]bool),
+		cacheMax: cacheMax,
+	}
+}
+
+func validName(name string) bool {
+	if name == "" || len(name) > 64 {
+		return false
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Create builds a session's database (outside the registry lock —
+// generation takes seconds at scale) and registers it. The name is
+// reserved for the duration of the build so two concurrent creates
+// cannot race.
+func (r *Registry) Create(req CreateSessionRequest) (*Session, error) {
+	if !validName(req.Name) {
+		return nil, fmt.Errorf("invalid session name %q (want [A-Za-z0-9_-]{1,64})", req.Name)
+	}
+	scale := req.Scale
+	if scale <= 0 {
+		scale = 1.0
+	}
+
+	r.mu.Lock()
+	if _, ok := r.sessions[req.Name]; ok || r.building[req.Name] {
+		r.mu.Unlock()
+		return nil, ErrSessionExists
+	}
+	r.building[req.Name] = true
+	r.mu.Unlock()
+
+	db, err := buildSessionDB(req.DB, scale, req.Seed)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.building, req.Name)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		name:      req.Name,
+		dbName:    req.DB,
+		db:        db,
+		cache:     costcache.NewBounded(0, r.cacheMax),
+		createdAt: time.Now(),
+		lock:      make(chan struct{}, 1),
+		workloads: make(map[string]*sql.Workload),
+	}
+	r.sessions[req.Name] = s
+	return s, nil
+}
+
+// buildSessionDB mirrors cmd/idxmerge's database construction so a
+// server session and a batch CLI run over the same (db, scale, seed)
+// operate on identical data and statistics.
+func buildSessionDB(name string, scale float64, seed int64) (*engine.Database, error) {
+	if strings.HasPrefix(name, "file:") {
+		return engine.LoadSnapshotFile(strings.TrimPrefix(name, "file:"))
+	}
+	switch name {
+	case "tpcd":
+		return datagen.BuildTPCD(datagen.ScaledTPCD(scale), seed)
+	case "synthetic1":
+		spec := datagen.Synthetic1Spec()
+		spec.RowsPer = int(float64(spec.RowsPer) * scale)
+		spec.Seed += seed
+		return datagen.BuildSynthetic(spec)
+	case "synthetic2":
+		spec := datagen.Synthetic2Spec()
+		spec.RowsPer = int(float64(spec.RowsPer) * scale)
+		spec.Seed += seed
+		return datagen.BuildSynthetic(spec)
+	}
+	return nil, fmt.Errorf("unknown database %q (want tpcd, synthetic1, synthetic2 or file:PATH)", name)
+}
+
+// Get looks up a session.
+func (r *Registry) Get(name string) (*Session, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.sessions[name]
+	return s, ok
+}
+
+// List returns sessions sorted by name.
+func (r *Registry) List() []*Session {
+	r.mu.Lock()
+	out := make([]*Session, 0, len(r.sessions))
+	for _, s := range r.sessions {
+		out = append(out, s)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Delete removes a session. A session with a running job is busy
+// (ErrSessionBusy); jobs still queued against a deleted session fail
+// with "session deleted" when a worker picks them up.
+func (r *Registry) Delete(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.sessions[name]
+	if !ok {
+		return ErrSessionNotFound
+	}
+	if !s.tryAcquire() {
+		return ErrSessionBusy
+	}
+	// Mark deleted before releasing the slot: already-queued jobs then
+	// acquire, observe the flag and fail fast instead of searching.
+	s.deleted.Store(true)
+	s.cache.Reset()
+	s.release()
+	delete(r.sessions, name)
+	return nil
+}
