@@ -161,8 +161,12 @@ func main() {
 	if *explain && !*jsonOut {
 		fmt.Println("\nper-query plans under the final configuration:")
 		cfg := optimizer.Configuration(res.Final.Defs())
+		pw, err := m.PreparedWorkload()
+		if err != nil {
+			fatal(err)
+		}
 		for i, q := range w.Queries {
-			plan, err := m.Optimizer().Optimize(q.Stmt, cfg)
+			plan, err := m.Optimizer().OptimizePrepared(pw.Queries[i], cfg)
 			if err != nil {
 				fatal(err)
 			}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"indexmerge/internal/advisor"
 	"indexmerge/internal/catalog"
@@ -72,6 +73,11 @@ type (
 	// CostCache is a shareable, optionally size-bounded what-if cost
 	// cache; see NewCostCache and MergeOptions.CostCache.
 	CostCache = costcache.Cache
+	// PreparedWorkload is a workload resolved once against the
+	// database's statistics (per-query descriptors the optimizer's
+	// prepared fast paths consume); see Merger.PreparedWorkload and
+	// MergeOptions.Prepared.
+	PreparedWorkload = optimizer.PreparedWorkload
 )
 
 // NewCostCache builds a what-if cost cache that can be shared across
@@ -197,6 +203,12 @@ type MergeOptions struct {
 	CostCache *CostCache
 	// CacheNamespace disambiguates CostCache keys across workloads.
 	CacheNamespace string
+	// Prepared, when non-nil, supplies the merger's workload already
+	// prepared against the database's current statistics (the advisor
+	// service prepares once at workload registration and reuses across
+	// jobs). When nil, the merger prepares lazily and caches the
+	// result. Results are byte-identical either way.
+	Prepared *PreparedWorkload
 }
 
 // Merger runs index merging for one database + workload.
@@ -204,6 +216,10 @@ type Merger struct {
 	db  *Database
 	w   *Workload
 	opt *Optimizer
+
+	prepMu   sync.Mutex
+	prepared *PreparedWorkload
+	prepVer  uint64
 }
 
 // NewMerger builds a merger. The database should have statistics
@@ -217,6 +233,35 @@ func NewMerger(db *Database, w *Workload) (*Merger, error) {
 
 // Optimizer exposes the merger's optimizer (for cost inspection).
 func (m *Merger) Optimizer() *Optimizer { return m.opt }
+
+// PreparedWorkload returns the merger's workload prepared against the
+// database's current statistics, preparing on first use and
+// re-preparing automatically after the statistics are rebuilt
+// (Analyze bumps the database's stats version, which invalidates
+// prepared selectivities).
+func (m *Merger) PreparedWorkload() (*PreparedWorkload, error) {
+	m.prepMu.Lock()
+	defer m.prepMu.Unlock()
+	ver := m.db.StatsVersion()
+	if m.prepared == nil || m.prepVer != ver {
+		pw, err := m.opt.PrepareWorkload(m.w)
+		if err != nil {
+			return nil, err
+		}
+		m.prepared = pw
+		m.prepVer = ver
+	}
+	return m.prepared, nil
+}
+
+// preparedFor resolves the prepared workload for a run: the caller's
+// (validated against this merger's workload) or the lazily cached one.
+func (m *Merger) preparedFor(opts *MergeOptions) (*PreparedWorkload, error) {
+	if opts != nil && opts.Prepared != nil && len(opts.Prepared.Queries) == m.w.Len() {
+		return opts.Prepared, nil
+	}
+	return m.PreparedWorkload()
+}
 
 // MergeResult is a merging run's outcome plus context for reporting.
 type MergeResult struct {
@@ -287,7 +332,11 @@ func (m *Merger) merge(ctx context.Context, initial *core.Configuration, opts Me
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	baseCost, err := m.opt.WorkloadCost(m.w, optimizer.Configuration(initial.Defs()))
+	pw, err := m.preparedFor(&opts)
+	if err != nil {
+		return nil, err
+	}
+	baseCost, err := m.opt.WorkloadCostPrepared(pw, optimizer.Configuration(initial.Defs()))
 	if err != nil {
 		return nil, err
 	}
@@ -307,9 +356,9 @@ func (m *Merger) merge(ctx context.Context, initial *core.Configuration, opts Me
 	case MergePairSyntactic:
 		mp = &core.MergePairSyntactic{Freq: core.LeadingColumnFrequencies(m.w)}
 	case MergePairExhaustive:
-		mp = &core.MergePairExhaustive{Server: m.opt, W: m.w, Base: initial}
+		mp = &core.MergePairExhaustive{Server: m.opt, W: m.w, Base: initial, Prepared: pw}
 	default:
-		seek, err := core.ComputeSeekCosts(m.opt, m.w, initial)
+		seek, err := core.ComputeSeekCostsPrepared(m.opt, pw, initial)
 		if err != nil {
 			return nil, err
 		}
@@ -327,6 +376,7 @@ func (m *Merger) merge(ctx context.Context, initial *core.Configuration, opts Me
 		inner.Parallelism = opts.Parallelism
 		inner.Cache = opts.CostCache
 		inner.KeyNamespace = opts.CacheNamespace
+		inner.Prepared = pw
 		ext := &core.ExternalCostModel{Meta: m.db, W: m.w}
 		ext.SetBaseline(initial)
 		check = &core.PrefilteredChecker{External: ext, Inner: inner, SlackPct: opts.CostConstraint}
@@ -336,6 +386,7 @@ func (m *Merger) merge(ctx context.Context, initial *core.Configuration, opts Me
 		inner.Parallelism = opts.Parallelism
 		inner.Cache = opts.CostCache
 		inner.KeyNamespace = opts.CacheNamespace
+		inner.Prepared = pw
 		check = inner
 		bound = inner.U
 	}
@@ -351,7 +402,7 @@ func (m *Merger) merge(ctx context.Context, initial *core.Configuration, opts Me
 		return nil, err
 	}
 
-	finalCost, err := m.opt.WorkloadCost(m.w, optimizer.Configuration(res.Final.Defs()))
+	finalCost, err := m.opt.WorkloadCostPrepared(pw, optimizer.Configuration(res.Final.Defs()))
 	if err != nil {
 		return nil, err
 	}
@@ -389,15 +440,20 @@ func (m *Merger) MergeDual(initialDefs []IndexDef, storageBudget int64) (*DualRe
 // the search promptly and returns ctx.Err().
 func (m *Merger) MergeDualContext(ctx context.Context, initialDefs []IndexDef, storageBudget int64) (*DualResult, error) {
 	initial := core.NewConfiguration(initialDefs)
-	baseCost, err := m.opt.WorkloadCost(m.w, optimizer.Configuration(initialDefs))
+	pw, err := m.PreparedWorkload()
 	if err != nil {
 		return nil, err
 	}
-	seek, err := core.ComputeSeekCosts(m.opt, m.w, initial)
+	baseCost, err := m.opt.WorkloadCostPrepared(pw, optimizer.Configuration(initialDefs))
+	if err != nil {
+		return nil, err
+	}
+	seek, err := core.ComputeSeekCostsPrepared(m.opt, pw, initial)
 	if err != nil {
 		return nil, err
 	}
 	coster := core.NewOptimizerChecker(m.opt, m.w, baseCost, 0)
+	coster.Prepared = pw
 	res, err := core.CostMinimalContext(ctx, initial, &core.MergePairCost{Seek: seek}, coster, m.db, storageBudget)
 	if err != nil {
 		return nil, err
@@ -417,7 +473,13 @@ func (m *Merger) TuneWorkloadContext(ctx context.Context) ([]IndexDef, error) {
 	return advisor.New(m.db, m.opt).TuneWorkloadContext(ctx, m.w)
 }
 
-// WorkloadCost returns Cost(W, C) for an arbitrary configuration.
+// WorkloadCost returns Cost(W, C) for an arbitrary configuration,
+// through the prepared fast path (totals are bit-identical to the
+// unprepared computation).
 func (m *Merger) WorkloadCost(defs []IndexDef) (float64, error) {
-	return m.opt.WorkloadCost(m.w, optimizer.Configuration(defs))
+	pw, err := m.PreparedWorkload()
+	if err != nil {
+		return 0, err
+	}
+	return m.opt.WorkloadCostPrepared(pw, optimizer.Configuration(defs))
 }

@@ -48,8 +48,15 @@ func (a *Advisor) TuneQuery(stmt *sql.SelectStmt) ([]catalog.IndexDef, error) {
 
 // TuneQueryContext is TuneQuery under a context: cancellation is
 // observed between candidate costings and surfaces as ctx.Err().
+// The query is prepared once; every candidate configuration is then
+// costed through the allocation-free prepared fast path (costs are
+// bit-identical to unprepared optimization).
 func (a *Advisor) TuneQueryContext(ctx context.Context, stmt *sql.SelectStmt) ([]catalog.IndexDef, error) {
-	baseCost, err := a.Opt.Cost(stmt, nil)
+	pq, err := a.Opt.PrepareQuery(stmt)
+	if err != nil {
+		return nil, err
+	}
+	baseCost, err := a.Opt.CostPrepared(pq, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -64,7 +71,7 @@ func (a *Advisor) TuneQueryContext(ctx context.Context, stmt *sql.SelectStmt) ([
 	})
 	for _, tname := range tables {
 		cands := a.candidatesFor(stmt, tname)
-		costs, err := a.costCandidates(ctx, stmt, chosen, cands)
+		costs, err := a.costCandidates(ctx, pq, chosen, cands)
 		if err != nil {
 			return nil, err
 		}
@@ -87,14 +94,14 @@ func (a *Advisor) TuneQueryContext(ctx context.Context, stmt *sql.SelectStmt) ([
 // costCandidates costs every candidate added on top of the chosen set,
 // concurrently when Parallelism > 1. Every candidate is costed against
 // the same base, so costs are independent of evaluation order.
-func (a *Advisor) costCandidates(ctx context.Context, stmt *sql.SelectStmt, chosen, cands []catalog.IndexDef) ([]float64, error) {
+func (a *Advisor) costCandidates(ctx context.Context, pq *optimizer.PreparedQuery, chosen, cands []catalog.IndexDef) ([]float64, error) {
 	costs := make([]float64, len(cands))
 	eval := func(i int) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		cfg := optimizer.Configuration(append(append([]catalog.IndexDef{}, chosen...), cands[i]))
-		cost, err := a.Opt.Cost(stmt, cfg)
+		cost, err := a.Opt.CostPrepared(pq, cfg)
 		if err != nil {
 			return err
 		}

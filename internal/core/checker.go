@@ -101,10 +101,19 @@ type OptimizerChecker struct {
 	// sharing Cache.
 	KeyNamespace string
 
+	// Prepared, when non-nil, must be W prepared against the Server's
+	// statistics (optimizer.PrepareWorkload); cache misses then cost
+	// queries through the allocation-free prepared fast path instead of
+	// Server.Optimize, with bit-identical totals. Set before the first
+	// evaluation; requires Server to implement PreparedCostServer
+	// (optimizer.Optimizer does).
+	Prepared *optimizer.PreparedWorkload
+
 	once    sync.Once
 	cache   *costcache.Cache
 	sem     chan struct{} // tokens for actual optimizer invocations
 	queries []checkerQuery
+	prepSrv PreparedCostServer
 
 	checks   atomic.Int64 // constraint checks (Accepts/WorkloadCost calls)
 	optCalls atomic.Int64 // actual Server.Optimize invocations
@@ -135,6 +144,11 @@ func (c *OptimizerChecker) lazyInit() {
 			p = 1
 		}
 		c.sem = make(chan struct{}, p)
+		if c.Prepared != nil && len(c.Prepared.Queries) == len(c.W.Queries) {
+			if ps, ok := c.Server.(PreparedCostServer); ok {
+				c.prepSrv = ps
+			}
+		}
 		c.queries = make([]checkerQuery, len(c.W.Queries))
 		for qi, q := range c.W.Queries {
 			c.queries[qi] = checkerQuery{
@@ -200,22 +214,69 @@ func (c *OptimizerChecker) WorkloadCostContext(ctx context.Context, cfg *Configu
 	}
 
 	groups := c.groupKeysByTable(cfg)
-	keys := make([]string, len(c.W.Queries))
-	costs := make([]float64, len(c.W.Queries))
-	var misses []int
+	nq := len(c.W.Queries)
+	sc := checkScratchPool.Get().(*checkScratch)
+	defer func() { checkScratchPool.Put(sc) }()
+	if cap(sc.keys) < nq {
+		sc.keys = make([]string, nq)
+		sc.costs = make([]float64, nq)
+	}
+	keys, costs := sc.keys[:nq], sc.costs[:nq]
+	misses := sc.misses[:0]
+
+	// Build every query key into one shared buffer (one allocation for
+	// the backing string instead of one per query); keys are substrings.
+	// A query's key is its prefix plus its tables' groups in FROM order,
+	// each group terminated by keySepTable, so distinct relevant-
+	// configuration states can never produce the same key.
+	size := 0
+	for qi := range c.queries {
+		q := &c.queries[qi]
+		size += len(q.prefix) + len(q.tables)
+		for _, t := range q.tables {
+			size += len(groups[t])
+		}
+	}
+	if cap(sc.buf) < size {
+		sc.buf = make([]byte, 0, size)
+	}
+	buf := sc.buf[:0]
+	for qi := range c.queries {
+		q := &c.queries[qi]
+		buf = append(buf, q.prefix...)
+		for _, t := range q.tables {
+			buf = append(buf, groups[t]...)
+			buf = append(buf, keySepTable)
+		}
+	}
+	sc.buf = buf
+	all := string(buf)
+	off := 0
+	for qi := range c.queries {
+		q := &c.queries[qi]
+		n := len(q.prefix)
+		for _, t := range q.tables {
+			n += len(groups[t]) + 1
+		}
+		keys[qi] = all[off : off+n]
+		off += n
+	}
+
 	for qi := range c.W.Queries {
-		keys[qi] = c.queryKey(qi, groups)
 		if v, ok := c.cache.Get(keys[qi]); ok {
 			costs[qi] = v
 		} else {
 			misses = append(misses, qi)
 		}
 	}
+	sc.misses = misses
 
 	if len(misses) > 0 {
 		ocfg := optimizer.Configuration(cfg.Defs())
 		eval := func(qi int) error {
-			v, err := c.cache.Do(keys[qi], func() (float64, error) {
+			// Clone the key on the miss path so a cached entry pins only
+			// its own bytes, not the whole per-check key buffer.
+			v, err := c.cache.Do(strings.Clone(keys[qi]), func() (float64, error) {
 				select {
 				case c.sem <- struct{}{}:
 				case <-ctx.Done():
@@ -226,6 +287,9 @@ func (c *OptimizerChecker) WorkloadCostContext(ctx context.Context, cfg *Configu
 					return 0, err
 				}
 				c.optCalls.Add(1)
+				if c.prepSrv != nil {
+					return c.prepSrv.CostPrepared(c.Prepared.Queries[qi], ocfg)
+				}
 				plan, err := c.Server.Optimize(c.W.Queries[qi].Stmt, ocfg)
 				if err != nil {
 					return 0, err
@@ -248,6 +312,23 @@ func (c *OptimizerChecker) WorkloadCostContext(ctx context.Context, cfg *Configu
 		total += costs[qi] * q.Freq
 	}
 	return total, nil
+}
+
+// queryKey builds the cache key for query qi from a configuration's
+// per-table groups: the query's namespace prefix followed by its
+// tables' groups in FROM order, each terminated by keySepTable. The
+// hot path batches all queries' keys into one pooled buffer
+// (WorkloadCostContext) with this exact layout; the method states the
+// format in one place for tests.
+func (c *OptimizerChecker) queryKey(qi int, groups map[string]string) string {
+	q := &c.queries[qi]
+	var sb strings.Builder
+	sb.WriteString(q.prefix)
+	for _, t := range q.tables {
+		sb.WriteString(groups[t])
+		sb.WriteByte(keySepTable)
+	}
+	return sb.String()
 }
 
 // evalMisses runs eval for every missed query index, concurrently when
@@ -291,47 +372,83 @@ func (c *OptimizerChecker) evalMisses(misses []int, eval func(int) error) error 
 	return nil
 }
 
+// checkScratch is pooled per-constraint-check state: the per-query key
+// and cost arrays plus the shared key-building buffer. One constraint
+// check allocates one backing string for all query keys (plus cache
+// entries for misses) instead of a string per query.
+type checkScratch struct {
+	keys   []string
+	costs  []float64
+	misses []int
+	buf    []byte
+}
+
+var checkScratchPool = sync.Pool{New: func() any { return new(checkScratch) }}
+
+// groupScratch is pooled per-call state for groupKeysByTable: a shared
+// byte buffer and per-table slot bookkeeping replace the per-call map
+// of strings.Builders, so a constraint check allocates one backing
+// string for all groups plus the returned map.
+type groupScratch struct {
+	buf  []byte
+	slot map[string]int // table -> index into tabs
+	tabs []tableSlot
+}
+
+// tableSlot tracks one table's group within the shared buffer.
+type tableSlot struct {
+	size, off, cur int
+}
+
+var groupScratchPool = sync.Pool{New: func() any {
+	return &groupScratch{slot: make(map[string]int)}
+}}
+
 // groupKeysByTable concatenates the configuration's index keys per
 // table (configuration order, each key terminated by keySepIndex), so
 // building a query's cache key is a few map lookups instead of a scan
-// over every index for every query.
+// over every index for every query. Groups are substrings of a single
+// shared backing string built through a pooled scratch buffer.
 func (c *OptimizerChecker) groupKeysByTable(cfg *Configuration) map[string]string {
-	bs := make(map[string]*strings.Builder)
+	sc := groupScratchPool.Get().(*groupScratch)
+	// Pass 1: per-table group sizes (index keys are memoized on Index).
 	for _, ix := range cfg.Indexes {
-		b := bs[ix.Def.Table]
-		if b == nil {
-			b = &strings.Builder{}
-			bs[ix.Def.Table] = b
+		i, ok := sc.slot[ix.Def.Table]
+		if !ok {
+			i = len(sc.tabs)
+			sc.tabs = append(sc.tabs, tableSlot{})
+			sc.slot[ix.Def.Table] = i
 		}
-		b.WriteString(ix.Key())
-		b.WriteByte(keySepIndex)
+		sc.tabs[i].size += len(ix.Key()) + 1
 	}
-	groups := make(map[string]string, len(bs))
-	for t, b := range bs {
-		groups[t] = b.String()
+	total := 0
+	for i := range sc.tabs {
+		sc.tabs[i].off = total
+		sc.tabs[i].cur = total
+		total += sc.tabs[i].size
 	}
+	// Pass 2: copy each key into its table's region, configuration order.
+	if cap(sc.buf) < total {
+		sc.buf = make([]byte, total)
+	}
+	buf := sc.buf[:total]
+	for _, ix := range cfg.Indexes {
+		i := sc.slot[ix.Def.Table]
+		n := copy(buf[sc.tabs[i].cur:], ix.Key())
+		buf[sc.tabs[i].cur+n] = keySepIndex
+		sc.tabs[i].cur += n + 1
+	}
+	all := string(buf)
+	groups := make(map[string]string, len(sc.tabs))
+	for t, i := range sc.slot {
+		groups[t] = all[sc.tabs[i].off : sc.tabs[i].off+sc.tabs[i].size]
+	}
+	for t := range sc.slot {
+		delete(sc.slot, t)
+	}
+	sc.tabs = sc.tabs[:0]
+	groupScratchPool.Put(sc)
 	return groups
-}
-
-// queryKey builds the cache key: a query's cost depends only on the
-// configuration's indexes over the tables it references. Table groups
-// are emitted in the query's FROM order, each terminated by
-// keySepTable, so distinct relevant-configuration states can never
-// produce the same key.
-func (c *OptimizerChecker) queryKey(qi int, groups map[string]string) string {
-	q := &c.queries[qi]
-	n := len(q.prefix) + len(q.tables)
-	for _, t := range q.tables {
-		n += len(groups[t])
-	}
-	var b strings.Builder
-	b.Grow(n)
-	b.WriteString(q.prefix)
-	for _, t := range q.tables {
-		b.WriteString(groups[t])
-		b.WriteByte(keySepTable)
-	}
-	return b.String()
 }
 
 // NoCostChecker implements the No-Cost model (§3.5.1): a merged index

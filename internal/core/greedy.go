@@ -167,6 +167,33 @@ func GreedyContext(ctx context.Context, initial *Configuration, mp MergePair, ch
 		})
 	}
 
+	// Index values are immutable and ReplacePair keeps surviving *Index
+	// pointers, so across outer iterations the same pair yields the
+	// same merge whenever the procedure is context-free. Memoize those
+	// merges (and per-index size estimates): each iteration re-examines
+	// every pair but only pairs involving the newly accepted index are
+	// actually new. MergePair-Exhaustive costs candidates in
+	// configuration context (baseAware), so its merges are never reused.
+	type mergedPair struct {
+		m  *Index
+		sm int64
+	}
+	_, contextual := mp.(baseAware)
+	var memo map[[2]*Index]mergedPair
+	if !contextual {
+		memo = make(map[[2]*Index]mergedPair)
+	}
+	sizes := make(map[*Index]int64)
+	sizeOf := func(ix *Index) int64 {
+		if s, ok := sizes[ix]; ok {
+			return s
+		}
+		s := env.EstimateIndexBytes(ix.Def)
+		sizes[ix] = s
+		return s
+	}
+
+	var cands, eligible []greedyCandidate
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -174,17 +201,27 @@ func GreedyContext(ctx context.Context, initial *Configuration, mp MergePair, ch
 		if ba, ok := mp.(baseAware); ok {
 			ba.SetBase(cur)
 		}
-		var cands []greedyCandidate
+		cands = cands[:0]
 		for _, pair := range cur.PairsByTable() {
 			a, b := pair[0], pair[1]
-			m, err := mp.Merge(a, b)
-			if err != nil {
-				return nil, err
+			var m *Index
+			var sm int64
+			if mm, hit := memo[[2]*Index{a, b}]; hit {
+				m, sm = mm.m, mm.sm
+			} else {
+				var err error
+				m, err = mp.Merge(a, b)
+				if err != nil {
+					return nil, err
+				}
+				sm = env.EstimateIndexBytes(m.Def)
+				if memo != nil {
+					memo[[2]*Index{a, b}] = mergedPair{m: m, sm: sm}
+				}
 			}
 			res.ConfigsExplored++
-			sa := env.EstimateIndexBytes(a.Def)
-			sb := env.EstimateIndexBytes(b.Def)
-			sm := env.EstimateIndexBytes(m.Def)
+			sa := sizeOf(a)
+			sb := sizeOf(b)
 			cands = append(cands, greedyCandidate{
 				a: a, b: b, m: m,
 				sa: sa, sb: sb, sm: sm,
@@ -207,7 +244,7 @@ func GreedyContext(ctx context.Context, initial *Configuration, mp MergePair, ch
 		// levels wide keys need). Such merges can never serve the
 		// storage-minimal objective, so the greedy skips them;
 		// Exhaustive still explores every partition.
-		eligible := cands[:0:0]
+		eligible = eligible[:0]
 		for _, cand := range cands {
 			if cand.reduction > 0 {
 				eligible = append(eligible, cand)

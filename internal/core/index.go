@@ -20,18 +20,31 @@ import (
 type Index struct {
 	Def     catalog.IndexDef
 	Parents []catalog.IndexDef
+
+	// key memoizes Def.Key(). IndexDef.Key rebuilds its string on every
+	// call, and configuration signatures / cache keys / grouping all
+	// call Key in the search hot path; constructors compute it once.
+	// Set eagerly (never lazily) so Index stays safe for concurrent
+	// reads.
+	key string
 }
 
 // NewIndex wraps an initial-configuration index.
 func NewIndex(def catalog.IndexDef) *Index {
-	return &Index{Def: def, Parents: []catalog.IndexDef{def}}
+	return &Index{Def: def, Parents: []catalog.IndexDef{def}, key: def.Key()}
 }
 
 // IsMerged reports whether the index is the result of merging.
 func (ix *Index) IsMerged() bool { return len(ix.Parents) > 1 }
 
-// Key returns the identity key (table + ordered columns).
-func (ix *Index) Key() string { return ix.Def.Key() }
+// Key returns the identity key (table + ordered columns). Struct
+// literals that bypass the constructors fall back to recomputing it.
+func (ix *Index) Key() string {
+	if ix.key != "" {
+		return ix.key
+	}
+	return ix.Def.Key()
+}
 
 // String implements fmt.Stringer.
 func (ix *Index) String() string {
@@ -54,16 +67,21 @@ func MergeOrdered(seq ...*Index) (*Index, error) {
 		return nil, fmt.Errorf("core: merge of zero indexes")
 	}
 	table := seq[0].Def.Table
-	var cols []string
-	seen := make(map[string]bool)
-	var parents []catalog.IndexDef
+	ncols, nparents := 0, 0
+	for _, ix := range seq {
+		ncols += len(ix.Def.Columns)
+		nparents += len(ix.Parents)
+	}
+	// Index widths are small, so a linear containment scan beats a
+	// per-merge map allocation on the search hot path.
+	cols := make([]string, 0, ncols)
+	parents := make([]catalog.IndexDef, 0, nparents)
 	for _, ix := range seq {
 		if ix.Def.Table != table {
 			return nil, fmt.Errorf("core: cannot merge indexes on different tables %q and %q", table, ix.Def.Table)
 		}
 		for _, c := range ix.Def.Columns {
-			if !seen[c] {
-				seen[c] = true
+			if !containsString(cols, c) {
 				cols = append(cols, c)
 			}
 		}
@@ -74,7 +92,7 @@ func MergeOrdered(seq ...*Index) (*Index, error) {
 		Table:   table,
 		Columns: cols,
 	}
-	return &Index{Def: def, Parents: dedupeDefs(parents)}, nil
+	return &Index{Def: def, Parents: dedupeDefs(parents), key: def.Key()}, nil
 }
 
 // MergeWithColumnOrder builds a merged index with an explicit column
@@ -102,19 +120,50 @@ func MergeWithColumnOrder(table string, cols []string, parents ...*Index) (*Inde
 		}
 	}
 	def := catalog.IndexDef{Name: catalog.AutoIndexName(table, cols), Table: table, Columns: append([]string(nil), cols...)}
-	return &Index{Def: def, Parents: dedupeDefs(parentDefs)}, nil
+	return &Index{Def: def, Parents: dedupeDefs(parentDefs), key: def.Key()}, nil
 }
 
+// dedupeDefs removes duplicate definitions in place, preserving first
+// occurrences. Parent lists are short, so the quadratic scan avoids
+// the map and per-definition Key-string allocations a set would need.
 func dedupeDefs(defs []catalog.IndexDef) []catalog.IndexDef {
-	seen := make(map[string]bool, len(defs))
 	out := defs[:0]
 	for _, d := range defs {
-		if !seen[d.Key()] {
-			seen[d.Key()] = true
+		dup := false
+		for _, e := range out {
+			if sameDef(d, e) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			out = append(out, d)
 		}
 	}
 	return out
+}
+
+// sameDef reports definition identity (table + ordered columns),
+// matching IndexDef.Key equality without building the key strings.
+func sameDef(a, b catalog.IndexDef) bool {
+	if a.Table != b.Table || len(a.Columns) != len(b.Columns) {
+		return false
+	}
+	for i := range a.Columns {
+		if a.Columns[i] != b.Columns[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsString(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
 }
 
 // Configuration is a set of indexes (paper §3.1).
@@ -177,7 +226,7 @@ func (c *Configuration) ReplacePair(a, b, m *Index) *Configuration {
 		out.Indexes = append(out.Indexes, ix)
 	}
 	if dup != nil {
-		merged := &Index{Def: m.Def, Parents: dedupeDefs(append(append([]catalog.IndexDef{}, dup.Parents...), m.Parents...))}
+		merged := &Index{Def: m.Def, Parents: dedupeDefs(append(append([]catalog.IndexDef{}, dup.Parents...), m.Parents...)), key: m.Key()}
 		out.Indexes = append(out.Indexes, merged)
 	} else {
 		out.Indexes = append(out.Indexes, m)

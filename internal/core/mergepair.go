@@ -83,6 +83,12 @@ type MergePairExhaustive struct {
 	W       *sql.Workload
 	Base    *Configuration // configuration context for cost evaluation
 	MaxCols int            // safety bound; merges wider than this fall back to index-preserving
+
+	// Prepared, when non-nil, must be W prepared against the Server's
+	// statistics; candidate orders are then costed through the prepared
+	// fast path (requires Server to implement PreparedCostServer), with
+	// bit-identical totals.
+	Prepared *optimizer.PreparedWorkload
 }
 
 // Name implements MergePair.
@@ -112,7 +118,11 @@ func (m *MergePairExhaustive) Merge(a, b *Index) (*Index, error) {
 // queries that reference the table, in the context of the base
 // configuration with a and b replaced by the candidate.
 func (m *MergePairExhaustive) bestOf(a, b *Index, orders [][]string) (*Index, error) {
-	relevant := relevantQueries(m.W, a.Def.Table)
+	relevant := relevantQueryIndices(m.W, a.Def.Table)
+	var ps PreparedCostServer
+	if m.Prepared != nil && len(m.Prepared.Queries) == len(m.W.Queries) {
+		ps, _ = m.Server.(PreparedCostServer)
+	}
 	var best *Index
 	bestCost := 0.0
 	for _, cols := range orders {
@@ -123,12 +133,21 @@ func (m *MergePairExhaustive) bestOf(a, b *Index, orders [][]string) (*Index, er
 		cfg := m.Base.ReplacePair(a, b, cand)
 		ocfg := optimizer.Configuration(cfg.Defs())
 		cost := 0.0
-		for _, q := range relevant {
-			plan, err := m.Server.Optimize(q.Stmt, ocfg)
+		for _, qi := range relevant {
+			var qc float64
+			if ps != nil {
+				qc, err = ps.CostPrepared(m.Prepared.Queries[qi], ocfg)
+			} else {
+				var plan *optimizer.Plan
+				plan, err = m.Server.Optimize(m.W.Queries[qi].Stmt, ocfg)
+				if err == nil {
+					qc = plan.Cost
+				}
+			}
 			if err != nil {
 				return nil, err
 			}
-			cost += plan.Cost * q.Freq
+			cost += qc * m.W.Queries[qi].Freq
 		}
 		if best == nil || cost < bestCost {
 			best = cand
@@ -172,14 +191,15 @@ func permute(cols []string, k int, out *[][]string) {
 	}
 }
 
-// relevantQueries filters the workload to queries touching the table —
-// the first cost-evaluation shortcut from §3.5.3.
-func relevantQueries(w *sql.Workload, table string) []sql.WorkloadQuery {
-	var out []sql.WorkloadQuery
-	for _, q := range w.Queries {
+// relevantQueryIndices filters the workload to queries touching the
+// table — the first cost-evaluation shortcut from §3.5.3. Positions
+// (not copies) are returned so prepared descriptors stay aligned.
+func relevantQueryIndices(w *sql.Workload, table string) []int {
+	var out []int
+	for qi, q := range w.Queries {
 		for _, t := range q.Stmt.TablesReferenced() {
 			if t == table {
-				out = append(out, q)
+				out = append(out, qi)
 				break
 			}
 		}

@@ -14,6 +14,15 @@ type CostServer interface {
 	Optimize(stmt *sql.SelectStmt, cfg optimizer.Configuration) (*optimizer.Plan, error)
 }
 
+// PreparedCostServer is the optional prepared-planning extension of
+// CostServer: costing and planning over precomputed query descriptors,
+// with results bit-identical to the Optimize path.
+// optimizer.Optimizer satisfies it.
+type PreparedCostServer interface {
+	CostPrepared(pq *optimizer.PreparedQuery, cfg optimizer.Configuration) (float64, error)
+	OptimizePrepared(pq *optimizer.PreparedQuery, cfg optimizer.Configuration) (*optimizer.Plan, error)
+}
+
 // SeekCosts holds Seek-Cost(W, I) for every index I in the initial
 // configuration: the total cost of workload queries whose plan used I
 // for an index seek (paper §3.3.1). It also carries syntactic leading-
@@ -39,6 +48,31 @@ func ComputeSeekCosts(server CostServer, w *sql.Workload, initial *Configuration
 	cfg := optimizer.Configuration(initial.Defs())
 	for _, q := range w.Queries {
 		plan, err := server.Optimize(q.Stmt, cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, use := range plan.Uses {
+			if use.Mode == optimizer.UsageSeek {
+				out.byIndex[use.Index.Key()] += plan.Cost * q.Freq
+			}
+		}
+	}
+	return out, nil
+}
+
+// ComputeSeekCostsPrepared is ComputeSeekCosts over a prepared
+// workload: when the server supports prepared planning the per-query
+// plans come from OptimizePrepared (no AST re-walk, identical plans);
+// otherwise it degrades to the unprepared computation.
+func ComputeSeekCostsPrepared(server CostServer, pw *optimizer.PreparedWorkload, initial *Configuration) (*SeekCosts, error) {
+	ps, ok := server.(PreparedCostServer)
+	if !ok {
+		return ComputeSeekCosts(server, pw.W, initial)
+	}
+	out := &SeekCosts{byIndex: make(map[string]float64)}
+	cfg := optimizer.Configuration(initial.Defs())
+	for qi, q := range pw.W.Queries {
+		plan, err := ps.OptimizePrepared(pw.Queries[qi], cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -8,6 +8,7 @@ package engine
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"indexmerge/internal/catalog"
 	"indexmerge/internal/stats"
@@ -31,6 +32,11 @@ type Database struct {
 	tstats  map[string]*stats.TableStats
 
 	statsOpts stats.BuildOptions
+
+	// statsVersion counts statistics rebuilds (Analyze calls). Prepared
+	// query descriptors bake selectivities in at prepare time and use
+	// the version to detect staleness (optimizer.StatsVersioner).
+	statsVersion atomic.Uint64
 }
 
 // NewDatabase creates an empty database.
@@ -234,7 +240,13 @@ func (db *Database) Analyze(table string) {
 		ts.Columns[c.Name] = stats.Build(cols[i], opt)
 	}
 	db.tstats[table] = ts
+	db.statsVersion.Add(1)
 }
+
+// StatsVersion returns the statistics rebuild counter; it implements
+// optimizer.StatsVersioner so prepared workloads detect stale
+// selectivities after Analyze reruns.
+func (db *Database) StatsVersion() uint64 { return db.statsVersion.Load() }
 
 // TableStats returns statistics for a table (nil when not analyzed).
 func (db *Database) TableStats(table string) *stats.TableStats { return db.tstats[table] }

@@ -17,8 +17,15 @@ type tableInfo struct {
 	heapPages int64
 	preds     []scoredPred // restrictions with precomputed selectivities
 	required  []string     // columns the query needs from this table
-	// noIntersect disables index-intersection paths (ablation knob).
-	noIntersect bool
+	// Prepared-planning metadata (zero for ad-hoc contexts): seekLead
+	// holds the distinct columns carrying a seekable (equality or
+	// range) predicate; seekLeadJoin additionally includes the table's
+	// join columns, which parameterized inner seeks can bind. filtered
+	// marks the metadata as populated, enabling the relevant-index
+	// prefilter.
+	seekLead     []string
+	seekLeadJoin []string
+	filtered     bool
 }
 
 // scoredPred pairs a predicate with its estimated selectivity. Join-
@@ -40,9 +47,14 @@ type accessPath struct {
 
 // enumerateAccessPaths returns every access path worth considering for
 // the table: heap scan, covering index scans, and index seeks (covering
-// or with RID lookups) for every index in the configuration.
-func enumerateAccessPaths(ti *tableInfo, indexes []catalog.IndexDef) []accessPath {
+// or with RID lookups) for every index in the configuration. When
+// filter is set (prepared planning), indexes that can contribute
+// neither a covering scan nor a seek are skipped before costing; the
+// skip provably never changes the chosen plan because such indexes
+// yield no path at all.
+func enumerateAccessPaths(ti *tableInfo, indexes []catalog.IndexDef, noIntersect, filter bool) []accessPath {
 	var paths []accessPath
+	filter = filter && ti.filtered
 
 	// Heap scan with all predicates as residual filter.
 	allSel := 1.0
@@ -59,10 +71,13 @@ func enumerateAccessPaths(ti *tableInfo, indexes []catalog.IndexDef) []accessPat
 
 	for i := range indexes {
 		idx := indexes[i]
+		if filter && !indexRelevant(idx.Columns, ti.seekLead, ti.required) {
+			continue
+		}
 		keyWidth := ti.table.WidthOf(idx.Columns)
 		idxPages := storage.EstimateIndexPages(int64(ti.rowCount), keyWidth)
 		height := storage.EstimateIndexHeight(int64(ti.rowCount), keyWidth)
-		covering := idx.CoversColumns(ti.required)
+		covering := coversRequired(idx.Columns, ti.required)
 
 		// Covering full scan: a narrow vertical slice of the table.
 		if covering {
@@ -101,10 +116,47 @@ func enumerateAccessPaths(ti *tableInfo, indexes []catalog.IndexDef) []accessPat
 	// Index intersection: AND two seeks through their RID sets (§3.5.2's
 	// "innovative technique"). Only worthwhile with multiple seekable
 	// predicates on different leading columns.
-	if !ti.noIntersect {
+	if !noIntersect {
 		paths = append(paths, intersectionPaths(ti, paths)...)
 	}
 	return paths
+}
+
+// indexRelevant reports whether an index can contribute any access
+// path: it must either cover the required columns (covering scan) or
+// have a seekable predicate on its leading column (index seek —
+// matchSeek stops at the first index column without an equality match,
+// so nothing else can start a seek). Indexes failing both tests are
+// skipped before costing; they could never appear in a plan.
+func indexRelevant(idxCols, seekLeads, required []string) bool {
+	if len(idxCols) == 0 {
+		return false
+	}
+	for _, c := range seekLeads {
+		if c == idxCols[0] {
+			return true
+		}
+	}
+	return coversRequired(idxCols, required)
+}
+
+// coversRequired is IndexDef.CoversColumns without the per-call set
+// allocation: every required column must appear among the index
+// columns.
+func coversRequired(idxCols, required []string) bool {
+	for _, r := range required {
+		found := false
+		for _, c := range idxCols {
+			if c == r {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
 }
 
 // matchSeek matches predicates against the index's column order:

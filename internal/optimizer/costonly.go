@@ -1,0 +1,592 @@
+package optimizer
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+
+	"indexmerge/internal/sql"
+	"indexmerge/internal/storage"
+)
+
+// costScratch is pooled per-call state for CostPrepared: candidate
+// paths, intersection arms, extended predicate lists for inner seeks,
+// and the join DP arrays. Reusing it makes a steady-state cost probe
+// allocation-free.
+type costScratch struct {
+	paths    []costPath
+	arms     []costArm
+	ext      []scoredPred
+	baseCost []float64
+	baseRows []float64
+	dpCost   []float64
+	dpRows   []float64
+	dpHas    []bool
+}
+
+var costScratchPool = sync.Pool{New: func() any { return new(costScratch) }}
+
+// costPath is an access path reduced to the numbers the cost-only
+// planner needs: cost, output rows, and — for order/group satisfaction
+// — the index column order plus a bitmask of equality-bound column
+// positions. ordered aliases the index definition's Columns slice; nil
+// means the path produces no useful order (heap scan, intersection).
+type costPath struct {
+	cost, rows float64
+	ordered    []string
+	eqCols     uint64
+}
+
+// costArm is a seek path in its role as an intersection arm: leading
+// column, bitmask equivalence classes of its consumed predicates, its
+// seek selectivity and matched rows, and its covering probe cost.
+type costArm struct {
+	lead      string
+	colOp     uint64
+	strs      uint64
+	sel       float64
+	match     float64
+	probeCost float64
+}
+
+// CostPrepared is the allocation-free fast path for plan costing: it
+// plans the prepared query under cfg computing costs only — no plan
+// nodes, no per-call maps — and returns a total bit-identical to
+// Optimize(pq.Stmt, cfg).Cost. Queries whose predicate lists overflow
+// the bitmask representation fall back to full prepared planning
+// (same result, more work).
+func (o *Optimizer) CostPrepared(pq *PreparedQuery, cfg Configuration) (float64, error) {
+	if err := pq.checkFresh(); err != nil {
+		return 0, err
+	}
+	o.invocations.Add(1)
+	o.preparedCalls.Add(1)
+	if !pq.simple {
+		plan, err := o.planPrepared(pq, cfg)
+		if err != nil {
+			return 0, err
+		}
+		return plan.Cost, nil
+	}
+	sc := costScratchPool.Get().(*costScratch)
+	defer costScratchPool.Put(sc)
+	noInter := o.DisableIndexIntersection
+	filter := !o.DisableRelevantIndexFilter
+	if len(pq.tables) == 1 {
+		paths := enumerateCostPaths(&pq.cost[0], cfg, noInter, filter, sc)
+		if len(paths) == 0 {
+			return 0, fmt.Errorf("optimizer: no plan for table %q", pq.tables[0].name)
+		}
+		best := math.Inf(1)
+		for i := range paths {
+			c := pq.finishCostOrdered(paths[i].cost, paths[i].rows, paths[i].ordered, paths[i].eqCols)
+			if c < best {
+				best = c
+			}
+		}
+		return best, nil
+	}
+	return o.costJoinPrepared(pq, cfg, noInter, filter, sc)
+}
+
+// matchSeekMask is matchSeek on bitmasks: identical matching rules and
+// selectivity multiplication order, but the consumed-predicate set is
+// a uint64 (PrepareQuery guarantees ≤ 64 predicates on this path) and
+// equality-bound index column positions come back as a mask.
+func matchSeekMask(idxCols []string, preds []scoredPred) (sel float64, used, eqCols uint64, nEq int, hasRng bool) {
+	sel = 1.0
+	for ci, col := range idxCols {
+		foundEq := false
+		for i := range preds {
+			if used&(1<<uint(i)) != 0 || preds[i].p.Col.Column != col {
+				continue
+			}
+			if preds[i].p.Op.IsEquality() {
+				used |= 1 << uint(i)
+				eqCols |= 1 << uint(ci)
+				sel *= preds[i].sel
+				nEq++
+				foundEq = true
+				break
+			}
+		}
+		if foundEq {
+			continue
+		}
+		for i := range preds {
+			if used&(1<<uint(i)) != 0 || preds[i].p.Col.Column != col {
+				continue
+			}
+			if preds[i].p.Op.IsRange() {
+				used |= 1 << uint(i)
+				sel *= preds[i].sel
+				hasRng = true
+				break
+			}
+		}
+		break
+	}
+	return clampSel(sel), used, eqCols, nEq, hasRng
+}
+
+// enumerateCostPaths mirrors enumerateAccessPaths computing only
+// (cost, rows, ordering) per path, in the same candidate order and
+// with the same floating-point operation sequence — the identity
+// tests hold the two enumerations together bit for bit.
+func enumerateCostPaths(ct *costTable, cfg Configuration, noInter, filter bool, sc *costScratch) []costPath {
+	ti := ct.ti
+	paths := sc.paths[:0]
+	arms := sc.arms[:0]
+	paths = append(paths, costPath{cost: ct.scanCost, rows: ct.filteredRows})
+
+	for i := range cfg {
+		idx := &cfg[i]
+		if idx.Table != ti.name {
+			continue
+		}
+		if filter && !indexRelevant(idx.Columns, ti.seekLead, ti.required) {
+			continue
+		}
+		keyWidth := ti.table.WidthOf(idx.Columns)
+		idxPages := storage.EstimateIndexPages(int64(ti.rowCount), keyWidth)
+		height := storage.EstimateIndexHeight(int64(ti.rowCount), keyWidth)
+		covering := coversRequired(idx.Columns, ti.required)
+		if covering {
+			paths = append(paths, costPath{
+				cost:    indexScanCost(idxPages, ti.rowCount),
+				rows:    ct.filteredRows,
+				ordered: idx.Columns,
+			})
+		}
+		sel, used, eqCols, nEq, hasRng := matchSeekMask(idx.Columns, ti.preds)
+		if nEq == 0 && !hasRng {
+			continue
+		}
+		matchRows := ti.rowCount * sel
+		resSel := 1.0
+		for pi := range ti.preds {
+			if used&(1<<uint(pi)) == 0 {
+				resSel *= ti.preds[pi].sel
+			}
+		}
+		paths = append(paths, costPath{
+			cost:    seekCost(height, idxPages, ti.rowCount, matchRows, covering, ti.heapPages),
+			rows:    matchRows * clampSel(resSel),
+			ordered: idx.Columns,
+			eqCols:  eqCols,
+		})
+		if len(arms) < maxIntersectArms {
+			var colOp, strs uint64
+			for pi := range ti.preds {
+				if used&(1<<uint(pi)) != 0 {
+					colOp |= 1 << ct.predColOp[pi]
+					strs |= 1 << ct.predStr[pi]
+				}
+			}
+			arms = append(arms, costArm{
+				lead:      idx.Columns[0],
+				colOp:     colOp,
+				strs:      strs,
+				sel:       sel,
+				match:     matchRows,
+				probeCost: seekCost(height, idxPages, ti.rowCount, matchRows, true, ti.heapPages),
+			})
+		}
+	}
+
+	if !noInter && len(arms) >= 2 {
+		for i := 0; i < len(arms); i++ {
+			for j := i + 1; j < len(arms); j++ {
+				a, b := &arms[i], &arms[j]
+				if a.lead == b.lead || a.colOp&b.colOp != 0 {
+					continue
+				}
+				// a.match*b.sel == (rowCount*selA)*selB: the same
+				// left-associated product buildIntersection computes.
+				interRows := a.match * b.sel
+				if interRows < 1 {
+					interRows = 1
+				}
+				consumed := a.strs | b.strs
+				resSel := 1.0
+				for pi := range ti.preds {
+					if consumed&(1<<ct.predStr[pi]) == 0 {
+						resSel *= ti.preds[pi].sel
+					}
+				}
+				cost := a.probeCost + b.probeCost
+				cost += (a.match + b.match) * CPUOpCost
+				lookup := interRows * RandPageCost
+				if lim := 2 * float64(ti.heapPages) * RandPageCost; lookup > lim {
+					lookup = lim
+				}
+				cost += lookup + interRows*CPURowCost
+				paths = append(paths, costPath{
+					cost: cost,
+					rows: math.Max(interRows*clampSel(resSel), 0),
+				})
+			}
+		}
+	}
+	sc.paths = paths
+	sc.arms = arms
+	return paths
+}
+
+// finishCostOrdered applies finish's aggregation/sort/projection
+// arithmetic to a single-table access path, using the prepared order
+// and group metadata in place of a node tree.
+func (pq *PreparedQuery) finishCostOrdered(cost, rows float64, orderedCols []string, eqCols uint64) float64 {
+	stmt := pq.Stmt
+	ordered := orderSatisfiedCols(stmt.OrderBy, orderedCols, eqCols, pq.tables[0].name)
+	if len(stmt.GroupBy) > 0 || pq.hasAggs {
+		inRows := rows
+		groups := 1.0
+		if len(stmt.GroupBy) > 0 {
+			groups = groupCard(pq.groupDistinct, inRows)
+		}
+		streaming := pq.groupSameTable && len(stmt.GroupBy) > 0 &&
+			groupSatisfiedCols(pq.groupCols, orderedCols, eqCols)
+		if streaming {
+			cost += streamAggCost(inRows)
+		} else {
+			cost += hashAggCost(inRows, groups)
+			ordered = false
+		}
+		rows = groups
+	}
+	if len(stmt.OrderBy) > 0 && !ordered {
+		cost += sortCost(rows)
+	}
+	return cost + rows*CPUOpCost
+}
+
+// finishCostJoin is finishCostOrdered for join roots, which never
+// produce a useful order: aggregation always hashes, ORDER BY always
+// sorts.
+func (pq *PreparedQuery) finishCostJoin(cost, rows float64) float64 {
+	stmt := pq.Stmt
+	if len(stmt.GroupBy) > 0 || pq.hasAggs {
+		inRows := rows
+		groups := 1.0
+		if len(stmt.GroupBy) > 0 {
+			groups = groupCard(pq.groupDistinct, inRows)
+		}
+		cost += hashAggCost(inRows, groups)
+		rows = groups
+	}
+	if len(stmt.OrderBy) > 0 {
+		cost += sortCost(rows)
+	}
+	return cost + rows*CPUOpCost
+}
+
+// groupCard is groupCardinality over the prepared per-column distinct
+// counts (0 marks a column on an unknown table, which the original
+// skips).
+func groupCard(distinct []float64, inRows float64) float64 {
+	groups := 1.0
+	for _, d := range distinct {
+		if d == 0 {
+			continue
+		}
+		groups *= d
+		if groups > inRows {
+			break
+		}
+	}
+	if groups > inRows {
+		groups = inRows
+	}
+	if groups < 1 {
+		groups = 1
+	}
+	return groups
+}
+
+// orderSatisfiedCols is orderSatisfied over (index columns, eq mask)
+// instead of an accessPath.
+func orderSatisfiedCols(order []sql.OrderItem, orderedCols []string, eqCols uint64, table string) bool {
+	if len(order) == 0 {
+		return true
+	}
+	if orderedCols == nil {
+		return false
+	}
+	pos := 0
+	for _, key := range order {
+		if key.Desc || key.Col.Table != table {
+			return false
+		}
+		matched := false
+		for pos < len(orderedCols) {
+			col := orderedCols[pos]
+			if col == key.Col.Column {
+				matched = true
+				pos++
+				break
+			}
+			if eqCols&(1<<uint(pos)) != 0 {
+				pos++
+				continue
+			}
+			return false
+		}
+		if !matched {
+			return false
+		}
+	}
+	return true
+}
+
+// groupSatisfiedCols is groupSatisfied over (index columns, eq mask);
+// groupCols must already be distinct and on the probe table.
+func groupSatisfiedCols(groupCols, orderedCols []string, eqCols uint64) bool {
+	if len(groupCols) == 0 {
+		return false
+	}
+	if orderedCols == nil {
+		return false
+	}
+	need := len(groupCols)
+	var seen uint64
+	for pos, col := range orderedCols {
+		if need == 0 {
+			return true
+		}
+		wanted := false
+		for gi, g := range groupCols {
+			if g == col {
+				if seen&(1<<uint(gi)) == 0 {
+					seen |= 1 << uint(gi)
+					need--
+					wanted = true
+				}
+				break
+			}
+		}
+		if wanted {
+			continue
+		}
+		if eqCols&(1<<uint(pos)) != 0 {
+			continue
+		}
+		return false
+	}
+	return need == 0
+}
+
+// costJoinPrepared is planJoin on costs alone: the same DP over table
+// subsets, with per-table best access paths computed once and plan
+// nodes replaced by (cost, rows) pairs.
+func (o *Optimizer) costJoinPrepared(pq *PreparedQuery, cfg Configuration, noInter, filter bool, sc *costScratch) (float64, error) {
+	n := len(pq.tables)
+	if n > maxDPTables {
+		return 0, fmt.Errorf("optimizer: %d-way joins unsupported (max %d)", n, maxDPTables)
+	}
+	size := 1 << uint(n)
+	sc.baseCost = growF(sc.baseCost, n)
+	sc.baseRows = growF(sc.baseRows, n)
+	sc.dpCost = growF(sc.dpCost, size)
+	sc.dpRows = growF(sc.dpRows, size)
+	sc.dpHas = growB(sc.dpHas, size)
+	for i := range sc.dpHas {
+		sc.dpHas[i] = false
+	}
+	for i := range pq.tables {
+		paths := enumerateCostPaths(&pq.cost[i], cfg, noInter, filter, sc)
+		bc, br := paths[0].cost, paths[0].rows
+		for _, p := range paths[1:] {
+			if p.cost < bc {
+				bc, br = p.cost, p.rows
+			}
+		}
+		sc.baseCost[i], sc.baseRows[i] = bc, br
+		bit := 1 << uint(i)
+		sc.dpHas[bit] = true
+		sc.dpCost[bit] = bc
+		sc.dpRows[bit] = br
+	}
+	for mask := 3; mask < size; mask++ {
+		if bits.OnesCount(uint(mask)) < 2 {
+			continue
+		}
+		has := false
+		var eCost, eRows float64
+		for t := 0; t < n; t++ {
+			bit := 1 << uint(t)
+			if mask&bit == 0 {
+				continue
+			}
+			rest := mask &^ bit
+			if !sc.dpHas[rest] {
+				continue
+			}
+			cCost, cRows := o.costJoinStep(pq, cfg, sc.dpCost[rest], sc.dpRows[rest], rest, t, filter, sc)
+			if !has || cCost < eCost {
+				has = true
+				eCost, eRows = cCost, cRows
+			}
+		}
+		sc.dpHas[mask] = has
+		sc.dpCost[mask] = eCost
+		sc.dpRows[mask] = eRows
+	}
+	if !sc.dpHas[size-1] {
+		return 0, fmt.Errorf("optimizer: no join plan found")
+	}
+	return pq.finishCostJoin(sc.dpCost[size-1], sc.dpRows[size-1]), nil
+}
+
+// costJoinStep is joinStep on costs alone, consuming the precomputed
+// per-table base access path instead of re-enumerating it.
+func (o *Optimizer) costJoinStep(pq *PreparedQuery, cfg Configuration, leftCost, leftRows float64, rest, t int, filter bool, sc *costScratch) (float64, float64) {
+	ct := &pq.cost[t]
+	jsel := 1.0
+	nconns := 0
+	for k := range pq.joins {
+		if pq.joins[k].connects(rest, t) {
+			jsel *= pq.joins[k].sel
+			nconns++
+		}
+	}
+	rightRows := ct.filteredRows
+	outRows := leftRows * rightRows * clampSel(jsel)
+	if outRows < 1 {
+		outRows = 1
+	}
+	var best float64
+	if nconns > 0 {
+		buildRows, probeRows := rightRows, leftRows
+		if leftRows < rightRows {
+			buildRows, probeRows = leftRows, rightRows
+		}
+		best = leftCost + sc.baseCost[t] + hashJoinCost(buildRows, probeRows) + outRows*CPUOpCost
+	} else {
+		outer := leftRows
+		if outer < 1 {
+			outer = 1
+		}
+		nlRows := leftRows * rightRows
+		best = leftCost + outer*sc.baseCost[t] + nlRows*CPUOpCost
+	}
+	if nconns > 0 {
+		if innerCost, ok := o.innerSeekCostPrepared(pq, ct, cfg, rest, t, filter, sc); ok {
+			outer := leftRows
+			if outer < 1 {
+				outer = 1
+			}
+			if c := leftCost + outer*innerCost + outRows*CPUOpCost; c < best {
+				best = c
+			}
+		}
+	}
+	return best, outRows
+}
+
+// innerSeekCostPrepared is innerSeekPath on costs alone: extend the
+// table's predicates with the prepared synthetic join probes for the
+// connecting joins (deduplicated by column, connection order), then
+// find the cheapest index seek that consumes at least one probe.
+func (o *Optimizer) innerSeekCostPrepared(pq *PreparedQuery, ct *costTable, cfg Configuration, rest, t int, filter bool, sc *costScratch) (float64, bool) {
+	ti := ct.ti
+	ext := sc.ext[:0]
+	ext = append(ext, ti.preds...)
+	nbase := len(ext)
+	for k := range pq.joins {
+		j := &pq.joins[k]
+		if !j.connects(rest, t) {
+			continue
+		}
+		col := j.myCol(t)
+		dup := false
+		for pi := nbase; pi < len(ext); pi++ {
+			if ext[pi].p.Col.Column == col {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		for si := range ct.synth {
+			if ct.synth[si].p.Col.Column == col {
+				ext = append(ext, ct.synth[si])
+				break
+			}
+		}
+	}
+	sc.ext = ext
+
+	best := 0.0
+	found := false
+	for i := range cfg {
+		idx := &cfg[i]
+		if idx.Table != ti.name {
+			continue
+		}
+		if filter && !indexRelevant(idx.Columns, ti.seekLeadJoin, ti.required) {
+			continue
+		}
+		sel, used, _, nEq, hasRng := matchSeekMask(idx.Columns, ext)
+		if nEq == 0 && !hasRng {
+			continue
+		}
+		// The seek must consume a join probe: an equality on a null
+		// placeholder value whose column one of the connecting joins
+		// supplies — the same test innerSeekPath applies to SeekEq.
+		uses := false
+		for pi := 0; pi < len(ext); pi++ {
+			if used&(1<<uint(pi)) == 0 {
+				continue
+			}
+			if !ext[pi].p.Op.IsEquality() || !ext[pi].p.Val.IsNull() {
+				continue
+			}
+			if pq.isConnJoinCol(rest, t, ext[pi].p.Col.Column) {
+				uses = true
+				break
+			}
+		}
+		if !uses {
+			continue
+		}
+		keyWidth := ti.table.WidthOf(idx.Columns)
+		idxPages := storage.EstimateIndexPages(int64(ti.rowCount), keyWidth)
+		height := storage.EstimateIndexHeight(int64(ti.rowCount), keyWidth)
+		covering := coversRequired(idx.Columns, ti.required)
+		matchRows := ti.rowCount * sel
+		c := seekCost(height, idxPages, ti.rowCount, matchRows, covering, ti.heapPages)
+		if !found || c < best {
+			found = true
+			best = c
+		}
+	}
+	return best, found
+}
+
+// isConnJoinCol reports whether col is table t's side of a join
+// predicate connecting t to rest.
+func (pq *PreparedQuery) isConnJoinCol(rest, t int, col string) bool {
+	for k := range pq.joins {
+		if pq.joins[k].connects(rest, t) && pq.joins[k].myCol(t) == col {
+			return true
+		}
+	}
+	return false
+}
+
+func growF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growB(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}

@@ -29,10 +29,17 @@ func (ctx *optContext) planJoin() (Node, error) {
 	}
 	best := make([]*dpEntry, 1<<n)
 
-	// Base: cheapest access path per table.
+	// Base: cheapest access path per table, cached on the context —
+	// joinStep reuses it for the join's right side instead of
+	// re-enumerating the identical path set per DP extension.
+	if cap(ctx.basePaths) < n {
+		ctx.basePaths = make([]accessPath, n)
+	}
+	ctx.basePaths = ctx.basePaths[:n]
 	for i, ti := range ctx.tables {
-		paths := enumerateAccessPaths(ti, ctx.cfg.ForTable(ti.name))
+		paths := enumerateAccessPaths(ti, ctx.cfg.ForTable(ti.name), ctx.noIntersect, ctx.filter)
 		bp := bestPath(paths)
+		ctx.basePaths[i] = bp
 		best[1<<i] = &dpEntry{node: bp.node, rows: bp.rows}
 	}
 
@@ -79,7 +86,7 @@ func (ctx *optContext) joinStep(left *dpEntry, rest, t int) *dpEntry {
 	rightRows := ti.rowCount * clampSel(rightSel)
 	jsel := 1.0
 	for _, c := range conns {
-		other := ctx.byName[c.otherCol.Table]
+		other := ctx.lookup(c.otherCol.Table)
 		jsel *= joinSelectivity(other.ts, c.otherCol.Column, other.rowCount, ti.ts, c.myCol.Column, ti.rowCount)
 	}
 	outRows := left.rows * rightRows * clampSel(jsel)
@@ -90,9 +97,10 @@ func (ctx *optContext) joinStep(left *dpEntry, rest, t int) *dpEntry {
 	var bestNode Node
 	bestCost := math.Inf(1)
 
-	// Hash join (or nested-loop cross product when unconnected).
-	rightPaths := enumerateAccessPaths(ti, ctx.cfg.ForTable(ti.name))
-	rightBest := bestPath(rightPaths)
+	// Hash join (or nested-loop cross product when unconnected). The
+	// right side reuses the table's base access path computed once in
+	// planJoin.
+	rightBest := ctx.basePaths[t]
 	if len(conns) > 0 {
 		buildRows, probeRows := rightRows, left.rows
 		if left.rows < rightRows {
@@ -197,7 +205,11 @@ func (ctx *optContext) innerSeekPath(ti *tableInfo, conns []connection) Node {
 	}
 	probe := *ti
 	probe.preds = preds
-	paths := enumerateAccessPaths(&probe, ctx.cfg.ForTable(ti.name))
+	// Join columns extend the seekable-lead set for the prefilter; and
+	// intersection paths can be skipped outright — only plain seeks
+	// qualify as parameterized inners below.
+	probe.seekLead = ti.seekLeadJoin
+	paths := enumerateAccessPaths(&probe, ctx.cfg.ForTable(ti.name), true, ctx.filter)
 	var best Node
 	for _, p := range paths {
 		seek, ok := p.node.(*IndexSeekNode)

@@ -249,25 +249,27 @@ func (p *Plan) Explain() string {
 	return b.String()
 }
 
-// collectUses walks a plan tree gathering index usage.
+// collectUses walks a plan tree gathering index usage. Deduplication
+// compares (mode, table, columns) directly — the same identity
+// IndexDef.Key encodes — with a linear scan instead of a map+string
+// key: plans use a handful of indexes at most.
 func collectUses(n Node) []IndexUse {
 	var uses []IndexUse
 	var walk func(Node)
-	seen := make(map[string]bool)
+	add := func(def catalog.IndexDef, mode UsageMode) {
+		for _, u := range uses {
+			if u.Mode == mode && u.Index.Table == def.Table && sameCols(u.Index.Columns, def.Columns) {
+				return
+			}
+		}
+		uses = append(uses, IndexUse{Index: def, Mode: mode})
+	}
 	walk = func(n Node) {
 		switch t := n.(type) {
 		case *IndexSeekNode:
-			k := t.Index.Key() + "/seek"
-			if !seen[k] {
-				seen[k] = true
-				uses = append(uses, IndexUse{Index: t.Index, Mode: UsageSeek})
-			}
+			add(t.Index, UsageSeek)
 		case *IndexScanNode:
-			k := t.Index.Key() + "/scan"
-			if !seen[k] {
-				seen[k] = true
-				uses = append(uses, IndexUse{Index: t.Index, Mode: UsageScan})
-			}
+			add(t.Index, UsageScan)
 		}
 		for _, c := range n.Children() {
 			walk(c)
@@ -275,4 +277,16 @@ func collectUses(n Node) []IndexUse {
 	}
 	walk(n)
 	return uses
+}
+
+func sameCols(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -26,11 +26,24 @@ type Optimizer struct {
 	// pre-filtering) aim to reduce. Read it with InvocationCount.
 	invocations atomic.Int64
 
+	// preparedCalls counts the subset of invocations that went through
+	// the prepared fast paths (OptimizePrepared, CostPrepared). Read it
+	// with PreparedCallCount; the facade's bypass guard asserts it
+	// tracks invocations once a workload is prepared.
+	preparedCalls atomic.Int64
+
 	// DisableIndexIntersection turns off RID-intersection access paths;
 	// used by the ablation that measures how optimizer sophistication
 	// affects merge quality. Must not be toggled while Optimize calls
 	// are in flight.
 	DisableIndexIntersection bool
+
+	// DisableRelevantIndexFilter turns off the prepared fast paths'
+	// relevant-index prefilter (cost every index as the unprepared path
+	// does); the guard test uses it to prove the skip never changes a
+	// chosen plan. Must not be toggled while Optimize calls are in
+	// flight.
+	DisableRelevantIndexFilter bool
 }
 
 // New creates an optimizer over the given metadata provider.
@@ -40,6 +53,10 @@ func New(meta Meta) *Optimizer {
 
 // InvocationCount returns the number of Optimize calls performed.
 func (o *Optimizer) InvocationCount() int64 { return o.invocations.Load() }
+
+// PreparedCallCount returns how many invocations used the prepared
+// fast paths.
+func (o *Optimizer) PreparedCallCount() int64 { return o.preparedCalls.Load() }
 
 // Optimize returns the cheapest plan found for the statement under the
 // configuration. The statement must already be resolved.
@@ -84,39 +101,67 @@ func (o *Optimizer) WorkloadCost(w *sql.Workload, cfg Configuration) (float64, e
 	return total, nil
 }
 
-// optContext is per-query planning state.
+// optContext is per-query planning state. Prepared planning pools
+// contexts and points tables/byName into the immutable descriptor;
+// ad-hoc planning builds them per call.
 type optContext struct {
 	opt    *Optimizer
 	stmt   *sql.SelectStmt
 	cfg    Configuration
 	tables []*tableInfo
-	byName map[string]*tableInfo
+	byName map[string]*tableInfo // nil for single-table ad-hoc contexts
+	// noIntersect/filter snapshot the optimizer knobs for this call.
+	noIntersect bool
+	filter      bool
+	// basePaths caches each table's best standalone access path during
+	// join planning (indexed like tables); joinStep reuses it instead
+	// of re-enumerating per DP extension.
+	basePaths []accessPath
 }
 
 func (o *Optimizer) newContext(stmt *sql.SelectStmt, cfg Configuration) (*optContext, error) {
-	ctx := &optContext{opt: o, stmt: stmt, cfg: cfg, byName: make(map[string]*tableInfo)}
+	ctx := &optContext{opt: o, stmt: stmt, cfg: cfg, noIntersect: o.DisableIndexIntersection}
 	sc := o.meta.Schema()
-	for _, name := range stmt.TablesReferenced() {
+	names := stmt.TablesReferenced()
+	if len(names) > 1 {
+		ctx.byName = make(map[string]*tableInfo, len(names))
+	}
+	for _, name := range names {
 		t, ok := sc.Table(name)
 		if !ok {
 			return nil, fmt.Errorf("optimizer: unknown table %q", name)
 		}
 		ti := &tableInfo{
-			name:        name,
-			table:       t,
-			ts:          o.meta.TableStats(name),
-			rowCount:    float64(o.meta.TableRowCount(name)),
-			required:    stmt.ColumnsOf(name),
-			noIntersect: o.DisableIndexIntersection,
+			name:     name,
+			table:    t,
+			ts:       o.meta.TableStats(name),
+			rowCount: float64(o.meta.TableRowCount(name)),
+			required: stmt.ColumnsOf(name),
 		}
 		ti.heapPages = storage.EstimateHeapPages(int64(ti.rowCount), t.RowWidth())
 		for _, p := range stmt.PredicatesOn(name) {
 			ti.preds = append(ti.preds, scoredPred{p: p, sel: predicateSelectivity(ti.ts, p)})
 		}
 		ctx.tables = append(ctx.tables, ti)
-		ctx.byName[name] = ti
+		if ctx.byName != nil {
+			ctx.byName[name] = ti
+		}
 	}
 	return ctx, nil
+}
+
+// lookup resolves a referenced table by name without requiring the
+// byName map (absent for single-table ad-hoc contexts).
+func (ctx *optContext) lookup(name string) *tableInfo {
+	if ctx.byName != nil {
+		return ctx.byName[name]
+	}
+	for _, ti := range ctx.tables {
+		if ti.name == name {
+			return ti
+		}
+	}
+	return nil
 }
 
 // hasAggregates reports whether the select list aggregates.
@@ -135,7 +180,7 @@ func (ctx *optContext) hasAggregates() bool {
 // index that provides order win even when a bare scan is cheaper.
 func (ctx *optContext) planSingleTable() (Node, error) {
 	ti := ctx.tables[0]
-	paths := enumerateAccessPaths(ti, ctx.cfg.ForTable(ti.name))
+	paths := enumerateAccessPaths(ti, ctx.cfg.ForTable(ti.name), ctx.noIntersect, ctx.filter)
 	var best Node
 	bestCost := math.Inf(1)
 	for _, path := range paths {
@@ -202,7 +247,7 @@ func (ctx *optContext) finish(n Node, path accessPath, orderTable *tableInfo) No
 func (ctx *optContext) groupCardinality(cols []sql.ColumnRef, inRows float64) float64 {
 	groups := 1.0
 	for _, c := range cols {
-		ti := ctx.byName[c.Table]
+		ti := ctx.lookup(c.Table)
 		if ti == nil {
 			continue
 		}

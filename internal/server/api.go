@@ -154,13 +154,18 @@ type CreateSessionRequest struct {
 
 // SessionInfo describes a session.
 type SessionInfo struct {
-	Name      string    `json:"name"`
-	DB        string    `json:"db"`
-	Tables    int       `json:"tables"`
-	DataBytes int64     `json:"data_bytes"`
-	Workloads []string  `json:"workloads"`
-	CacheLen  int       `json:"cache_entries"`
-	CreatedAt time.Time `json:"created_at"`
+	Name      string   `json:"name"`
+	DB        string   `json:"db"`
+	Tables    int      `json:"tables"`
+	DataBytes int64    `json:"data_bytes"`
+	Workloads []string `json:"workloads"`
+	CacheLen  int      `json:"cache_entries"`
+	// PreparedQueries is the total number of query descriptors prepared
+	// at workload registration; PreparedReuse counts the costing
+	// requests and jobs that reused them instead of re-walking ASTs.
+	PreparedQueries int       `json:"prepared_queries"`
+	PreparedReuse   int64     `json:"prepared_reuse"`
+	CreatedAt       time.Time `json:"created_at"`
 }
 
 // RegisterWorkloadRequest registers a named workload with a session:
@@ -236,16 +241,21 @@ type SubmitJobRequest struct {
 
 // JobStatus is the pollable state of a job.
 type JobStatus struct {
-	ID         string          `json:"id"`
-	Kind       string          `json:"kind"`
-	Session    string          `json:"session"`
-	Workload   string          `json:"workload"`
-	State      string          `json:"state"`
-	Error      string          `json:"error,omitempty"`
-	Progress   ProgressPayload `json:"progress"`
-	CreatedAt  time.Time       `json:"created_at"`
-	StartedAt  *time.Time      `json:"started_at,omitempty"`
-	FinishedAt *time.Time      `json:"finished_at,omitempty"`
+	ID       string          `json:"id"`
+	Kind     string          `json:"kind"`
+	Session  string          `json:"session"`
+	Workload string          `json:"workload"`
+	State    string          `json:"state"`
+	Error    string          `json:"error,omitempty"`
+	Progress ProgressPayload `json:"progress"`
+	// Allocs is the heap-allocation count (runtime Mallocs delta)
+	// observed across the job's run. It is process-wide, so concurrent
+	// jobs and requests inflate it — an approximate efficiency signal,
+	// not an exact per-job measurement.
+	Allocs     int64      `json:"allocs,omitempty"`
+	CreatedAt  time.Time  `json:"created_at"`
+	StartedAt  *time.Time `json:"started_at,omitempty"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
 }
 
 // JobResult is a terminal job's payload.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -56,6 +57,7 @@ type Job struct {
 	state      JobState
 	errMsg     string
 	progress   ProgressPayload
+	allocs     int64 // process-wide Mallocs delta across the run; approximate
 	result     *JobResult
 	createdAt  time.Time
 	startedAt  *time.Time
@@ -81,6 +83,7 @@ func (j *Job) Status() JobStatus {
 		State:      string(j.state),
 		Error:      j.errMsg,
 		Progress:   j.progress,
+		Allocs:     j.allocs,
 		CreatedAt:  j.createdAt,
 		StartedAt:  j.startedAt,
 		FinishedAt: j.finishedAt,
@@ -343,8 +346,21 @@ func (m *Manager) runJob(j *Job) {
 	m.log.Info("job started", "job", j.id, "kind", j.kind,
 		"session", j.session.name, "workload", j.workload)
 
+	// Bracket the run with allocation counters. The delta is process-
+	// wide (concurrent jobs and HTTP requests inflate it), so it is an
+	// approximate efficiency signal rather than an exact attribution.
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+
 	result, err := j.run(j.ctx, j)
 	elapsed := time.Since(now).Seconds()
+
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
+	allocs := int64(msAfter.Mallocs - msBefore.Mallocs)
+	j.mu.Lock()
+	j.allocs = allocs
+	j.mu.Unlock()
 
 	var state JobState
 	switch {
@@ -363,6 +379,7 @@ func (m *Manager) runJob(j *Job) {
 
 	st := j.Status()
 	m.metrics.observeJobEnd(state, elapsed, st.Progress.OptimizerCalls, st.Progress.CostEvaluations)
+	m.metrics.jobAllocs.Add(allocs)
 	m.log.Info("job finished", "job", j.id, "state", string(state),
 		"elapsed_s", elapsed, "steps", st.Progress.Steps,
 		"saved_bytes", st.Progress.SavedBytes, "error", st.Error)

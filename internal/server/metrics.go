@@ -59,6 +59,7 @@ type Metrics struct {
 
 	optimizerCalls  atomic.Int64 // summed over finished jobs + sync costings
 	costEvaluations atomic.Int64
+	jobAllocs       atomic.Int64 // Mallocs deltas summed over finished jobs (approximate)
 
 	searchSeconds *histogram
 	httpSeconds   *histogram
@@ -99,6 +100,7 @@ type SessionGauges struct {
 	CacheMisses    int64
 	CacheDedups    int64
 	CacheEvictions int64
+	PreparedReuse  int64
 }
 
 // JobGauges is a point-in-time snapshot of non-terminal job states.
@@ -151,6 +153,8 @@ func (m *Metrics) Write(w io.Writer, jg JobGauges, sessions []SessionGauges) {
 	fmt.Fprintf(w, "idxmerged_optimizer_calls_total %d\n", m.optimizerCalls.Load())
 	fmt.Fprintln(w, "# TYPE idxmerged_cost_evaluations_total counter")
 	fmt.Fprintf(w, "idxmerged_cost_evaluations_total %d\n", m.costEvaluations.Load())
+	fmt.Fprintln(w, "# TYPE idxmerged_job_allocs_total counter")
+	fmt.Fprintf(w, "idxmerged_job_allocs_total %d\n", m.jobAllocs.Load())
 
 	fmt.Fprintln(w, "# TYPE idxmerged_sessions gauge")
 	fmt.Fprintf(w, "idxmerged_sessions %d\n", len(sessions))
@@ -158,11 +162,13 @@ func (m *Metrics) Write(w io.Writer, jg JobGauges, sessions []SessionGauges) {
 	fmt.Fprintln(w, "# TYPE idxmerged_costcache_hits_total counter")
 	fmt.Fprintln(w, "# TYPE idxmerged_costcache_misses_total counter")
 	fmt.Fprintln(w, "# TYPE idxmerged_costcache_evictions_total counter")
+	fmt.Fprintln(w, "# TYPE idxmerged_prepared_reuse_total counter")
 	for _, s := range sessions {
 		fmt.Fprintf(w, "idxmerged_costcache_entries{session=%q} %d\n", s.Name, s.CacheEntries)
 		fmt.Fprintf(w, "idxmerged_costcache_hits_total{session=%q} %d\n", s.Name, s.CacheHits)
 		fmt.Fprintf(w, "idxmerged_costcache_misses_total{session=%q} %d\n", s.Name, s.CacheMisses)
 		fmt.Fprintf(w, "idxmerged_costcache_evictions_total{session=%q} %d\n", s.Name, s.CacheEvictions)
+		fmt.Fprintf(w, "idxmerged_prepared_reuse_total{session=%q} %d\n", s.Name, s.PreparedReuse)
 	}
 
 	fmt.Fprintln(w, "# TYPE idxmerged_search_seconds histogram")

@@ -267,7 +267,11 @@ func (s *Server) handleRegisterWorkload(w http.ResponseWriter, r *http.Request) 
 		return
 	}
 	if err := sess.RegisterWorkload(req.Name, wl); err != nil {
-		writeErr(w, http.StatusConflict, "%v", err)
+		if errors.Is(err, ErrWorkloadExists) {
+			writeErr(w, http.StatusConflict, "%v", err)
+		} else {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+		}
 		return
 	}
 	writeJSON(w, http.StatusCreated, WorkloadInfo{Name: req.Name, Queries: wl.Len()})
@@ -307,7 +311,7 @@ func (s *Server) handleCost(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
-	wl, ok := sess.Workload(req.Workload)
+	rw, ok := sess.workloadEntry(req.Workload)
 	if !ok {
 		writeErr(w, http.StatusNotFound, "workload %q not found", req.Workload)
 		return
@@ -317,12 +321,15 @@ func (s *Server) handleCost(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	cost, err := optimizer.New(sess.db).WorkloadCost(wl, optimizer.Configuration(defs))
+	// Cost through the descriptors prepared at registration: no AST
+	// re-walk or histogram probing per request, identical totals.
+	cost, err := optimizer.New(sess.db).WorkloadCostPrepared(rw.prepared, optimizer.Configuration(defs))
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, "cost: %v", err)
 		return
 	}
-	s.metrics.optimizerCalls.Add(int64(len(wl.Queries)))
+	sess.preparedReuse.Add(1)
+	s.metrics.optimizerCalls.Add(int64(len(rw.w.Queries)))
 	writeJSON(w, http.StatusOK, CostResponse{Cost: cost})
 }
 
@@ -344,7 +351,7 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "unknown job kind %q (want merge or tune)", kind)
 		return
 	}
-	wl, ok := sess.Workload(req.Workload)
+	rw, ok := sess.workloadEntry(req.Workload)
 	if !ok {
 		writeErr(w, http.StatusNotFound, "workload %q not found", req.Workload)
 		return
@@ -370,7 +377,7 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	run := s.buildJobRun(kind, sess, req.Workload, wl, initial, explicitDefs, opts, req.Options.DualBudgetFrac)
+	run := s.buildJobRun(kind, sess, req.Workload, rw, initial, explicitDefs, opts, req.Options.DualBudgetFrac)
 	job, err := s.jobs.Submit(kind, sess, req.Workload, run)
 	switch {
 	case errors.Is(err, ErrQueueFull):
@@ -428,11 +435,14 @@ func buildMergeOptions(o JobOptions) (indexmerge.MergeOptions, error) {
 // facade calls the batch CLI makes, so a server job and a cmd/idxmerge
 // run over identical inputs produce byte-identical results. The
 // session's shared cost cache (namespaced by workload) carries what-if
-// costs across the session's jobs.
-func (s *Server) buildJobRun(kind string, sess *Session, workloadName string, wl *sql.Workload,
+// costs across the session's jobs, and merge jobs reuse the workload's
+// registration-time prepared descriptors (prepared once per session,
+// shared across jobs; the prepared path is bit-identical).
+func (s *Server) buildJobRun(kind string, sess *Session, workloadName string, rw *registeredWorkload,
 	initial InitialSpec, explicitDefs []catalog.IndexDef, opts indexmerge.MergeOptions,
 	dualFrac float64) func(ctx context.Context, j *Job) (*JobResult, error) {
 
+	wl := rw.w
 	return func(ctx context.Context, j *Job) (*JobResult, error) {
 		m, err := indexmerge.NewMerger(sess.db, wl)
 		if err != nil {
@@ -488,6 +498,8 @@ func (s *Server) buildJobRun(kind string, sess *Session, workloadName string, wl
 		}
 		opts.CostCache = sess.cache
 		opts.CacheNamespace = workloadName
+		opts.Prepared = rw.prepared
+		sess.preparedReuse.Add(1)
 
 		res, err := m.MergeDefsContext(ctx, defs, opts)
 		if err != nil {

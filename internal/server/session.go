@@ -13,6 +13,7 @@ import (
 	"indexmerge/internal/core/costcache"
 	"indexmerge/internal/datagen"
 	"indexmerge/internal/engine"
+	"indexmerge/internal/optimizer"
 	"indexmerge/internal/sql"
 )
 
@@ -46,8 +47,20 @@ type Session struct {
 	// token in the channel means a job is running.
 	lock chan struct{}
 
+	// preparedReuse counts reuses of registration-time prepared
+	// workloads (costing requests and jobs that skipped re-preparation).
+	preparedReuse atomic.Int64
+
 	mu        sync.Mutex
-	workloads map[string]*sql.Workload
+	workloads map[string]*registeredWorkload
+}
+
+// registeredWorkload pairs a workload with its prepared descriptors,
+// built once at registration against the session's (immutable)
+// statistics and reused by every costing request and job thereafter.
+type registeredWorkload struct {
+	w        *sql.Workload
+	prepared *optimizer.PreparedWorkload
 }
 
 // acquire takes the session's job slot, abandoning the wait when ctx
@@ -73,25 +86,40 @@ func (s *Session) tryAcquire() bool {
 
 func (s *Session) release() { <-s.lock }
 
-// RegisterWorkload adds a named workload. Names are single-assignment:
-// the cost cache namespaces keys by workload name, so rebinding a name
-// to different queries would serve stale costs.
+// RegisterWorkload adds a named workload, preparing its queries once
+// against the session's statistics; registration fails if any query
+// cannot be prepared. Names are single-assignment: the cost cache
+// namespaces keys by workload name, so rebinding a name to different
+// queries would serve stale costs.
 func (s *Session) RegisterWorkload(name string, w *sql.Workload) error {
+	pw, err := optimizer.PrepareWorkload(w, s.db)
+	if err != nil {
+		return fmt.Errorf("prepare workload: %w", err)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.workloads[name]; ok {
 		return ErrWorkloadExists
 	}
-	s.workloads[name] = w
+	s.workloads[name] = &registeredWorkload{w: w, prepared: pw}
 	return nil
 }
 
 // Workload looks up a registered workload.
 func (s *Session) Workload(name string) (*sql.Workload, bool) {
+	rw, ok := s.workloadEntry(name)
+	if !ok {
+		return nil, false
+	}
+	return rw.w, true
+}
+
+// workloadEntry looks up a registered workload with its prepared form.
+func (s *Session) workloadEntry(name string) (*registeredWorkload, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	w, ok := s.workloads[name]
-	return w, ok
+	rw, ok := s.workloads[name]
+	return rw, ok
 }
 
 // WorkloadInfos lists registered workloads sorted by name.
@@ -99,8 +127,8 @@ func (s *Session) WorkloadInfos() []WorkloadInfo {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]WorkloadInfo, 0, len(s.workloads))
-	for name, w := range s.workloads {
-		out = append(out, WorkloadInfo{Name: name, Queries: w.Len()})
+	for name, rw := range s.workloads {
+		out = append(out, WorkloadInfo{Name: name, Queries: rw.w.Len()})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
@@ -113,14 +141,22 @@ func (s *Session) Info() SessionInfo {
 	for i, wi := range infos {
 		names[i] = wi.Name
 	}
+	prepared := 0
+	s.mu.Lock()
+	for _, rw := range s.workloads {
+		prepared += len(rw.prepared.Queries)
+	}
+	s.mu.Unlock()
 	return SessionInfo{
-		Name:      s.name,
-		DB:        s.dbName,
-		Tables:    len(s.db.Schema().Tables()),
-		DataBytes: s.db.DataBytes(),
-		Workloads: names,
-		CacheLen:  s.cache.Len(),
-		CreatedAt: s.createdAt,
+		Name:            s.name,
+		DB:              s.dbName,
+		Tables:          len(s.db.Schema().Tables()),
+		DataBytes:       s.db.DataBytes(),
+		Workloads:       names,
+		CacheLen:        s.cache.Len(),
+		PreparedQueries: prepared,
+		PreparedReuse:   s.preparedReuse.Load(),
+		CreatedAt:       s.createdAt,
 	}
 }
 
@@ -133,6 +169,7 @@ func (s *Session) gauges() SessionGauges {
 		CacheHits:      hits,
 		CacheMisses:    misses,
 		CacheEvictions: s.cache.Evictions(),
+		PreparedReuse:  s.preparedReuse.Load(),
 	}
 }
 
@@ -204,7 +241,7 @@ func (r *Registry) Create(req CreateSessionRequest) (*Session, error) {
 		cache:     costcache.NewBounded(0, r.cacheMax),
 		createdAt: time.Now(),
 		lock:      make(chan struct{}, 1),
-		workloads: make(map[string]*sql.Workload),
+		workloads: make(map[string]*registeredWorkload),
 	}
 	r.sessions[req.Name] = s
 	return s, nil

@@ -1,0 +1,297 @@
+// Byte-identity tests for prepared-workload planning: the prepared
+// fast paths (OptimizePrepared, CostPrepared) must reproduce the
+// unprepared optimizer bit for bit — same costs (compared as float
+// bits, not within a tolerance), same plan shapes, same index uses —
+// under every database, workload class, configuration and optimizer
+// ablation. The unprepared path never applies the relevant-index
+// prefilter, so every comparison here doubles as the guard test that
+// pre-filtering changes no plan.
+package indexmerge
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"indexmerge/internal/experiments"
+	"indexmerge/internal/optimizer"
+)
+
+func identityLabs(t *testing.T) []*experiments.Lab {
+	t.Helper()
+	labs, err := experiments.StandardLabs(experiments.LabOptions{Scale: 0.25, WorkloadQueries: 12, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return labs
+}
+
+// identityConfigs builds representative configurations: no indexes,
+// and a per-query-tuned initial configuration (§4.2.3) whose wide
+// covering indexes exercise seeks, scans and intersections.
+func identityConfigs(t *testing.T, lab *experiments.Lab) []optimizer.Configuration {
+	t.Helper()
+	defs, err := lab.InitialConfiguration(lab.Complex, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(defs) == 0 {
+		t.Fatal("no initial indexes recommended")
+	}
+	return []optimizer.Configuration{nil, optimizer.Configuration(defs), optimizer.Configuration(defs[:1+len(defs)/2])}
+}
+
+func sameUses(a, b []optimizer.IndexUse) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Mode != b[i].Mode || a[i].Index.Key() != b[i].Index.Key() {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPreparedMatchesOptimize checks OptimizePrepared and CostPrepared
+// against Optimize on every (database, workload class, configuration,
+// ablation) combination, including the intersection-disabled ablation
+// and the prefilter-disabled guard variant.
+func TestPreparedMatchesOptimize(t *testing.T) {
+	for _, lab := range identityLabs(t) {
+		cfgs := identityConfigs(t, lab)
+		workloads := map[string]*Workload{"complex": lab.Complex, "projection": lab.Projection}
+		for wname, w := range workloads {
+			pw, err := optimizer.PrepareWorkload(w, lab.DB)
+			if err != nil {
+				t.Fatalf("%s/%s: prepare: %v", lab.Name, wname, err)
+			}
+			variants := []struct {
+				name string
+				opt  *optimizer.Optimizer
+			}{
+				{"base", optimizer.New(lab.DB)},
+				{"nointersect", optimizer.New(lab.DB)},
+				{"nofilter", optimizer.New(lab.DB)},
+			}
+			variants[1].opt.DisableIndexIntersection = true
+			variants[2].opt.DisableRelevantIndexFilter = true
+			for _, v := range variants {
+				for ci, cfg := range cfgs {
+					for qi, q := range w.Queries {
+						tag := fmt.Sprintf("%s/%s/%s cfg=%d q=%d", lab.Name, wname, v.name, ci, qi+1)
+						plan, err := v.opt.Optimize(q.Stmt, cfg)
+						if err != nil {
+							t.Fatalf("%s: Optimize: %v", tag, err)
+						}
+						planP, err := v.opt.OptimizePrepared(pw.Queries[qi], cfg)
+						if err != nil {
+							t.Fatalf("%s: OptimizePrepared: %v", tag, err)
+						}
+						if math.Float64bits(plan.Cost) != math.Float64bits(planP.Cost) {
+							t.Errorf("%s: cost %v (prepared) != %v (optimize)", tag, planP.Cost, plan.Cost)
+						}
+						if plan.Explain() != planP.Explain() {
+							t.Errorf("%s: plan shapes differ:\n-- optimize:\n%s-- prepared:\n%s", tag, plan.Explain(), planP.Explain())
+						}
+						if !sameUses(plan.Uses, planP.Uses) {
+							t.Errorf("%s: index uses differ: %v != %v", tag, planP.Uses, plan.Uses)
+						}
+						cost, err := v.opt.CostPrepared(pw.Queries[qi], cfg)
+						if err != nil {
+							t.Fatalf("%s: CostPrepared: %v", tag, err)
+						}
+						if math.Float64bits(cost) != math.Float64bits(plan.Cost) {
+							t.Errorf("%s: CostPrepared %v != plan cost %v", tag, cost, plan.Cost)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCostPreparedConcurrentSharedWorkload shares one PreparedWorkload
+// across goroutines costing different configurations — the exact
+// sharing pattern of parallel candidate costing. Run under -race it
+// proves descriptors are read-only; the cost comparison proves results
+// do not depend on interleaving.
+func TestCostPreparedConcurrentSharedWorkload(t *testing.T) {
+	lab, err := experiments.NewSynthetic2Lab(experiments.LabOptions{Scale: 0.25, WorkloadQueries: 12, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defs, err := lab.InitialConfiguration(lab.Complex, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, err := lab.Opt.PrepareWorkload(lab.Complex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cfgs []optimizer.Configuration
+	for i := 1; i <= len(defs); i++ {
+		cfgs = append(cfgs, optimizer.Configuration(defs[:i]))
+	}
+
+	want := make([][]float64, len(cfgs))
+	for ci, cfg := range cfgs {
+		want[ci] = make([]float64, pw.Len())
+		for qi := range pw.Queries {
+			want[ci][qi], err = lab.Opt.CostPrepared(pw.Queries[qi], cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 4; round++ {
+				for ci, cfg := range cfgs {
+					for qi := range pw.Queries {
+						got, err := lab.Opt.CostPrepared(pw.Queries[qi], cfg)
+						if err != nil {
+							errs[g] = err
+							return
+						}
+						if math.Float64bits(got) != math.Float64bits(want[ci][qi]) {
+							errs[g] = fmt.Errorf("cfg %d q %d: concurrent cost %v != serial %v", ci, qi+1, got, want[ci][qi])
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestFacadePreparedFastPathGuard fails the build if any costing in a
+// facade merge bypasses the prepared fast path: after a full merge,
+// every optimizer invocation must have been a prepared one.
+func TestFacadePreparedFastPathGuard(t *testing.T) {
+	lab, err := experiments.NewSynthetic1Lab(experiments.LabOptions{Scale: 0.25, WorkloadQueries: 12, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defs, err := lab.InitialConfiguration(lab.Complex, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMerger(lab.DB, lab.Complex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.MergeDefs(defs, MergeOptions{CostConstraint: 0.10}); err != nil {
+		t.Fatal(err)
+	}
+	opt := m.Optimizer()
+	if opt.InvocationCount() == 0 {
+		t.Fatal("merge performed no optimizer invocations")
+	}
+	if opt.PreparedCallCount() != opt.InvocationCount() {
+		t.Fatalf("prepared fast path bypassed: %d of %d invocations were prepared",
+			opt.PreparedCallCount(), opt.InvocationCount())
+	}
+}
+
+// TestPreparedStaleness: descriptors bake in selectivities and
+// cardinalities, so rebuilding statistics must invalidate them —
+// erroring on direct use, and transparently re-preparing through the
+// facade's version-checked accessor.
+func TestPreparedStaleness(t *testing.T) {
+	lab, err := experiments.NewSynthetic1Lab(experiments.LabOptions{Scale: 0.25, WorkloadQueries: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, err := lab.Opt.PrepareWorkload(lab.Complex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lab.Opt.CostPrepared(pw.Queries[0], nil); err != nil {
+		t.Fatalf("fresh descriptor: %v", err)
+	}
+
+	m, err := NewMerger(lab.DB, lab.Complex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := m.PreparedWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lab.DB.AnalyzeAll()
+
+	if _, err := lab.Opt.CostPrepared(pw.Queries[0], nil); err == nil {
+		t.Fatal("stale descriptor costed without error after Analyze")
+	}
+	after, err := m.PreparedWorkload()
+	if err != nil {
+		t.Fatalf("facade re-prepare: %v", err)
+	}
+	if after == before {
+		t.Fatal("facade served the stale prepared workload after Analyze")
+	}
+	if _, err := lab.Opt.CostPrepared(after.Queries[0], nil); err != nil {
+		t.Fatalf("re-prepared descriptor: %v", err)
+	}
+}
+
+// TestCostPreparedAllocations asserts the hot path's allocation
+// behavior: candidate costing through CostPrepared must allocate at
+// least 5× less than unprepared Optimize-based costing, and stay under
+// a small absolute per-query bound (the pooled scratch makes the
+// steady state allocation-free for simple queries).
+func TestCostPreparedAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector drops sync.Pool items; allocation counts are not meaningful")
+	}
+	lab, err := experiments.NewSynthetic2Lab(experiments.LabOptions{Scale: 0.25, WorkloadQueries: 12, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defs, err := lab.InitialConfiguration(lab.Complex, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := optimizer.Configuration(defs)
+	pw, err := lab.Opt.PrepareWorkload(lab.Complex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := float64(pw.Len())
+
+	prepared := testing.AllocsPerRun(20, func() {
+		for qi := range pw.Queries {
+			if _, err := lab.Opt.CostPrepared(pw.Queries[qi], cfg); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	unprepared := testing.AllocsPerRun(20, func() {
+		for _, q := range lab.Complex.Queries {
+			if _, err := lab.Opt.Cost(q.Stmt, cfg); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	t.Logf("allocs per workload costing: prepared %.1f, unprepared %.1f (%.0f queries)", prepared, unprepared, queries)
+	if prepared > 2*queries {
+		t.Errorf("prepared costing allocates %.1f per workload (> %.0f = 2/query)", prepared, 2*queries)
+	}
+	if unprepared < 5*prepared {
+		t.Errorf("allocation reduction below 5x: prepared %.1f, unprepared %.1f", prepared, unprepared)
+	}
+}

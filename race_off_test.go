@@ -1,0 +1,5 @@
+//go:build !race
+
+package indexmerge
+
+const raceEnabled = false
