@@ -264,3 +264,119 @@ func TestConcurrentStress(t *testing.T) {
 		t.Errorf("Len = %d, want %d", c.Len(), keys)
 	}
 }
+
+// TestBoundedEvictionInflightRace hammers a tiny bounded cache with
+// more hot keys than capacity, so FIFO eviction runs continuously while
+// other goroutines dedup onto in-flight computations of the very same
+// keys. The audit invariants: a Do call increments exactly one of
+// hits/misses/dedups, the miss counter equals the number of actual fn
+// executions (an eviction racing an in-flight computation must neither
+// double-count an optimizer call nor drop its result), every caller
+// observes the correct value, and the entry count respects the bound.
+func TestBoundedEvictionInflightRace(t *testing.T) {
+	const (
+		shards  = 4
+		bound   = 8
+		keys    = 64 // far above capacity: every insert evicts
+		workers = 16
+		rounds  = 200
+	)
+	c := NewBounded(shards, bound)
+
+	var fnExecs, calls atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				k := (w + r) % keys
+				key := fmt.Sprintf("key-%d", k)
+				calls.Add(1)
+				v, err := c.Do(key, func() (float64, error) {
+					fnExecs.Add(1)
+					return float64(k), nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if v != float64(k) {
+					t.Errorf("key %d = %v (in-flight result dropped or crossed)", k, v)
+					return
+				}
+				// A concurrent Get may miss (evicted) but never returns a
+				// wrong value.
+				if got, ok := c.Get(key); ok && got != float64(k) {
+					t.Errorf("Get(%s) = %v", key, got)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	hits, misses, dedups := c.Stats()
+	// Get() also counts hits; subtract the Do calls' share by invariant:
+	// every Do incremented exactly one counter, so hits from Do =
+	// total Do calls - misses - dedups. The extra Get hits only ever
+	// increase the hit counter, so the check is an inequality on hits
+	// and an equality on the computation-side counters.
+	if misses != fnExecs.Load() {
+		t.Errorf("misses = %d but fn executed %d times (double-counted or dropped computations)", misses, fnExecs.Load())
+	}
+	doHits := calls.Load() - misses - dedups
+	if doHits < 0 {
+		t.Errorf("counter drift: %d Do calls < misses %d + dedups %d", calls.Load(), misses, dedups)
+	}
+	if hits < doHits {
+		t.Errorf("hits %d < Do-call hits %d", hits, doHits)
+	}
+	if c.Len() > bound+shards { // per-shard rounding of the global bound
+		t.Errorf("Len = %d exceeds bound %d (+shard rounding)", c.Len(), bound)
+	}
+	if c.Evictions() == 0 {
+		t.Error("expected evictions under a tiny bound")
+	}
+}
+
+// TestBoundedErrorNotCachedUnderEviction checks the error path under
+// concurrent eviction pressure: a failed computation is not cached, all
+// waiters receive the error, and a later Do retries (a fresh miss).
+func TestBoundedErrorNotCachedUnderEviction(t *testing.T) {
+	c := NewBounded(2, 2)
+	boom := errors.New("boom")
+	var failed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 50; r++ {
+				// Churn neighbours to force evictions in both shards.
+				_, _ = c.Do(fmt.Sprintf("fill-%d", r%8), func() (float64, error) { return 1, nil })
+				_, err := c.Do("always-fails", func() (float64, error) {
+					failed.Add(1)
+					return 0, boom
+				})
+				if !errors.Is(err, boom) {
+					t.Errorf("err = %v, want boom", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if _, ok := c.Get("always-fails"); ok {
+		t.Error("error result was cached")
+	}
+	if failed.Load() == 0 {
+		t.Error("failing fn never ran")
+	}
+	// The error was propagated each time without poisoning the cache:
+	// a final successful Do must recompute and then stick until evicted.
+	v, err := c.Do("always-fails", func() (float64, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("recovery Do = %v, %v", v, err)
+	}
+}

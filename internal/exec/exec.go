@@ -151,7 +151,14 @@ func qualifiedSchema(db *engine.Database, table string) ([]sql.ColumnRef, error)
 	return out, nil
 }
 
-// sortRows orders rows by the given key columns.
+// sortRows orders rows by the given key columns. Rows tied on every
+// ORDER BY key are broken by comparing the remaining columns left to
+// right, so the sorted output is canonical: it does not depend on the
+// input order, which varies between physical plans (a table scan feeds
+// rows in heap order, an index path in key order). Any deterministic
+// order among tied rows satisfies ORDER BY; a canonical one lets
+// differential tests compare sorted results of different plans
+// directly.
 func sortRows(schema []sql.ColumnRef, rows []value.Row, keys []sql.OrderItem) error {
 	type keyIdx struct {
 		idx  int
@@ -165,6 +172,17 @@ func sortRows(schema []sql.ColumnRef, rows []value.Row, keys []sql.OrderItem) er
 		}
 		kis[i] = keyIdx{idx: idx, desc: k.Desc}
 	}
+	// Tiebreak columns in qualified-name order, not positional order:
+	// the sort may run below a projection, where different plans present
+	// the same columns in different positions (a table scan in schema
+	// order, an index path in index-column order).
+	tieIdx := make([]int, len(schema))
+	for i := range tieIdx {
+		tieIdx[i] = i
+	}
+	sort.Slice(tieIdx, func(a, b int) bool {
+		return schema[tieIdx[a]].String() < schema[tieIdx[b]].String()
+	})
 	sort.SliceStable(rows, func(a, b int) bool {
 		for _, ki := range kis {
 			c := rows[a][ki.idx].Compare(rows[b][ki.idx])
@@ -175,6 +193,13 @@ func sortRows(schema []sql.ColumnRef, rows []value.Row, keys []sql.OrderItem) er
 				return c > 0
 			}
 			return c < 0
+		}
+		// Full-row tiebreak: identical rows compare equal, so the sort
+		// stays stable for true duplicates.
+		for _, i := range tieIdx {
+			if c := rows[a][i].Compare(rows[b][i]); c != 0 {
+				return c < 0
+			}
 		}
 		return false
 	})

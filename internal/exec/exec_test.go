@@ -269,3 +269,89 @@ func TestProjectionSubset(t *testing.T) {
 		t.Errorf("row: %v", res.Rows[0])
 	}
 }
+
+// TestOrderByTiesDeterministicAcrossPlans pins the canonical tie
+// handling in sortRows: two physical plans that feed the sort in
+// different orders (heap order vs index order) must produce
+// byte-identical sorted output even though the ORDER BY key is
+// tie-heavy (~100 rows per distinct cat). Without the full-row
+// tiebreak the stable sort preserves each plan's input order among
+// ties and the outputs diverge.
+func TestOrderByTiesDeterministicAcrossPlans(t *testing.T) {
+	db := engine.NewDatabase()
+	if err := db.CreateTable(catalog.MustNewTable("ties", []catalog.Column{
+		{Name: "id", Type: value.Int},
+		{Name: "cat", Type: value.String, Width: 4},
+		{Name: "qty", Type: value.Int},
+	})); err != nil {
+		t.Fatal(err)
+	}
+	cats := []string{"a", "b", "c"}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		if err := db.Insert("ties", value.Row{
+			value.NewInt(int64(i)),
+			value.NewString(cats[rng.Intn(3)]),
+			value.NewInt(int64(1 + rng.Intn(50))),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.AnalyzeAll()
+	src := "SELECT id, cat, qty FROM ties WHERE qty BETWEEN 7 AND 9 ORDER BY cat"
+	stmt, err := sql.ParseSelect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stmt.Resolve(db.Schema()); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(cfg optimizer.Configuration, wantIndex bool) *Result {
+		t.Helper()
+		plan, err := optimizer.New(db).Optimize(stmt, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantIndex && len(plan.Uses) == 0 {
+			t.Fatalf("plan under %v did not use an index:\n%s", cfg, plan.Explain())
+		}
+		res, err := Run(db, plan)
+		if err != nil {
+			t.Fatalf("run: %v\nplan:\n%s", err, plan.Explain())
+		}
+		return res
+	}
+
+	naive := run(nil, false)
+
+	def := catalog.IndexDef{Name: "ix_ties_qty_cover", Table: "ties", Columns: []string{"qty", "cat", "id"}}
+	if err := db.Materialize([]catalog.IndexDef{def}); err != nil {
+		t.Fatal(err)
+	}
+	defer db.DropAllIndexes()
+	indexed := run(optimizer.Configuration{def}, true)
+
+	if len(naive.Rows) != len(indexed.Rows) || len(naive.Rows) == 0 {
+		t.Fatalf("row counts differ: naive %d, indexed %d", len(naive.Rows), len(indexed.Rows))
+	}
+	ties := make(map[string]int)
+	for i := range naive.Rows {
+		ties[naive.Rows[i][1].String()]++
+		if len(naive.Rows[i]) != len(indexed.Rows[i]) {
+			t.Fatalf("row %d width differs", i)
+		}
+		for j := range naive.Rows[i] {
+			if naive.Rows[i][j].Compare(indexed.Rows[i][j]) != 0 {
+				t.Fatalf("sorted outputs diverge at row %d: naive %v, indexed %v",
+					i, naive.Rows[i], indexed.Rows[i])
+			}
+		}
+	}
+	// The test is only meaningful if the ORDER BY key actually ties.
+	for cat, n := range ties {
+		if n < 2 {
+			t.Fatalf("cat %q has no ties (%d row)", cat, n)
+		}
+	}
+}

@@ -1,0 +1,473 @@
+package oracle
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+
+	"indexmerge/internal/advisor"
+	"indexmerge/internal/catalog"
+	"indexmerge/internal/core"
+	"indexmerge/internal/datagen"
+	"indexmerge/internal/engine"
+	"indexmerge/internal/exec"
+	"indexmerge/internal/optimizer"
+	"indexmerge/internal/sql"
+	"indexmerge/internal/value"
+)
+
+// Violation is one correctness finding. Kind is one of:
+//
+//	result-diff        executed rows differ from the reference answer
+//	order              executed rows violate the query's ORDER BY
+//	explain-unknown    the plan reports an index outside the configuration
+//	prepared-mismatch  prepared and unprepared optimization disagree
+//	merge-invariant    a visited configuration breaks Definition 1–3
+//	error              optimization or execution failed outright
+type Violation struct {
+	Kind   string   `json:"kind"`
+	Query  string   `json:"query"`
+	Config []string `json:"config"`
+	Detail string   `json:"detail"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s] query=%q config={%s}: %s",
+		v.Kind, v.Query, strings.Join(v.Config, ", "), v.Detail)
+}
+
+// Report summarizes one differential sweep.
+type Report struct {
+	DB             string      `json:"db"`
+	Queries        int         `json:"queries"`
+	Configs        int         `json:"configs"`
+	Checks         int         `json:"checks"`
+	VisitedSampled int         `json:"visited_sampled"`
+	MergeSteps     int         `json:"merge_steps"`
+	Violations     []Violation `json:"violations"`
+}
+
+// Ok reports whether the sweep found no violations.
+func (r *Report) Ok() bool { return len(r.Violations) == 0 }
+
+// SweepOptions configures a differential sweep.
+type SweepOptions struct {
+	// Seed drives the initial-configuration draw and visited-config
+	// sampling.
+	Seed int64
+	// InitialIndexes is the initial configuration size n (default 8).
+	InitialIndexes int
+	// MaxVisited bounds how many of the search's visited candidate
+	// configurations are differentially executed (default 5, sampled
+	// by Seed; the search typically visits far more than can be
+	// executed affordably).
+	MaxVisited int
+	// MaxPairMerges bounds the explicit MergeOrdered metamorphic
+	// checks over same-table pairs of the initial configuration
+	// (default 4).
+	MaxPairMerges int
+	// CostConstraint is the search's cost-increase bound (default 0.10).
+	CostConstraint float64
+}
+
+func (o *SweepOptions) defaults() {
+	if o.InitialIndexes <= 0 {
+		o.InitialIndexes = 8
+	}
+	if o.MaxVisited <= 0 {
+		o.MaxVisited = 5
+	}
+	if o.MaxPairMerges <= 0 {
+		o.MaxPairMerges = 4
+	}
+	if o.CostConstraint <= 0 {
+		o.CostConstraint = 0.10
+	}
+}
+
+// recordingChecker wraps a constraint checker, keeping every candidate
+// configuration the search submitted — the "visited configurations"
+// the differential sweep samples from.
+type recordingChecker struct {
+	inner core.ConstraintChecker
+
+	mu      sync.Mutex
+	visited []*core.Configuration
+}
+
+func (r *recordingChecker) record(cfg *core.Configuration) {
+	r.mu.Lock()
+	r.visited = append(r.visited, cfg)
+	r.mu.Unlock()
+}
+
+func (r *recordingChecker) Accepts(cfg *core.Configuration, m, a, b *core.Index) (bool, error) {
+	r.record(cfg)
+	return r.inner.Accepts(cfg, m, a, b)
+}
+
+func (r *recordingChecker) AcceptsContext(ctx context.Context, cfg *core.Configuration, m, a, b *core.Index) (bool, error) {
+	r.record(cfg)
+	if cc, ok := r.inner.(core.ContextChecker); ok {
+		return cc.AcceptsContext(ctx, cfg, m, a, b)
+	}
+	return r.inner.Accepts(cfg, m, a, b)
+}
+
+func (r *recordingChecker) Description() string { return r.inner.Description() }
+func (r *recordingChecker) Evaluations() int64  { return r.inner.Evaluations() }
+
+// Sweep runs the full differential harness over one database and
+// workload: reference answers are computed once per query, then diffed
+// against executed plans under the empty configuration, the initial
+// (advisor-built) configuration, a seed-sampled subset of every
+// configuration the Greedy search visits, the final merged
+// configuration, and explicit MergeOrdered pair merges. Metamorphic
+// invariants (Definition 1–3 well-formedness, prepared-vs-unprepared
+// agreement, Explain naming only configuration indexes) are checked
+// along the way.
+//
+// Sweep materializes indexes as it goes and leaves the database with
+// the last checked configuration materialized.
+func Sweep(dbName string, db *engine.Database, w *sql.Workload, opt SweepOptions) (*Report, error) {
+	opt.defaults()
+	rep := &Report{DB: dbName, Queries: w.Len()}
+
+	// Reference answers are configuration-independent: compute once.
+	refs := make([]*Result, w.Len())
+	for i, q := range w.Queries {
+		ref, err := Reference(db, q.Stmt)
+		if err != nil {
+			return nil, fmt.Errorf("oracle: reference evaluation of %q: %w", q.Stmt, err)
+		}
+		refs[i] = ref
+	}
+
+	opz := optimizer.New(db)
+	pw, err := opz.PrepareWorkload(w)
+	if err != nil {
+		return nil, err
+	}
+
+	// Initial configuration, the paper's §4.2.3 seed.
+	adv := advisor.New(db, opz)
+	initialDefs, err := advisor.BuildInitialConfiguration(adv, w, opt.InitialIndexes, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	initial := core.NewConfiguration(initialDefs)
+
+	// Greedy merge search with a recording checker.
+	baseCost, err := opz.WorkloadCostPrepared(pw, optimizer.Configuration(initialDefs))
+	if err != nil {
+		return nil, err
+	}
+	inner := core.NewOptimizerChecker(opz, w, baseCost, opt.CostConstraint)
+	inner.Prepared = pw
+	rec := &recordingChecker{inner: inner}
+	seek, err := core.ComputeSeekCostsPrepared(opz, pw, initial)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Greedy(initial, &core.MergePairCost{Seek: seek}, rec, db)
+	if err != nil {
+		return nil, err
+	}
+	rep.MergeSteps = len(res.Steps)
+
+	// Configurations to execute differentially: empty, initial, a
+	// seed-sampled subset of visited candidates, the final merged
+	// configuration, and explicit pairwise MergeOrdered results.
+	type namedConfig struct {
+		name string
+		cfg  *core.Configuration
+	}
+	configs := []namedConfig{
+		{"empty", core.NewConfiguration(nil)},
+		{"initial", initial},
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	for _, vi := range sampleIndexes(len(rec.visited), opt.MaxVisited, rng) {
+		configs = append(configs, namedConfig{fmt.Sprintf("visited[%d]", vi), rec.visited[vi]})
+		rep.VisitedSampled++
+	}
+	configs = append(configs, namedConfig{"final", res.Final})
+	for i, mc := range pairMergeConfigs(initial, opt.MaxPairMerges, rng) {
+		configs = append(configs, namedConfig{fmt.Sprintf("pair-merge[%d]", i), mc})
+	}
+
+	seen := map[string]bool{}
+	for _, nc := range configs {
+		sig := nc.cfg.Signature()
+		if seen[sig] {
+			continue
+		}
+		seen[sig] = true
+		rep.Configs++
+
+		// Metamorphic invariant: every configuration derived from the
+		// initial one by index-preserving merges must satisfy
+		// Definitions 1–3.
+		if nc.name != "empty" && nc.name != "initial" {
+			if err := core.ValidateMinimalMerged(initial, nc.cfg); err != nil {
+				rep.Violations = append(rep.Violations, Violation{
+					Kind:   "merge-invariant",
+					Config: configKeys(nc.cfg.Defs()),
+					Detail: fmt.Sprintf("%s: %v", nc.name, err),
+				})
+			}
+		}
+
+		vs, checks, err := CheckConfig(db, opz, pw, w, refs, nc.cfg.Defs())
+		if err != nil {
+			return nil, err
+		}
+		rep.Checks += checks
+		rep.Violations = append(rep.Violations, vs...)
+	}
+	return rep, nil
+}
+
+// CheckConfig materializes one configuration and differentially checks
+// every workload query under it: executed rows against the reference
+// answers, ORDER BY satisfaction, prepared-vs-unprepared plan
+// agreement, and the Explain invariant. pw and refs must parallel w's
+// queries; refs entries may be nil to skip the result diff.
+func CheckConfig(db *engine.Database, opz *optimizer.Optimizer, pw *optimizer.PreparedWorkload,
+	w *sql.Workload, refs []*Result, defs []catalog.IndexDef) ([]Violation, int, error) {
+
+	if err := db.Materialize(defs); err != nil {
+		return nil, 0, err
+	}
+	cfg := optimizer.Configuration(defs)
+	keys := configKeys(defs)
+	var out []Violation
+	checks := 0
+	for i, q := range w.Queries {
+		checks++
+		stmt := q.Stmt
+		add := func(kind, detail string) {
+			out = append(out, Violation{Kind: kind, Query: stmt.String(), Config: keys, Detail: detail})
+		}
+
+		plan, err := opz.Optimize(stmt, cfg)
+		if err != nil {
+			add("error", fmt.Sprintf("optimize: %v", err))
+			continue
+		}
+
+		// Explain invariant: a plan may only name configuration indexes.
+		for _, u := range plan.Uses {
+			if !defsContain(defs, u.Index) {
+				add("explain-unknown", fmt.Sprintf("plan %s-uses index %s not in configuration",
+					u.Mode, u.Index.Key()))
+			}
+		}
+
+		// Prepared invariant: prepared optimization must agree with
+		// unprepared in shape and cost (and hence in answer).
+		if pw != nil && i < len(pw.Queries) {
+			pplan, perr := opz.OptimizePrepared(pw.Queries[i], cfg)
+			switch {
+			case perr != nil:
+				add("prepared-mismatch", fmt.Sprintf("prepared optimize failed: %v", perr))
+			case pplan.Explain() != plan.Explain():
+				add("prepared-mismatch", fmt.Sprintf("plans differ:\nprepared:\n%s\nunprepared:\n%s",
+					pplan.Explain(), plan.Explain()))
+			case pplan.Cost != plan.Cost:
+				add("prepared-mismatch", fmt.Sprintf("costs differ: prepared %v, unprepared %v",
+					pplan.Cost, plan.Cost))
+			}
+		}
+
+		got, err := exec.Run(db, plan)
+		if err != nil {
+			add("error", fmt.Sprintf("exec: %v\nplan:\n%s", err, plan.Explain()))
+			continue
+		}
+		if refs != nil && refs[i] != nil {
+			if diff := DiffResults(refs[i], got); diff != "" {
+				add("result-diff", diff+"\nplan:\n"+plan.Explain())
+			}
+		}
+		if msg := checkOrdered(got, stmt.OrderBy); msg != "" {
+			add("order", msg+"\nplan:\n"+plan.Explain())
+		}
+	}
+	return out, checks, nil
+}
+
+// DiffResults compares a reference answer against an executed result
+// as a column-list equality plus a row multiset equality. It returns
+// "" when they agree, else a description of the first divergence.
+// Floats are compared at reduced precision to absorb accumulation-
+// order differences between plans.
+func DiffResults(want *Result, got *exec.Result) string {
+	if len(want.Columns) != len(got.Columns) {
+		return fmt.Sprintf("column counts differ: reference %v, executed %v", want.Columns, got.Columns)
+	}
+	for i := range want.Columns {
+		if want.Columns[i] != got.Columns[i] {
+			return fmt.Sprintf("column %d differs: reference %q, executed %q", i, want.Columns[i], got.Columns[i])
+		}
+	}
+	if len(want.Rows) != len(got.Rows) {
+		return fmt.Sprintf("row counts differ: reference %d, executed %d", len(want.Rows), len(got.Rows))
+	}
+	counts := make(map[string]int, len(want.Rows))
+	for _, r := range want.Rows {
+		counts[encodeRow(r)]++
+	}
+	for _, r := range got.Rows {
+		k := encodeRow(r)
+		counts[k]--
+		if counts[k] < 0 {
+			return fmt.Sprintf("executed row %s not in reference answer (or too many copies)", k)
+		}
+	}
+	// Counts sum to zero and never went negative, so they are all zero.
+	return ""
+}
+
+// encodeRow renders a row canonically for multiset comparison. Floats
+// are formatted at 6 significant digits so sums accumulated in
+// different orders by different plans still encode identically.
+func encodeRow(r value.Row) string {
+	var b strings.Builder
+	for i, v := range r {
+		if i > 0 {
+			b.WriteByte('\x00')
+		}
+		if v.Kind() == value.Float {
+			fmt.Fprintf(&b, "%.6g", v.Float())
+		} else {
+			b.WriteString(v.String())
+		}
+	}
+	return b.String()
+}
+
+// checkOrdered verifies executed rows satisfy the ORDER BY keys. Keys
+// not present in the output columns cannot be checked from the result
+// alone and are skipped.
+func checkOrdered(res *exec.Result, keys []sql.OrderItem) string {
+	if len(keys) == 0 || len(res.Rows) < 2 {
+		return ""
+	}
+	type keyIdx struct {
+		idx  int
+		desc bool
+	}
+	var kis []keyIdx
+	for _, k := range keys {
+		idx := -1
+		for i, c := range res.Columns {
+			if c == k.Col.String() || c == k.Col.Column || strings.HasSuffix(c, "."+k.Col.Column) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return "" // key not in output; ordering unobservable
+		}
+		kis = append(kis, keyIdx{idx: idx, desc: k.Desc})
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		for _, ki := range kis {
+			c := res.Rows[i-1][ki.idx].Compare(res.Rows[i][ki.idx])
+			if ki.desc {
+				c = -c
+			}
+			if c < 0 {
+				break // strictly ordered on this key
+			}
+			if c > 0 {
+				return fmt.Sprintf("rows %d and %d violate ORDER BY", i-1, i)
+			}
+		}
+	}
+	return ""
+}
+
+// pairMergeConfigs builds configurations that replace one same-table
+// pair of the initial configuration with its index-preserving
+// MergeOrdered result — the metamorphic subjects for "a merged
+// configuration answers every query its parents did".
+func pairMergeConfigs(initial *core.Configuration, max int, rng *rand.Rand) []*core.Configuration {
+	var pairs [][2]*core.Index
+	for i, a := range initial.Indexes {
+		for _, b := range initial.Indexes[i+1:] {
+			if a.Def.Table == b.Def.Table {
+				pairs = append(pairs, [2]*core.Index{a, b})
+			}
+		}
+	}
+	rng.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
+	if len(pairs) > max {
+		pairs = pairs[:max]
+	}
+	var out []*core.Configuration
+	for _, p := range pairs {
+		m, err := core.MergeOrdered(p[0], p[1])
+		if err != nil {
+			continue
+		}
+		out = append(out, initial.ReplacePair(p[0], p[1], m))
+	}
+	return out
+}
+
+// sampleIndexes picks up to max distinct indexes from [0, n), sorted.
+func sampleIndexes(n, max int, rng *rand.Rand) []int {
+	if n <= max {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	perm := rng.Perm(n)[:max]
+	sort.Ints(perm)
+	return perm
+}
+
+func configKeys(defs []catalog.IndexDef) []string {
+	out := make([]string, len(defs))
+	for i, d := range defs {
+		out[i] = d.Key()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func defsContain(defs []catalog.IndexDef, d catalog.IndexDef) bool {
+	for _, e := range defs {
+		if e.Key() == d.Key() {
+			return true
+		}
+	}
+	return false
+}
+
+// BuildDB constructs one of the built-in experimental databases by
+// name — the same names cmd/idxmerge and the repro format use.
+func BuildDB(name string, scale float64, seed int64) (*engine.Database, error) {
+	switch name {
+	case "tpcd":
+		return datagen.BuildTPCD(datagen.ScaledTPCD(scale), seed)
+	case "synthetic1":
+		spec := datagen.Synthetic1Spec()
+		spec.RowsPer = int(float64(spec.RowsPer) * scale)
+		spec.Seed += seed
+		return datagen.BuildSynthetic(spec)
+	case "synthetic2":
+		spec := datagen.Synthetic2Spec()
+		spec.RowsPer = int(float64(spec.RowsPer) * scale)
+		spec.Seed += seed
+		return datagen.BuildSynthetic(spec)
+	}
+	return nil, fmt.Errorf("oracle: unknown database %q (want tpcd, synthetic1 or synthetic2)", name)
+}

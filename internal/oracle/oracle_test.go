@@ -1,0 +1,291 @@
+package oracle
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"indexmerge/internal/datagen"
+	"indexmerge/internal/engine"
+	"indexmerge/internal/exec"
+	"indexmerge/internal/optimizer"
+	"indexmerge/internal/sql"
+	"indexmerge/internal/workload"
+)
+
+func tinyTPCD(t testing.TB) *engine.Database {
+	t.Helper()
+	db, err := datagen.BuildTPCD(datagen.ScaledTPCD(0.05), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func tinySynthetic2(t testing.TB) *engine.Database {
+	t.Helper()
+	spec := datagen.Synthetic2Spec()
+	spec.RowsPer = 300
+	spec.Seed += 42
+	db, err := datagen.BuildSynthetic(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func genWorkload(t testing.TB, db *engine.Database, n int, seed int64) *sql.Workload {
+	t.Helper()
+	w, err := workload.Generate(db, workload.Options{Class: workload.Complex, Queries: n, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestReferenceMatchesExecNoIndexes cross-validates the reference
+// evaluator against the executor on unindexed plans: two independent
+// implementations of the same semantics over many generated queries.
+func TestReferenceMatchesExecNoIndexes(t *testing.T) {
+	db := tinyTPCD(t)
+	w := genWorkload(t, db, 20, 7)
+	opz := optimizer.New(db)
+	for _, q := range w.Queries {
+		ref, err := Reference(db, q.Stmt)
+		if err != nil {
+			t.Fatalf("reference %q: %v", q.Stmt, err)
+		}
+		plan, err := opz.Optimize(q.Stmt, nil)
+		if err != nil {
+			t.Fatalf("optimize %q: %v", q.Stmt, err)
+		}
+		got, err := exec.Run(db, plan)
+		if err != nil {
+			t.Fatalf("exec %q: %v", q.Stmt, err)
+		}
+		if diff := DiffResults(ref, got); diff != "" {
+			t.Errorf("%q: %s", q.Stmt, diff)
+		}
+	}
+}
+
+// TestReferenceHandWrittenQueries pins reference semantics on queries
+// with known answers.
+func TestReferenceHandWrittenQueries(t *testing.T) {
+	db := tinyTPCD(t)
+	cases := []struct {
+		query string
+		check func(t *testing.T, r *Result)
+	}{
+		{
+			// COUNT(*) over a whole table equals its row count.
+			query: "SELECT COUNT(*) FROM region",
+			check: func(t *testing.T, r *Result) {
+				if len(r.Rows) != 1 || r.Rows[0][0].Int() != db.TableRowCount("region") {
+					t.Errorf("got %v, want [[%d]]", r.Rows, db.TableRowCount("region"))
+				}
+			},
+		},
+		{
+			// An always-false range yields no rows, but a scalar
+			// aggregate over it still yields one.
+			query: "SELECT COUNT(o_orderkey) FROM orders WHERE o_orderkey < -1",
+			check: func(t *testing.T, r *Result) {
+				if len(r.Rows) != 1 || r.Rows[0][0].Int() != 0 {
+					t.Errorf("got %v, want [[0]]", r.Rows)
+				}
+			},
+		},
+		{
+			// A join with its equality predicate must only pair
+			// matching keys.
+			query: "SELECT o_orderkey, c_custkey FROM orders, customer WHERE o_custkey = c_custkey AND c_custkey <= 3",
+			check: func(t *testing.T, r *Result) {
+				if len(r.Rows) == 0 {
+					t.Error("expected join matches")
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		stmt, err := sql.ParseSelect(tc.query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := stmt.Resolve(db.Schema()); err != nil {
+			t.Fatal(err)
+		}
+		r, err := Reference(db, stmt)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.query, err)
+		}
+		tc.check(t, r)
+	}
+}
+
+// TestSweepTPCD runs the full differential sweep on a tiny TPC-D and
+// expects a clean report: no result diffs, no invariant violations.
+func TestSweepTPCD(t *testing.T) {
+	db := tinyTPCD(t)
+	w := genWorkload(t, db, 10, 13)
+	rep, err := Sweep("tpcd", db, w, SweepOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("%s", v)
+	}
+	if rep.Configs < 3 || rep.Checks < rep.Configs*w.Len() {
+		t.Errorf("sweep too shallow: %+v", rep)
+	}
+}
+
+// TestSweepSynthetic2 does the same on the paper's Synthetic2 schema.
+func TestSweepSynthetic2(t *testing.T) {
+	db := tinySynthetic2(t)
+	w := genWorkload(t, db, 8, 29)
+	rep, err := Sweep("synthetic2", db, w, SweepOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("%s", v)
+	}
+}
+
+// TestDiffResultsDetectsDivergence makes sure the differ is not
+// vacuously green: perturbed results must be flagged.
+func TestDiffResultsDetectsDivergence(t *testing.T) {
+	db := tinyTPCD(t)
+	stmt, err := sql.ParseSelect("SELECT c_custkey, c_name FROM customer ORDER BY c_custkey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stmt.Resolve(db.Schema()); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Reference(db, stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opz := optimizer.New(db)
+	plan, err := opz.Optimize(stmt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := exec.Run(db, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := DiffResults(ref, got); diff != "" {
+		t.Fatalf("unexpected baseline diff: %s", diff)
+	}
+	// Drop a row.
+	mut := &exec.Result{Columns: got.Columns, Rows: got.Rows[1:]}
+	if DiffResults(ref, mut) == "" {
+		t.Error("dropped row not detected")
+	}
+	// Duplicate a row (same cardinality, different multiset).
+	rows := append(append(got.Rows[:0:0], got.Rows[1:]...), got.Rows[1])
+	if DiffResults(ref, &exec.Result{Columns: got.Columns, Rows: rows}) == "" {
+		t.Error("duplicated row not detected")
+	}
+	// Rename a column.
+	cols := append(append([]string(nil), got.Columns[1:]...), "bogus")
+	if DiffResults(ref, &exec.Result{Columns: cols, Rows: got.Rows}) == "" {
+		t.Error("column rename not detected")
+	}
+}
+
+// TestReproRoundTripAndMinimize exercises the repro file format: a
+// synthetic violation marshals, parses back identically, replays clean
+// (no divergence on a healthy build), and Minimize leaves a
+// non-reproducing repro unchanged.
+func TestReproRoundTripAndMinimize(t *testing.T) {
+	r := &Repro{
+		DB: "tpcd", Scale: 0.05, Seed: 42,
+		Config: [][2]string{{"orders", "o_custkey,o_orderkey"}, {"lineitem", "l_orderkey"}},
+		Query:  "SELECT o_orderkey, c_custkey FROM orders, customer WHERE o_custkey = c_custkey AND c_custkey <= 3",
+	}
+	parsed, err := ParseRepro(r.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.DB != r.DB || parsed.Scale != r.Scale || parsed.Seed != r.Seed ||
+		parsed.Query != r.Query || len(parsed.Config) != len(r.Config) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", parsed, r)
+	}
+	v, err := parsed.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		t.Fatalf("healthy build reproduced a violation: %s", v)
+	}
+	min, err := Minimize(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(min.Config) != len(parsed.Config) {
+		t.Errorf("Minimize shrank a non-reproducing repro")
+	}
+}
+
+// TestReplayCheckedInRepros replays every repro under testdata/repro.
+// These are the minimized witnesses of bugs found while building the
+// oracle; a healthy build must not reproduce any of them.
+func TestReplayCheckedInRepros(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "repro", "*.repro"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no checked-in repro files")
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			data, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := ParseRepro(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, err := r.Check()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v != nil {
+				t.Errorf("repro still reproduces: %s", v)
+			}
+		})
+	}
+}
+
+// TestParseReproRejectsGarbage covers the parser's error paths.
+func TestParseReproRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"not a repro",
+		"oracle repro v1\nquery SELECT 1",                        // missing db
+		"oracle repro v1\ndb tpcd scale=0.05 seed=1",             // missing query
+		"oracle repro v1\ndb tpcd\nindex broken\nquery SELECT 1", // malformed index
+		"oracle repro v1\ndb tpcd bogus=1\nquery SELECT 1",       // unknown attribute
+		"oracle repro v1\ndb tpcd\nwat is this\nquery SELECT 1",  // unknown line
+	}
+	for _, src := range bad {
+		if _, err := ParseRepro([]byte(src)); err == nil {
+			t.Errorf("ParseRepro accepted %q", src)
+		}
+	}
+	ok := "oracle repro v1\n# comment\ndb tpcd scale=0.05 seed=9\nindex region(r_regionkey)\nquery SELECT r_regionkey FROM region\n"
+	r, err := ParseRepro([]byte(ok))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Seed != 9 || len(r.Config) != 1 || !strings.Contains(r.Query, "region") {
+		t.Errorf("parsed repro wrong: %+v", r)
+	}
+}

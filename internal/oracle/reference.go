@@ -1,0 +1,421 @@
+// Package oracle is an execution-backed correctness harness for the
+// what-if optimizer and the merge search. It answers the question the
+// paper takes on faith: do the plans the optimizer picks — under the
+// initial configuration, under every configuration the search visits,
+// and under the final merged configuration — actually compute the
+// right rows?
+//
+// The harness has three parts: a naive reference evaluator
+// (this file) that computes query answers straight off the AST with
+// full scans and nested loops, sharing no code with the planner or the
+// plan interpreter; a differential sweep (oracle.go) that diffs
+// exec.Run row-multisets against the reference and checks metamorphic
+// invariants over merged configurations; and a replayable repro-file
+// format (repro.go) for any divergence found, including by the fuzz
+// targets (fuzz_test.go).
+package oracle
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"indexmerge/internal/engine"
+	"indexmerge/internal/sql"
+	"indexmerge/internal/storage"
+	"indexmerge/internal/value"
+)
+
+// ErrBudget is returned by ReferenceBudget when evaluating a query
+// would exceed the row-combination budget. Fuzz targets skip such
+// inputs instead of hanging the worker on an unselective cross join.
+var ErrBudget = errors.New("oracle: reference evaluation budget exceeded")
+
+// Result is a materialized reference answer. Rows carry no meaningful
+// order unless the query has ORDER BY — callers compare multisets and
+// check ordering separately.
+type Result struct {
+	Columns []string
+	Rows    []value.Row
+}
+
+// Reference evaluates a resolved SELECT with full table scans and
+// nested-loop joins directly over the database's heaps. It is
+// deliberately independent of the optimizer and executor: no plan
+// nodes, no indexes, no cost estimates — only the SQL semantics the
+// engine defines (NULL fails every predicate, null join keys never
+// match, BETWEEN is inclusive, aggregates skip NULLs).
+func Reference(db *engine.Database, stmt *sql.SelectStmt) (*Result, error) {
+	return reference(db, stmt, 0)
+}
+
+// ReferenceBudget is Reference with a cap on the number of row
+// combinations the nested loop may visit (0 means unlimited). When the
+// cap is exceeded it returns ErrBudget. Fuzz targets use it so a
+// generated query that is an unselective cross join — correct but
+// quadratic-or-worse — cannot stall a fuzz worker past its hang
+// timeout.
+func ReferenceBudget(db *engine.Database, stmt *sql.SelectStmt, maxOps int64) (*Result, error) {
+	return reference(db, stmt, maxOps)
+}
+
+func reference(db *engine.Database, stmt *sql.SelectStmt, maxOps int64) (*Result, error) {
+	tables := stmt.TablesReferenced()
+
+	// Load each table's rows, filtered by its own restriction
+	// predicates up front (a conjunction commutes, so pre-filtering is
+	// just the naive loop with its iterations reordered).
+	schema := make([]sql.ColumnRef, 0, 8)
+	offsets := make(map[string]int, len(tables))
+	filtered := make([][]value.Row, len(tables))
+	for ti, tname := range tables {
+		t, ok := db.Schema().Table(tname)
+		if !ok {
+			return nil, fmt.Errorf("oracle: unknown table %q", tname)
+		}
+		offsets[tname] = len(schema)
+		for _, c := range t.Columns {
+			schema = append(schema, sql.ColumnRef{Table: tname, Column: c.Name})
+		}
+		h, err := db.Heap(tname)
+		if err != nil {
+			return nil, err
+		}
+		preds := stmt.PredicatesOn(tname)
+		var rows []value.Row
+		var perr error
+		h.Scan(func(_ storage.RowID, r value.Row) bool {
+			keep := true
+			for _, p := range preds {
+				ok, err := refPredicate(t.ColumnIndex(p.Col.Column), r, p)
+				if err != nil {
+					perr = err
+					return false
+				}
+				if !ok {
+					keep = false
+					break
+				}
+			}
+			if keep {
+				rows = append(rows, r)
+			}
+			return true
+		})
+		if perr != nil {
+			return nil, perr
+		}
+		filtered[ti] = rows
+	}
+
+	// Index join predicates by the later of their two tables, so each
+	// one is applied as soon as the nested loop has bound both sides.
+	type joinCheck struct {
+		li, ri int // combined-schema ordinals
+	}
+	joinsAt := make([][]joinCheck, len(tables))
+	pos := func(tname string) int {
+		for i, t := range tables {
+			if t == tname {
+				return i
+			}
+		}
+		return -1
+	}
+	for _, j := range stmt.Joins {
+		li := colOffset(db, offsets, j.Left)
+		ri := colOffset(db, offsets, j.Right)
+		if li < 0 || ri < 0 {
+			return nil, fmt.Errorf("oracle: join %s references unknown column", j)
+		}
+		lp, rp := pos(j.Left.Table), pos(j.Right.Table)
+		later := lp
+		if rp > later {
+			later = rp
+		}
+		joinsAt[later] = append(joinsAt[later], joinCheck{li: li, ri: ri})
+	}
+
+	// Nested loops in FROM order over the pre-filtered rows.
+	var matched []value.Row
+	var ops int64
+	combined := make(value.Row, len(schema))
+	var descend func(depth int) bool
+	descend = func(depth int) bool {
+		if depth == len(tables) {
+			matched = append(matched, combined.Clone())
+			return true
+		}
+		base := offsets[tables[depth]]
+	rows:
+		for _, r := range filtered[depth] {
+			ops++
+			if maxOps > 0 && ops > maxOps {
+				return false
+			}
+			copy(combined[base:base+len(r)], r)
+			for _, jc := range joinsAt[depth] {
+				l, r := combined[jc.li], combined[jc.ri]
+				// SQL equality: NULL = anything is not true.
+				if l.IsNull() || r.IsNull() || l.Compare(r) != 0 {
+					continue rows
+				}
+			}
+			if !descend(depth + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	if !descend(0) {
+		return nil, ErrBudget
+	}
+
+	hasAgg := len(stmt.GroupBy) > 0
+	for _, it := range stmt.Select {
+		if it.Agg != sql.AggNone {
+			hasAgg = true
+		}
+	}
+	if hasAgg {
+		return refAggregate(schema, matched, stmt)
+	}
+	return refProject(schema, matched, stmt)
+}
+
+// refPredicate evaluates one restriction predicate against a single
+// table row (ci is the column's ordinal in that row).
+func refPredicate(ci int, r value.Row, p sql.Predicate) (bool, error) {
+	if ci < 0 {
+		return false, fmt.Errorf("oracle: column %s not in table", p.Col)
+	}
+	v := r[ci]
+	if v.IsNull() {
+		return false, nil // three-valued logic: NULL fails predicates
+	}
+	switch p.Op {
+	case sql.OpEq:
+		return v.Compare(p.Val) == 0, nil
+	case sql.OpNe:
+		return v.Compare(p.Val) != 0, nil
+	case sql.OpLt:
+		return v.Compare(p.Val) < 0, nil
+	case sql.OpLe:
+		return v.Compare(p.Val) <= 0, nil
+	case sql.OpGt:
+		return v.Compare(p.Val) > 0, nil
+	case sql.OpGe:
+		return v.Compare(p.Val) >= 0, nil
+	case sql.OpBetween:
+		return v.Compare(p.Lo) >= 0 && v.Compare(p.Hi) <= 0, nil
+	}
+	return false, fmt.Errorf("oracle: unsupported operator %v", p.Op)
+}
+
+// colOffset maps a qualified column reference to its ordinal in the
+// combined nested-loop schema.
+func colOffset(db *engine.Database, offsets map[string]int, c sql.ColumnRef) int {
+	base, ok := offsets[c.Table]
+	if !ok {
+		return -1
+	}
+	t, ok := db.Schema().Table(c.Table)
+	if !ok {
+		return -1
+	}
+	ci := t.ColumnIndex(c.Column)
+	if ci < 0 {
+		return -1
+	}
+	return base + ci
+}
+
+// refColIndex finds a qualified reference in the combined schema.
+func refColIndex(schema []sql.ColumnRef, ref sql.ColumnRef) int {
+	for i, c := range schema {
+		if c.Column == ref.Column && (ref.Table == "" || c.Table == ref.Table) {
+			return i
+		}
+	}
+	return -1
+}
+
+// refProject narrows matched rows to the select list.
+func refProject(schema []sql.ColumnRef, rows []value.Row, stmt *sql.SelectStmt) (*Result, error) {
+	res := &Result{}
+	idx := make([]int, len(stmt.Select))
+	for i, it := range stmt.Select {
+		ci := refColIndex(schema, it.Col)
+		if ci < 0 {
+			return nil, fmt.Errorf("oracle: projected column %s not in scope", it.Col)
+		}
+		idx[i] = ci
+		res.Columns = append(res.Columns, it.Col.String())
+	}
+	for _, r := range rows {
+		out := make(value.Row, len(idx))
+		for i, ci := range idx {
+			out[i] = r[ci]
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	return res, nil
+}
+
+// refAcc accumulates one aggregate, reimplementing the engine's
+// semantics from the spec: COUNT(*) counts rows, other aggregates skip
+// NULLs, SUM over integer kinds stays integral, AVG is always a float,
+// and a scalar aggregate over no rows still yields one row.
+type refAcc struct {
+	fn       sql.AggFunc
+	count    int64
+	sum      float64
+	intKind  bool
+	min, max value.Value
+}
+
+func (a *refAcc) add(v value.Value) {
+	if a.fn == sql.AggCountStar {
+		a.count++
+		return
+	}
+	if v.IsNull() {
+		return
+	}
+	a.count++
+	a.intKind = v.Kind() == value.Int || v.Kind() == value.Date
+	a.sum += v.Float()
+	if a.min.IsNull() || v.Compare(a.min) < 0 {
+		a.min = v
+	}
+	if a.max.IsNull() || v.Compare(a.max) > 0 {
+		a.max = v
+	}
+}
+
+func (a *refAcc) result() value.Value {
+	switch a.fn {
+	case sql.AggCount, sql.AggCountStar:
+		return value.NewInt(a.count)
+	case sql.AggSum:
+		if a.count == 0 {
+			return value.NewNull()
+		}
+		if a.intKind {
+			return value.NewInt(int64(a.sum))
+		}
+		return value.NewFloat(a.sum)
+	case sql.AggAvg:
+		if a.count == 0 {
+			return value.NewNull()
+		}
+		return value.NewFloat(a.sum / float64(a.count))
+	case sql.AggMin:
+		return a.min
+	case sql.AggMax:
+		return a.max
+	}
+	return value.NewNull()
+}
+
+// refAggregate groups matched rows by the GROUP BY columns and
+// evaluates the select list's aggregates per group.
+func refAggregate(schema []sql.ColumnRef, rows []value.Row, stmt *sql.SelectStmt) (*Result, error) {
+	groupIdx := make([]int, len(stmt.GroupBy))
+	for i, g := range stmt.GroupBy {
+		ci := refColIndex(schema, g)
+		if ci < 0 {
+			return nil, fmt.Errorf("oracle: group column %s not in scope", g)
+		}
+		groupIdx[i] = ci
+	}
+	itemIdx := make([]int, len(stmt.Select))
+	res := &Result{}
+	for i, it := range stmt.Select {
+		switch it.Agg {
+		case sql.AggCountStar:
+			itemIdx[i] = -1
+			res.Columns = append(res.Columns, it.String())
+		case sql.AggNone:
+			// Plain select items must be grouped.
+			gi := -1
+			for g, gcol := range stmt.GroupBy {
+				if gcol == it.Col {
+					gi = g
+					break
+				}
+			}
+			if gi < 0 {
+				return nil, fmt.Errorf("oracle: select column %s is not grouped", it.Col)
+			}
+			itemIdx[i] = gi // index into the group key
+			res.Columns = append(res.Columns, it.Col.String())
+		default:
+			ci := refColIndex(schema, it.Col)
+			if ci < 0 {
+				return nil, fmt.Errorf("oracle: aggregate input %s not in scope", it.Col)
+			}
+			itemIdx[i] = ci
+			res.Columns = append(res.Columns, it.String())
+		}
+	}
+
+	type group struct {
+		key  value.Row
+		accs []*refAcc
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for _, r := range rows {
+		var kb strings.Builder
+		for _, gi := range groupIdx {
+			kb.WriteString(r[gi].String())
+			kb.WriteByte('\x00')
+		}
+		k := kb.String()
+		g := groups[k]
+		if g == nil {
+			key := make(value.Row, len(groupIdx))
+			for i, gi := range groupIdx {
+				key[i] = r[gi]
+			}
+			g = &group{key: key, accs: make([]*refAcc, len(stmt.Select))}
+			for i, it := range stmt.Select {
+				g.accs[i] = &refAcc{fn: it.Agg, min: value.NewNull(), max: value.NewNull()}
+			}
+			groups[k] = g
+			order = append(order, k)
+		}
+		for i, it := range stmt.Select {
+			switch it.Agg {
+			case sql.AggNone:
+			case sql.AggCountStar:
+				g.accs[i].add(value.NewNull())
+			default:
+				g.accs[i].add(r[itemIdx[i]])
+			}
+		}
+	}
+	// A scalar aggregate over empty input still yields one row.
+	if len(groups) == 0 && len(stmt.GroupBy) == 0 {
+		g := &group{accs: make([]*refAcc, len(stmt.Select))}
+		for i, it := range stmt.Select {
+			g.accs[i] = &refAcc{fn: it.Agg, min: value.NewNull(), max: value.NewNull()}
+		}
+		groups[""] = g
+		order = append(order, "")
+	}
+	for _, k := range order {
+		g := groups[k]
+		out := make(value.Row, len(stmt.Select))
+		for i, it := range stmt.Select {
+			if it.Agg == sql.AggNone {
+				out[i] = g.key[itemIdx[i]]
+			} else {
+				out[i] = g.accs[i].result()
+			}
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	return res, nil
+}

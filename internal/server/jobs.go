@@ -65,8 +65,17 @@ type Job struct {
 }
 
 // setProgress publishes a search progress snapshot for polling.
+// Progress is monotone: snapshots arriving after the job reached a
+// terminal state, or reporting less work than already published, are
+// dropped — a poller must never observe progress moving backwards.
 func (j *Job) setProgress(p ProgressPayload) {
 	j.mu.Lock()
+	if j.state.terminal() ||
+		p.CostEvaluations < j.progress.CostEvaluations ||
+		p.Steps < j.progress.Steps {
+		j.mu.Unlock()
+		return
+	}
 	j.progress = p
 	j.mu.Unlock()
 }
@@ -338,8 +347,18 @@ func (m *Manager) runJob(j *Job) {
 		return
 	}
 
+	// Transition Queued → Running under the lock, and only if the job
+	// is still live. Cancel may have finished the job while this worker
+	// waited for the session lock (acquire can win its select even with
+	// a canceled context); overwriting that terminal state here would
+	// resurrect a canceled job — state regressing to "running", a
+	// second terminal transition, and double-counted metrics.
 	now := time.Now()
 	j.mu.Lock()
+	if j.state.terminal() {
+		j.mu.Unlock()
+		return
+	}
 	j.state = JobRunning
 	j.startedAt = &now
 	j.mu.Unlock()

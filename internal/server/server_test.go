@@ -622,3 +622,189 @@ func TestParallelClients(t *testing.T) {
 		}
 	}
 }
+
+// TestCancelAfterCompletionReportsDone pins the cancel/complete
+// interplay: cancelling a job that already finished must report the
+// actual terminal state (done), not cancelled, and must not disturb
+// the recorded progress or timestamps.
+func TestCancelAfterCompletionReportsDone(t *testing.T) {
+	h := newTestServer(t, Config{})
+	h.newSession(t, "s")
+	id := h.submitJob(t, "s")
+	done := h.waitTerminal(t, id)
+	if done.State != string(JobDone) {
+		t.Fatalf("job finished %s, want done", done.State)
+	}
+
+	var st JobStatus
+	h.mustCall(t, "POST", "/v1/jobs/"+id+"/cancel", nil, &st, http.StatusAccepted)
+	if st.State != string(JobDone) {
+		t.Fatalf("cancel of a completed job reported %s, want done", st.State)
+	}
+	h.mustCall(t, "GET", "/v1/jobs/"+id, nil, &st, http.StatusOK)
+	if st.State != string(JobDone) || st.Error != "" {
+		t.Fatalf("status after late cancel = %s (%q), want done", st.State, st.Error)
+	}
+	if st.Progress != done.Progress {
+		t.Errorf("progress changed after late cancel: %+v -> %+v", done.Progress, st.Progress)
+	}
+	if st.FinishedAt == nil || !st.FinishedAt.Equal(*done.FinishedAt) {
+		t.Errorf("finishedAt changed after late cancel: %v -> %v", done.FinishedAt, st.FinishedAt)
+	}
+	// The terminal result is still the done payload.
+	var res JobResult
+	h.mustCall(t, "GET", "/v1/jobs/"+id+"/result", nil, &res, http.StatusOK)
+	if res.State != string(JobDone) || res.Merge == nil {
+		t.Fatalf("result after late cancel = %+v", res)
+	}
+}
+
+// TestCanceledQueuedJobNeverResurrects reproduces the job-status race:
+// a second worker blocks in the session-lock wait while job1 runs;
+// job2 is canceled in that window (terminal, metrics counted); then
+// job1 finishes and frees the lock. acquire's select may still hand
+// the lock to the canceled job — before the fix the worker then
+// overwrote the terminal state with "running" (status regression) and
+// finished the job a second time (double-counted metrics). The
+// canceled job must stay canceled, never report running or a start
+// time, and count exactly once in the canceled metric.
+func TestCanceledQueuedJobNeverResurrects(t *testing.T) {
+	for i := 0; i < 5; i++ {
+		t.Run(fmt.Sprintf("round-%d", i), func(t *testing.T) {
+			h := newTestServer(t, Config{Workers: 2, QueueCap: 8})
+			sig, release := gateHook(h.srv)
+			defer release()
+			h.newSession(t, "s")
+
+			id1 := h.submitJob(t, "s")
+			select {
+			case <-sig:
+			case <-time.After(30 * time.Second):
+				t.Fatal("job1 never reported progress")
+			}
+			// job1 is running and holds the session lock; job2's worker
+			// will block inside acquire.
+			id2 := h.submitJob(t, "s")
+			time.Sleep(20 * time.Millisecond) // let worker 2 reach acquire
+			var st JobStatus
+			h.mustCall(t, "POST", "/v1/jobs/"+id2+"/cancel", nil, &st, http.StatusAccepted)
+			if st.State != string(JobCanceled) {
+				t.Fatalf("cancel reported %s, want canceled", st.State)
+			}
+
+			release()
+			if st1 := h.waitTerminal(t, id1); st1.State != string(JobDone) {
+				t.Fatalf("job1 finished %s, want done", st1.State)
+			}
+			// The session lock is now free; give the blocked worker time
+			// to (wrongly) take it. job2 must remain canceled throughout.
+			deadline := time.Now().Add(300 * time.Millisecond)
+			for time.Now().Before(deadline) {
+				h.mustCall(t, "GET", "/v1/jobs/"+id2, nil, &st, http.StatusOK)
+				if st.State != string(JobCanceled) {
+					t.Fatalf("canceled job resurrected to %s", st.State)
+				}
+				if st.StartedAt != nil {
+					t.Fatalf("canceled job acquired a start time: %v", st.StartedAt)
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+
+			resp, err := h.ts.Client().Get(h.ts.URL + "/metrics")
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			text := string(body)
+			if !strings.Contains(text, `idxmerged_jobs_total{state="canceled"} 1`) {
+				t.Errorf("canceled metric != 1 (double-counted terminal transition):\n%s",
+					grepLines(text, "idxmerged_jobs_total"))
+			}
+			if !strings.Contains(text, `idxmerged_jobs_total{state="done"} 1`) {
+				t.Errorf("done metric != 1:\n%s", grepLines(text, "idxmerged_jobs_total"))
+			}
+		})
+	}
+}
+
+// grepLines returns the lines of text containing substr.
+func grepLines(text, substr string) string {
+	var out []string
+	for _, l := range strings.Split(text, "\n") {
+		if strings.Contains(l, substr) {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// TestRunJobDoesNotResurrectJobCanceledDuringAcquire pins the exact
+// interleaving behind the resurrection race deterministically: a job
+// reaches a terminal state while its worker is parked in
+// Session.acquire waiting for the session lock, and the lock then
+// frees up. acquire's select can take the lock even though the job is
+// already finished; runJob must notice and bail instead of flipping
+// the job back to running.
+func TestRunJobDoesNotResurrectJobCanceledDuringAcquire(t *testing.T) {
+	m := &Manager{
+		metrics: NewMetrics(),
+		log:     slog.New(slog.NewTextHandler(io.Discard, nil)),
+		jobs:    make(map[string]*Job),
+	}
+	sess := &Session{name: "s", lock: make(chan struct{}, 1)}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	ran := make(chan struct{}, 1)
+	j := &Job{
+		id:      "job-x",
+		kind:    "merge",
+		session: sess,
+		ctx:     ctx,
+		cancel:  cancel,
+		run: func(context.Context, *Job) (*JobResult, error) {
+			ran <- struct{}{}
+			return &JobResult{}, nil
+		},
+		state:     JobQueued,
+		createdAt: time.Now(),
+	}
+
+	// Another job holds the session lock, so runJob parks in acquire.
+	sess.lock <- struct{}{}
+	go func() {
+		// While the worker waits: the job reaches a terminal state
+		// (as Manager.Cancel's queued branch does), then the lock owner
+		// releases. Not canceling ctx forces acquire to take the lock —
+		// the worst-case resolution of acquire's select race.
+		time.Sleep(20 * time.Millisecond)
+		j.mu.Lock()
+		now := time.Now()
+		j.state = JobCanceled
+		j.errMsg = context.Canceled.Error()
+		j.finishedAt = &now
+		j.mu.Unlock()
+		sess.release()
+	}()
+
+	m.runJob(j)
+
+	select {
+	case <-ran:
+		t.Fatal("resurrected: run executed after the job was canceled")
+	default:
+	}
+	st := j.Status()
+	if st.State != string(JobCanceled) {
+		t.Fatalf("state = %q, want %q", st.State, JobCanceled)
+	}
+	if st.StartedAt != nil {
+		t.Fatalf("StartedAt = %v, want nil (job never ran)", st.StartedAt)
+	}
+	// The session lock must have been released on the bail-out path.
+	if !sess.tryAcquire() {
+		t.Fatal("session lock leaked by the terminal-state bail-out")
+	}
+	sess.release()
+}

@@ -211,6 +211,15 @@ func (cs *ColumnStats) SelectivityEq(v value.Value) float64 {
 	if b == nil {
 		return clamp01(cs.Density())
 	}
+	if b.Distinct == 1 && v.Compare(b.Hi) != 0 {
+		// Singleton (end-biased) bucket: it holds exactly its boundary
+		// value. Buckets partition the sorted values, so any other value
+		// mapped into this bucket's span does not occur in the data;
+		// crediting it with the heavy hitter's mass would overestimate
+		// wildly (and made exclusive range bounds subtract rows that
+		// were never counted).
+		return 0
+	}
 	rows := b.Rows / math.Max(b.Distinct, 1)
 	return clamp01(rows / cs.RowCount)
 }
@@ -226,12 +235,26 @@ func (cs *ColumnStats) SelectivityRange(lo, hi value.Value, loIncl, hiIncl bool)
 	if nonNull <= 0 {
 		return 0
 	}
+	// Empty interval (lo > hi, or lo == hi with either end open).
+	if !lo.IsNull() && !hi.IsNull() {
+		if c := lo.Compare(hi); c > 0 || (c == 0 && !(loIncl && hiIncl)) {
+			return 0
+		}
+	}
 	var rows float64
 	prevHi := cs.Min
 	first := true
 	for _, b := range cs.Buckets {
-		bLo := prevHi
-		frac := bucketOverlap(bLo, b.Hi, lo, hi, first)
+		var frac float64
+		if b.Distinct == 1 {
+			// Singleton bucket (end-biased heavy hitter): all of its rows
+			// sit exactly at b.Hi, so it contributes all or nothing;
+			// interpolating it over (prevHi, Hi] would smear a point mass
+			// across values that do not exist.
+			frac = pointInRange(b.Hi, lo, hi)
+		} else {
+			frac = bucketOverlap(prevHi, b.Hi, lo, hi, first)
+		}
 		rows += b.Rows * frac
 		prevHi = b.Hi
 		first = false
@@ -247,7 +270,35 @@ func (cs *ColumnStats) SelectivityRange(lo, hi value.Value, loIncl, hiIncl bool)
 	if rows < 0 {
 		rows = 0
 	}
+	// An inclusive bound selects at least that value's own rows.
+	// Interpolation degenerates to zero width at the histogram ends
+	// (x <= Min, x >= Max) and for point ranges (BETWEEN v AND v), so
+	// floor the estimate with the boundary's equality mass.
+	// SelectivityEq is 0 outside [Min, Max], so out-of-range bounds
+	// never inflate the estimate.
+	if loIncl && !lo.IsNull() {
+		if eq := cs.RowCount * cs.SelectivityEq(lo); rows < eq {
+			rows = eq
+		}
+	}
+	if hiIncl && !hi.IsNull() {
+		if eq := cs.RowCount * cs.SelectivityEq(hi); rows < eq {
+			rows = eq
+		}
+	}
 	return clamp01(rows / cs.RowCount)
+}
+
+// pointInRange reports (as 0 or 1) whether v lies in [lo, hi], with a
+// Null bound open on that side.
+func pointInRange(v, lo, hi value.Value) float64 {
+	if !lo.IsNull() && v.Compare(lo) < 0 {
+		return 0
+	}
+	if !hi.IsNull() && v.Compare(hi) > 0 {
+		return 0
+	}
+	return 1
 }
 
 const defaultRangeSel = 1.0 / 3.0

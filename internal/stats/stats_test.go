@@ -217,6 +217,136 @@ func TestBucketBoundariesDontSplitValues(t *testing.T) {
 	}
 }
 
+// trueRangeSel computes the exact fraction of vals inside the interval.
+func trueRangeSel(vals []value.Value, lo, hi value.Value, loIncl, hiIncl bool) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range vals {
+		if v.IsNull() {
+			continue
+		}
+		if !lo.IsNull() {
+			c := v.Compare(lo)
+			if c < 0 || (c == 0 && !loIncl) {
+				continue
+			}
+		}
+		if !hi.IsNull() {
+			c := v.Compare(hi)
+			if c > 0 || (c == 0 && !hiIncl) {
+				continue
+			}
+		}
+		n++
+	}
+	return float64(n) / float64(len(vals))
+}
+
+// TestSelectivityRangeBoundaries pins the half-open/closed interval
+// handling of SelectivityRange at bucket edges, Min/Max, and on
+// singleton (heavy-hitter) buckets. Each case mirrors how the
+// optimizer maps an operator onto bounds: < is (null,v) open, <= is
+// (null,v] closed, >= is [v,null), BETWEEN is [lo,hi] closed.
+func TestSelectivityRangeBoundaries(t *testing.T) {
+	null := value.NewNull()
+	iv := value.NewInt
+
+	sequential := make([]value.Value, 0, 1000)
+	for i := int64(1); i <= 1000; i++ {
+		sequential = append(sequential, iv(i))
+	}
+	heavy := make([]value.Value, 0, 10000)
+	for i := 0; i < 9000; i++ {
+		heavy = append(heavy, iv(500))
+	}
+	for i := int64(0); i < 1000; i++ {
+		heavy = append(heavy, iv(i))
+	}
+	few := make([]value.Value, 0, 300)
+	for _, v := range []int64{10, 20, 30} {
+		for i := 0; i < 100; i++ {
+			few = append(few, iv(v))
+		}
+	}
+
+	datasets := []struct {
+		name    string
+		vals    []value.Value
+		buckets int
+	}{
+		{"sequential", sequential, 16},
+		{"heavyHitter", heavy, 32},
+		{"fewDistinct", few, 64},
+	}
+	for _, ds := range datasets {
+		cs := Build(ds.vals, BuildOptions{Buckets: ds.buckets})
+		min, max := cs.Min.Int(), cs.Max.Int()
+		cases := []struct {
+			name           string
+			lo, hi         value.Value
+			loIncl, hiIncl bool
+			tol            float64
+		}{
+			{"lt-min", null, iv(min), false, false, 0},   // x < Min = 0
+			{"le-min", null, iv(min), false, true, 0.01}, // x <= Min
+			{"lt-min-plus1", null, iv(min + 1), false, false, 0.01},
+			{"ge-max", iv(max), null, true, false, 0.01}, // x >= Max
+			{"gt-max", iv(max), null, false, false, 0},   // x > Max = 0
+			{"gt-max-minus1", iv(max - 1), null, false, false, 0.01},
+			{"between-min-min", iv(min), iv(min), true, true, 0.01},
+			{"between-max-max", iv(max), iv(max), true, true, 0.01},
+			{"between-mid-mid", iv((min + max) / 2), iv((min + max) / 2), true, true, 0.01},
+			{"between-full", iv(min), iv(max), true, true, 0.02},
+			{"inverted", iv(max), iv(min), true, true, 0},
+			{"open-point", iv((min + max) / 2), iv((min + max) / 2), false, true, 0.01},
+		}
+		for _, c := range cases {
+			got := cs.SelectivityRange(c.lo, c.hi, c.loIncl, c.hiIncl)
+			if got < 0 || got > 1 {
+				t.Errorf("%s/%s: selectivity %v outside [0,1]", ds.name, c.name, got)
+			}
+			want := trueRangeSel(ds.vals, c.lo, c.hi, c.loIncl, c.hiIncl)
+			if c.tol == 0 {
+				if got != want {
+					t.Errorf("%s/%s: got %v, want exactly %v", ds.name, c.name, got, want)
+				}
+			} else if math.Abs(got-want) > c.tol {
+				t.Errorf("%s/%s: got %v, want ≈%v (±%v)", ds.name, c.name, got, want, c.tol)
+			}
+		}
+
+		// A heavy hitter's point range must reflect its full mass.
+		if ds.name == "heavyHitter" {
+			got := cs.SelectivityRange(iv(500), iv(500), true, true)
+			if got < 0.85 {
+				t.Errorf("heavy point range = %v, want ≈0.9", got)
+			}
+		}
+
+		// Sweep the domain: closed bounds can never select less than the
+		// matching open bounds, and everything stays in [0,1].
+		for v := min - 2; v <= max+2; v++ {
+			lt := cs.SelectivityRange(null, iv(v), false, false)
+			le := cs.SelectivityRange(null, iv(v), false, true)
+			gt := cs.SelectivityRange(iv(v), null, false, false)
+			ge := cs.SelectivityRange(iv(v), null, true, false)
+			for _, s := range []float64{lt, le, gt, ge} {
+				if s < 0 || s > 1 {
+					t.Fatalf("%s: selectivity at %d outside [0,1]: %v", ds.name, v, s)
+				}
+			}
+			if le < lt {
+				t.Errorf("%s: sel(x<=%d)=%v < sel(x<%d)=%v", ds.name, v, le, v, lt)
+			}
+			if ge < gt {
+				t.Errorf("%s: sel(x>=%d)=%v < sel(x>%d)=%v", ds.name, v, ge, v, gt)
+			}
+		}
+	}
+}
+
 func TestTableStatsColumn(t *testing.T) {
 	ts := &TableStats{Columns: map[string]*ColumnStats{"a": {RowCount: 10}}}
 	if ts.Column("a") == nil {
