@@ -34,6 +34,7 @@ import (
 	"indexmerge/internal/advisor"
 	"indexmerge/internal/datagen"
 	"indexmerge/internal/engine"
+	"indexmerge/internal/faults"
 	"indexmerge/internal/optimizer"
 	"indexmerge/internal/server"
 	"indexmerge/internal/sql"
@@ -55,7 +56,18 @@ func main() {
 	dualBudget := flag.Float64("dual", 0, "solve the Cost-Minimal dual instead: storage budget as a fraction of the initial configuration (e.g. 0.5)")
 	parallel := flag.Int("parallel", 1, "concurrent candidate costings per search step (0 = GOMAXPROCS); results are identical for any value")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON on stdout (the idxmerged job-result schema) and progress JSON lines on stderr")
+	resilient := flag.Bool("resilient", false, "retry transient costing faults and degrade to the analytic model on persistent optimizer failure (results carry a degraded flag)")
+	faultRules := flag.String("faults", "", "deterministic fault-injection rules, semicolon-separated (chaos testing; see internal/faults)")
 	flag.Parse()
+
+	if *faultRules != "" {
+		rules, err := faults.ParseRules(*faultRules)
+		if err != nil {
+			fatal(err)
+		}
+		faults.Install(rules...)
+		fmt.Fprintf(os.Stderr, "idxmerge: fault injection armed (%d rules)\n", len(rules))
+	}
 
 	if *parallel <= 0 {
 		*parallel = runtime.GOMAXPROCS(0)
@@ -123,6 +135,9 @@ func main() {
 	}
 
 	opts := indexmerge.MergeOptions{CostConstraint: *constraint, Parallelism: *parallel}
+	if *resilient {
+		opts.Resilience = &indexmerge.ResilienceOptions{}
+	}
 	switch *mergePair {
 	case "syntactic":
 		opts.MergePair = indexmerge.MergePairSyntactic
@@ -156,6 +171,11 @@ func main() {
 	} else {
 		fmt.Printf("\nmerge result (%s / %s / %s, constraint %.0f%%):\n%s",
 			*mergePair, *search, *costModel, *constraint*100, res.Report())
+		if res.Degraded {
+			fmt.Printf("WARNING: degraded result — optimizer costing failed persistently; "+
+				"decisions fell back to the analytic cost model (retries=%d, degraded_checks=%d)\n",
+				res.Retries, res.DegradedChecks)
+		}
 	}
 
 	if *explain && !*jsonOut {

@@ -9,10 +9,17 @@
 // Usage:
 //
 //	idxmerged [-addr :7781] [-workers 2] [-queue 8] [-cache 1048576]
-//	          [-drain-timeout 30s]
+//	          [-drain-timeout 30s] [-journal path] [-faults rules]
 //
 // SIGINT/SIGTERM drain gracefully: the listener stops, queued and
 // running jobs get -drain-timeout to finish, then are canceled.
+//
+// With -journal, state-changing requests are appended (fsynced) to a
+// JSONL journal and replayed on the next start: sessions and
+// workloads are rebuilt deterministically and jobs interrupted by a
+// crash reappear as failed with an explicit recovery reason. -faults
+// installs deterministic fault-injection rules (see internal/faults)
+// for chaos testing.
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"indexmerge/internal/faults"
 	"indexmerge/internal/server"
 )
 
@@ -36,16 +44,43 @@ func main() {
 	queue := flag.Int("queue", 8, "pending job queue capacity (submissions beyond it get 429)")
 	cacheMax := flag.Int("cache", 1<<20, "per-session what-if cost cache bound, entries (0 = unbounded)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget for in-flight jobs")
+	journalPath := flag.String("journal", "", "session/job journal file (empty = no durability)")
+	faultRules := flag.String("faults", "", "fault-injection rules, semicolon-separated (chaos testing)")
 	flag.Parse()
 
 	log := slog.New(slog.NewJSONHandler(os.Stderr, nil))
-	srv := server.New(server.Config{
+	if *faultRules != "" {
+		rules, err := faults.ParseRules(*faultRules)
+		if err != nil {
+			log.Error("bad -faults", "error", err)
+			os.Exit(2)
+		}
+		faults.Install(rules...)
+		log.Warn("fault injection armed", "rules", len(rules))
+	}
+	srv, err := server.New(server.Config{
 		Workers:         *workers,
 		QueueCap:        *queue,
 		CacheMaxEntries: *cacheMax,
 		Logger:          log,
+		JournalPath:     *journalPath,
 	})
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	if err != nil {
+		log.Error("startup", "error", err)
+		os.Exit(1)
+	}
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: srv.Handler(),
+		// Slowloris and stuck-client protection: bound how long a
+		// request may take to arrive and how long idle keep-alives
+		// hang around. No WriteTimeout — job submission is async, so
+		// responses are small and fast, but /metrics under load should
+		// not be cut off mid-body.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

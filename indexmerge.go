@@ -25,6 +25,7 @@ import (
 	"io"
 	"strings"
 	"sync"
+	"time"
 
 	"indexmerge/internal/advisor"
 	"indexmerge/internal/catalog"
@@ -78,6 +79,9 @@ type (
 	// prepared fast paths consume); see Merger.PreparedWorkload and
 	// MergeOptions.Prepared.
 	PreparedWorkload = optimizer.PreparedWorkload
+	// CostBreaker is the circuit breaker the resilient costing path
+	// consults; see MergeOptions.Resilience.
+	CostBreaker = core.Breaker
 )
 
 // NewCostCache builds a what-if cost cache that can be shared across
@@ -209,6 +213,36 @@ type MergeOptions struct {
 	// jobs). When nil, the merger prepares lazily and caches the
 	// result. Results are byte-identical either way.
 	Prepared *PreparedWorkload
+	// Resilience, when non-nil, hardens optimizer-backed costing:
+	// transient failures are retried with backoff, permanent failures
+	// trip a circuit breaker and degrade decisions to the external
+	// analytic model (§3.5.2) instead of failing the search — the
+	// result then carries Degraded. Ignored by the No-Cost model
+	// (which never consults a cost function).
+	Resilience *ResilienceOptions
+}
+
+// ResilienceOptions configures the fault-tolerant costing path; the
+// zero value selects the defaults documented on core.ResilientChecker
+// (2 retries, 2ms initial backoff, no per-attempt deadline).
+type ResilienceOptions struct {
+	// MaxRetries bounds transient retries per constraint check
+	// (default 2; negative disables retries).
+	MaxRetries int
+	// Backoff is the first retry's delay, doubling per retry
+	// (default 2ms).
+	Backoff time.Duration
+	// AttemptTimeout, when positive, deadlines each costing attempt;
+	// overruns are retried like transient faults.
+	AttemptTimeout time.Duration
+	// Breaker, when non-nil, shares a circuit breaker across runs (the
+	// advisor service keeps one per session). When nil each run gets a
+	// private breaker.
+	Breaker *CostBreaker
+	// NoDegraded disables the external-model fallback: exhausted
+	// retries then fail the search with a typed error instead of
+	// degrading.
+	NoDegraded bool
 }
 
 // Merger runs index merging for one database + workload.
@@ -271,6 +305,21 @@ type MergeResult struct {
 	FinalCost   float64
 	// Bound is the cost upper bound U (0 for the No-Cost model).
 	Bound float64
+	// Degraded reports that at least one constraint decision (or the
+	// final cost estimate) was served by the external analytic model
+	// because the optimizer-backed path kept failing: the result is
+	// best-effort and carries no optimizer cost guarantee. Always
+	// false without MergeOptions.Resilience.
+	Degraded bool
+	// Retries counts transient costing failures the resilient path
+	// absorbed (0 without Resilience).
+	Retries int64
+	// DegradedChecks counts constraint decisions served by the
+	// external model (0 without Resilience).
+	DegradedChecks int64
+	// PanicsRecovered counts costing panics converted to typed errors
+	// (0 without Resilience).
+	PanicsRecovered int64
 }
 
 // CostIncrease is the fractional workload cost growth.
@@ -332,11 +381,18 @@ func (m *Merger) merge(ctx context.Context, initial *core.Configuration, opts Me
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	out := &MergeResult{}
 	pw, err := m.preparedFor(&opts)
 	if err != nil {
 		return nil, err
 	}
-	baseCost, err := m.opt.WorkloadCostPrepared(pw, optimizer.Configuration(initial.Defs()))
+	// Pre-search costing (the baseline and seek-cost attribution) rides
+	// the same retry budget as constraint checks. It cannot degrade: the
+	// external fallback is calibrated against this very baseline, so a
+	// persistent failure here is surfaced as the typed error.
+	baseCost, err := resilientEval(opts.Resilience, out, func() (float64, error) {
+		return m.opt.WorkloadCostPrepared(pw, optimizer.Configuration(initial.Defs()))
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -358,7 +414,9 @@ func (m *Merger) merge(ctx context.Context, initial *core.Configuration, opts Me
 	case MergePairExhaustive:
 		mp = &core.MergePairExhaustive{Server: m.opt, W: m.w, Base: initial, Prepared: pw}
 	default:
-		seek, err := core.ComputeSeekCostsPrepared(m.opt, pw, initial)
+		seek, err := resilientEval(opts.Resilience, out, func() (*core.SeekCosts, error) {
+			return core.ComputeSeekCostsPrepared(m.opt, pw, initial)
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -368,6 +426,8 @@ func (m *Merger) merge(ctx context.Context, initial *core.Configuration, opts Me
 	// Cost evaluation strategy.
 	var check core.ConstraintChecker
 	var bound float64
+	var resilient *core.ResilientChecker
+	var ext *core.ExternalCostModel
 	switch opts.CostModel {
 	case NoCost:
 		check = &core.NoCostChecker{F: opts.NoCostF, P: opts.NoCostP, Tables: m.db}
@@ -377,10 +437,15 @@ func (m *Merger) merge(ctx context.Context, initial *core.Configuration, opts Me
 		inner.Cache = opts.CostCache
 		inner.KeyNamespace = opts.CacheNamespace
 		inner.Prepared = pw
-		ext := &core.ExternalCostModel{Meta: m.db, W: m.w}
+		ext = &core.ExternalCostModel{Meta: m.db, W: m.w}
 		ext.SetBaseline(initial)
-		check = &core.PrefilteredChecker{External: ext, Inner: inner, SlackPct: opts.CostConstraint}
+		pre := &core.PrefilteredChecker{External: ext, Inner: inner, SlackPct: opts.CostConstraint}
+		check = pre
 		bound = inner.U
+		if opts.Resilience != nil {
+			resilient = opts.Resilience.wrap(pre, ext, opts.CostConstraint)
+			check = resilient
+		}
 	default:
 		inner := core.NewOptimizerChecker(m.opt, m.w, baseCost, opts.CostConstraint)
 		inner.Parallelism = opts.Parallelism
@@ -389,6 +454,12 @@ func (m *Merger) merge(ctx context.Context, initial *core.Configuration, opts Me
 		inner.Prepared = pw
 		check = inner
 		bound = inner.U
+		if opts.Resilience != nil {
+			ext = &core.ExternalCostModel{Meta: m.db, W: m.w}
+			ext.SetBaseline(initial)
+			resilient = opts.Resilience.wrap(inner, ext, opts.CostConstraint)
+			check = resilient
+		}
 	}
 
 	// Search strategy.
@@ -402,11 +473,119 @@ func (m *Merger) merge(ctx context.Context, initial *core.Configuration, opts Me
 		return nil, err
 	}
 
-	finalCost, err := m.opt.WorkloadCostPrepared(pw, optimizer.Configuration(res.Final.Defs()))
+	out.SearchResult = res
+	out.InitialCost = baseCost
+	out.Bound = bound
+	if resilient != nil {
+		out.Degraded = out.Degraded || resilient.Degraded()
+		out.Retries += resilient.Retries()
+		out.DegradedChecks += resilient.DegradedChecks()
+		out.PanicsRecovered += resilient.PanicsRecovered()
+	}
+	finalCost, err := m.finalCostResilient(pw, res.Final, opts.Resilience, ext, baseCost, out)
 	if err != nil {
 		return nil, err
 	}
-	return &MergeResult{SearchResult: res, InitialCost: baseCost, FinalCost: finalCost, Bound: bound}, nil
+	out.FinalCost = finalCost
+	return out, nil
+}
+
+// finalCostResilient computes Cost(W, C_final). Without resilience it
+// is a plain prepared workload costing. With resilience, transient
+// failures are retried with the configured budget; if the optimizer
+// stays unavailable (and degraded mode is allowed), the final cost is
+// estimated by scaling the optimizer baseline with the external
+// model's relative change — baseCost × ext(final)/ext(initial) — and
+// the result is flagged Degraded.
+func (m *Merger) finalCostResilient(pw *PreparedWorkload, final *core.Configuration, ro *ResilienceOptions, ext *core.ExternalCostModel, baseCost float64, out *MergeResult) (float64, error) {
+	cfg := optimizer.Configuration(final.Defs())
+	if ro == nil {
+		return m.opt.WorkloadCostPrepared(pw, cfg)
+	}
+	c, err := resilientEval(ro, out, func() (float64, error) {
+		return m.opt.WorkloadCostPrepared(pw, cfg)
+	})
+	if err == nil {
+		return c, nil
+	}
+	if !ro.NoDegraded && ext != nil && ext.BaselineCost() > 0 {
+		out.Degraded = true
+		out.DegradedChecks++
+		return baseCost * ext.WorkloadCost(final) / ext.BaselineCost(), nil
+	}
+	return 0, err
+}
+
+// resilientEval runs one costing computation under the resilience
+// policy: panics become *core.PanicError, transient failures are
+// retried with exponential backoff up to the configured budget, and
+// the result's Retries/PanicsRecovered counters account for what was
+// absorbed. With ro == nil it is a transparent call — panics and
+// errors propagate exactly as before.
+func resilientEval[T any](ro *ResilienceOptions, out *MergeResult, fn func() (T, error)) (T, error) {
+	if ro == nil {
+		return fn()
+	}
+	maxRetries := ro.MaxRetries
+	if maxRetries == 0 {
+		maxRetries = 2
+	}
+	if maxRetries < 0 {
+		maxRetries = 0
+	}
+	backoff := ro.Backoff
+	if backoff <= 0 {
+		backoff = 2 * time.Millisecond
+	}
+	attemptOnce := func() (v T, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = &core.PanicError{Value: r}
+				out.PanicsRecovered++
+			}
+		}()
+		return fn()
+	}
+	var zero T
+	var lastErr error
+	for attempt := 0; attempt <= maxRetries; attempt++ {
+		v, err := attemptOnce()
+		if err == nil {
+			return v, nil
+		}
+		lastErr = err
+		if !core.IsTransient(err) {
+			break
+		}
+		if attempt < maxRetries {
+			out.Retries++
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+	}
+	return zero, lastErr
+}
+
+// wrap builds the core checker for one run from the options.
+func (ro *ResilienceOptions) wrap(inner interface {
+	core.ConstraintChecker
+	core.ContextChecker
+}, ext *core.ExternalCostModel, slackPct float64) *core.ResilientChecker {
+	rc := &core.ResilientChecker{
+		Inner:          inner,
+		SlackPct:       slackPct,
+		MaxRetries:     ro.MaxRetries,
+		Backoff:        ro.Backoff,
+		AttemptTimeout: ro.AttemptTimeout,
+		Breaker:        ro.Breaker,
+	}
+	if !ro.NoDegraded {
+		rc.External = ext
+	}
+	if rc.Breaker == nil {
+		rc.Breaker = &core.Breaker{}
+	}
+	return rc
 }
 
 // DualResult reports a Cost-Minimal (dual) merging run.

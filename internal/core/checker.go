@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -334,6 +335,9 @@ func (c *OptimizerChecker) queryKey(qi int, groups map[string]string) string {
 // evalMisses runs eval for every missed query index, concurrently when
 // Parallelism > 1. On failure it returns the error of the
 // smallest-indexed failing query, matching serial evaluation order.
+// Each evaluation runs through safeEval, so a panicking cost server
+// fails one constraint check (as a typed *PanicError) instead of
+// killing a worker goroutine — and with it the process.
 func (c *OptimizerChecker) evalMisses(misses []int, eval func(int) error) error {
 	workers := c.Parallelism
 	if workers > len(misses) {
@@ -341,7 +345,7 @@ func (c *OptimizerChecker) evalMisses(misses []int, eval func(int) error) error 
 	}
 	if workers <= 1 {
 		for _, qi := range misses {
-			if err := eval(qi); err != nil {
+			if err := safeEval(eval, qi); err != nil {
 				return err
 			}
 		}
@@ -359,7 +363,7 @@ func (c *OptimizerChecker) evalMisses(misses []int, eval func(int) error) error 
 				if i >= len(misses) {
 					return
 				}
-				errs[i] = eval(misses[i])
+				errs[i] = safeEval(eval, misses[i])
 			}
 		}()
 	}
@@ -370,6 +374,19 @@ func (c *OptimizerChecker) evalMisses(misses []int, eval func(int) error) error 
 		}
 	}
 	return nil
+}
+
+// safeEval converts a panic during one per-query evaluation into a
+// *PanicError. Crucially this runs on the goroutine that calls eval —
+// parallel costing workers included — which is the only place a
+// recover can catch it.
+func safeEval(eval func(int) error, qi int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return eval(qi)
 }
 
 // checkScratch is pooled per-constraint-check state: the per-query key

@@ -16,6 +16,8 @@ import (
 	"hash/maphash"
 	"sync"
 	"sync/atomic"
+
+	"indexmerge/internal/faults"
 )
 
 // DefaultShards is the shard count used when New is given n <= 0.
@@ -108,6 +110,9 @@ func (c *Cache) Get(key string) (float64, bool) {
 // any shard lock held, so it may be arbitrarily expensive. Errors are
 // propagated to every waiter and are not cached — a later Do retries.
 func (c *Cache) Do(key string, fn func() (float64, error)) (float64, error) {
+	if err := faults.Inject(faults.CostCacheDo); err != nil {
+		return 0, err
+	}
 	s := c.shard(key)
 	s.mu.RLock()
 	v, ok := s.vals[key]
@@ -134,17 +139,40 @@ func (c *Cache) Do(key string, fn func() (float64, error)) (float64, error) {
 	s.mu.Unlock()
 
 	c.misses.Add(1)
+	// Finalize in a defer so a panicking fn cannot leak the in-flight
+	// entry: without this, every later Do for the key would block on
+	// done forever. Waiters see ErrComputePanicked (transient — the
+	// entry is not cached, so a retry recomputes); the panic itself
+	// keeps unwinding the computing goroutine.
+	finished := false
+	defer func() {
+		if !finished {
+			cl.val, cl.err = 0, ErrComputePanicked
+		}
+		s.mu.Lock()
+		if cl.err == nil {
+			c.insertLocked(s, key, cl.val)
+		}
+		delete(s.inflight, key)
+		s.mu.Unlock()
+		close(cl.done)
+	}()
 	cl.val, cl.err = fn()
-
-	s.mu.Lock()
-	if cl.err == nil {
-		c.insertLocked(s, key, cl.val)
-	}
-	delete(s.inflight, key)
-	s.mu.Unlock()
-	close(cl.done)
+	finished = true
 	return cl.val, cl.err
 }
+
+// panickedError is ErrComputePanicked's type; Transient marks it
+// retryable for the resilient costing path (the failed computation was
+// never cached, so retrying recomputes it).
+type panickedError struct{}
+
+func (panickedError) Error() string   { return "costcache: in-flight cost computation panicked" }
+func (panickedError) Transient() bool { return true }
+
+// ErrComputePanicked is returned to waiters that were sharing an
+// in-flight computation whose fn panicked.
+var ErrComputePanicked error = panickedError{}
 
 // insertLocked stores key, evicting the shard's oldest entries first
 // when the shard is at capacity. Caller holds s.mu.

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"indexmerge/internal/catalog"
+	"indexmerge/internal/faults"
 	"indexmerge/internal/stats"
 	"indexmerge/internal/storage"
 	"indexmerge/internal/value"
@@ -218,6 +219,7 @@ func (db *Database) AnalyzeAll() {
 
 // Analyze rebuilds statistics for one table.
 func (db *Database) Analyze(table string) {
+	faults.Hit(faults.StatsSample)
 	h, err := db.Heap(table)
 	if err != nil {
 		return

@@ -1,0 +1,156 @@
+package faults
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCountWindow(t *testing.T) {
+	defer Reset()
+	rs := Install(Rule{Point: OptimizerCost, Mode: ModeError, After: 2, Count: 3, Transient: true})
+	id := rs[0].ID
+
+	var errsSeen int
+	for i := 0; i < 10; i++ {
+		if err := Inject(OptimizerCost); err != nil {
+			errsSeen++
+			var fe *Error
+			if !errors.As(err, &fe) {
+				t.Fatalf("injected error is not *Error: %v", err)
+			}
+			if !fe.Transient() {
+				t.Fatalf("expected transient fault")
+			}
+			if i < 2 || i > 4 {
+				t.Fatalf("fault fired on call %d, want window [2,5)", i)
+			}
+		}
+	}
+	if errsSeen != 3 {
+		t.Fatalf("fired %d times, want 3", errsSeen)
+	}
+	if got := Fired(id); got != 3 {
+		t.Fatalf("Fired(%s) = %d, want 3", id, got)
+	}
+}
+
+func TestPointAddressing(t *testing.T) {
+	defer Reset()
+	Install(Rule{Point: StorageHeapGet, Mode: ModeError})
+	if err := Inject(OptimizerCost); err != nil {
+		t.Fatalf("rule on %s fired at %s", StorageHeapGet, OptimizerCost)
+	}
+	if err := Inject(StorageHeapGet); err == nil {
+		t.Fatalf("rule did not fire at its own point")
+	}
+}
+
+func TestHitSkipsErrorRules(t *testing.T) {
+	defer Reset()
+	rs := Install(Rule{Point: StatsSample, Mode: ModeError})
+	Hit(StatsSample) // must not panic, must not consume the window
+	if got := Fired(rs[0].ID); got != 0 {
+		t.Fatalf("error rule fired %d times at a Hit-only site", got)
+	}
+	if err := Inject(StatsSample); err == nil {
+		t.Fatalf("window consumed by Hit")
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	defer Reset()
+	Install(Rule{Point: CostCacheDo, Mode: ModePanic, Msg: "boom"})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic")
+		}
+		fe, ok := r.(*Error)
+		if !ok || !fe.Panicked {
+			t.Fatalf("panic value %v, want *Error with Panicked", r)
+		}
+	}()
+	_ = Inject(CostCacheDo)
+}
+
+func TestLatencyMode(t *testing.T) {
+	defer Reset()
+	Install(Rule{Point: OptimizerCost, Mode: ModeLatency, Latency: 20 * time.Millisecond})
+	start := time.Now()
+	if err := Inject(OptimizerCost); err != nil {
+		t.Fatalf("latency rule returned error: %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("no latency injected (took %v)", d)
+	}
+}
+
+func TestSeededProbDeterminism(t *testing.T) {
+	run := func() []bool {
+		defer Reset()
+		Install(Rule{Point: OptimizerCost, Mode: ModeError, Prob: 0.5, Seed: 42})
+		out := make([]bool, 40)
+		for i := range out {
+			out[i] = Inject(OptimizerCost) != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded probabilistic rule diverged at call %d", i)
+		}
+	}
+}
+
+func TestConcurrentInject(t *testing.T) {
+	defer Reset()
+	rs := Install(Rule{Point: OptimizerCost, Mode: ModeError, After: 50, Count: 25, Transient: true})
+	var wg sync.WaitGroup
+	var fired sync.Map
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if err := Inject(OptimizerCost); err != nil {
+					fired.Store([2]int{g, i}, true)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	n := 0
+	fired.Range(func(_, _ any) bool { n++; return true })
+	if n != 25 {
+		t.Fatalf("fired %d times under concurrency, want exactly 25", n)
+	}
+	if got := Fired(rs[0].ID); got != 25 {
+		t.Fatalf("Fired = %d, want 25", got)
+	}
+}
+
+func TestParseRules(t *testing.T) {
+	rs, err := ParseRules("point=optimizer.cost,mode=error,transient,after=3,count=2 ; mode=latency,latency=5ms,prob=0.25,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("parsed %d rules, want 2", len(rs))
+	}
+	r := rs[0]
+	if r.Point != OptimizerCost || r.Mode != ModeError || !r.Transient || r.After != 3 || r.Count != 2 {
+		t.Fatalf("rule 0 parsed wrong: %+v", r)
+	}
+	r = rs[1]
+	if r.Point != "" || r.Mode != ModeLatency || r.Latency != 5*time.Millisecond || r.Prob != 0.25 || r.Seed != 7 {
+		t.Fatalf("rule 1 parsed wrong: %+v", r)
+	}
+	for _, bad := range []string{"", "mode=nope", "after=x", "wat=1", "latency=zzz"} {
+		if _, err := ParseRules(bad); err == nil {
+			t.Errorf("ParseRules(%q) accepted", bad)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math/bits"
 	"sync"
 
+	"indexmerge/internal/faults"
 	"indexmerge/internal/sql"
 	"indexmerge/internal/storage"
 )
@@ -62,6 +63,9 @@ func (o *Optimizer) CostPrepared(pq *PreparedQuery, cfg Configuration) (float64,
 	}
 	o.invocations.Add(1)
 	o.preparedCalls.Add(1)
+	if err := faults.Inject(faults.OptimizerCost); err != nil {
+		return 0, err
+	}
 	if !pq.simple {
 		plan, err := o.planPrepared(pq, cfg)
 		if err != nil {

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sync/atomic"
 
+	"indexmerge/internal/faults"
 	"indexmerge/internal/sql"
 	"indexmerge/internal/storage"
 )
@@ -62,6 +63,9 @@ func (o *Optimizer) PreparedCallCount() int64 { return o.preparedCalls.Load() }
 // configuration. The statement must already be resolved.
 func (o *Optimizer) Optimize(stmt *sql.SelectStmt, cfg Configuration) (*Plan, error) {
 	o.invocations.Add(1)
+	if err := faults.Inject(faults.OptimizerCost); err != nil {
+		return nil, err
+	}
 	ctx, err := o.newContext(stmt, cfg)
 	if err != nil {
 		return nil, err

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sync"
 
+	"indexmerge/internal/faults"
 	"indexmerge/internal/sql"
 	"indexmerge/internal/storage"
 	"indexmerge/internal/value"
@@ -269,6 +270,9 @@ func (pq *PreparedQuery) checkFresh() error {
 func (o *Optimizer) OptimizePrepared(pq *PreparedQuery, cfg Configuration) (*Plan, error) {
 	o.invocations.Add(1)
 	o.preparedCalls.Add(1)
+	if err := faults.Inject(faults.OptimizerCost); err != nil {
+		return nil, err
+	}
 	if err := pq.checkFresh(); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,65 @@
+package oracle
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"indexmerge/internal/faults"
+)
+
+// TestReplayCheckedInReprosUnderLatencyFaults replays every checked-in
+// witness with latency faults armed on all injection points — storage
+// page reads, index seeks, heap scans, stats sampling and what-if
+// costing. Latency rules fire on the real hot paths but inject no
+// errors, so the replay must behave exactly like the fault-free one:
+// no witness may start reproducing (plans and row results unchanged).
+// This pins down that the fault wiring itself is behavior-neutral.
+func TestReplayCheckedInReprosUnderLatencyFaults(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "repro", "*.repro"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no checked-in repro files")
+	}
+
+	installed := faults.Install(
+		faults.Rule{ID: "lat-heap-get", Point: faults.StorageHeapGet, Mode: faults.ModeLatency, Latency: time.Microsecond, Count: 200},
+		faults.Rule{ID: "lat-heap-scan", Point: faults.StorageHeapScan, Mode: faults.ModeLatency, Latency: time.Microsecond, Count: 200},
+		faults.Rule{ID: "lat-seek", Point: faults.StorageIndexSeek, Mode: faults.ModeLatency, Latency: time.Microsecond, Count: 200},
+		faults.Rule{ID: "lat-stats", Point: faults.StatsSample, Mode: faults.ModeLatency, Latency: time.Microsecond, Count: 50},
+		faults.Rule{ID: "lat-cost", Point: faults.OptimizerCost, Mode: faults.ModeLatency, Latency: time.Microsecond, Count: 200},
+	)
+	defer faults.Reset()
+
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			data, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := ParseRepro(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, err := r.Check()
+			if err != nil {
+				t.Fatalf("replay under latency faults errored: %v", err)
+			}
+			if v != nil {
+				t.Errorf("latency faults changed behavior; witness reproduces: %s", v)
+			}
+		})
+	}
+
+	var fired int64
+	for _, r := range installed {
+		fired += faults.Fired(r.ID)
+	}
+	if fired == 0 {
+		t.Fatal("no latency fault fired; the wiring was not exercised")
+	}
+}

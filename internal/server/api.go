@@ -86,6 +86,15 @@ type MergeResultPayload struct {
 	OptimizerCalls      int64              `json:"optimizer_calls"`
 	ConfigsExplored     int64              `json:"configs_explored"`
 	ElapsedSeconds      float64            `json:"elapsed_seconds"`
+	// Degraded marks a best-effort result: at least one constraint
+	// decision (or the final cost) came from the external analytic
+	// model because the optimizer-backed costing path kept failing.
+	// All four fields are zero on a healthy run, so results from the
+	// resilient and plain paths are byte-identical when no fault fires.
+	Degraded        bool  `json:"degraded,omitempty"`
+	Retries         int64 `json:"retries,omitempty"`
+	DegradedChecks  int64 `json:"degraded_checks,omitempty"`
+	PanicsRecovered int64 `json:"panics_recovered,omitempty"`
 }
 
 func newSearchPayload(res *core.SearchResult) MergeResultPayload {
@@ -120,6 +129,10 @@ func NewMergeResultPayload(res *indexmerge.MergeResult) MergeResultPayload {
 	p.FinalCost = res.FinalCost
 	p.CostIncreasePct = 100 * res.CostIncrease()
 	p.Bound = res.Bound
+	p.Degraded = res.Degraded
+	p.Retries = res.Retries
+	p.DegradedChecks = res.DegradedChecks
+	p.PanicsRecovered = res.PanicsRecovered
 	return p
 }
 
@@ -228,6 +241,22 @@ type JobOptions struct {
 	// DualBudgetFrac, when > 0, solves the Cost-Minimal dual instead
 	// with a storage budget of this fraction of the initial bytes.
 	DualBudgetFrac float64 `json:"dual_budget_frac,omitempty"`
+	// Resilience tunes the fault-tolerant costing path. Jobs run with
+	// resilience ON by default (retries, per-session breaker, degraded
+	// fallback); set {"disable": true} to fail fast instead.
+	Resilience *ResilienceSpec `json:"resilience,omitempty"`
+}
+
+// ResilienceSpec is the wire form of indexmerge.ResilienceOptions.
+// Zero fields select the documented defaults.
+type ResilienceSpec struct {
+	Disable          bool `json:"disable,omitempty"`
+	MaxRetries       int  `json:"max_retries,omitempty"`
+	BackoffMS        int  `json:"backoff_ms,omitempty"`
+	AttemptTimeoutMS int  `json:"attempt_timeout_ms,omitempty"`
+	// NoDegraded disables the external-model fallback: persistent
+	// costing failures then fail the job instead of degrading it.
+	NoDegraded bool `json:"no_degraded,omitempty"`
 }
 
 // SubmitJobRequest submits an asynchronous job against a session.
@@ -256,6 +285,12 @@ type JobStatus struct {
 	CreatedAt  time.Time  `json:"created_at"`
 	StartedAt  *time.Time `json:"started_at,omitempty"`
 	FinishedAt *time.Time `json:"finished_at,omitempty"`
+	// Degraded mirrors the result payload's Degraded flag so pollers
+	// see best-effort outcomes without fetching the result.
+	Degraded bool `json:"degraded,omitempty"`
+	// Recovered marks a job restored from the journal after a restart
+	// rather than run by this process.
+	Recovered bool `json:"recovered,omitempty"`
 }
 
 // JobResult is a terminal job's payload.

@@ -6,6 +6,9 @@ import (
 	"fmt"
 	"log/slog"
 	"runtime"
+	"runtime/debug"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -42,10 +45,14 @@ var (
 
 // Job is one asynchronous tune/merge run against a session.
 type Job struct {
-	id       string
-	kind     string
-	session  *Session
-	workload string
+	id   string
+	kind string
+	// session is nil for jobs recovered from the journal (they are
+	// terminal and never touch a worker); sessionName is always set
+	// and is what Status reports.
+	session     *Session
+	sessionName string
+	workload    string
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -59,6 +66,8 @@ type Job struct {
 	progress   ProgressPayload
 	allocs     int64 // process-wide Mallocs delta across the run; approximate
 	result     *JobResult
+	degraded   bool // result carries the Degraded flag
+	recovered  bool // restored from the journal, not run by this process
 	createdAt  time.Time
 	startedAt  *time.Time
 	finishedAt *time.Time
@@ -87,7 +96,7 @@ func (j *Job) Status() JobStatus {
 	return JobStatus{
 		ID:         j.id,
 		Kind:       j.kind,
-		Session:    j.session.name,
+		Session:    j.sessionName,
 		Workload:   j.workload,
 		State:      string(j.state),
 		Error:      j.errMsg,
@@ -96,6 +105,8 @@ func (j *Job) Status() JobStatus {
 		CreatedAt:  j.createdAt,
 		StartedAt:  j.startedAt,
 		FinishedAt: j.finishedAt,
+		Degraded:   j.degraded,
+		Recovered:  j.recovered,
 	}
 }
 
@@ -150,6 +161,10 @@ type Manager struct {
 	// progressHook, when non-nil, is invoked synchronously after every
 	// progress snapshot. Tests use it to pace searches deterministically.
 	progressHook func(jobID string, p ProgressPayload)
+
+	// onEnd, when non-nil, is invoked once per job after it reaches a
+	// terminal state; the server journals the transition there.
+	onEnd func(st JobStatus)
 }
 
 // NewManager starts workers goroutines consuming a queue of queueCap
@@ -188,15 +203,16 @@ func (m *Manager) Submit(kind string, sess *Session, workloadName string,
 
 	jctx, jcancel := context.WithCancel(m.baseCtx)
 	j := &Job{
-		id:        fmt.Sprintf("job-%d", m.nextID.Add(1)),
-		kind:      kind,
-		session:   sess,
-		workload:  workloadName,
-		ctx:       jctx,
-		cancel:    jcancel,
-		run:       run,
-		state:     JobQueued,
-		createdAt: time.Now(),
+		id:          fmt.Sprintf("job-%d", m.nextID.Add(1)),
+		kind:        kind,
+		session:     sess,
+		sessionName: sess.name,
+		workload:    workloadName,
+		ctx:         jctx,
+		cancel:      jcancel,
+		run:         run,
+		state:       JobQueued,
+		createdAt:   time.Now(),
 	}
 
 	m.mu.Lock()
@@ -265,6 +281,9 @@ func (m *Manager) Cancel(id string) (JobStatus, bool) {
 		j.finishedAt = &now
 		j.mu.Unlock()
 		m.metrics.observeJobEnd(JobCanceled, 0, 0, 0)
+		if m.onEnd != nil {
+			m.onEnd(j.Status())
+		}
 	} else {
 		j.mu.Unlock()
 	}
@@ -371,7 +390,7 @@ func (m *Manager) runJob(j *Job) {
 	var msBefore runtime.MemStats
 	runtime.ReadMemStats(&msBefore)
 
-	result, err := j.run(j.ctx, j)
+	result, err := m.safeRun(j)
 	elapsed := time.Since(now).Seconds()
 
 	var msAfter runtime.MemStats
@@ -387,6 +406,17 @@ func (m *Manager) runJob(j *Job) {
 		state = JobDone
 		result.ID = j.id
 		result.State = string(JobDone)
+		if mp := result.Merge; mp != nil {
+			j.mu.Lock()
+			j.degraded = mp.Degraded
+			j.mu.Unlock()
+			m.metrics.costingRetries.Add(mp.Retries)
+			m.metrics.costingDegraded.Add(mp.DegradedChecks)
+			m.metrics.costingPanics.Add(mp.PanicsRecovered)
+			if mp.Degraded {
+				m.metrics.degradedJobs.Add(1)
+			}
+		}
 		j.finish(JobDone, "", result)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		state = JobCanceled
@@ -399,7 +429,81 @@ func (m *Manager) runJob(j *Job) {
 	st := j.Status()
 	m.metrics.observeJobEnd(state, elapsed, st.Progress.OptimizerCalls, st.Progress.CostEvaluations)
 	m.metrics.jobAllocs.Add(allocs)
+	if m.onEnd != nil {
+		m.onEnd(st)
+	}
 	m.log.Info("job finished", "job", j.id, "state", string(state),
 		"elapsed_s", elapsed, "steps", st.Progress.Steps,
 		"saved_bytes", st.Progress.SavedBytes, "error", st.Error)
+}
+
+// safeRun executes the job closure, converting a panic into an error
+// so one poisoned search marks its job failed (with the stack in the
+// error) instead of killing the worker — and with it the process.
+func (m *Manager) safeRun(j *Job) (result *JobResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m.metrics.workerPanics.Add(1)
+			stack := debug.Stack()
+			m.log.Error("job panicked", "job", j.id, "panic", fmt.Sprint(r))
+			result, err = nil, fmt.Errorf("job panicked: %v\n%s", r, stack)
+		}
+	}()
+	return j.run(j.ctx, j)
+}
+
+// RecoverJob restores a terminal job record from the journal: it is
+// pollable (status, result stub) but was not run by this process. The
+// numeric suffix of its ID raises the ID floor so post-restart jobs
+// can never collide with pre-crash ones.
+func (m *Manager) RecoverJob(id, kind, sessionName, workloadName string, state JobState, errMsg string, createdAt time.Time) {
+	if !state.terminal() {
+		state = JobFailed
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	now := time.Now()
+	if createdAt.IsZero() {
+		createdAt = now
+	}
+	j := &Job{
+		id:          id,
+		kind:        kind,
+		sessionName: sessionName,
+		workload:    workloadName,
+		ctx:         ctx,
+		cancel:      cancel,
+		state:       state,
+		errMsg:      errMsg,
+		recovered:   true,
+		createdAt:   createdAt,
+		finishedAt:  &now,
+	}
+	m.mu.Lock()
+	if _, ok := m.jobs[id]; !ok {
+		m.jobs[id] = j
+		m.order = append(m.order, id)
+	}
+	m.mu.Unlock()
+	if n, ok := parseJobID(id); ok {
+		for {
+			cur := m.nextID.Load()
+			if n <= cur || m.nextID.CompareAndSwap(cur, n) {
+				break
+			}
+		}
+	}
+}
+
+// parseJobID extracts the numeric suffix of a "job-N" ID.
+func parseJobID(id string) (int64, bool) {
+	rest, ok := strings.CutPrefix(id, "job-")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(rest, 10, 64)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
 }

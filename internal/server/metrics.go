@@ -61,6 +61,17 @@ type Metrics struct {
 	costEvaluations atomic.Int64
 	jobAllocs       atomic.Int64 // Mallocs deltas summed over finished jobs (approximate)
 
+	// Robustness counters (fault-injection, degraded mode, recovery).
+	costingRetries       atomic.Int64 // transient costing failures retried
+	costingDegraded      atomic.Int64 // constraint decisions served by the external model
+	costingPanics        atomic.Int64 // costing panics converted to typed errors
+	degradedJobs         atomic.Int64 // jobs whose result carries Degraded
+	handlerPanics        atomic.Int64 // HTTP handler panics recovered
+	workerPanics         atomic.Int64 // job worker panics recovered (job -> failed)
+	recoveredSessions    atomic.Int64 // sessions rebuilt from the journal at startup
+	recoveredJobs        atomic.Int64 // job records restored from the journal
+	recoveredInterrupted atomic.Int64 // recovered jobs that were non-terminal at crash
+
 	searchSeconds *histogram
 	httpSeconds   *histogram
 }
@@ -101,6 +112,9 @@ type SessionGauges struct {
 	CacheDedups    int64
 	CacheEvictions int64
 	PreparedReuse  int64
+	// Breaker snapshots the session's costing circuit breaker.
+	BreakerState       string
+	BreakerTransitions int64
 }
 
 // JobGauges is a point-in-time snapshot of non-terminal job states.
@@ -156,6 +170,25 @@ func (m *Metrics) Write(w io.Writer, jg JobGauges, sessions []SessionGauges) {
 	fmt.Fprintln(w, "# TYPE idxmerged_job_allocs_total counter")
 	fmt.Fprintf(w, "idxmerged_job_allocs_total %d\n", m.jobAllocs.Load())
 
+	fmt.Fprintln(w, "# TYPE idxmerged_costing_retries_total counter")
+	fmt.Fprintf(w, "idxmerged_costing_retries_total %d\n", m.costingRetries.Load())
+	fmt.Fprintln(w, "# TYPE idxmerged_costing_degraded_total counter")
+	fmt.Fprintf(w, "idxmerged_costing_degraded_total %d\n", m.costingDegraded.Load())
+	fmt.Fprintln(w, "# TYPE idxmerged_costing_panics_recovered_total counter")
+	fmt.Fprintf(w, "idxmerged_costing_panics_recovered_total %d\n", m.costingPanics.Load())
+	fmt.Fprintln(w, "# TYPE idxmerged_jobs_degraded_total counter")
+	fmt.Fprintf(w, "idxmerged_jobs_degraded_total %d\n", m.degradedJobs.Load())
+	fmt.Fprintln(w, "# TYPE idxmerged_handler_panics_total counter")
+	fmt.Fprintf(w, "idxmerged_handler_panics_total %d\n", m.handlerPanics.Load())
+	fmt.Fprintln(w, "# TYPE idxmerged_worker_panics_total counter")
+	fmt.Fprintf(w, "idxmerged_worker_panics_total %d\n", m.workerPanics.Load())
+	fmt.Fprintln(w, "# TYPE idxmerged_recovered_sessions_total counter")
+	fmt.Fprintf(w, "idxmerged_recovered_sessions_total %d\n", m.recoveredSessions.Load())
+	fmt.Fprintln(w, "# TYPE idxmerged_recovered_jobs_total counter")
+	fmt.Fprintf(w, "idxmerged_recovered_jobs_total %d\n", m.recoveredJobs.Load())
+	fmt.Fprintln(w, "# TYPE idxmerged_recovered_interrupted_jobs_total counter")
+	fmt.Fprintf(w, "idxmerged_recovered_interrupted_jobs_total %d\n", m.recoveredInterrupted.Load())
+
 	fmt.Fprintln(w, "# TYPE idxmerged_sessions gauge")
 	fmt.Fprintf(w, "idxmerged_sessions %d\n", len(sessions))
 	fmt.Fprintln(w, "# TYPE idxmerged_costcache_entries gauge")
@@ -163,12 +196,16 @@ func (m *Metrics) Write(w io.Writer, jg JobGauges, sessions []SessionGauges) {
 	fmt.Fprintln(w, "# TYPE idxmerged_costcache_misses_total counter")
 	fmt.Fprintln(w, "# TYPE idxmerged_costcache_evictions_total counter")
 	fmt.Fprintln(w, "# TYPE idxmerged_prepared_reuse_total counter")
+	fmt.Fprintln(w, "# TYPE idxmerged_breaker_state gauge")
+	fmt.Fprintln(w, "# TYPE idxmerged_breaker_transitions_total counter")
 	for _, s := range sessions {
 		fmt.Fprintf(w, "idxmerged_costcache_entries{session=%q} %d\n", s.Name, s.CacheEntries)
 		fmt.Fprintf(w, "idxmerged_costcache_hits_total{session=%q} %d\n", s.Name, s.CacheHits)
 		fmt.Fprintf(w, "idxmerged_costcache_misses_total{session=%q} %d\n", s.Name, s.CacheMisses)
 		fmt.Fprintf(w, "idxmerged_costcache_evictions_total{session=%q} %d\n", s.Name, s.CacheEvictions)
 		fmt.Fprintf(w, "idxmerged_prepared_reuse_total{session=%q} %d\n", s.Name, s.PreparedReuse)
+		fmt.Fprintf(w, "idxmerged_breaker_state{session=%q,state=%q} 1\n", s.Name, s.BreakerState)
+		fmt.Fprintf(w, "idxmerged_breaker_transitions_total{session=%q} %d\n", s.Name, s.BreakerTransitions)
 	}
 
 	fmt.Fprintln(w, "# TYPE idxmerged_search_seconds histogram")

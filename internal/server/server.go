@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"runtime/debug"
 	"strings"
 	"time"
 
@@ -32,6 +33,13 @@ type Config struct {
 	// Logger receives structured request and job logs (default
 	// slog.Default()).
 	Logger *slog.Logger
+	// JournalPath, when non-empty, enables the durable session/job
+	// journal: state-changing requests are appended (fsynced) to this
+	// JSONL file, and on startup the file is replayed — sessions and
+	// workloads are rebuilt deterministically, terminal jobs reappear
+	// as pollable records, and jobs interrupted by a crash are marked
+	// failed with an explicit recovery reason.
+	JournalPath string
 }
 
 // Server is the idxmerged HTTP API: sessions, workloads, synchronous
@@ -42,10 +50,14 @@ type Server struct {
 	metrics *Metrics
 	log     *slog.Logger
 	mux     *http.ServeMux
+	journal *Journal
 }
 
-// New assembles a server and starts its worker pool.
-func New(cfg Config) *Server {
+// New assembles a server and starts its worker pool. With a journal
+// configured, the existing journal (if any) is replayed before the
+// server accepts traffic, then kept open for appending; a journal
+// that cannot be opened or replayed fails construction.
+func New(cfg Config) (*Server, error) {
 	if cfg.Workers < 1 {
 		cfg.Workers = 2
 	}
@@ -66,6 +78,20 @@ func New(cfg Config) *Server {
 	}
 	s.jobs = NewManager(cfg.Workers, cfg.QueueCap, s.metrics, s.log)
 
+	if cfg.JournalPath != "" {
+		if err := s.recoverFromJournal(cfg.JournalPath); err != nil {
+			return nil, err
+		}
+		jr, err := OpenJournal(cfg.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		s.journal = jr
+		s.jobs.onEnd = func(st JobStatus) {
+			s.journalAppend(journalEvent{T: evJobEnd, JobID: st.ID, State: st.State, Error: st.Error})
+		}
+	}
+
 	s.handle("GET /healthz", s.handleHealthz)
 	s.handle("GET /metrics", s.handleMetrics)
 	s.handle("POST /v1/sessions", s.handleCreateSession)
@@ -80,7 +106,115 @@ func New(cfg Config) *Server {
 	s.handle("GET /v1/jobs/{id}", s.handleGetJob)
 	s.handle("POST /v1/jobs/{id}/cancel", s.handleCancelJob)
 	s.handle("GET /v1/jobs/{id}/result", s.handleJobResult)
-	return s
+	return s, nil
+}
+
+// journalAppend writes one event, logging (not failing) on error:
+// losing durability degrades a future recovery, not this request.
+func (s *Server) journalAppend(ev journalEvent) {
+	if s.journal == nil {
+		return
+	}
+	if err := s.journal.Append(ev); err != nil {
+		s.log.Error("journal append failed", "event", ev.T, "err", err)
+	}
+}
+
+// recoverFromJournal rebuilds registry and job state from a previous
+// process's journal. Sessions are recreated deterministically from
+// their creation requests, workloads re-parsed or re-generated, and
+// job records restored: jobs with a terminal event reappear as-is
+// (result payloads are not journaled; their result endpoint serves a
+// state stub), jobs without one are marked failed with a recovery
+// reason. Replayed state is not re-journaled — the file already
+// contains it.
+func (s *Server) recoverFromJournal(path string) error {
+	events, err := ReadJournal(path)
+	if err != nil {
+		return err
+	}
+	if len(events) == 0 {
+		return nil
+	}
+	type jobRec struct {
+		ev  journalEvent
+		end *journalEvent
+	}
+	jobs := make(map[string]*jobRec)
+	var jobOrder []string
+	var sessions, workloads int
+	for _, ev := range events {
+		switch ev.T {
+		case evSession:
+			if ev.Session == nil {
+				continue
+			}
+			if _, err := s.reg.Create(*ev.Session); err != nil {
+				if !errors.Is(err, ErrSessionExists) {
+					s.log.Error("journal replay: recreate session failed",
+						"session", ev.Session.Name, "err", err)
+				}
+				continue
+			}
+			sessions++
+		case evSessionDeleted:
+			_ = s.reg.Delete(ev.SessionName)
+		case evWorkload:
+			if ev.Workload == nil {
+				continue
+			}
+			sess, ok := s.reg.Get(ev.SessionName)
+			if !ok {
+				continue
+			}
+			wl, err := buildWorkload(sess, *ev.Workload)
+			if err != nil {
+				s.log.Error("journal replay: rebuild workload failed",
+					"session", ev.SessionName, "workload", ev.Workload.Name, "err", err)
+				continue
+			}
+			if err := sess.RegisterWorkload(ev.Workload.Name, wl); err != nil {
+				if !errors.Is(err, ErrWorkloadExists) {
+					s.log.Error("journal replay: register workload failed",
+						"session", ev.SessionName, "workload", ev.Workload.Name, "err", err)
+				}
+				continue
+			}
+			workloads++
+		case evJob:
+			if ev.JobID == "" {
+				continue
+			}
+			if _, ok := jobs[ev.JobID]; !ok {
+				jobs[ev.JobID] = &jobRec{ev: ev}
+				jobOrder = append(jobOrder, ev.JobID)
+			}
+		case evJobEnd:
+			if r, ok := jobs[ev.JobID]; ok {
+				end := ev
+				r.end = &end
+			}
+		}
+	}
+	interrupted := 0
+	for _, id := range jobOrder {
+		r := jobs[id]
+		state := JobFailed
+		errMsg := "interrupted by server restart; recovered from journal"
+		if r.end != nil {
+			state = JobState(r.end.State)
+			errMsg = r.end.Error
+		} else {
+			interrupted++
+		}
+		s.jobs.RecoverJob(id, r.ev.Kind, r.ev.SessionName, r.ev.WorkloadName, state, errMsg, r.ev.At)
+	}
+	s.metrics.recoveredSessions.Add(int64(sessions))
+	s.metrics.recoveredJobs.Add(int64(len(jobOrder)))
+	s.metrics.recoveredInterrupted.Add(int64(interrupted))
+	s.log.Info("journal replayed", "path", path, "sessions", sessions,
+		"workloads", workloads, "jobs", len(jobOrder), "interrupted", interrupted)
+	return nil
 }
 
 // Handler returns the root handler (request logging + metrics wrap
@@ -98,24 +232,43 @@ func (s *Server) handle(pattern string, fn http.HandlerFunc) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		defer func() {
+			if p := recover(); p != nil {
+				// A panicking handler answers 500 (when nothing was
+				// written yet) and the process keeps serving.
+				s.metrics.handlerPanics.Add(1)
+				s.log.Error("handler panicked", "method", r.Method, "path", r.URL.Path,
+					"panic", fmt.Sprint(p), "stack", string(debug.Stack()))
+				if !rec.wrote {
+					writeErr(rec, http.StatusInternalServerError, "internal error")
+				}
+			}
+			elapsed := time.Since(start)
+			s.metrics.observeRequest(pattern, rec.code, elapsed.Seconds())
+			if pattern != "GET /healthz" && pattern != "GET /metrics" {
+				s.log.Info("request", "method", r.Method, "path", r.URL.Path,
+					"status", rec.code, "elapsed_ms", float64(elapsed.Microseconds())/1000)
+			}
+		}()
 		fn(rec, r)
-		elapsed := time.Since(start)
-		s.metrics.observeRequest(pattern, rec.code, elapsed.Seconds())
-		if pattern != "GET /healthz" && pattern != "GET /metrics" {
-			s.log.Info("request", "method", r.Method, "path", r.URL.Path,
-				"status", rec.code, "elapsed_ms", float64(elapsed.Microseconds())/1000)
-		}
 	})
 }
 
 type statusRecorder struct {
 	http.ResponseWriter
-	code int
+	code  int
+	wrote bool
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
 	r.code = code
+	r.wrote = true
 	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(b)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -130,9 +283,16 @@ func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
-// decodeJSON parses a request body strictly: unknown fields and
-// trailing garbage are 400s, surfacing client typos early.
-func decodeJSON(r *http.Request, v any) error {
+// maxBodyBytes caps JSON request bodies (1 MiB); larger bodies fail
+// decoding with a *http.MaxBytesError instead of buffering unbounded
+// client input.
+const maxBodyBytes = 1 << 20
+
+// decodeJSON parses a request body strictly: unknown fields, trailing
+// garbage and oversized bodies are 400s, surfacing client mistakes
+// early.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
@@ -161,7 +321,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	var req CreateSessionRequest
-	if err := decodeJSON(r, &req); err != nil {
+	if err := decodeJSON(w, r, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
@@ -172,6 +332,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	case err != nil:
 		writeErr(w, http.StatusBadRequest, "%v", err)
 	default:
+		s.journalAppend(journalEvent{T: evSession, Session: &req})
 		writeJSON(w, http.StatusCreated, sess.Info())
 	}
 }
@@ -211,6 +372,7 @@ func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 	case err != nil:
 		writeErr(w, http.StatusInternalServerError, "%v", err)
 	default:
+		s.journalAppend(journalEvent{T: evSessionDeleted, SessionName: r.PathValue("name")})
 		writeJSON(w, http.StatusOK, map[string]string{"deleted": r.PathValue("name")})
 	}
 }
@@ -221,7 +383,7 @@ func (s *Server) handleRegisterWorkload(w http.ResponseWriter, r *http.Request) 
 		return
 	}
 	var req RegisterWorkloadRequest
-	if err := decodeJSON(r, &req); err != nil {
+	if err := decodeJSON(w, r, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
@@ -229,18 +391,37 @@ func (s *Server) handleRegisterWorkload(w http.ResponseWriter, r *http.Request) 
 		writeErr(w, http.StatusBadRequest, "invalid workload name %q (want [A-Za-z0-9_-]{1,64})", req.Name)
 		return
 	}
-	if (req.SQL == "") == (req.Generate == nil) {
-		writeErr(w, http.StatusBadRequest, "exactly one of sql or generate is required")
+	wl, err := buildWorkload(sess, req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if err := sess.RegisterWorkload(req.Name, wl); err != nil {
+		if errors.Is(err, ErrWorkloadExists) {
+			writeErr(w, http.StatusConflict, "%v", err)
+		} else {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	s.journalAppend(journalEvent{T: evWorkload, SessionName: sess.name, Workload: &req})
+	writeJSON(w, http.StatusCreated, WorkloadInfo{Name: req.Name, Queries: wl.Len()})
+}
 
+// buildWorkload materializes a registration request against a session:
+// parsing inline SQL or generating from a spec. Shared by the handler
+// and journal replay, so a replayed workload is built by the exact
+// code path that built the original.
+func buildWorkload(sess *Session, req RegisterWorkloadRequest) (*sql.Workload, error) {
+	if (req.SQL == "") == (req.Generate == nil) {
+		return nil, errors.New("exactly one of sql or generate is required")
+	}
 	var wl *sql.Workload
 	var err error
 	if req.SQL != "" {
 		wl, err = sql.ParseWorkload(strings.NewReader(req.SQL), sess.db.Schema())
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, "parse workload: %v", err)
-			return
+			return nil, fmt.Errorf("parse workload: %w", err)
 		}
 	} else {
 		spec := *req.Generate
@@ -253,28 +434,17 @@ func (s *Server) handleRegisterWorkload(w http.ResponseWriter, r *http.Request) 
 		case "projection":
 			class = workload.ProjectionOnly
 		default:
-			writeErr(w, http.StatusBadRequest, "unknown workload class %q (want complex or projection)", spec.Class)
-			return
+			return nil, fmt.Errorf("unknown workload class %q (want complex or projection)", spec.Class)
 		}
 		wl, err = workload.Generate(sess.db, workload.Options{Class: class, Queries: spec.Queries, Seed: spec.Seed})
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, "generate workload: %v", err)
-			return
+			return nil, fmt.Errorf("generate workload: %w", err)
 		}
 	}
 	if wl.Len() == 0 {
-		writeErr(w, http.StatusBadRequest, "workload is empty")
-		return
+		return nil, errors.New("workload is empty")
 	}
-	if err := sess.RegisterWorkload(req.Name, wl); err != nil {
-		if errors.Is(err, ErrWorkloadExists) {
-			writeErr(w, http.StatusConflict, "%v", err)
-		} else {
-			writeErr(w, http.StatusBadRequest, "%v", err)
-		}
-		return
-	}
-	writeJSON(w, http.StatusCreated, WorkloadInfo{Name: req.Name, Queries: wl.Len()})
+	return wl, nil
 }
 
 func (s *Server) handleListWorkloads(w http.ResponseWriter, r *http.Request) {
@@ -307,7 +477,7 @@ func (s *Server) handleCost(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req CostRequest
-	if err := decodeJSON(r, &req); err != nil {
+	if err := decodeJSON(w, r, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
@@ -339,7 +509,7 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req SubmitJobRequest
-	if err := decodeJSON(r, &req); err != nil {
+	if err := decodeJSON(w, r, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
@@ -387,6 +557,8 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	case err != nil:
 		writeErr(w, http.StatusInternalServerError, "%v", err)
 	default:
+		s.journalAppend(journalEvent{T: evJob, JobID: job.id, Kind: kind,
+			SessionName: sess.name, WorkloadName: req.Workload})
 		writeJSON(w, http.StatusAccepted, SubmitJobResponse{ID: job.id, State: string(JobQueued)})
 	}
 }
@@ -427,6 +599,21 @@ func buildMergeOptions(o JobOptions) (indexmerge.MergeOptions, error) {
 		if o.DualBudgetFrac != 0 {
 			return opts, fmt.Errorf("dual_budget_frac %v out of range (0, 1)", o.DualBudgetFrac)
 		}
+	}
+	// Jobs run resilient by default ({"resilience": {"disable": true}}
+	// opts out): transient costing faults are retried, and a persistent
+	// optimizer outage degrades to the analytic model rather than
+	// failing the job. Fault-free searches are unaffected — decisions
+	// and results are bit-identical to the non-resilient path.
+	if o.Resilience == nil || !o.Resilience.Disable {
+		ro := &indexmerge.ResilienceOptions{}
+		if r := o.Resilience; r != nil {
+			ro.MaxRetries = r.MaxRetries
+			ro.Backoff = time.Duration(r.BackoffMS) * time.Millisecond
+			ro.AttemptTimeout = time.Duration(r.AttemptTimeoutMS) * time.Millisecond
+			ro.NoDegraded = r.NoDegraded
+		}
+		opts.Resilience = ro
 	}
 	return opts, nil
 }
@@ -500,6 +687,12 @@ func (s *Server) buildJobRun(kind string, sess *Session, workloadName string, rw
 		opts.CacheNamespace = workloadName
 		opts.Prepared = rw.prepared
 		sess.preparedReuse.Add(1)
+		if opts.Resilience != nil {
+			// One breaker per session: repeated costing failures in any
+			// job open it for the whole session until the cooldown probe
+			// succeeds.
+			opts.Resilience.Breaker = sess.breaker
+		}
 
 		res, err := m.MergeDefsContext(ctx, defs, opts)
 		if err != nil {

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"indexmerge/internal/core"
 	"indexmerge/internal/core/costcache"
 	"indexmerge/internal/datagen"
 	"indexmerge/internal/engine"
@@ -42,6 +43,11 @@ type Session struct {
 	cache     *costcache.Cache
 	createdAt time.Time
 	deleted   atomic.Bool
+
+	// breaker is the session's costing circuit breaker, shared by every
+	// job on the session so consecutive failures in one job protect the
+	// next (and a recovered optimizer recloses it for all).
+	breaker *core.Breaker
 
 	// lock serializes search jobs on this session. Cap 1: holding a
 	// token in the channel means a job is running.
@@ -164,12 +170,14 @@ func (s *Session) Info() SessionInfo {
 func (s *Session) gauges() SessionGauges {
 	hits, misses, _ := s.cache.Stats()
 	return SessionGauges{
-		Name:           s.name,
-		CacheEntries:   s.cache.Len(),
-		CacheHits:      hits,
-		CacheMisses:    misses,
-		CacheEvictions: s.cache.Evictions(),
-		PreparedReuse:  s.preparedReuse.Load(),
+		Name:               s.name,
+		CacheEntries:       s.cache.Len(),
+		CacheHits:          hits,
+		CacheMisses:        misses,
+		CacheEvictions:     s.cache.Evictions(),
+		PreparedReuse:      s.preparedReuse.Load(),
+		BreakerState:       s.breaker.State().String(),
+		BreakerTransitions: s.breaker.Transitions(),
 	}
 }
 
@@ -239,6 +247,7 @@ func (r *Registry) Create(req CreateSessionRequest) (*Session, error) {
 		dbName:    req.DB,
 		db:        db,
 		cache:     costcache.NewBounded(0, r.cacheMax),
+		breaker:   &core.Breaker{},
 		createdAt: time.Now(),
 		lock:      make(chan struct{}, 1),
 		workloads: make(map[string]*registeredWorkload),

@@ -3,6 +3,7 @@ package storage
 import (
 	"fmt"
 
+	"indexmerge/internal/faults"
 	"indexmerge/internal/value"
 )
 
@@ -304,6 +305,7 @@ func (c *Cursor) checkBound() bool {
 
 // SeekFirst positions a cursor at the smallest entry.
 func (t *BTree) SeekFirst() *Cursor {
+	faults.Hit(faults.StorageIndexSeek)
 	n := t.root
 	for !n.leaf {
 		n = n.children[0]
@@ -327,6 +329,7 @@ func (t *BTree) Seek(lo, hi value.Key, hiIncl bool) *Cursor {
 	if lo == nil {
 		c = t.SeekFirst()
 	} else {
+		faults.Hit(faults.StorageIndexSeek)
 		n := t.root
 		for !n.leaf {
 			n = n.children[t.lowerChildIndex(n, lo)]

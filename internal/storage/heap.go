@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"indexmerge/internal/catalog"
+	"indexmerge/internal/faults"
 	"indexmerge/internal/value"
 )
 
@@ -49,6 +50,9 @@ func (h *Heap) Insert(r value.Row) (RowID, error) {
 
 // Get fetches a row by id; deleted rows return an error.
 func (h *Heap) Get(id RowID) (value.Row, error) {
+	if err := faults.Inject(faults.StorageHeapGet); err != nil {
+		return nil, err
+	}
 	if id < 0 || int64(id) >= int64(len(h.rows)) {
 		return nil, fmt.Errorf("storage: table %q has no row %d", h.table.Name, id)
 	}
@@ -106,6 +110,7 @@ func (h *Heap) TruncateTo(n int64) {
 // Scan calls fn for every live row in RowID order; fn returning false
 // stops the scan early. Tombstoned slots are skipped.
 func (h *Heap) Scan(fn func(id RowID, r value.Row) bool) {
+	faults.Hit(faults.StorageHeapScan)
 	for i, r := range h.rows {
 		if r == nil {
 			continue
