@@ -15,11 +15,18 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"testing"
 
+	"indexmerge/internal/catalog"
 	"indexmerge/internal/core"
+	"indexmerge/internal/engine"
+	"indexmerge/internal/exec"
 	"indexmerge/internal/experiments"
+	"indexmerge/internal/optimizer"
+	"indexmerge/internal/sql"
+	"indexmerge/internal/value"
 )
 
 // benchCase is one (database, initial-configuration-size) scenario.
@@ -52,6 +59,21 @@ type caseResult struct {
 	AllocsRatio    float64       `json:"allocs_ratio"`
 }
 
+// unionResult is the union-vs-single-index execution microbenchmark:
+// the same OR query run through the IndexUnion plan and through the
+// best plan available without union paths (a full scan — a single
+// index cannot serve a disjunction).
+type unionResult struct {
+	Rows          int     `json:"rows"`
+	Query         string  `json:"query"`
+	UnionNsPerOp  int64   `json:"union_ns_per_op"`
+	UnionPlanCost float64 `json:"union_plan_cost"`
+	ScanNsPerOp   int64   `json:"scan_ns_per_op"`
+	ScanPlanCost  float64 `json:"scan_plan_cost"`
+	ResultRows    int     `json:"result_rows"`
+	NsRatio       float64 `json:"ns_ratio"`
+}
+
 func main() {
 	scale := flag.Float64("scale", 0.5, "database scale factor")
 	queries := flag.Int("queries", 30, "queries per generated workload")
@@ -65,10 +87,11 @@ func main() {
 	}
 
 	report := struct {
-		Benchmark string       `json:"benchmark"`
-		Scale     float64      `json:"scale"`
-		Seed      int64        `json:"seed"`
-		Cases     []caseResult `json:"cases"`
+		Benchmark  string       `json:"benchmark"`
+		Scale      float64      `json:"scale"`
+		Seed       int64        `json:"seed"`
+		Cases      []caseResult `json:"cases"`
+		IndexUnion unionResult  `json:"index_union"`
 	}{Benchmark: "prepared-workload greedy candidate costing", Scale: *scale, Seed: *seed}
 
 	for _, bc := range cases {
@@ -78,6 +101,11 @@ func main() {
 		}
 		report.Cases = append(report.Cases, cr)
 	}
+	ur, err := runUnionCase(*seed)
+	if err != nil {
+		fatal(fmt.Errorf("index-union: %w", err))
+	}
+	report.IndexUnion = ur
 
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -185,6 +213,109 @@ func runCase(bc benchCase, opt experiments.LabOptions) (caseResult, error) {
 		cr.AllocsRatio = round2(float64(unprep.AllocsPerOp) / float64(prep.AllocsPerOp))
 	}
 	return cr, nil
+}
+
+// runUnionCase measures an OR query end to end under the IndexUnion
+// plan and under the scan fallback the same optimizer picks with union
+// paths disabled. Both runs must return the same number of rows; the
+// ratio is the executed win of merging RID sets over reading the heap.
+func runUnionCase(seed int64) (unionResult, error) {
+	const rows = 30000
+	db := engine.NewDatabase()
+	if err := db.CreateTable(catalog.MustNewTable("wide", []catalog.Column{
+		{Name: "a", Type: value.Int},
+		{Name: "b", Type: value.Int},
+		{Name: "payload", Type: value.String, Width: 120},
+		{Name: "more", Type: value.String, Width: 120},
+	})); err != nil {
+		return unionResult{}, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < rows; i++ {
+		if err := db.Insert("wide", value.Row{
+			value.NewInt(rng.Int63n(1000)),
+			value.NewInt(rng.Int63n(1000)),
+			value.NewString("p"),
+			value.NewString("q"),
+		}); err != nil {
+			return unionResult{}, err
+		}
+	}
+	db.AnalyzeAll()
+	ia, err := catalog.NewIndexDef(db.Schema(), "", "wide", []string{"a"})
+	if err != nil {
+		return unionResult{}, err
+	}
+	ib, err := catalog.NewIndexDef(db.Schema(), "", "wide", []string{"b"})
+	if err != nil {
+		return unionResult{}, err
+	}
+	defs := []catalog.IndexDef{ia, ib}
+	if err := db.Materialize(defs); err != nil {
+		return unionResult{}, err
+	}
+	cfg := optimizer.Configuration(defs)
+
+	const query = "SELECT payload FROM wide WHERE (a = 7 OR b = 13)"
+	stmt, err := sql.ParseSelect(query)
+	if err != nil {
+		return unionResult{}, err
+	}
+	if err := stmt.Resolve(db.Schema()); err != nil {
+		return unionResult{}, err
+	}
+
+	o := optimizer.New(db)
+	unionPlan, err := o.Optimize(stmt, cfg)
+	if err != nil {
+		return unionResult{}, err
+	}
+	o.DisableIndexUnion = true
+	scanPlan, err := o.Optimize(stmt, cfg)
+	if err != nil {
+		return unionResult{}, err
+	}
+
+	measure := func(plan *optimizer.Plan) (int64, int, error) {
+		var got *exec.Result
+		var runErr error
+		br := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				got, runErr = exec.Run(db, plan)
+				if runErr != nil {
+					b.FailNow()
+				}
+			}
+		})
+		if runErr != nil {
+			return 0, 0, runErr
+		}
+		return br.NsPerOp(), len(got.Rows), nil
+	}
+	unionNs, unionRows, err := measure(unionPlan)
+	if err != nil {
+		return unionResult{}, err
+	}
+	scanNs, scanRows, err := measure(scanPlan)
+	if err != nil {
+		return unionResult{}, err
+	}
+	if unionRows != scanRows {
+		return unionResult{}, fmt.Errorf("union plan returned %d rows, scan plan %d", unionRows, scanRows)
+	}
+	ur := unionResult{
+		Rows:          rows,
+		Query:         query,
+		UnionNsPerOp:  unionNs,
+		UnionPlanCost: unionPlan.Cost,
+		ScanNsPerOp:   scanNs,
+		ScanPlanCost:  scanPlan.Cost,
+		ResultRows:    unionRows,
+	}
+	if unionNs > 0 {
+		ur.NsRatio = round2(float64(scanNs) / float64(unionNs))
+	}
+	return ur, nil
 }
 
 func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }

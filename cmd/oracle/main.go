@@ -73,7 +73,9 @@ func sweepOne(name string, scale float64, seed int64, queries, n, visited int, r
 	if err != nil {
 		return nil, err
 	}
-	w, err := workload.Generate(db, workload.Options{Class: workload.Complex, Queries: queries, Seed: seed})
+	// Disjunctions on: the sweep exercises the IndexUnion access paths
+	// alongside conjunctive plans.
+	w, err := workload.Generate(db, workload.Options{Class: workload.Complex, Disjunctions: true, Queries: queries, Seed: seed})
 	if err != nil {
 		return nil, fmt.Errorf("generate workload: %w", err)
 	}

@@ -64,6 +64,8 @@ func build(db *engine.Database, n optimizer.Node) (iter, error) {
 		return newIndexSeek(db, t, nil)
 	case *optimizer.IndexIntersectNode:
 		return newIntersect(db, t)
+	case *optimizer.IndexUnionNode:
+		return newUnion(db, t)
 	case *optimizer.JoinNode:
 		return newJoin(db, t)
 	case *optimizer.SortNode:
@@ -101,6 +103,20 @@ func colIndex(schema []sql.ColumnRef, ref sql.ColumnRef) int {
 
 // evalPredicate tests a predicate against a row under the schema.
 func evalPredicate(schema []sql.ColumnRef, row value.Row, p sql.Predicate) (bool, error) {
+	if p.Op == sql.OpOr {
+		// Handled before column resolution: the disjunction's own Col
+		// names only the common table, not a column.
+		for _, d := range p.Or {
+			ok, err := evalPredicate(schema, row, d)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
 	i := colIndex(schema, p.Col)
 	if i < 0 {
 		return false, fmt.Errorf("exec: column %s not in scope", p.Col)
@@ -124,6 +140,13 @@ func evalPredicate(schema []sql.ColumnRef, row value.Row, p sql.Predicate) (bool
 		return v.Compare(p.Val) >= 0, nil
 	case sql.OpBetween:
 		return v.Compare(p.Lo) >= 0 && v.Compare(p.Hi) <= 0, nil
+	case sql.OpIn:
+		for _, val := range p.Vals {
+			if v.Compare(val) == 0 {
+				return true, nil
+			}
+		}
+		return false, nil
 	}
 	return false, fmt.Errorf("exec: unsupported operator %v", p.Op)
 }

@@ -89,7 +89,7 @@ func TestRandomQueriesIndexedVsNaive(t *testing.T) {
 	}
 	cfg := optimizer.Configuration(defs)
 
-	w, err := workload.Generate(db, workload.Options{Class: workload.Complex, Queries: 120, Seed: 1234})
+	w, err := workload.Generate(db, workload.Options{Class: workload.Complex, Disjunctions: true, Queries: 120, Seed: 1234})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +180,7 @@ func TestAdvisorPlansExecute(t *testing.T) {
 	db.AnalyzeAll()
 	opt := optimizer.New(db)
 	adv := advisor.New(db, opt)
-	wl, err := workload.Generate(db, workload.Options{Class: workload.Complex, Queries: 40, Seed: 77})
+	wl, err := workload.Generate(db, workload.Options{Class: workload.Complex, Disjunctions: true, Queries: 40, Seed: 77})
 	if err != nil {
 		t.Fatal(err)
 	}

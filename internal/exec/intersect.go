@@ -19,8 +19,6 @@ type intersectIter struct {
 	rids     []storage.RowID
 	pos      int
 	residual []sql.Predicate
-	// arms carry re-check predicates (exclusive range bounds).
-	arms []*optimizer.IndexSeekNode
 }
 
 func newIntersect(db *engine.Database, n *optimizer.IndexIntersectNode) (iter, error) {
@@ -40,7 +38,6 @@ func newIntersect(db *engine.Database, n *optimizer.IndexIntersectNode) (iter, e
 		if !ok {
 			return nil, fmt.Errorf("exec: intersection arm %d is %T, want index seek", i, c)
 		}
-		it.arms = append(it.arms, seek)
 		rids, err := seekRIDs(db, seek)
 		if err != nil {
 			return nil, err
@@ -72,8 +69,13 @@ func newIntersect(db *engine.Database, n *optimizer.IndexIntersectNode) (iter, e
 	return it, nil
 }
 
-// seekRIDs probes one arm's index and returns matching RIDs, applying
-// the arm's own range re-check.
+// seekRIDs probes one arm's index and returns matching RIDs. The
+// B+-tree seek treats every bound as inclusive, so this is where the
+// arm's re-check duty is enforced: each entry is re-tested against the
+// arm's range predicate before its RID is emitted, which makes
+// exclusive bounds (<, >) exact. Callers (intersection and union
+// iterators) can therefore consume the RID sets without re-applying
+// arm predicates.
 func seekRIDs(db *engine.Database, n *optimizer.IndexSeekNode) ([]storage.RowID, error) {
 	ix, ok := db.Index(n.Index.Key())
 	if !ok {

@@ -1,0 +1,83 @@
+package exec
+
+import (
+	"fmt"
+
+	"indexmerge/internal/engine"
+	"indexmerge/internal/optimizer"
+	"indexmerge/internal/sql"
+	"indexmerge/internal/storage"
+	"indexmerge/internal/value"
+)
+
+// unionIter executes an IndexUnionNode: probe each arm's index for
+// matching RIDs, union the sets (deduplicating rows more than one arm
+// matches), fetch the surviving heap rows in heap order and apply the
+// residual predicates. The mirror of intersectIter for disjunctions.
+type unionIter struct {
+	cols     []sql.ColumnRef
+	heap     *storage.Heap
+	rids     []storage.RowID
+	pos      int
+	residual []sql.Predicate
+}
+
+func newUnion(db *engine.Database, n *optimizer.IndexUnionNode) (iter, error) {
+	cols, err := qualifiedSchema(db, n.Table)
+	if err != nil {
+		return nil, err
+	}
+	h, err := db.Heap(n.Table)
+	if err != nil {
+		return nil, err
+	}
+	it := &unionIter{cols: cols, heap: h, residual: n.Residual}
+
+	seen := make(map[storage.RowID]bool)
+	for i, c := range n.Children() {
+		seek, ok := c.(*optimizer.IndexSeekNode)
+		if !ok {
+			return nil, fmt.Errorf("exec: union arm %d is %T, want index seek", i, c)
+		}
+		// seekRIDs applies each arm's own range re-check, so the union
+		// needs no further per-arm filtering.
+		rids, err := seekRIDs(db, seek)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rids {
+			if !seen[r] {
+				seen[r] = true
+				it.rids = append(it.rids, r)
+			}
+		}
+	}
+	// Heap order keeps fetch behaviour deterministic.
+	for i := 1; i < len(it.rids); i++ {
+		for j := i; j > 0 && it.rids[j] < it.rids[j-1]; j-- {
+			it.rids[j], it.rids[j-1] = it.rids[j-1], it.rids[j]
+		}
+	}
+	return it, nil
+}
+
+func (it *unionIter) schema() []sql.ColumnRef { return it.cols }
+
+func (it *unionIter) next() (value.Row, bool, error) {
+	for it.pos < len(it.rids) {
+		rid := it.rids[it.pos]
+		it.pos++
+		row, err := it.heap.Get(rid)
+		if err != nil {
+			return nil, false, err
+		}
+		ok, err := evalAll(it.cols, row, it.residual)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return row, true, nil
+		}
+	}
+	return nil, false, nil
+}

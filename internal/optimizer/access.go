@@ -16,6 +16,7 @@ type tableInfo struct {
 	rowCount  float64
 	heapPages int64
 	preds     []scoredPred // restrictions with precomputed selectivities
+	orPreds   []orPred     // disjunctive members of preds, normalized
 	required  []string     // columns the query needs from this table
 	// Prepared-planning metadata (zero for ad-hoc contexts): seekLead
 	// holds the distinct columns carrying a seekable (equality or
@@ -36,6 +37,32 @@ type scoredPred struct {
 	sel float64
 }
 
+// orPred is one disjunctive predicate (OR or IN) in its normalized
+// form: the position of the parent in tableInfo.preds plus the scored
+// member predicates Disjuncts() expands to — the inputs the union
+// access paths consume.
+type orPred struct {
+	pos       int
+	disjuncts []scoredPred
+}
+
+// initPreds populates the table's scored predicates, and the
+// normalized disjunct lists for the disjunctive ones, from the
+// statement's restrictions. Shared by ad-hoc contexts and PrepareQuery
+// so both derive identical selectivities in identical order.
+func (ti *tableInfo) initPreds(stmt *sql.SelectStmt) {
+	for _, p := range stmt.PredicatesOn(ti.name) {
+		if ds := p.Disjuncts(); ds != nil {
+			op := orPred{pos: len(ti.preds)}
+			for _, d := range ds {
+				op.disjuncts = append(op.disjuncts, scoredPred{p: d, sel: predicateSelectivity(ti.ts, d)})
+			}
+			ti.orPreds = append(ti.orPreds, op)
+		}
+		ti.preds = append(ti.preds, scoredPred{p: p, sel: predicateSelectivity(ti.ts, p)})
+	}
+}
+
 // accessPath is one way to produce a table's (filtered) rows.
 type accessPath struct {
 	node    Node
@@ -52,8 +79,9 @@ type accessPath struct {
 // neither a covering scan nor a seek are skipped before costing; the
 // skip provably never changes the chosen plan because such indexes
 // yield no path at all.
-func enumerateAccessPaths(ti *tableInfo, indexes []catalog.IndexDef, noIntersect, filter bool) []accessPath {
+func enumerateAccessPaths(ti *tableInfo, indexes []catalog.IndexDef, noIntersect, noUnion, filter bool) []accessPath {
 	var paths []accessPath
+	var arms []seekArm // intersection candidates, with seek selectivities
 	filter = filter && ti.filtered
 
 	// Heap scan with all predicates as residual filter.
@@ -111,13 +139,20 @@ func enumerateAccessPaths(ti *tableInfo, indexes []catalog.IndexDef, noIntersect
 		n.cost = seekCost(height, idxPages, ti.rowCount, matchRows, covering, ti.heapPages)
 		n.rows = matchRows * clampSel(resSel)
 		paths = append(paths, accessPath{node: n, index: &indexes[i], eqBound: eqBound, ordered: idx.Columns, rows: n.rows})
+		arms = append(arms, seekArm{seek: n, sel: seekSel})
 	}
 
 	// Index intersection: AND two seeks through their RID sets (§3.5.2's
 	// "innovative technique"). Only worthwhile with multiple seekable
 	// predicates on different leading columns.
 	if !noIntersect {
-		paths = append(paths, intersectionPaths(ti, paths)...)
+		paths = append(paths, intersectionPaths(ti, arms)...)
+	}
+
+	// Index union: OR several seeks through their RID sets — the dual
+	// technique for disjunctions, one arm per normalized disjunct.
+	if !noUnion && len(ti.orPreds) > 0 {
+		paths = append(paths, unionPaths(ti, indexes)...)
 	}
 	return paths
 }

@@ -18,6 +18,7 @@ import (
 type costScratch struct {
 	paths    []costPath
 	arms     []costArm
+	uArms    []int // union arm choices, reused across disjunctions
 	ext      []scoredPred
 	baseCost []float64
 	baseRows []float64
@@ -76,9 +77,10 @@ func (o *Optimizer) CostPrepared(pq *PreparedQuery, cfg Configuration) (float64,
 	sc := costScratchPool.Get().(*costScratch)
 	defer costScratchPool.Put(sc)
 	noInter := o.DisableIndexIntersection
+	noUnion := o.DisableIndexUnion
 	filter := !o.DisableRelevantIndexFilter
 	if len(pq.tables) == 1 {
-		paths := enumerateCostPaths(&pq.cost[0], cfg, noInter, filter, sc)
+		paths := enumerateCostPaths(&pq.cost[0], cfg, noInter, noUnion, filter, sc)
 		if len(paths) == 0 {
 			return 0, fmt.Errorf("optimizer: no plan for table %q", pq.tables[0].name)
 		}
@@ -91,7 +93,7 @@ func (o *Optimizer) CostPrepared(pq *PreparedQuery, cfg Configuration) (float64,
 		}
 		return best, nil
 	}
-	return o.costJoinPrepared(pq, cfg, noInter, filter, sc)
+	return o.costJoinPrepared(pq, cfg, noInter, noUnion, filter, sc)
 }
 
 // matchSeekMask is matchSeek on bitmasks: identical matching rules and
@@ -138,7 +140,7 @@ func matchSeekMask(idxCols []string, preds []scoredPred) (sel float64, used, eqC
 // (cost, rows, ordering) per path, in the same candidate order and
 // with the same floating-point operation sequence — the identity
 // tests hold the two enumerations together bit for bit.
-func enumerateCostPaths(ct *costTable, cfg Configuration, noInter, filter bool, sc *costScratch) []costPath {
+func enumerateCostPaths(ct *costTable, cfg Configuration, noInter, noUnion, filter bool, sc *costScratch) []costPath {
 	ti := ct.ti
 	paths := sc.paths[:0]
 	arms := sc.arms[:0]
@@ -180,38 +182,40 @@ func enumerateCostPaths(ct *costTable, cfg Configuration, noInter, filter bool, 
 			ordered: idx.Columns,
 			eqCols:  eqCols,
 		})
-		if len(arms) < maxIntersectArms {
-			var colOp, strs uint64
-			for pi := range ti.preds {
-				if used&(1<<uint(pi)) != 0 {
-					colOp |= 1 << ct.predColOp[pi]
-					strs |= 1 << ct.predStr[pi]
-				}
+		var colOp, strs uint64
+		for pi := range ti.preds {
+			if used&(1<<uint(pi)) != 0 {
+				colOp |= 1 << ct.predColOp[pi]
+				strs |= 1 << ct.predStr[pi]
 			}
-			arms = append(arms, costArm{
-				lead:      idx.Columns[0],
-				colOp:     colOp,
-				strs:      strs,
-				sel:       sel,
-				match:     matchRows,
-				probeCost: seekCost(height, idxPages, ti.rowCount, matchRows, true, ti.heapPages),
-			})
 		}
+		arms = append(arms, costArm{
+			lead:      idx.Columns[0],
+			colOp:     colOp,
+			strs:      strs,
+			sel:       sel,
+			match:     matchRows,
+			probeCost: seekCost(height, idxPages, ti.rowCount, matchRows, true, ti.heapPages),
+		})
 	}
 
 	if !noInter && len(arms) >= 2 {
-		for i := 0; i < len(arms); i++ {
-			for j := i + 1; j < len(arms); j++ {
-				a, b := &arms[i], &arms[j]
+		// Keep the most selective few arms — the same stable sort and
+		// cap intersectionPaths applies on the node side.
+		sortCostArms(arms)
+		capped := arms
+		if len(capped) > maxIntersectArms {
+			capped = capped[:maxIntersectArms]
+		}
+		for i := 0; i < len(capped); i++ {
+			for j := i + 1; j < len(capped); j++ {
+				a, b := &capped[i], &capped[j]
 				if a.lead == b.lead || a.colOp&b.colOp != 0 {
 					continue
 				}
 				// a.match*b.sel == (rowCount*selA)*selB: the same
 				// left-associated product buildIntersection computes.
 				interRows := a.match * b.sel
-				if interRows < 1 {
-					interRows = 1
-				}
 				consumed := a.strs | b.strs
 				resSel := 1.0
 				for pi := range ti.preds {
@@ -221,11 +225,17 @@ func enumerateCostPaths(ct *costTable, cfg Configuration, noInter, filter bool, 
 				}
 				cost := a.probeCost + b.probeCost
 				cost += (a.match + b.match) * CPUOpCost
-				lookup := interRows * RandPageCost
+				// Floor the fetch cost, not the row estimate — mirror of
+				// buildIntersection.
+				fetchRows := interRows
+				if fetchRows < 1 {
+					fetchRows = 1
+				}
+				lookup := fetchRows * RandPageCost
 				if lim := 2 * float64(ti.heapPages) * RandPageCost; lookup > lim {
 					lookup = lim
 				}
-				cost += lookup + interRows*CPURowCost
+				cost += lookup + fetchRows*CPURowCost
 				paths = append(paths, costPath{
 					cost: cost,
 					rows: math.Max(interRows*clampSel(resSel), 0),
@@ -233,9 +243,37 @@ func enumerateCostPaths(ct *costTable, cfg Configuration, noInter, filter bool, 
 			}
 		}
 	}
+
+	// Index union over disjunctions — the numeric core is shared with
+	// the node-building path, so costs match bit for bit.
+	if !noUnion && len(ti.orPreds) > 0 {
+		uArms := sc.uArms
+		for oi := range ti.orPreds {
+			d := &ti.orPreds[oi]
+			var cost, rows float64
+			var ok bool
+			uArms, cost, rows, ok = unionPath(ti, d, cfg, uArms)
+			if !ok {
+				continue
+			}
+			paths = append(paths, costPath{cost: cost, rows: rows})
+		}
+		sc.uArms = uArms
+	}
 	sc.paths = paths
 	sc.arms = arms
 	return paths
+}
+
+// sortCostArms is sortSeekArms for the cost-only arm representation:
+// the same stable insertion sort on the same selectivity keys, so both
+// enumerations cap the same arm set.
+func sortCostArms(arms []costArm) {
+	for i := 1; i < len(arms); i++ {
+		for j := i; j > 0 && arms[j].sel < arms[j-1].sel; j-- {
+			arms[j], arms[j-1] = arms[j-1], arms[j]
+		}
+	}
 }
 
 // finishCostOrdered applies finish's aggregation/sort/projection
@@ -384,7 +422,7 @@ func groupSatisfiedCols(groupCols, orderedCols []string, eqCols uint64) bool {
 // costJoinPrepared is planJoin on costs alone: the same DP over table
 // subsets, with per-table best access paths computed once and plan
 // nodes replaced by (cost, rows) pairs.
-func (o *Optimizer) costJoinPrepared(pq *PreparedQuery, cfg Configuration, noInter, filter bool, sc *costScratch) (float64, error) {
+func (o *Optimizer) costJoinPrepared(pq *PreparedQuery, cfg Configuration, noInter, noUnion, filter bool, sc *costScratch) (float64, error) {
 	n := len(pq.tables)
 	if n > maxDPTables {
 		return 0, fmt.Errorf("optimizer: %d-way joins unsupported (max %d)", n, maxDPTables)
@@ -399,7 +437,7 @@ func (o *Optimizer) costJoinPrepared(pq *PreparedQuery, cfg Configuration, noInt
 		sc.dpHas[i] = false
 	}
 	for i := range pq.tables {
-		paths := enumerateCostPaths(&pq.cost[i], cfg, noInter, filter, sc)
+		paths := enumerateCostPaths(&pq.cost[i], cfg, noInter, noUnion, filter, sc)
 		bc, br := paths[0].cost, paths[0].rows
 		for _, p := range paths[1:] {
 			if p.cost < bc {

@@ -36,21 +36,35 @@ func (n *IndexIntersectNode) Describe() string {
 // maxIntersectArms bounds how many seek paths are paired.
 const maxIntersectArms = 4
 
-// intersectionPaths builds index-intersection access paths from the
-// already-enumerated single-index seeks: pairs with different leading
-// columns, each moderately selective on its own, whose conjunction is
-// selective enough to pay for two B+-tree probes plus RID lookups.
-func intersectionPaths(ti *tableInfo, seeks []accessPath) []accessPath {
-	// Keep the most selective few seeks as candidate arms.
-	var arms []*IndexSeekNode
-	for _, p := range seeks {
-		if s, ok := p.node.(*IndexSeekNode); ok && (len(s.SeekEq) > 0 || s.SeekRng != nil) {
-			arms = append(arms, s)
+// seekArm is a candidate intersection arm: a seek path together with
+// its seek-predicate selectivity (matchSeek's clamped product, in
+// index-column order — the same value the cost-only planner computes).
+type seekArm struct {
+	seek *IndexSeekNode
+	sel  float64
+}
+
+// sortSeekArms stable-sorts arms by ascending selectivity (most
+// selective first) with an insertion sort: the slices are tiny and the
+// cost-only twin must stay allocation-free, so no sort.SliceStable.
+func sortSeekArms(arms []seekArm) {
+	for i := 1; i < len(arms); i++ {
+		for j := i; j > 0 && arms[j].sel < arms[j-1].sel; j-- {
+			arms[j], arms[j-1] = arms[j-1], arms[j]
 		}
 	}
+}
+
+// intersectionPaths builds index-intersection access paths from the
+// enumerated single-index seeks: pairs with different leading columns,
+// each moderately selective on its own, whose conjunction is selective
+// enough to pay for two B+-tree probes plus RID lookups.
+func intersectionPaths(ti *tableInfo, arms []seekArm) []accessPath {
 	if len(arms) < 2 {
 		return nil
 	}
+	// Keep the most selective few seeks as candidate arms.
+	sortSeekArms(arms)
 	if len(arms) > maxIntersectArms {
 		arms = arms[:maxIntersectArms]
 	}
@@ -58,14 +72,14 @@ func intersectionPaths(ti *tableInfo, seeks []accessPath) []accessPath {
 	var out []accessPath
 	for i := 0; i < len(arms); i++ {
 		for j := i + 1; j < len(arms); j++ {
-			a, b := arms[i], arms[j]
+			a, b := arms[i].seek, arms[j].seek
 			if a.Index.Columns[0] == b.Index.Columns[0] {
 				continue // same leading column: the arms consume the same predicate
 			}
 			if sharesSeekPredicate(a, b) {
 				continue // a predicate consumed twice would double-count selectivity
 			}
-			node := buildIntersection(ti, a, b)
+			node := buildIntersection(ti, a, b, arms[i].sel, arms[j].sel)
 			if node != nil {
 				out = append(out, accessPath{node: node, rows: node.Rows()})
 			}
@@ -96,26 +110,12 @@ func sharesSeekPredicate(a, b *IndexSeekNode) bool {
 	return false
 }
 
-// buildIntersection assembles and costs the intersection node.
-func buildIntersection(ti *tableInfo, a, b *IndexSeekNode) *IndexIntersectNode {
-	// Selectivity of each arm's seek predicates.
-	selOf := func(s *IndexSeekNode) float64 {
-		sel := 1.0
-		for _, p := range s.SeekEq {
-			sel *= predicateSelectivity(ti.ts, p)
-		}
-		if s.SeekRng != nil {
-			sel *= predicateSelectivity(ti.ts, *s.SeekRng)
-		}
-		return clampSel(sel)
-	}
-	selA, selB := selOf(a), selOf(b)
+// buildIntersection assembles and costs the intersection node from
+// two arms and their seek selectivities.
+func buildIntersection(ti *tableInfo, a, b *IndexSeekNode, selA, selB float64) *IndexIntersectNode {
 	matchA := ti.rowCount * selA
 	matchB := ti.rowCount * selB
 	interRows := ti.rowCount * selA * selB
-	if interRows < 1 {
-		interRows = 1
-	}
 
 	// Residual: table predicates not consumed by either arm.
 	consumed := make(map[string]bool)
@@ -148,11 +148,19 @@ func buildIntersection(ti *tableInfo, a, b *IndexSeekNode) *IndexIntersectNode {
 	}
 	cost := probe(a, matchA) + probe(b, matchB)
 	cost += (matchA + matchB) * CPUOpCost // hash the RID sets
-	lookup := interRows * RandPageCost
+	// Heap fetches price at least one row; the row *estimate* below
+	// stays unfloored so residual selectivity scales the true
+	// intersection cardinality (flooring first would inflate highly
+	// selective intersections).
+	fetchRows := interRows
+	if fetchRows < 1 {
+		fetchRows = 1
+	}
+	lookup := fetchRows * RandPageCost
 	if cap := 2 * float64(ti.heapPages) * RandPageCost; lookup > cap {
 		lookup = cap
 	}
-	cost += lookup + interRows*CPURowCost
+	cost += lookup + fetchRows*CPURowCost
 
 	n := &IndexIntersectNode{Table: ti.name, Residual: residual}
 	n.children = []Node{a, b}

@@ -37,7 +37,7 @@ func (ctx *optContext) planJoin() (Node, error) {
 	}
 	ctx.basePaths = ctx.basePaths[:n]
 	for i, ti := range ctx.tables {
-		paths := enumerateAccessPaths(ti, ctx.cfg.ForTable(ti.name), ctx.noIntersect, ctx.filter)
+		paths := enumerateAccessPaths(ti, ctx.cfg.ForTable(ti.name), ctx.noIntersect, ctx.noUnion, ctx.filter)
 		bp := bestPath(paths)
 		ctx.basePaths[i] = bp
 		best[1<<i] = &dpEntry{node: bp.node, rows: bp.rows}
@@ -206,10 +206,10 @@ func (ctx *optContext) innerSeekPath(ti *tableInfo, conns []connection) Node {
 	probe := *ti
 	probe.preds = preds
 	// Join columns extend the seekable-lead set for the prefilter; and
-	// intersection paths can be skipped outright — only plain seeks
-	// qualify as parameterized inners below.
+	// intersection and union paths can be skipped outright — only plain
+	// seeks qualify as parameterized inners below.
 	probe.seekLead = ti.seekLeadJoin
-	paths := enumerateAccessPaths(&probe, ctx.cfg.ForTable(ti.name), true, ctx.filter)
+	paths := enumerateAccessPaths(&probe, ctx.cfg.ForTable(ti.name), true, true, ctx.filter)
 	var best Node
 	for _, p := range paths {
 		seek, ok := p.node.(*IndexSeekNode)

@@ -39,6 +39,12 @@ type Optimizer struct {
 	// are in flight.
 	DisableIndexIntersection bool
 
+	// DisableIndexUnion turns off RID-union access paths for OR/IN
+	// disjunctions — the ablation showing how IndexMerge awareness
+	// changes which merged indexes the search recommends. Must not be
+	// toggled while Optimize calls are in flight.
+	DisableIndexUnion bool
+
 	// DisableRelevantIndexFilter turns off the prepared fast paths'
 	// relevant-index prefilter (cost every index as the unprepared path
 	// does); the guard test uses it to prove the skip never changes a
@@ -114,8 +120,10 @@ type optContext struct {
 	cfg    Configuration
 	tables []*tableInfo
 	byName map[string]*tableInfo // nil for single-table ad-hoc contexts
-	// noIntersect/filter snapshot the optimizer knobs for this call.
+	// noIntersect/noUnion/filter snapshot the optimizer knobs for this
+	// call.
 	noIntersect bool
+	noUnion     bool
 	filter      bool
 	// basePaths caches each table's best standalone access path during
 	// join planning (indexed like tables); joinStep reuses it instead
@@ -124,7 +132,7 @@ type optContext struct {
 }
 
 func (o *Optimizer) newContext(stmt *sql.SelectStmt, cfg Configuration) (*optContext, error) {
-	ctx := &optContext{opt: o, stmt: stmt, cfg: cfg, noIntersect: o.DisableIndexIntersection}
+	ctx := &optContext{opt: o, stmt: stmt, cfg: cfg, noIntersect: o.DisableIndexIntersection, noUnion: o.DisableIndexUnion}
 	sc := o.meta.Schema()
 	names := stmt.TablesReferenced()
 	if len(names) > 1 {
@@ -143,9 +151,7 @@ func (o *Optimizer) newContext(stmt *sql.SelectStmt, cfg Configuration) (*optCon
 			required: stmt.ColumnsOf(name),
 		}
 		ti.heapPages = storage.EstimateHeapPages(int64(ti.rowCount), t.RowWidth())
-		for _, p := range stmt.PredicatesOn(name) {
-			ti.preds = append(ti.preds, scoredPred{p: p, sel: predicateSelectivity(ti.ts, p)})
-		}
+		ti.initPreds(stmt)
 		ctx.tables = append(ctx.tables, ti)
 		if ctx.byName != nil {
 			ctx.byName[name] = ti
@@ -184,7 +190,7 @@ func (ctx *optContext) hasAggregates() bool {
 // index that provides order win even when a bare scan is cheaper.
 func (ctx *optContext) planSingleTable() (Node, error) {
 	ti := ctx.tables[0]
-	paths := enumerateAccessPaths(ti, ctx.cfg.ForTable(ti.name), ctx.noIntersect, ctx.filter)
+	paths := enumerateAccessPaths(ti, ctx.cfg.ForTable(ti.name), ctx.noIntersect, ctx.noUnion, ctx.filter)
 	var best Node
 	bestCost := math.Inf(1)
 	for _, path := range paths {

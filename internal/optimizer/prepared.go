@@ -164,12 +164,12 @@ func PrepareQuery(stmt *sql.SelectStmt, meta Meta) (*PreparedQuery, error) {
 			filtered: true,
 		}
 		ti.heapPages = storage.EstimateHeapPages(int64(ti.rowCount), t.RowWidth())
-		for _, p := range stmt.PredicatesOn(name) {
-			ti.preds = append(ti.preds, scoredPred{p: p, sel: predicateSelectivity(ti.ts, p)})
-		}
+		ti.initPreds(stmt)
 		// Relevant-index prefilter: only a predicate with an equality or
 		// range operator can start a seek on an index whose leading
-		// column it restricts.
+		// column it restricts. (Union arms are exempt from the filter —
+		// unionPath consults the full configuration — so disjunct
+		// columns need not extend the lead set.)
 		for _, sp := range ti.preds {
 			if sp.p.Op.IsEquality() || sp.p.Op.IsRange() {
 				ti.seekLead = appendDistinct(ti.seekLead, sp.p.Col.Column)
@@ -305,6 +305,7 @@ func (o *Optimizer) planPrepared(pq *PreparedQuery, cfg Configuration) (*Plan, e
 	ctx.opt, ctx.stmt, ctx.cfg = o, pq.Stmt, cfg
 	ctx.tables, ctx.byName = pq.tables, pq.byName
 	ctx.noIntersect = o.DisableIndexIntersection
+	ctx.noUnion = o.DisableIndexUnion
 	ctx.filter = !o.DisableRelevantIndexFilter
 	var root Node
 	var err error

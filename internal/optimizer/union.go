@@ -1,0 +1,156 @@
+package optimizer
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"indexmerge/internal/catalog"
+	"indexmerge/internal/sql"
+	"indexmerge/internal/storage"
+)
+
+// IndexUnionNode ORs several index seeks by unioning their RID sets,
+// deduplicating, and fetching the surviving heap rows once — the
+// union-over-OR IndexMerge technique (TiDB's `IndexMerge type: union`)
+// that lets several narrow indexes answer a disjunction no single
+// B+-tree can seek. Each child is an IndexSeekNode used purely as a
+// RID producer, one per normalized disjunct.
+type IndexUnionNode struct {
+	baseNode
+	Table    string
+	Residual []sql.Predicate
+}
+
+// Describe implements Node.
+func (n *IndexUnionNode) Describe() string {
+	names := make([]string, len(n.children))
+	for i, c := range n.children {
+		names[i] = c.(*IndexSeekNode).Index.Name
+	}
+	s := fmt.Sprintf("IndexUnion(%s) +RIDLookup", strings.Join(names, " ∪ "))
+	if len(n.Residual) > 0 {
+		s += " residual=" + predList(n.Residual)
+	}
+	return s
+}
+
+// maxUnionArms bounds how many disjuncts a union path may fan out to;
+// IN lists beyond it fall back to residual filtering on a scan.
+const maxUnionArms = 8
+
+// unionPath computes the cost and output cardinality of a RID-union
+// access path for one disjunctive predicate: per normalized disjunct,
+// a covering probe of the cheapest configuration index whose leading
+// column the disjunct restricts; then RID-set union/dedup priced per
+// probed entry; then heap fetches for the union (floored at one row
+// and capped at the buffer-pool bound, like every fetch cost here) and
+// residual evaluation. The row estimate uses the disjunction's own
+// inclusion–exclusion selectivity, so it is never larger than the sum
+// of the arms. arms receives the chosen positions in indexes (one per
+// disjunct, reusing the given backing array); ok is false when any
+// disjunct lacks a seekable index. Both the node-building and the
+// cost-only enumerations call this one function, which is what keeps
+// prepared and unprepared costing bit-identical.
+func unionPath(ti *tableInfo, d *orPred, indexes []catalog.IndexDef, arms []int) (_ []int, cost, rows float64, ok bool) {
+	arms = arms[:0]
+	if len(d.disjuncts) == 0 || len(d.disjuncts) > maxUnionArms {
+		return arms, 0, 0, false
+	}
+	matchSum := 0.0
+	for di := range d.disjuncts {
+		q := &d.disjuncts[di]
+		if !q.p.Op.IsEquality() && !q.p.Op.IsRange() {
+			return arms, 0, 0, false
+		}
+		match := ti.rowCount * q.sel
+		bestI := -1
+		bestCost := 0.0
+		for ii := range indexes {
+			idx := &indexes[ii]
+			if idx.Table != ti.name || len(idx.Columns) == 0 || idx.Columns[0] != q.p.Col.Column {
+				continue
+			}
+			c := armProbeCost(ti, idx.Columns, match)
+			if bestI < 0 || c < bestCost {
+				bestI, bestCost = ii, c
+			}
+		}
+		if bestI < 0 {
+			return arms, 0, 0, false
+		}
+		arms = append(arms, bestI)
+		cost += bestCost
+		matchSum += match
+	}
+	cost += matchSum * CPUOpCost // hash the RID sets
+	fetch := ti.rowCount * ti.preds[d.pos].sel
+	fetchRows := fetch
+	if fetchRows < 1 {
+		fetchRows = 1
+	}
+	lookup := fetchRows * RandPageCost
+	if lim := 2 * float64(ti.heapPages) * RandPageCost; lookup > lim {
+		lookup = lim
+	}
+	cost += lookup + fetchRows*CPURowCost
+	resSel := 1.0
+	for pi := range ti.preds {
+		if pi != d.pos {
+			resSel *= ti.preds[pi].sel
+		}
+	}
+	rows = math.Max(fetch*clampSel(resSel), 0)
+	return arms, cost, rows, true
+}
+
+// armProbeCost prices one covering (RID-only) probe of an index for
+// matched entries.
+func armProbeCost(ti *tableInfo, idxCols []string, match float64) float64 {
+	kw := ti.table.WidthOf(idxCols)
+	pages := storage.EstimateIndexPages(int64(ti.rowCount), kw)
+	h := storage.EstimateIndexHeight(int64(ti.rowCount), kw)
+	return seekCost(h, pages, ti.rowCount, match, true /* rid-only */, ti.heapPages)
+}
+
+// unionPaths builds IndexUnionNode access paths for every disjunctive
+// predicate on the table. Arm indexes are chosen from the full
+// configuration (no relevance prefilter: a disjunct column never
+// enters seekLead, so an arm-only index would otherwise be skipped on
+// the prepared path but not the ad-hoc one).
+func unionPaths(ti *tableInfo, indexes []catalog.IndexDef) []accessPath {
+	var out []accessPath
+	var arms []int
+	for oi := range ti.orPreds {
+		d := &ti.orPreds[oi]
+		var cost, rows float64
+		var ok bool
+		arms, cost, rows, ok = unionPath(ti, d, indexes, arms)
+		if !ok {
+			continue
+		}
+		n := &IndexUnionNode{Table: ti.name}
+		for di, ii := range arms {
+			q := d.disjuncts[di]
+			arm := &IndexSeekNode{Index: indexes[ii], Covering: true}
+			if q.p.Op.IsEquality() {
+				arm.SeekEq = []sql.Predicate{q.p}
+			} else {
+				rp := q.p
+				arm.SeekRng = &rp
+			}
+			arm.rows = ti.rowCount * q.sel
+			arm.cost = armProbeCost(ti, indexes[ii].Columns, arm.rows)
+			n.children = append(n.children, arm)
+		}
+		for pi := range ti.preds {
+			if pi != d.pos {
+				n.Residual = append(n.Residual, ti.preds[pi].p)
+			}
+		}
+		n.cost = cost
+		n.rows = rows
+		out = append(out, accessPath{node: n, rows: rows})
+	}
+	return out
+}

@@ -87,7 +87,7 @@ func FuzzParseOptimizeExec(f *testing.F) {
 	f.Add(int64(3), int64(101))
 	f.Fuzz(func(t *testing.T, dbSeed, querySeed int64) {
 		db := fuzzDB(t, dbSeed)
-		w, err := workload.Generate(db, workload.Options{Class: workload.Complex, Queries: 1, Seed: querySeed})
+		w, err := workload.Generate(db, workload.Options{Class: workload.Complex, Disjunctions: true, Queries: 1, Seed: querySeed})
 		if err != nil {
 			t.Skip() // generator could not produce a query for this seed
 		}
@@ -162,7 +162,7 @@ func FuzzMergeSearch(f *testing.F) {
 	f.Add(int64(2), int64(17), byte(6))
 	f.Fuzz(func(t *testing.T, dbSeed, wSeed int64, n byte) {
 		db := fuzzDB(t, dbSeed)
-		w, err := workload.Generate(db, workload.Options{Class: workload.Complex, Queries: 5, Seed: wSeed})
+		w, err := workload.Generate(db, workload.Options{Class: workload.Complex, Disjunctions: true, Queries: 5, Seed: wSeed})
 		if err != nil {
 			t.Skip()
 		}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"strings"
 
+	"indexmerge/internal/catalog"
 	"indexmerge/internal/engine"
 	"indexmerge/internal/sql"
 	"indexmerge/internal/storage"
@@ -87,7 +88,7 @@ func reference(db *engine.Database, stmt *sql.SelectStmt, maxOps int64) (*Result
 		h.Scan(func(_ storage.RowID, r value.Row) bool {
 			keep := true
 			for _, p := range preds {
-				ok, err := refPredicate(t.ColumnIndex(p.Col.Column), r, p)
+				ok, err := refPredicate(t, r, p)
 				if err != nil {
 					perr = err
 					return false
@@ -184,8 +185,24 @@ func reference(db *engine.Database, stmt *sql.SelectStmt, maxOps int64) (*Result
 }
 
 // refPredicate evaluates one restriction predicate against a single
-// table row (ci is the column's ordinal in that row).
-func refPredicate(ci int, r value.Row, p sql.Predicate) (bool, error) {
+// table row. Disjunctions (OR, IN) are expanded through Disjuncts()
+// and recursed: a row passes if any member passes, so a NULL column
+// failing one disjunct does not veto the others — the same
+// three-valued logic the engine defines.
+func refPredicate(t *catalog.Table, r value.Row, p sql.Predicate) (bool, error) {
+	if p.Op == sql.OpOr || p.Op == sql.OpIn {
+		for _, d := range p.Disjuncts() {
+			ok, err := refPredicate(t, r, d)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	ci := t.ColumnIndex(p.Col.Column)
 	if ci < 0 {
 		return false, fmt.Errorf("oracle: column %s not in table", p.Col)
 	}

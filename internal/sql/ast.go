@@ -42,6 +42,8 @@ const (
 	OpGt
 	OpGe
 	OpBetween
+	OpIn // Col IN (Vals...)
+	OpOr // disjunction of the Or predicates, all on one table
 )
 
 // String renders the operator in SQL syntax.
@@ -61,6 +63,10 @@ func (o CompareOp) String() string {
 		return ">="
 	case OpBetween:
 		return "BETWEEN"
+	case OpIn:
+		return "IN"
+	case OpOr:
+		return "OR"
 	}
 	return "?"
 }
@@ -78,21 +84,79 @@ func (o CompareOp) IsRange() bool {
 	return false
 }
 
-// Predicate is a simple restriction: Col Op Val, or Col BETWEEN Lo AND Hi.
+// Predicate is a restriction: Col Op Val, Col BETWEEN Lo AND Hi,
+// Col IN (Vals...), or — for OpOr — a disjunction of simple predicates
+// that must all restrict columns of one table. A disjunction is one
+// Predicate so conjunction-shaped plumbing (residual lists, filters,
+// selectivity products) treats it as a single opaque condition.
 type Predicate struct {
-	Col ColumnRef
-	Op  CompareOp
-	Val value.Value // for non-BETWEEN ops
-	Lo  value.Value // BETWEEN lower bound
-	Hi  value.Value // BETWEEN upper bound
+	Col  ColumnRef
+	Op   CompareOp
+	Val  value.Value   // for non-BETWEEN ops
+	Lo   value.Value   // BETWEEN lower bound
+	Hi   value.Value   // BETWEEN upper bound
+	Vals []value.Value // IN list members
+	Or   []Predicate   // OpOr disjuncts (simple or IN, never nested OR)
 }
 
 // String renders the predicate.
 func (p Predicate) String() string {
-	if p.Op == OpBetween {
+	switch p.Op {
+	case OpBetween:
 		return fmt.Sprintf("%s BETWEEN %s AND %s", p.Col, p.Lo, p.Hi)
+	case OpIn:
+		var b strings.Builder
+		b.WriteString(p.Col.String())
+		b.WriteString(" IN (")
+		for i, v := range p.Vals {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(v.String())
+		}
+		b.WriteString(")")
+		return b.String()
+	case OpOr:
+		var b strings.Builder
+		b.WriteString("(")
+		for i, d := range p.Or {
+			if i > 0 {
+				b.WriteString(" OR ")
+			}
+			b.WriteString(d.String())
+		}
+		b.WriteString(")")
+		return b.String()
 	}
 	return fmt.Sprintf("%s %s %s", p.Col, p.Op, p.Val)
+}
+
+// Disjuncts normalizes a disjunctive predicate into its member
+// predicates: IN lists expand to one equality per value, and IN
+// members inside an OR expand the same way. Simple predicates return
+// nil. The result never contains OpIn or OpOr — this is the
+// normalization the optimizer's union paths and the reference
+// evaluator both consume.
+func (p Predicate) Disjuncts() []Predicate {
+	switch p.Op {
+	case OpIn:
+		out := make([]Predicate, len(p.Vals))
+		for i, v := range p.Vals {
+			out[i] = Predicate{Col: p.Col, Op: OpEq, Val: v}
+		}
+		return out
+	case OpOr:
+		var out []Predicate
+		for _, d := range p.Or {
+			if d.Op == OpIn {
+				out = append(out, d.Disjuncts()...)
+			} else {
+				out = append(out, d)
+			}
+		}
+		return out
+	}
+	return nil
 }
 
 // JoinPred is an equality join between two columns of different tables.
@@ -199,8 +263,7 @@ func (s *DeleteStmt) Resolve(sc *catalog.Schema) error {
 	if !ok {
 		return fmt.Errorf("sql: unknown table %q", s.Table)
 	}
-	for i := range s.Where {
-		c := &s.Where[i].Col
+	check := func(c *ColumnRef) error {
 		if c.Table == "" {
 			c.Table = s.Table
 		}
@@ -209,6 +272,22 @@ func (s *DeleteStmt) Resolve(sc *catalog.Schema) error {
 		}
 		if !t.HasColumn(c.Column) {
 			return fmt.Errorf("sql: unknown column %s", c)
+		}
+		return nil
+	}
+	for i := range s.Where {
+		p := &s.Where[i]
+		if p.Op == OpOr {
+			for j := range p.Or {
+				if err := check(&p.Or[j].Col); err != nil {
+					return err
+				}
+			}
+			p.Col = ColumnRef{Table: s.Table}
+			continue
+		}
+		if err := check(&p.Col); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -296,6 +375,9 @@ func (s *SelectStmt) ColumnsOf(table string) []string {
 	}
 	for _, p := range s.Where {
 		add(p.Col)
+		for _, d := range p.Or {
+			add(d.Col)
+		}
 	}
 	for _, j := range s.Joins {
 		add(j.Left)
@@ -400,7 +482,30 @@ func (s *SelectStmt) Resolve(sc *catalog.Schema) error {
 		}
 	}
 	for i := range s.Where {
-		if err := resolve(&s.Where[i].Col); err != nil {
+		p := &s.Where[i]
+		if p.Op == OpOr {
+			if len(p.Or) < 2 {
+				return fmt.Errorf("sql: OR predicate needs at least two disjuncts")
+			}
+			for j := range p.Or {
+				d := &p.Or[j]
+				if d.Op == OpOr {
+					return fmt.Errorf("sql: nested OR predicates are not supported")
+				}
+				if err := resolve(&d.Col); err != nil {
+					return err
+				}
+				if d.Col.Table != p.Or[0].Col.Table {
+					return fmt.Errorf("sql: OR disjuncts must restrict one table (%q vs %q)",
+						p.Or[0].Col.Table, d.Col.Table)
+				}
+			}
+			// The parent carries the common table so PredicatesOn and
+			// per-table planning see the disjunction as one predicate.
+			p.Col = ColumnRef{Table: p.Or[0].Col.Table}
+			continue
+		}
+		if err := resolve(&p.Col); err != nil {
 			return err
 		}
 	}

@@ -83,9 +83,13 @@ func (p *parser) expectKeyword(kw string) error {
 	return nil
 }
 
-func (p *parser) acceptSymbol(sym string) bool {
+func (p *parser) peekSymbol(sym string) bool {
 	t := p.peek()
-	if t.kind == tokSymbol && t.text == sym {
+	return t.kind == tokSymbol && t.text == sym
+}
+
+func (p *parser) acceptSymbol(sym string) bool {
+	if p.peekSymbol(sym) {
 		p.pos++
 		return true
 	}
@@ -232,17 +236,140 @@ func (p *parser) parseSelectItem() (SelectItem, error) {
 	return SelectItem{Col: col}, nil
 }
 
-// parseConjunction parses pred (AND pred)*, classifying column=column
-// comparisons as join predicates.
+// parseConjunction parses term (AND term)*, where a term is either a
+// predicate (column=column comparisons classify as joins), a
+// parenthesized OR disjunction, or — when the whole clause is one
+// disjunction — a bare pred OR pred chain. OR mixed with AND must be
+// parenthesized; there is no operator-precedence climbing.
 func (p *parser) parseConjunction(stmt *SelectStmt) error {
-	for {
-		if err := p.parsePredicate(stmt); err != nil {
-			return err
+	for first := true; ; first = false {
+		if p.peekSymbol("(") {
+			pred, err := p.parseDisjunctionGroup()
+			if err != nil {
+				return err
+			}
+			stmt.Where = append(stmt.Where, pred)
+		} else {
+			nWhere := len(stmt.Where)
+			if err := p.parsePredicate(stmt); err != nil {
+				return err
+			}
+			if p.peekKeyword("OR") {
+				if !first || len(stmt.Where) != nWhere+1 {
+					return fmt.Errorf("sql: parenthesize OR disjunctions mixed with AND or joins at offset %d", p.peek().pos)
+				}
+				disj := []Predicate{stmt.Where[nWhere]}
+				stmt.Where = stmt.Where[:nWhere]
+				for p.acceptKeyword("OR") {
+					d, err := p.parseSimplePredicate()
+					if err != nil {
+						return err
+					}
+					disj = append(disj, d)
+				}
+				stmt.Where = append(stmt.Where, Predicate{Op: OpOr, Or: disj})
+				if p.peekKeyword("AND") {
+					return fmt.Errorf("sql: parenthesize OR disjunctions mixed with AND at offset %d", p.peek().pos)
+				}
+			}
 		}
 		if !p.acceptKeyword("AND") {
 			return nil
 		}
 	}
+}
+
+// parseDisjunctionGroup parses '(' pred (OR pred)* ')'. A single
+// parenthesized predicate collapses to the predicate itself, so the
+// canonical printer (which parenthesizes only true disjunctions)
+// round-trips.
+func (p *parser) parseDisjunctionGroup() (Predicate, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return Predicate{}, err
+	}
+	var disj []Predicate
+	for {
+		d, err := p.parseSimplePredicate()
+		if err != nil {
+			return Predicate{}, err
+		}
+		disj = append(disj, d)
+		if !p.acceptKeyword("OR") {
+			break
+		}
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return Predicate{}, err
+	}
+	if len(disj) == 1 {
+		return disj[0], nil
+	}
+	return Predicate{Op: OpOr, Or: disj}, nil
+}
+
+// parseSimplePredicate parses one column-vs-literal restriction
+// (comparison, BETWEEN, or IN). Join predicates are rejected — the
+// callers use it inside OR disjunctions, which restrict one table.
+func (p *parser) parseSimplePredicate() (Predicate, error) {
+	col, err := p.parseColumnRef()
+	if err != nil {
+		return Predicate{}, err
+	}
+	if p.acceptKeyword("BETWEEN") {
+		lo, err := p.parseLiteral()
+		if err != nil {
+			return Predicate{}, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return Predicate{}, err
+		}
+		hi, err := p.parseLiteral()
+		if err != nil {
+			return Predicate{}, err
+		}
+		return Predicate{Col: col, Op: OpBetween, Lo: lo, Hi: hi}, nil
+	}
+	if p.acceptKeyword("IN") {
+		vals, err := p.parseInList()
+		if err != nil {
+			return Predicate{}, err
+		}
+		return Predicate{Col: col, Op: OpIn, Vals: vals}, nil
+	}
+	op, err := p.parseCompareOp()
+	if err != nil {
+		return Predicate{}, err
+	}
+	if p.peek().kind == tokIdent && !p.peekLiteralKeyword() {
+		return Predicate{}, fmt.Errorf("sql: join predicates cannot appear in OR disjunctions (offset %d)", p.peek().pos)
+	}
+	val, err := p.parseLiteral()
+	if err != nil {
+		return Predicate{}, err
+	}
+	return Predicate{Col: col, Op: op, Val: val}, nil
+}
+
+// parseInList parses '(' literal (',' literal)* ')'.
+func (p *parser) parseInList() ([]value.Value, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	var vals []value.Value
+	for {
+		v, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, v)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return vals, nil
 }
 
 func (p *parser) parsePredicate(stmt *SelectStmt) error {
@@ -263,6 +390,14 @@ func (p *parser) parsePredicate(stmt *SelectStmt) error {
 			return err
 		}
 		stmt.Where = append(stmt.Where, Predicate{Col: col, Op: OpBetween, Lo: lo, Hi: hi})
+		return nil
+	}
+	if p.acceptKeyword("IN") {
+		vals, err := p.parseInList()
+		if err != nil {
+			return err
+		}
+		stmt.Where = append(stmt.Where, Predicate{Col: col, Op: OpIn, Vals: vals})
 		return nil
 	}
 	op, err := p.parseCompareOp()

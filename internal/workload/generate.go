@@ -39,6 +39,11 @@ type Options struct {
 	Seed    int64
 	// MaxTables caps the tables per query (Complex only; default 3).
 	MaxTables int
+	// Disjunctions lets Complex queries draw OR / IN predicates (the
+	// inputs to index-union access paths). Off by default: enabling it
+	// consumes extra random draws, so existing seeded streams stay
+	// byte-stable unless a caller opts in.
+	Disjunctions bool
 }
 
 // Generate builds a workload against the database's schema and data.
@@ -211,6 +216,12 @@ func (g *generator) complexQuery() (*sql.SelectStmt, error) {
 	nPreds := 1 + g.rng.Intn(3)
 	for i := 0; i < nPreds; i++ {
 		t := tables[g.rng.Intn(len(tables))]
+		if g.opt.Disjunctions && g.rng.Float64() < 0.35 {
+			if p, ok := g.disjunction(t); ok {
+				stmt.Where = append(stmt.Where, p)
+			}
+			continue
+		}
 		c := t.Columns[g.rng.Intn(len(t.Columns))]
 		ref := sql.ColumnRef{Table: t.Name, Column: c.Name}
 		v := g.sampleValue(t, c.Name)
@@ -252,6 +263,55 @@ func (g *generator) complexQuery() (*sql.SelectStmt, error) {
 		return nil, nil // retry
 	}
 	return stmt, nil
+}
+
+// disjunction draws a disjunctive predicate over one table: half the
+// time an IN list of 2-4 live values on a single column, otherwise an
+// OR of 2-3 simple predicates over (possibly different) columns of the
+// table. These are the shapes the optimizer's union access paths
+// consume and the fuzz grammars use to exercise them.
+func (g *generator) disjunction(t *catalog.Table) (sql.Predicate, bool) {
+	if g.rng.Float64() < 0.5 {
+		c := t.Columns[g.rng.Intn(len(t.Columns))]
+		ref := sql.ColumnRef{Table: t.Name, Column: c.Name}
+		n := 2 + g.rng.Intn(3)
+		var vals []value.Value
+		for i := 0; i < n; i++ {
+			v := g.sampleValue(t, c.Name)
+			if v.IsNull() {
+				continue
+			}
+			vals = append(vals, v)
+		}
+		if len(vals) < 2 {
+			return sql.Predicate{}, false
+		}
+		return sql.Predicate{Col: ref, Op: sql.OpIn, Vals: vals}, true
+	}
+	n := 2 + g.rng.Intn(2)
+	var disj []sql.Predicate
+	for i := 0; i < n; i++ {
+		c := t.Columns[g.rng.Intn(len(t.Columns))]
+		ref := sql.ColumnRef{Table: t.Name, Column: c.Name}
+		v := g.sampleValue(t, c.Name)
+		if v.IsNull() {
+			continue
+		}
+		// Equality-heavy, mirroring the conjunctive draw: selective
+		// disjuncts are where union paths beat a scan.
+		switch g.rng.Intn(4) {
+		case 0:
+			disj = append(disj, sql.Predicate{Col: ref, Op: sql.OpLt, Val: v})
+		case 1:
+			disj = append(disj, sql.Predicate{Col: ref, Op: sql.OpGe, Val: v})
+		default:
+			disj = append(disj, sql.Predicate{Col: ref, Op: sql.OpEq, Val: v})
+		}
+	}
+	if len(disj) < 2 {
+		return sql.Predicate{}, false
+	}
+	return sql.Predicate{Col: sql.ColumnRef{Table: t.Name}, Op: sql.OpOr, Or: disj}, true
 }
 
 // joinPredicate finds a same-type column pair linking next to one of

@@ -16,6 +16,7 @@ import (
 
 	"indexmerge/internal/experiments"
 	"indexmerge/internal/optimizer"
+	"indexmerge/internal/workload"
 )
 
 func identityLabs(t *testing.T) []*experiments.Lab {
@@ -61,7 +62,16 @@ func sameUses(a, b []optimizer.IndexUse) bool {
 func TestPreparedMatchesOptimize(t *testing.T) {
 	for _, lab := range identityLabs(t) {
 		cfgs := identityConfigs(t, lab)
-		workloads := map[string]*Workload{"complex": lab.Complex, "projection": lab.Projection}
+		// A dedicated disjunction-bearing workload exercises the union
+		// access paths' prepared mirror (unionPath is shared, but the arm
+		// collection and ordering around it must agree byte for byte).
+		disjunct, err := workload.Generate(lab.DB, workload.Options{
+			Class: workload.Complex, Disjunctions: true, Queries: 12, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		workloads := map[string]*Workload{"complex": lab.Complex, "projection": lab.Projection, "disjunct": disjunct}
 		for wname, w := range workloads {
 			pw, err := optimizer.PrepareWorkload(w, lab.DB)
 			if err != nil {
@@ -73,10 +83,12 @@ func TestPreparedMatchesOptimize(t *testing.T) {
 			}{
 				{"base", optimizer.New(lab.DB)},
 				{"nointersect", optimizer.New(lab.DB)},
+				{"nounion", optimizer.New(lab.DB)},
 				{"nofilter", optimizer.New(lab.DB)},
 			}
 			variants[1].opt.DisableIndexIntersection = true
-			variants[2].opt.DisableRelevantIndexFilter = true
+			variants[2].opt.DisableIndexUnion = true
+			variants[3].opt.DisableRelevantIndexFilter = true
 			for _, v := range variants {
 				for ci, cfg := range cfgs {
 					for qi, q := range w.Queries {
@@ -293,5 +305,29 @@ func TestCostPreparedAllocations(t *testing.T) {
 	}
 	if unprepared < 5*prepared {
 		t.Errorf("allocation reduction below 5x: prepared %.1f, unprepared %.1f", prepared, unprepared)
+	}
+
+	// Union costing must hold the same bound: its arm scratch is pooled
+	// alongside the rest of the cost-only state.
+	disjunct, err := workload.Generate(lab.DB, workload.Options{
+		Class: workload.Complex, Disjunctions: true, Queries: 12, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pwd, err := lab.Opt.PrepareWorkload(disjunct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preparedDisjunct := testing.AllocsPerRun(20, func() {
+		for qi := range pwd.Queries {
+			if _, err := lab.Opt.CostPrepared(pwd.Queries[qi], cfg); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	t.Logf("allocs per disjunction workload costing: prepared %.1f (%d queries)", preparedDisjunct, pwd.Len())
+	if preparedDisjunct > 2*float64(pwd.Len()) {
+		t.Errorf("prepared disjunction costing allocates %.1f per workload (> %d = 2/query)", preparedDisjunct, 2*pwd.Len())
 	}
 }
