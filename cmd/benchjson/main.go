@@ -6,18 +6,29 @@
 // produce the identical final configuration, storage and
 // cost-evaluation count; the command fails otherwise.
 //
+// With -workload, it instead runs the large-workload compression
+// benchmark (BENCH_workload.json): a zipf-duplicated multi-thousand-
+// statement workload merged once under the plain per-query
+// OptimizerChecker and once under the wscale template/atom cost-table
+// checker. Both variants must reach the same final configuration (or
+// provably equal cost) — the compression is exact — and the report
+// records the wall-clock speedup.
+//
 // Usage:
 //
 //	benchjson [-scale 0.5] [-queries 30] [-seed 1] [-o BENCH_optimizer.json]
+//	benchjson -workload [-statements 10000] [-o BENCH_workload.json]
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"testing"
+	"time"
 
 	"indexmerge/internal/catalog"
 	"indexmerge/internal/core"
@@ -27,6 +38,8 @@ import (
 	"indexmerge/internal/optimizer"
 	"indexmerge/internal/sql"
 	"indexmerge/internal/value"
+	"indexmerge/internal/workload"
+	"indexmerge/internal/wscale"
 )
 
 // benchCase is one (database, initial-configuration-size) scenario.
@@ -79,7 +92,19 @@ func main() {
 	queries := flag.Int("queries", 30, "queries per generated workload")
 	seed := flag.Int64("seed", 1, "random seed for data and workloads")
 	out := flag.String("o", "", "output file (default stdout)")
+	workloadMode := flag.Bool("workload", false, "run the large-workload compression benchmark instead")
+	statements := flag.Int("statements", 10000, "total statement count (weighted) for -workload")
+	initialN := flag.Int("initial", 30, "initial configuration size for -workload")
 	flag.Parse()
+
+	if *workloadMode {
+		rep, err := runWorkloadBench(*scale, *seed, *statements, *initialN)
+		if err != nil {
+			fatal(err)
+		}
+		writeReport(rep, *out)
+		return
+	}
 
 	cases := []benchCase{
 		{name: "greedy-synthetic2", lab: experiments.NewSynthetic2Lab, n: 20},
@@ -107,19 +132,187 @@ func main() {
 	}
 	report.IndexUnion = ur
 
+	writeReport(report, *out)
+}
+
+// writeReport marshals a report to the output file (or stdout).
+func writeReport(report any, out string) {
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		fatal(err)
 	}
 	buf = append(buf, '\n')
-	if *out == "" {
+	if out == "" {
 		os.Stdout.Write(buf)
 		return
 	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wrote %s\n", *out)
+	fmt.Printf("wrote %s\n", out)
+}
+
+// workloadVariant is one timed end-to-end merge over the large
+// workload: base costing plus the full greedy search (and, for the
+// compressed variant, template clustering and cost-table construction —
+// everything a cold run pays).
+type workloadVariant struct {
+	Seconds        float64 `json:"seconds"`
+	OptimizerCalls int64   `json:"optimizer_calls"`
+	CostEvals      int64   `json:"cost_evaluations"`
+	FinalIndexes   int     `json:"final_indexes"`
+	signature      string
+	finalDefs      []catalog.IndexDef
+}
+
+// workloadReport is the -workload benchmark result
+// (BENCH_workload.json is a checked-in run).
+type workloadReport struct {
+	Benchmark           string          `json:"benchmark"`
+	Scale               float64         `json:"scale"`
+	Seed                int64           `json:"seed"`
+	Statements          int             `json:"statements"` // weighted (log size)
+	Entries             int             `json:"entries"`    // distinct after exact-text folding
+	Templates           int             `json:"templates"`
+	DedupRatio          float64         `json:"dedup_ratio"`
+	InitialIndexes      int             `json:"initial_indexes"`
+	Uncompressed        workloadVariant `json:"uncompressed"`
+	Compressed          workloadVariant `json:"compressed"`
+	Speedup             float64         `json:"speedup"`
+	OptimizerCallRatio  float64         `json:"optimizer_call_ratio"`
+	CostTableHits       int64           `json:"cost_table_hits"`
+	CostTableMisses     int64           `json:"cost_table_misses"`
+	PrunedChecks        int64           `json:"pruned_checks"`
+	StorageReductionPct float64         `json:"storage_reduction_pct"`
+}
+
+// runWorkloadBench merges a zipf-duplicated workload of ~statements
+// total statements once per costing variant and verifies they agree.
+func runWorkloadBench(scale float64, seed int64, statements, initialN int) (workloadReport, error) {
+	const baseQueries = 25
+	lab, err := experiments.NewSynthetic2Lab(experiments.LabOptions{
+		Scale: scale, WorkloadQueries: baseQueries, Seed: seed,
+	})
+	if err != nil {
+		return workloadReport{}, err
+	}
+	dup := statements - baseQueries
+	if dup < 0 {
+		dup = 0
+	}
+	w, err := workload.Generate(lab.DB, workload.Options{
+		Class: workload.Complex, Disjunctions: true,
+		Queries: baseQueries, Duplication: dup, Seed: seed + 11,
+	})
+	if err != nil {
+		return workloadReport{}, err
+	}
+	defs, err := lab.InitialConfiguration(w, initialN)
+	if err != nil {
+		return workloadReport{}, err
+	}
+	initial := core.NewConfiguration(defs)
+	pw, err := lab.Opt.PrepareWorkload(w)
+	if err != nil {
+		return workloadReport{}, err
+	}
+	seek, err := core.ComputeSeekCostsPrepared(lab.Opt, pw, initial)
+	if err != nil {
+		return workloadReport{}, err
+	}
+	const slack = 0.10
+
+	// Uncompressed: the per-query prepared checker — every constraint
+	// check re-costs all distinct statements.
+	startU := time.Now()
+	baseU, err := lab.Opt.WorkloadCostPrepared(pw, optimizer.Configuration(defs))
+	if err != nil {
+		return workloadReport{}, err
+	}
+	plain := core.NewOptimizerChecker(lab.Opt, w, baseU, slack)
+	plain.Prepared = pw
+	resU, err := core.GreedyWithOptions(initial, &core.MergePairCost{Seek: seek}, plain, lab.DB, core.GreedyOptions{})
+	if err != nil {
+		return workloadReport{}, err
+	}
+	uncomp := workloadVariant{
+		Seconds:        time.Since(startU).Seconds(),
+		OptimizerCalls: resU.OptimizerCalls,
+		CostEvals:      resU.CostEvaluations,
+		FinalIndexes:   resU.Final.Len(),
+		signature:      resU.Final.Signature(),
+		finalDefs:      resU.Final.Defs(),
+	}
+
+	// Compressed: cluster into templates, build the (template, atom)
+	// cost table, search with delta evaluation and lower-bound pruning.
+	// Clustering and table construction are inside the timed region — a
+	// cold run pays them too.
+	startC := time.Now()
+	c := wscale.Compress(w)
+	p, err := wscale.Prepare(c, pw, lab.Opt, 0)
+	if err != nil {
+		return workloadReport{}, err
+	}
+	baseC, err := p.WorkloadCost(initial)
+	if err != nil {
+		return workloadReport{}, err
+	}
+	chk := wscale.NewChecker(p, baseC, slack)
+	resC, err := core.GreedyWithOptions(initial, &core.MergePairCost{Seek: seek}, chk, lab.DB, core.GreedyOptions{})
+	if err != nil {
+		return workloadReport{}, err
+	}
+	comp := workloadVariant{
+		Seconds:        time.Since(startC).Seconds(),
+		OptimizerCalls: resC.OptimizerCalls,
+		CostEvals:      resC.CostEvaluations,
+		FinalIndexes:   resC.Final.Len(),
+		signature:      resC.Final.Signature(),
+		finalDefs:      resC.Final.Defs(),
+	}
+
+	// Parity: identical final configuration, or (when a last-ulp total
+	// flips a borderline acceptance) provably equal workload cost.
+	if uncomp.signature != comp.signature {
+		cu, err := lab.Opt.WorkloadCostPrepared(pw, optimizer.Configuration(uncomp.finalDefs))
+		if err != nil {
+			return workloadReport{}, err
+		}
+		cc, err := lab.Opt.WorkloadCostPrepared(pw, optimizer.Configuration(comp.finalDefs))
+		if err != nil {
+			return workloadReport{}, err
+		}
+		if math.Abs(cu-cc) > 1e-9*math.Max(1, math.Abs(cu)) {
+			return workloadReport{}, fmt.Errorf("compressed final configuration diverged: %s (cost %v) vs %s (cost %v)",
+				uncomp.signature, cu, comp.signature, cc)
+		}
+	}
+
+	hits, misses, _ := p.TableStats()
+	rep := workloadReport{
+		Benchmark:           "template-compressed merge over a zipf-duplicated workload",
+		Scale:               scale,
+		Seed:                seed,
+		Statements:          int(c.TotalFreq()),
+		Entries:             c.Statements(),
+		Templates:           len(c.Templates),
+		DedupRatio:          round2(c.DedupRatio()),
+		InitialIndexes:      len(defs),
+		Uncompressed:        uncomp,
+		Compressed:          comp,
+		CostTableHits:       hits,
+		CostTableMisses:     misses,
+		PrunedChecks:        chk.PrunedChecks(),
+		StorageReductionPct: round2(100 * resC.StorageReduction()),
+	}
+	if comp.Seconds > 0 {
+		rep.Speedup = round2(uncomp.Seconds / comp.Seconds)
+	}
+	if comp.OptimizerCalls > 0 {
+		rep.OptimizerCallRatio = round2(float64(uncomp.OptimizerCalls) / float64(comp.OptimizerCalls))
+	}
+	return rep, nil
 }
 
 // runCase benchmarks both costing variants over one lab (each

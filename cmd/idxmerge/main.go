@@ -6,7 +6,7 @@
 //
 //	idxmerge -db tpcd [-workload queries.sql] [-n 10] [-constraint 0.10]
 //	         [-mergepair cost|syntactic|exhaustive] [-search greedy|exhaustive]
-//	         [-costmodel opt|nocost|prefilter] [-explain] [-json]
+//	         [-costmodel opt|nocost|prefilter|compressed] [-explain] [-json]
 //
 // Without -workload, a complex workload is generated (RAGS-style).
 // The initial configuration comes from per-query tuning unless -n is 0,
@@ -47,11 +47,13 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	workloadPath := flag.String("workload", "", "workload file (one SELECT per line); default: generated complex workload")
 	queries := flag.Int("queries", 30, "generated workload size when -workload is not given")
+	duplication := flag.Int("duplication", 0, "append this many zipf-skewed constant-varied duplicates to the generated workload (log-like workloads for -costmodel compressed)")
+	disjunctions := flag.Bool("disjunctions", false, "add OR/IN predicates to generated queries")
 	n := flag.Int("n", 10, "initial configuration size (0 = tune every workload query)")
 	constraint := flag.Float64("constraint", 0.10, "cost constraint (fractional workload cost increase bound)")
 	mergePair := flag.String("mergepair", "cost", "merge procedure: cost | syntactic | exhaustive")
 	search := flag.String("search", "greedy", "search strategy: greedy | exhaustive")
-	costModel := flag.String("costmodel", "opt", "cost evaluation: opt | nocost | prefilter")
+	costModel := flag.String("costmodel", "opt", "cost evaluation: opt | nocost | prefilter | compressed (template cost tables; exact)")
 	explain := flag.Bool("explain", false, "print per-query plans under the final configuration")
 	dualBudget := flag.Float64("dual", 0, "solve the Cost-Minimal dual instead: storage budget as a fraction of the initial configuration (e.g. 0.5)")
 	parallel := flag.Int("parallel", 1, "concurrent candidate costings per search step (0 = GOMAXPROCS); results are identical for any value")
@@ -87,7 +89,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	w, err := loadWorkload(db, *workloadPath, *queries, *seed)
+	w, err := loadWorkload(db, *workloadPath, *queries, *seed, *duplication, *disjunctions)
 	if err != nil {
 		fatal(err)
 	}
@@ -98,14 +100,27 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	compressed := *costModel == "compressed"
+	if compressed {
+		cw, err := m.CompressedWorkload()
+		if err != nil {
+			fatal(err)
+		}
+		human("%s\n", cw.C)
+	}
 
-	// Initial configuration.
+	// Initial configuration. Under -costmodel compressed, whole-workload
+	// tuning (-n 0) runs at template granularity: one representative per
+	// fingerprint class.
 	var defs []indexmerge.IndexDef
-	if *n > 0 {
+	switch {
+	case *n > 0:
 		adv := advisor.New(db, m.Optimizer())
 		adv.Parallelism = *parallel
 		defs, err = advisor.BuildInitialConfigurationContext(ctx, adv, w, *n, *seed)
-	} else {
+	case compressed:
+		defs, err = m.TuneTemplatesContext(ctx)
+	default:
 		defs, err = m.TuneWorkloadContext(ctx)
 	}
 	if err != nil {
@@ -152,6 +167,8 @@ func main() {
 		opts.CostModel = indexmerge.NoCost
 	case "prefilter":
 		opts.CostModel = indexmerge.PrefilteredOptimizerCost
+	case "compressed":
+		opts.CostModel = indexmerge.CompressedOptimizerCost
 	}
 	if *jsonOut {
 		// Stream progress snapshots as JSON lines on stderr — the same
@@ -224,9 +241,12 @@ func buildDatabase(name string, scale float64, seed int64) (*engine.Database, er
 	return nil, fmt.Errorf("unknown database %q (want tpcd, synthetic1 or synthetic2)", name)
 }
 
-func loadWorkload(db *engine.Database, path string, queries int, seed int64) (*sql.Workload, error) {
+func loadWorkload(db *engine.Database, path string, queries int, seed int64, duplication int, disjunctions bool) (*sql.Workload, error) {
 	if path == "" {
-		return workload.Generate(db, workload.Options{Class: workload.Complex, Queries: queries, Seed: seed + 11})
+		return workload.Generate(db, workload.Options{
+			Class: workload.Complex, Queries: queries, Seed: seed + 11,
+			Duplication: duplication, Disjunctions: disjunctions,
+		})
 	}
 	if path == "tpcd17" {
 		return datagen.TPCDWorkload(db.Schema())

@@ -1,0 +1,126 @@
+// Recommendation-parity tests for the compressed cost model: on every
+// reference database, a greedy merge priced through the (template,
+// atom) cost table must arrive at the same final configuration as the
+// plain per-query OptimizerCost model — or, when a last-ulp total flips
+// a borderline acceptance, at a configuration of equal workload cost.
+// The compression is exact (atoms sum every member's CostPrepared, no
+// representative approximation), so anything else is a bug.
+package indexmerge
+
+import (
+	"math"
+	"testing"
+
+	"indexmerge/internal/experiments"
+	"indexmerge/internal/workload"
+)
+
+func TestCompressedMergeParity(t *testing.T) {
+	labs, err := experiments.StandardLabs(experiments.LabOptions{Scale: 0.25, WorkloadQueries: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lab := range labs {
+		// Two workload flavors per database: duplicated complex queries,
+		// and a disjunction-bearing variant so IndexUnion arms flow
+		// through the relevance test and the cost table.
+		flavors := []struct {
+			name string
+			opt  workload.Options
+		}{
+			{"dup", workload.Options{Class: workload.Complex, Queries: 10, Duplication: 40, Seed: 3}},
+			{"disjunct", workload.Options{Class: workload.Complex, Disjunctions: true, Queries: 10, Duplication: 40, Seed: 9}},
+		}
+		for _, f := range flavors {
+			w, err := workload.Generate(lab.DB, f.opt)
+			if err != nil {
+				t.Fatalf("%s/%s: generate: %v", lab.Name, f.name, err)
+			}
+			defs, err := lab.InitialConfiguration(w, 8)
+			if err != nil {
+				t.Fatalf("%s/%s: initial: %v", lab.Name, f.name, err)
+			}
+			if len(defs) < 4 {
+				t.Fatalf("%s/%s: initial configuration too small (%d)", lab.Name, f.name, len(defs))
+			}
+			m, err := NewMerger(lab.DB, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plain, err := m.MergeDefs(defs, MergeOptions{CostConstraint: 0.10})
+			if err != nil {
+				t.Fatalf("%s/%s: plain merge: %v", lab.Name, f.name, err)
+			}
+			comp, err := m.MergeDefs(defs, MergeOptions{CostConstraint: 0.10, CostModel: CompressedOptimizerCost})
+			if err != nil {
+				t.Fatalf("%s/%s: compressed merge: %v", lab.Name, f.name, err)
+			}
+
+			if comp.Templates == 0 || comp.DedupRatio <= 1 {
+				t.Errorf("%s/%s: compression stats missing: %d templates, %.2fx dedup",
+					lab.Name, f.name, comp.Templates, comp.DedupRatio)
+			}
+			if comp.CostTableHits+comp.CostTableMisses == 0 {
+				t.Errorf("%s/%s: compressed run never consulted the cost table", lab.Name, f.name)
+			}
+
+			if plain.Final.Signature() == comp.Final.Signature() {
+				continue
+			}
+			pc, err := m.WorkloadCost(plain.Final.Defs())
+			if err != nil {
+				t.Fatal(err)
+			}
+			cc, err := m.WorkloadCost(comp.Final.Defs())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(pc-cc) > 1e-9*math.Max(1, math.Abs(pc)) {
+				t.Errorf("%s/%s: final configurations diverge:\n plain      %s (cost %v)\n compressed %s (cost %v)",
+					lab.Name, f.name, plain.Final.Signature(), pc, comp.Final.Signature(), cc)
+			}
+		}
+	}
+}
+
+// TestCompressedMergeResilience: the compressed checker must compose
+// with the resilient wrapper (SetBase forwarding) — a healthy run under
+// Resilience is identical to one without.
+func TestCompressedMergeResilience(t *testing.T) {
+	lab, err := experiments.NewSynthetic1Lab(experiments.LabOptions{Scale: 0.25, WorkloadQueries: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.Generate(lab.DB, workload.Options{
+		Class: workload.Complex, Queries: 10, Duplication: 40, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defs, err := lab.InitialConfiguration(w, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMerger(lab.DB, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare, err := m.MergeDefs(defs, MergeOptions{CostConstraint: 0.10, CostModel: CompressedOptimizerCost})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hardened, err := m.MergeDefs(defs, MergeOptions{
+		CostConstraint: 0.10, CostModel: CompressedOptimizerCost,
+		Resilience: &ResilienceOptions{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Final.Signature() != hardened.Final.Signature() {
+		t.Errorf("resilient compressed run diverged:\n bare     %s\n hardened %s",
+			bare.Final.Signature(), hardened.Final.Signature())
+	}
+	if hardened.Degraded || hardened.Retries != 0 {
+		t.Errorf("healthy run reported degradation: degraded=%v retries=%d", hardened.Degraded, hardened.Retries)
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"indexmerge/internal/optimizer"
 	"indexmerge/internal/sql"
 	"indexmerge/internal/value"
+	"indexmerge/internal/wscale"
 )
 
 // Re-exported core types. The aliases give examples and downstream
@@ -82,6 +83,12 @@ type (
 	// CostBreaker is the circuit breaker the resilient costing path
 	// consults; see MergeOptions.Resilience.
 	CostBreaker = core.Breaker
+	// CompressedWorkload is a workload clustered into constant-abstracted
+	// templates with its per-(template, atom) cost table — the
+	// CompressedOptimizerCost model's working state. Build once per
+	// (workload, statistics) pair and share across runs; see
+	// Merger.CompressedWorkload and MergeOptions.Compressed.
+	CompressedWorkload = wscale.Prepared
 )
 
 // NewCostCache builds a what-if cost cache that can be shared across
@@ -171,6 +178,15 @@ const (
 	// PrefilteredOptimizerCost vetoes candidates with a cheap external
 	// model before invoking the optimizer (§3.5.3).
 	PrefilteredOptimizerCost
+	// CompressedOptimizerCost uses optimizer-estimated costs over the
+	// workload compressed into constant-abstracted templates (CoPhy-style
+	// decomposition): candidates are priced per template from a
+	// (template, atomic-configuration) cost table, with delta evaluation
+	// against the search's current configuration and admissible
+	// lower-bound pruning. Recommendations match OptimizerCost (exact
+	// per-member costing, no representative approximation) while scaling
+	// to workloads of tens of thousands of statements.
+	CompressedOptimizerCost
 )
 
 // MergeOptions configures a merging run.
@@ -213,6 +229,12 @@ type MergeOptions struct {
 	// jobs). When nil, the merger prepares lazily and caches the
 	// result. Results are byte-identical either way.
 	Prepared *PreparedWorkload
+	// Compressed, when non-nil, supplies the workload already compressed
+	// and paired with a (template, atom) cost table (the advisor service
+	// compresses once at workload registration and reuses the table
+	// across jobs). Only consulted by the CompressedOptimizerCost model;
+	// when nil, the merger compresses lazily and caches the result.
+	Compressed *CompressedWorkload
 	// Resilience, when non-nil, hardens optimizer-backed costing:
 	// transient failures are retried with backoff, permanent failures
 	// trip a circuit breaker and degrade decisions to the external
@@ -254,6 +276,10 @@ type Merger struct {
 	prepMu   sync.Mutex
 	prepared *PreparedWorkload
 	prepVer  uint64
+
+	compMu     sync.Mutex
+	compressed *CompressedWorkload
+	compVer    uint64
 }
 
 // NewMerger builds a merger. The database should have statistics
@@ -288,6 +314,39 @@ func (m *Merger) PreparedWorkload() (*PreparedWorkload, error) {
 	return m.prepared, nil
 }
 
+// CompressedWorkload returns the merger's workload compressed into
+// templates and paired with an empty-on-first-use cost table, built
+// lazily and rebuilt after the database's statistics change (the cost
+// table memoizes stats-dependent costs, so it cannot outlive them).
+func (m *Merger) CompressedWorkload() (*CompressedWorkload, error) {
+	pw, err := m.PreparedWorkload()
+	if err != nil {
+		return nil, err
+	}
+	m.compMu.Lock()
+	defer m.compMu.Unlock()
+	ver := m.db.StatsVersion()
+	if m.compressed == nil || m.compVer != ver || m.compressed.PW != pw {
+		cp, err := wscale.Prepare(wscale.Compress(m.w), pw, m.opt, 0)
+		if err != nil {
+			return nil, err
+		}
+		m.compressed = cp
+		m.compVer = ver
+	}
+	return m.compressed, nil
+}
+
+// compressedFor resolves the compressed workload for a run: the
+// caller's (validated against this merger's workload) or the lazily
+// cached one.
+func (m *Merger) compressedFor(opts *MergeOptions) (*CompressedWorkload, error) {
+	if opts != nil && opts.Compressed != nil && len(opts.Compressed.C.W.Queries) == m.w.Len() {
+		return opts.Compressed, nil
+	}
+	return m.CompressedWorkload()
+}
+
 // preparedFor resolves the prepared workload for a run: the caller's
 // (validated against this merger's workload) or the lazily cached one.
 func (m *Merger) preparedFor(opts *MergeOptions) (*PreparedWorkload, error) {
@@ -320,6 +379,19 @@ type MergeResult struct {
 	// PanicsRecovered counts costing panics converted to typed errors
 	// (0 without Resilience).
 	PanicsRecovered int64
+	// Templates and DedupRatio describe the workload compression a
+	// CompressedOptimizerCost run searched over (0 for other models).
+	Templates  int
+	DedupRatio float64
+	// CostTableHits / CostTableMisses count (template, atom) cost-table
+	// lookups during this run; a high hit rate is where the compressed
+	// model's speed comes from (0 for other models).
+	CostTableHits   int64
+	CostTableMisses int64
+	// PrunedChecks counts candidates the compressed model rejected via
+	// its admissible lower bound, without exact costing (0 for other
+	// models).
+	PrunedChecks int64
 }
 
 // CostIncrease is the fractional workload cost growth.
@@ -336,6 +408,10 @@ func (r *MergeResult) Report() string {
 	fmt.Fprintf(&b, "indexes:  %d -> %d\n", r.Initial.Len(), r.Final.Len())
 	fmt.Fprintf(&b, "storage:  %d -> %d bytes (%.1f%% saved)\n", r.InitialBytes, r.FinalBytes, 100*r.StorageReduction())
 	fmt.Fprintf(&b, "cost:     %.2f -> %.2f (%+.1f%%, bound %.2f)\n", r.InitialCost, r.FinalCost, 100*r.CostIncrease(), r.Bound)
+	if r.Templates > 0 {
+		fmt.Fprintf(&b, "compress: %d templates (%.1fx dedup), cost table %d hits / %d misses, %d pruned\n",
+			r.Templates, r.DedupRatio, r.CostTableHits, r.CostTableMisses, r.PrunedChecks)
+	}
 	for _, s := range r.Steps {
 		fmt.Fprintf(&b, "  merged %s + %s -> %s\n", s.ParentA, s.ParentB, s.Result)
 	}
@@ -428,9 +504,38 @@ func (m *Merger) merge(ctx context.Context, initial *core.Configuration, opts Me
 	var bound float64
 	var resilient *core.ResilientChecker
 	var ext *core.ExternalCostModel
+	var compressed *CompressedWorkload
+	var compChecker *wscale.Checker
+	var compHits0, compMisses0 int64
 	switch opts.CostModel {
 	case NoCost:
 		check = &core.NoCostChecker{F: opts.NoCostF, P: opts.NoCostP, Tables: m.db}
+	case CompressedOptimizerCost:
+		compressed, err = m.compressedFor(&opts)
+		if err != nil {
+			return nil, err
+		}
+		// The constraint bound derives from the decomposed baseline (the
+		// template-order total), keeping the checker's delta totals and U
+		// on the same summation; it differs from baseCost only in the
+		// last ulp.
+		compBase, err := resilientEval(opts.Resilience, out, func() (float64, error) {
+			return compressed.WorkloadCostContext(ctx, initial)
+		})
+		if err != nil {
+			return nil, err
+		}
+		compChecker = wscale.NewChecker(compressed, compBase, opts.CostConstraint)
+		compChecker.Parallelism = opts.Parallelism
+		check = compChecker
+		bound = compChecker.U
+		compHits0, compMisses0, _ = compressed.TableStats()
+		if opts.Resilience != nil {
+			ext = &core.ExternalCostModel{Meta: m.db, W: m.w}
+			ext.SetBaseline(initial)
+			resilient = opts.Resilience.wrap(compChecker, ext, opts.CostConstraint)
+			check = resilient
+		}
 	case PrefilteredOptimizerCost:
 		inner := core.NewOptimizerChecker(m.opt, m.w, baseCost, opts.CostConstraint)
 		inner.Parallelism = opts.Parallelism
@@ -476,6 +581,14 @@ func (m *Merger) merge(ctx context.Context, initial *core.Configuration, opts Me
 	out.SearchResult = res
 	out.InitialCost = baseCost
 	out.Bound = bound
+	if compressed != nil {
+		out.Templates = len(compressed.C.Templates)
+		out.DedupRatio = compressed.C.DedupRatio()
+		hits, misses, _ := compressed.TableStats()
+		out.CostTableHits = hits - compHits0
+		out.CostTableMisses = misses - compMisses0
+		out.PrunedChecks = compChecker.PrunedChecks()
+	}
 	if resilient != nil {
 		out.Degraded = out.Degraded || resilient.Degraded()
 		out.Retries += resilient.Retries()
@@ -650,6 +763,24 @@ func (m *Merger) TuneWorkload() ([]IndexDef, error) {
 // surfaces as ctx.Err().
 func (m *Merger) TuneWorkloadContext(ctx context.Context) ([]IndexDef, error) {
 	return advisor.New(m.db, m.opt).TuneWorkloadContext(ctx, m.w)
+}
+
+// TuneTemplates tunes one representative query per compressed template
+// and unions the recommendations — TuneWorkload at template
+// granularity, the natural initial-configuration builder for workloads
+// large enough to need compression.
+func (m *Merger) TuneTemplates() ([]IndexDef, error) {
+	return m.TuneTemplatesContext(context.Background())
+}
+
+// TuneTemplatesContext is TuneTemplates under a context; cancellation
+// surfaces as ctx.Err().
+func (m *Merger) TuneTemplatesContext(ctx context.Context) ([]IndexDef, error) {
+	cw, err := m.CompressedWorkload()
+	if err != nil {
+		return nil, err
+	}
+	return advisor.New(m.db, m.opt).TuneTemplatesContext(ctx, m.w, cw.C.Representatives())
 }
 
 // WorkloadCost returns Cost(W, C) for an arbitrary configuration,

@@ -318,3 +318,37 @@ func (a *Advisor) TuneWorkloadContext(ctx context.Context, w *sql.Workload) ([]c
 	}
 	return defs, nil
 }
+
+// TuneTemplates tunes one representative query per template of a
+// compressed workload and unions the recommendations — TuneWorkload at
+// template granularity. reps lists one workload position per template
+// (wscale.Compressed.Representatives). Candidate index shapes depend
+// only on a query's columns and operators, which every member of a
+// template shares, so the candidate sets are identical across members;
+// only the constants used to *cost* them differ. On workloads whose
+// duplicates are exact (folded by sql.Workload.Add) the result equals
+// TuneWorkload's; across constant-varied members it is the standard
+// representative approximation.
+func (a *Advisor) TuneTemplates(w *sql.Workload, reps []int) ([]catalog.IndexDef, error) {
+	return a.TuneTemplatesContext(context.Background(), w, reps)
+}
+
+// TuneTemplatesContext is TuneTemplates under a context; cancellation
+// is observed between candidate costings and surfaces as ctx.Err().
+func (a *Advisor) TuneTemplatesContext(ctx context.Context, w *sql.Workload, reps []int) ([]catalog.IndexDef, error) {
+	var defs []catalog.IndexDef
+	seen := make(map[string]bool)
+	for _, qi := range reps {
+		recs, err := a.TuneQueryContext(ctx, w.Queries[qi].Stmt)
+		if err != nil {
+			return nil, err
+		}
+		for _, def := range recs {
+			if !seen[def.Key()] {
+				seen[def.Key()] = true
+				defs = append(defs, def)
+			}
+		}
+	}
+	return defs, nil
+}

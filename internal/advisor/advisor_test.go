@@ -1,6 +1,7 @@
 package advisor
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -9,6 +10,7 @@ import (
 	"indexmerge/internal/optimizer"
 	"indexmerge/internal/sql"
 	"indexmerge/internal/value"
+	"indexmerge/internal/wscale"
 )
 
 func advisorFixture(t testing.TB) (*engine.Database, *Advisor) {
@@ -150,6 +152,39 @@ func TestBuildInitialConfiguration(t *testing.T) {
 			t.Errorf("duplicate index %s", d)
 		}
 		seen[d.Key()] = true
+	}
+}
+
+// TestTuneTemplatesMatchesTuneWorkload: on a workload whose duplicates
+// differ only in constants, tuning one representative per template must
+// union to the same recommendation as tuning every query — candidate
+// shapes depend only on columns and operators.
+func TestTuneTemplatesMatchesTuneWorkload(t *testing.T) {
+	db, adv := advisorFixture(t)
+	w := &sql.Workload{}
+	for i := 0; i < 6; i++ {
+		w.Add(q(t, db, fmt.Sprintf("SELECT id, val FROM events WHERE id = %d", i)), 1)
+		w.Add(q(t, db, fmt.Sprintf("SELECT ts, val FROM events WHERE ts >= DATE(%d)", 300+i)), 1)
+	}
+	c := wscale.Compress(w)
+	if len(c.Templates) != 2 {
+		t.Fatalf("expected 2 templates, got %d", len(c.Templates))
+	}
+	plain, err := adv.TuneWorkload(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compressed, err := adv.TuneTemplates(w, c.Representatives())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(compressed) {
+		t.Fatalf("TuneTemplates returned %d defs, TuneWorkload %d", len(compressed), len(plain))
+	}
+	for i := range plain {
+		if plain[i].Key() != compressed[i].Key() {
+			t.Errorf("def %d: %s (templates) != %s (workload)", i, compressed[i], plain[i])
+		}
 	}
 }
 

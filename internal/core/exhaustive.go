@@ -109,6 +109,14 @@ func ExhaustiveContext(ctx context.Context, initial *Configuration, mp MergePair
 		if ba, ok := mp.(baseAware); ok {
 			ba.SetBase(cur)
 		}
+		// Base-aware checkers price candidates as deltas against cur.
+		// Recursion below re-bases them per node; a checker consulted
+		// with a configuration that is not a single merge away from its
+		// base (a later sibling batch checked after a subtree returned)
+		// must detect that and fall back to full costing.
+		if ba, ok := check.(baseAware); ok {
+			ba.SetBase(cur)
+		}
 		pairs := cur.PairsByTable()
 		cands := make([]exhCandidate, 0, len(pairs))
 		for _, pair := range pairs {

@@ -79,8 +79,12 @@ type GreedyOptions struct {
 }
 
 // baseAware lets MergePair implementations that evaluate candidate
-// merges in configuration context (MergePair-Exhaustive) track the
-// current configuration.
+// merges in configuration context (MergePair-Exhaustive) — and
+// constraint checkers that price candidates as deltas against the
+// current configuration (wscale's decomposed checker) — track the
+// search's current configuration. Searches call SetBase(cur) at the
+// top of each expansion, before any Merge or Accepts against cur's
+// candidates.
 type baseAware interface {
 	SetBase(c *Configuration)
 }
@@ -199,6 +203,9 @@ func GreedyContext(ctx context.Context, initial *Configuration, mp MergePair, ch
 			return nil, err
 		}
 		if ba, ok := mp.(baseAware); ok {
+			ba.SetBase(cur)
+		}
+		if ba, ok := check.(baseAware); ok {
 			ba.SetBase(cur)
 		}
 		cands = cands[:0]

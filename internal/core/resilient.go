@@ -296,6 +296,15 @@ func (c *ResilientChecker) PanicsRecovered() int64 { return c.panicsRecovered.Lo
 // cost guarantee.
 func (c *ResilientChecker) Degraded() bool { return c.degraded.Load() }
 
+// SetBase forwards the search's current configuration to base-aware
+// inner checkers (wscale's decomposed checker prices candidates as
+// deltas against it); inert otherwise.
+func (c *ResilientChecker) SetBase(cfg *Configuration) {
+	if ba, ok := c.Inner.(baseAware); ok {
+		ba.SetBase(cfg)
+	}
+}
+
 // Accepts implements ConstraintChecker.
 func (c *ResilientChecker) Accepts(cfg *Configuration, m, a, b *Index) (bool, error) {
 	return c.AcceptsContext(context.Background(), cfg, m, a, b)

@@ -38,13 +38,17 @@ func TPCDWorkloadVariants(sc *catalog.Schema, n int, seed int64) (*sql.Workload,
 	}
 	rng := rand.New(rand.NewSource(seed))
 	w := &sql.Workload{}
+	// Append raw entries rather than Add-folding duplicates: this
+	// generator deliberately produces an uncompressed query log, so
+	// repeated draws of the same variant stay as separate statements
+	// for Compress / wscale to collapse.
 	for len(w.Queries) < n {
 		tmpl := base.Queries[rng.Intn(base.Len())].Stmt
 		variant, err := varyStatement(sc, tmpl, rng)
 		if err != nil {
 			return nil, err
 		}
-		w.Add(variant, 1)
+		w.Queries = append(w.Queries, sql.WorkloadQuery{Stmt: variant, Freq: 1})
 	}
 	return w, nil
 }

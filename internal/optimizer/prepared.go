@@ -253,6 +253,36 @@ func PrepareQuery(stmt *sql.SelectStmt, meta Meta) (*PreparedQuery, error) {
 	return pq, nil
 }
 
+// IndexRelevant reports whether an index on the given table with the
+// given key columns could contribute any access path to this prepared
+// query: a covering scan (the columns contain every required column),
+// a seek (the leading column carries an equality/range predicate or a
+// join column a parameterized inner seek can bind — intersections are
+// built from these same seeks), or an index-union arm (the leading
+// column carries one of the query's normalized disjuncts, which the
+// prefilter exempts because unionPath consults the full
+// configuration). An index failing every test yields no path at all,
+// so adding or removing it can never change CostPrepared — the
+// invariant template-level cost tables rely on to price a
+// configuration by its per-table relevant subsets alone.
+func (pq *PreparedQuery) IndexRelevant(table string, cols []string) bool {
+	ti, ok := pq.byName[table]
+	if !ok || len(cols) == 0 {
+		return false
+	}
+	if indexRelevant(cols, ti.seekLeadJoin, ti.required) {
+		return true
+	}
+	for _, op := range ti.orPreds {
+		for _, d := range op.disjuncts {
+			if d.p.Col.Column == cols[0] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // checkFresh errors when the statistics the descriptor was prepared
 // against have been rebuilt since (Analyze ran). Selectivities,
 // cardinalities and page estimates are all baked in at prepare time,

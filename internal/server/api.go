@@ -95,6 +95,17 @@ type MergeResultPayload struct {
 	Retries         int64 `json:"retries,omitempty"`
 	DegradedChecks  int64 `json:"degraded_checks,omitempty"`
 	PanicsRecovered int64 `json:"panics_recovered,omitempty"`
+	// Compression fields are set only by costmodel "compressed" runs
+	// (all zero otherwise, keeping plain-run payloads byte-identical):
+	// template count and dedup ratio of the compressed workload, this
+	// run's (template, atom) cost-table traffic, and the constraint
+	// checks rejected by the admissible lower bound without any exact
+	// costing.
+	Templates       int     `json:"templates,omitempty"`
+	DedupRatio      float64 `json:"dedup_ratio,omitempty"`
+	CostTableHits   int64   `json:"cost_table_hits,omitempty"`
+	CostTableMisses int64   `json:"cost_table_misses,omitempty"`
+	PrunedChecks    int64   `json:"pruned_checks,omitempty"`
 }
 
 func newSearchPayload(res *core.SearchResult) MergeResultPayload {
@@ -133,6 +144,11 @@ func NewMergeResultPayload(res *indexmerge.MergeResult) MergeResultPayload {
 	p.Retries = res.Retries
 	p.DegradedChecks = res.DegradedChecks
 	p.PanicsRecovered = res.PanicsRecovered
+	p.Templates = res.Templates
+	p.DedupRatio = res.DedupRatio
+	p.CostTableHits = res.CostTableHits
+	p.CostTableMisses = res.CostTableMisses
+	p.PrunedChecks = res.PrunedChecks
 	return p
 }
 
@@ -196,12 +212,23 @@ type GenerateSpec struct {
 	Class   string `json:"class,omitempty"`
 	Queries int    `json:"queries,omitempty"` // default 30
 	Seed    int64  `json:"seed,omitempty"`
+	// Duplication appends this many zipf-skewed constant-varied
+	// duplicates of the base queries — a log-like workload for
+	// exercising template compression.
+	Duplication int `json:"duplication,omitempty"`
+	// Disjunctions adds OR/IN predicates to complex-class queries.
+	Disjunctions bool `json:"disjunctions,omitempty"`
 }
 
 // WorkloadInfo describes a registered workload.
 type WorkloadInfo struct {
 	Name    string `json:"name"`
 	Queries int    `json:"queries"`
+	// Templates and DedupRatio describe the registration-time
+	// compression: fingerprint-equivalence classes and distinct
+	// statements per class.
+	Templates  int     `json:"templates,omitempty"`
+	DedupRatio float64 `json:"dedup_ratio,omitempty"`
 }
 
 // CostRequest asks for the synchronous optimizer-estimated workload
@@ -232,7 +259,10 @@ type JobOptions struct {
 	MergePair string `json:"mergepair,omitempty"`
 	// Search is greedy (default) | exhaustive.
 	Search string `json:"search,omitempty"`
-	// CostModel is opt (default) | nocost | prefilter.
+	// CostModel is opt (default) | nocost | prefilter | compressed.
+	// "compressed" prices constraint checks through the registered
+	// workload's (template, atom) cost table (exact; recommendation
+	// parity with opt) instead of per-query costing.
 	CostModel string  `json:"costmodel,omitempty"`
 	NoCostF   float64 `json:"nocost_f,omitempty"`
 	NoCostP   float64 `json:"nocost_p,omitempty"`
@@ -291,6 +321,11 @@ type JobStatus struct {
 	// Recovered marks a job restored from the journal after a restart
 	// rather than run by this process.
 	Recovered bool `json:"recovered,omitempty"`
+	// Compression stats, mirrored from the result payload of a
+	// compressed-costmodel merge (zero otherwise).
+	Templates     int     `json:"templates,omitempty"`
+	DedupRatio    float64 `json:"dedup_ratio,omitempty"`
+	CostTableHits int64   `json:"cost_table_hits,omitempty"`
 }
 
 // JobResult is a terminal job's payload.

@@ -67,6 +67,11 @@ type Job struct {
 	allocs     int64 // process-wide Mallocs delta across the run; approximate
 	result     *JobResult
 	degraded   bool // result carries the Degraded flag
+	// Compression stats mirrored from a compressed-costmodel merge
+	// result so pollers see them without fetching the payload.
+	templates     int
+	dedupRatio    float64
+	costTableHits int64
 	recovered  bool // restored from the journal, not run by this process
 	createdAt  time.Time
 	startedAt  *time.Time
@@ -104,9 +109,12 @@ func (j *Job) Status() JobStatus {
 		Allocs:     j.allocs,
 		CreatedAt:  j.createdAt,
 		StartedAt:  j.startedAt,
-		FinishedAt: j.finishedAt,
-		Degraded:   j.degraded,
-		Recovered:  j.recovered,
+		FinishedAt:    j.finishedAt,
+		Degraded:      j.degraded,
+		Recovered:     j.recovered,
+		Templates:     j.templates,
+		DedupRatio:    j.dedupRatio,
+		CostTableHits: j.costTableHits,
 	}
 }
 
@@ -409,6 +417,9 @@ func (m *Manager) runJob(j *Job) {
 		if mp := result.Merge; mp != nil {
 			j.mu.Lock()
 			j.degraded = mp.Degraded
+			j.templates = mp.Templates
+			j.dedupRatio = mp.DedupRatio
+			j.costTableHits = mp.CostTableHits
 			j.mu.Unlock()
 			m.metrics.costingRetries.Add(mp.Retries)
 			m.metrics.costingDegraded.Add(mp.DegradedChecks)

@@ -112,6 +112,13 @@ type SessionGauges struct {
 	CacheDedups    int64
 	CacheEvictions int64
 	PreparedReuse  int64
+	// Compression counters, summed over the session's registered
+	// workloads: template count, and the (template, atom) cost tables'
+	// size and hit/miss totals.
+	Templates        int
+	CostTableEntries int
+	CostTableHits    int64
+	CostTableMisses  int64
 	// Breaker snapshots the session's costing circuit breaker.
 	BreakerState       string
 	BreakerTransitions int64
@@ -196,6 +203,10 @@ func (m *Metrics) Write(w io.Writer, jg JobGauges, sessions []SessionGauges) {
 	fmt.Fprintln(w, "# TYPE idxmerged_costcache_misses_total counter")
 	fmt.Fprintln(w, "# TYPE idxmerged_costcache_evictions_total counter")
 	fmt.Fprintln(w, "# TYPE idxmerged_prepared_reuse_total counter")
+	fmt.Fprintln(w, "# TYPE idxmerged_workload_templates gauge")
+	fmt.Fprintln(w, "# TYPE idxmerged_costtable_entries gauge")
+	fmt.Fprintln(w, "# TYPE idxmerged_costtable_hits_total counter")
+	fmt.Fprintln(w, "# TYPE idxmerged_costtable_misses_total counter")
 	fmt.Fprintln(w, "# TYPE idxmerged_breaker_state gauge")
 	fmt.Fprintln(w, "# TYPE idxmerged_breaker_transitions_total counter")
 	for _, s := range sessions {
@@ -204,6 +215,10 @@ func (m *Metrics) Write(w io.Writer, jg JobGauges, sessions []SessionGauges) {
 		fmt.Fprintf(w, "idxmerged_costcache_misses_total{session=%q} %d\n", s.Name, s.CacheMisses)
 		fmt.Fprintf(w, "idxmerged_costcache_evictions_total{session=%q} %d\n", s.Name, s.CacheEvictions)
 		fmt.Fprintf(w, "idxmerged_prepared_reuse_total{session=%q} %d\n", s.Name, s.PreparedReuse)
+		fmt.Fprintf(w, "idxmerged_workload_templates{session=%q} %d\n", s.Name, s.Templates)
+		fmt.Fprintf(w, "idxmerged_costtable_entries{session=%q} %d\n", s.Name, s.CostTableEntries)
+		fmt.Fprintf(w, "idxmerged_costtable_hits_total{session=%q} %d\n", s.Name, s.CostTableHits)
+		fmt.Fprintf(w, "idxmerged_costtable_misses_total{session=%q} %d\n", s.Name, s.CostTableMisses)
 		fmt.Fprintf(w, "idxmerged_breaker_state{session=%q,state=%q} 1\n", s.Name, s.BreakerState)
 		fmt.Fprintf(w, "idxmerged_breaker_transitions_total{session=%q} %d\n", s.Name, s.BreakerTransitions)
 	}

@@ -405,7 +405,12 @@ func (s *Server) handleRegisterWorkload(w http.ResponseWriter, r *http.Request) 
 		return
 	}
 	s.journalAppend(journalEvent{T: evWorkload, SessionName: sess.name, Workload: &req})
-	writeJSON(w, http.StatusCreated, WorkloadInfo{Name: req.Name, Queries: wl.Len()})
+	info := WorkloadInfo{Name: req.Name, Queries: wl.Len()}
+	if rw, ok := sess.workloadEntry(req.Name); ok && rw.compressed != nil {
+		info.Templates = len(rw.compressed.C.Templates)
+		info.DedupRatio = rw.compressed.C.DedupRatio()
+	}
+	writeJSON(w, http.StatusCreated, info)
 }
 
 // buildWorkload materializes a registration request against a session:
@@ -436,7 +441,10 @@ func buildWorkload(sess *Session, req RegisterWorkloadRequest) (*sql.Workload, e
 		default:
 			return nil, fmt.Errorf("unknown workload class %q (want complex or projection)", spec.Class)
 		}
-		wl, err = workload.Generate(sess.db, workload.Options{Class: class, Queries: spec.Queries, Seed: spec.Seed})
+		wl, err = workload.Generate(sess.db, workload.Options{
+			Class: class, Queries: spec.Queries, Seed: spec.Seed,
+			Duplication: spec.Duplication, Disjunctions: spec.Disjunctions,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("generate workload: %w", err)
 		}
@@ -592,8 +600,10 @@ func buildMergeOptions(o JobOptions) (indexmerge.MergeOptions, error) {
 		opts.CostModel = indexmerge.NoCost
 	case "prefilter":
 		opts.CostModel = indexmerge.PrefilteredOptimizerCost
+	case "compressed":
+		opts.CostModel = indexmerge.CompressedOptimizerCost
 	default:
-		return opts, fmt.Errorf("unknown costmodel %q (want opt, nocost or prefilter)", o.CostModel)
+		return opts, fmt.Errorf("unknown costmodel %q (want opt, nocost, prefilter or compressed)", o.CostModel)
 	}
 	if o.DualBudgetFrac < 0 || o.DualBudgetFrac >= 1 {
 		if o.DualBudgetFrac != 0 {
@@ -636,8 +646,18 @@ func (s *Server) buildJobRun(kind string, sess *Session, workloadName string, rw
 			return nil, err
 		}
 
+		// Under the compressed cost model, workload-wide tuning runs at
+		// template granularity: one representative per fingerprint class
+		// instead of every statement.
+		useTemplates := opts.CostModel == indexmerge.CompressedOptimizerCost && rw.compressed != nil
+
 		if kind == "tune" {
-			defs, err := m.TuneWorkloadContext(ctx)
+			var defs []catalog.IndexDef
+			if useTemplates {
+				defs, err = m.TuneTemplatesContext(ctx)
+			} else {
+				defs, err = m.TuneWorkloadContext(ctx)
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -655,6 +675,8 @@ func (s *Server) buildJobRun(kind string, sess *Session, workloadName string, rw
 				adv := advisor.New(sess.db, m.Optimizer())
 				adv.Parallelism = opts.Parallelism
 				defs, err = advisor.BuildInitialConfigurationContext(ctx, adv, wl, initial.N, initial.Seed)
+			} else if useTemplates {
+				defs, err = m.TuneTemplatesContext(ctx)
 			} else {
 				defs, err = m.TuneWorkloadContext(ctx)
 			}
@@ -686,6 +708,10 @@ func (s *Server) buildJobRun(kind string, sess *Session, workloadName string, rw
 		opts.CostCache = sess.cache
 		opts.CacheNamespace = workloadName
 		opts.Prepared = rw.prepared
+		// Reuse the registration-time compressed form (templates + cost
+		// table): the table's entries persist across the session's jobs,
+		// so a repeat merge prices mostly from memory.
+		opts.Compressed = rw.compressed
 		sess.preparedReuse.Add(1)
 		if opts.Resilience != nil {
 			// One breaker per session: repeated costing failures in any

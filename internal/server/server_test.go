@@ -811,3 +811,110 @@ func TestRunJobDoesNotResurrectJobCanceledDuringAcquire(t *testing.T) {
 	}
 	sess.release()
 }
+
+// TestCompressedJobMatchesDirectRun: a merge job under costmodel
+// "compressed" must return the byte-identical payload of the same
+// compressed merge through the facade (modulo wall clock), and its
+// final configuration must equal the plain cost model's — the
+// compression is exact. Compression stats surface at registration, in
+// the job status mirror, and in /metrics.
+func TestCompressedJobMatchesDirectRun(t *testing.T) {
+	h := newTestServer(t, Config{})
+	h.mustCall(t, "POST", "/v1/sessions", CreateSessionRequest{Name: "s", DB: fixtureDB(t)}, nil, http.StatusCreated)
+
+	// Two constant-varied duplicates of fixture queries: 7 entries in 5
+	// templates.
+	dupSQL := fixtureSQL +
+		"\nSELECT d, m1 FROM fact WHERE d BETWEEN DATE(300) AND DATE(320)" +
+		"\nSELECT k, m3 FROM fact WHERE k = 99"
+	var info WorkloadInfo
+	h.mustCall(t, "POST", "/v1/sessions/s/workloads",
+		RegisterWorkloadRequest{Name: "w", SQL: dupSQL}, &info, http.StatusCreated)
+	if info.Queries != 7 || info.Templates != 5 {
+		t.Fatalf("registration info = %+v, want 7 queries in 5 templates", info)
+	}
+	if got, want := info.DedupRatio, 7.0/5.0; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("dedup ratio = %v, want %v", got, want)
+	}
+
+	submit := func(costmodel string) MergeResultPayload {
+		t.Helper()
+		var resp SubmitJobResponse
+		h.mustCall(t, "POST", "/v1/sessions/s/jobs", SubmitJobRequest{
+			Workload: "w",
+			Initial:  &InitialSpec{Indexes: fixtureIndexes},
+			Options:  JobOptions{Constraint: 0.3, CostModel: costmodel},
+		}, &resp, http.StatusAccepted)
+		st := h.waitTerminal(t, resp.ID)
+		if st.State != string(JobDone) {
+			t.Fatalf("job state %s (error %q), want done", st.State, st.Error)
+		}
+		if costmodel == "compressed" {
+			// The status mirrors the compression stats for pollers.
+			if st.Templates != 5 || st.DedupRatio <= 1 {
+				t.Errorf("status compression mirror missing: %+v", st)
+			}
+		}
+		var res JobResult
+		h.mustCall(t, "GET", "/v1/jobs/"+resp.ID+"/result", nil, &res, http.StatusOK)
+		if res.Merge == nil {
+			t.Fatalf("result = %+v", res)
+		}
+		return *res.Merge
+	}
+
+	plain := submit("")
+	comp := submit("compressed")
+	if comp.Templates != 5 || comp.DedupRatio <= 1 || comp.CostTableHits+comp.CostTableMisses == 0 {
+		t.Errorf("compressed payload stats missing: templates=%d dedup=%v hits=%d misses=%d",
+			comp.Templates, comp.DedupRatio, comp.CostTableHits, comp.CostTableMisses)
+	}
+	gotFinal, _ := json.Marshal(comp.Final)
+	wantFinal, _ := json.Marshal(plain.Final)
+	if !bytes.Equal(gotFinal, wantFinal) {
+		t.Errorf("compressed final diverged from plain:\n got: %s\nwant: %s", gotFinal, wantFinal)
+	}
+
+	// The second compressed run hits the registration-shared cost table:
+	// the search re-prices atoms already in the table from memory.
+	again := submit("compressed")
+	if again.CostTableMisses != 0 || again.CostTableHits == 0 {
+		t.Errorf("repeat run: hits=%d misses=%d, want all hits", again.CostTableHits, again.CostTableMisses)
+	}
+
+	// /metrics exposes the per-session compression series.
+	req, _ := http.NewRequest("GET", h.ts.URL+"/metrics", nil)
+	resp, err := h.ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, series := range []string{
+		`idxmerged_workload_templates{session="s"} 5`,
+		`idxmerged_costtable_entries{session="s"}`,
+		`idxmerged_costtable_hits_total{session="s"}`,
+	} {
+		if !strings.Contains(string(body), series) {
+			t.Errorf("/metrics missing %q", series)
+		}
+	}
+}
+
+// TestGeneratedDuplicationCompresses: a generated workload with
+// Duplication produces constant-varied duplicates that cluster into
+// fewer templates than entries.
+func TestGeneratedDuplicationCompresses(t *testing.T) {
+	h := newTestServer(t, Config{})
+	h.mustCall(t, "POST", "/v1/sessions", CreateSessionRequest{Name: "s", DB: fixtureDB(t)}, nil, http.StatusCreated)
+	var info WorkloadInfo
+	h.mustCall(t, "POST", "/v1/sessions/s/workloads",
+		RegisterWorkloadRequest{Name: "gen", Generate: &GenerateSpec{Queries: 5, Seed: 11, Duplication: 40}},
+		&info, http.StatusCreated)
+	if info.Queries <= 5 {
+		t.Fatalf("duplication produced no extra entries: %+v", info)
+	}
+	if info.Templates == 0 || info.DedupRatio <= 1 {
+		t.Fatalf("duplicated workload did not compress: %+v", info)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"indexmerge/internal/engine"
 	"indexmerge/internal/optimizer"
 	"indexmerge/internal/sql"
+	"indexmerge/internal/wscale"
 )
 
 // Registry errors, mapped to HTTP statuses by the handlers.
@@ -57,16 +58,24 @@ type Session struct {
 	// workloads (costing requests and jobs that skipped re-preparation).
 	preparedReuse atomic.Int64
 
+	// tableMax bounds each registered workload's (template, atom) cost
+	// table (same bound as the session cost cache; <= 0 unbounded).
+	tableMax int
+
 	mu        sync.Mutex
 	workloads map[string]*registeredWorkload
 }
 
-// registeredWorkload pairs a workload with its prepared descriptors,
-// built once at registration against the session's (immutable)
-// statistics and reused by every costing request and job thereafter.
+// registeredWorkload pairs a workload with its prepared descriptors
+// and its compressed (template-clustered) form, built once at
+// registration against the session's (immutable) statistics and reused
+// by every costing request and job thereafter. Journal replay rebuilds
+// workloads through this same path, so recovered sessions re-derive
+// the compression automatically.
 type registeredWorkload struct {
-	w        *sql.Workload
-	prepared *optimizer.PreparedWorkload
+	w          *sql.Workload
+	prepared   *optimizer.PreparedWorkload
+	compressed *wscale.Prepared
 }
 
 // acquire takes the session's job slot, abandoning the wait when ctx
@@ -102,12 +111,19 @@ func (s *Session) RegisterWorkload(name string, w *sql.Workload) error {
 	if err != nil {
 		return fmt.Errorf("prepare workload: %w", err)
 	}
+	// Compress once at registration: template clustering and the
+	// (template, atom) cost table are then shared by every job and
+	// costing request on this workload for the session's lifetime.
+	cp, err := wscale.Prepare(wscale.Compress(w), pw, optimizer.New(s.db), s.tableMax)
+	if err != nil {
+		return fmt.Errorf("compress workload: %w", err)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.workloads[name]; ok {
 		return ErrWorkloadExists
 	}
-	s.workloads[name] = &registeredWorkload{w: w, prepared: pw}
+	s.workloads[name] = &registeredWorkload{w: w, prepared: pw, compressed: cp}
 	return nil
 }
 
@@ -134,7 +150,12 @@ func (s *Session) WorkloadInfos() []WorkloadInfo {
 	defer s.mu.Unlock()
 	out := make([]WorkloadInfo, 0, len(s.workloads))
 	for name, rw := range s.workloads {
-		out = append(out, WorkloadInfo{Name: name, Queries: rw.w.Len()})
+		wi := WorkloadInfo{Name: name, Queries: rw.w.Len()}
+		if rw.compressed != nil {
+			wi.Templates = len(rw.compressed.C.Templates)
+			wi.DedupRatio = rw.compressed.C.DedupRatio()
+		}
+		out = append(out, wi)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
@@ -169,7 +190,7 @@ func (s *Session) Info() SessionInfo {
 // gauges snapshots the session's cache counters for the metrics scrape.
 func (s *Session) gauges() SessionGauges {
 	hits, misses, _ := s.cache.Stats()
-	return SessionGauges{
+	g := SessionGauges{
 		Name:               s.name,
 		CacheEntries:       s.cache.Len(),
 		CacheHits:          hits,
@@ -179,6 +200,19 @@ func (s *Session) gauges() SessionGauges {
 		BreakerState:       s.breaker.State().String(),
 		BreakerTransitions: s.breaker.Transitions(),
 	}
+	s.mu.Lock()
+	for _, rw := range s.workloads {
+		if rw.compressed == nil {
+			continue
+		}
+		g.Templates += len(rw.compressed.C.Templates)
+		th, tm, _ := rw.compressed.TableStats()
+		g.CostTableEntries += rw.compressed.TableLen()
+		g.CostTableHits += th
+		g.CostTableMisses += tm
+	}
+	s.mu.Unlock()
+	return g
 }
 
 // Registry holds the server's sessions.
@@ -247,6 +281,7 @@ func (r *Registry) Create(req CreateSessionRequest) (*Session, error) {
 		dbName:    req.DB,
 		db:        db,
 		cache:     costcache.NewBounded(0, r.cacheMax),
+		tableMax:  r.cacheMax,
 		breaker:   &core.Breaker{},
 		createdAt: time.Now(),
 		lock:      make(chan struct{}, 1),

@@ -101,34 +101,52 @@ type Predicate struct {
 
 // String renders the predicate.
 func (p Predicate) String() string {
+	var b strings.Builder
+	p.render(&b, false)
+	return b.String()
+}
+
+// render writes the predicate's canonical text. With abstract set,
+// literal constants render as '?', and an IN list collapses to a
+// single '?' regardless of arity: IN members differ only in constants,
+// so which indexes are relevant (and which union arms exist) depends
+// only on the column — all arities belong to one template.
+func (p Predicate) render(b *strings.Builder, abstract bool) {
+	lit := func(v value.Value) string {
+		if abstract {
+			return "?"
+		}
+		return v.String()
+	}
 	switch p.Op {
 	case OpBetween:
-		return fmt.Sprintf("%s BETWEEN %s AND %s", p.Col, p.Lo, p.Hi)
+		fmt.Fprintf(b, "%s BETWEEN %s AND %s", p.Col, lit(p.Lo), lit(p.Hi))
 	case OpIn:
-		var b strings.Builder
 		b.WriteString(p.Col.String())
 		b.WriteString(" IN (")
-		for i, v := range p.Vals {
-			if i > 0 {
-				b.WriteString(", ")
+		if abstract {
+			b.WriteString("?")
+		} else {
+			for i, v := range p.Vals {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(v.String())
 			}
-			b.WriteString(v.String())
 		}
 		b.WriteString(")")
-		return b.String()
 	case OpOr:
-		var b strings.Builder
 		b.WriteString("(")
 		for i, d := range p.Or {
 			if i > 0 {
 				b.WriteString(" OR ")
 			}
-			b.WriteString(d.String())
+			d.render(b, abstract)
 		}
 		b.WriteString(")")
-		return b.String()
+	default:
+		fmt.Fprintf(b, "%s %s %s", p.Col, p.Op, lit(p.Val))
 	}
-	return fmt.Sprintf("%s %s %s", p.Col, p.Op, p.Val)
 }
 
 // Disjuncts normalizes a disjunctive predicate into its member
@@ -303,7 +321,18 @@ func (*DeleteStmt) isStatement() {}
 // String renders the query as canonical SQL text. Canonical rendering
 // makes syntactic workload compression (paper §3.5.3) a string-equality
 // test.
-func (s *SelectStmt) String() string {
+func (s *SelectStmt) String() string { return s.render(false) }
+
+// Fingerprint returns the canonical rendering with every literal
+// constant abstracted to '?'. Two queries share a fingerprint exactly
+// when they differ only in predicate constants, so fingerprint-equal
+// queries reference the same tables, columns and operators — they
+// share candidate indexes, relevant-index sets and access-path shapes,
+// which is the equivalence template-level workload compression
+// clusters on.
+func (s *SelectStmt) Fingerprint() string { return s.render(true) }
+
+func (s *SelectStmt) render(abstract bool) string {
 	var b strings.Builder
 	b.WriteString("SELECT ")
 	for i, it := range s.Select {
@@ -319,7 +348,9 @@ func (s *SelectStmt) String() string {
 		conds = append(conds, j.String())
 	}
 	for _, p := range s.Where {
-		conds = append(conds, p.String())
+		var pb strings.Builder
+		p.render(&pb, abstract)
+		conds = append(conds, pb.String())
 	}
 	if len(conds) > 0 {
 		b.WriteString(" WHERE ")

@@ -1,0 +1,101 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFingerprintAbstractsConstants: queries differing only in literal
+// constants share a fingerprint; queries differing in structure don't.
+func TestFingerprintAbstractsConstants(t *testing.T) {
+	same := [][2]string{
+		{"SELECT a FROM t WHERE a = 1", "SELECT a FROM t WHERE a = 99"},
+		{"SELECT a FROM t WHERE a BETWEEN 1 AND 5", "SELECT a FROM t WHERE a BETWEEN 7 AND 9"},
+		{"SELECT a FROM t WHERE a IN (1, 2)", "SELECT a FROM t WHERE a IN (3, 4, 5)"},
+		{"SELECT a FROM t WHERE (a = 1 OR b = 2)", "SELECT a FROM t WHERE (a = 7 OR b = 8)"},
+		{
+			"SELECT t.a, u.c FROM t, u WHERE t.a = u.c AND t.b < 3",
+			"SELECT t.a, u.c FROM t, u WHERE t.a = u.c AND t.b < 42",
+		},
+	}
+	for _, pair := range same {
+		a, b := parseOK(t, pair[0]), parseOK(t, pair[1])
+		if a.Fingerprint() != b.Fingerprint() {
+			t.Errorf("fingerprints differ:\n  %s -> %s\n  %s -> %s",
+				pair[0], a.Fingerprint(), pair[1], b.Fingerprint())
+		}
+	}
+	diff := [][2]string{
+		{"SELECT a FROM t WHERE a = 1", "SELECT a FROM t WHERE b = 1"},
+		{"SELECT a FROM t WHERE a = 1", "SELECT a FROM t WHERE a < 1"},
+		{"SELECT a FROM t WHERE a = 1", "SELECT b FROM t WHERE a = 1"},
+		{"SELECT a FROM t WHERE (a = 1 OR b = 2)", "SELECT a FROM t WHERE (a = 1 OR a = 2)"},
+	}
+	for _, pair := range diff {
+		a, b := parseOK(t, pair[0]), parseOK(t, pair[1])
+		if a.Fingerprint() == b.Fingerprint() {
+			t.Errorf("structurally different queries share fingerprint %q:\n  %s\n  %s",
+				a.Fingerprint(), pair[0], pair[1])
+		}
+	}
+}
+
+// TestFingerprintINArity: IN lists collapse to a single '?' regardless
+// of arity — index relevance depends only on the column.
+func TestFingerprintINArity(t *testing.T) {
+	a := parseOK(t, "SELECT a FROM t WHERE a IN (1, 2)")
+	b := parseOK(t, "SELECT a FROM t WHERE a IN (1, 2, 3, 4)")
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("IN arity leaked into fingerprint: %q vs %q", a.Fingerprint(), b.Fingerprint())
+	}
+	if !strings.Contains(a.Fingerprint(), "IN (?)") {
+		t.Errorf("IN fingerprint = %q, want collapsed IN (?)", a.Fingerprint())
+	}
+}
+
+// TestFingerprintRoundTrip: the fingerprint is stable under a
+// parse(String()) round trip, so reloading a workload from its
+// canonical text never re-clusters templates.
+func TestFingerprintRoundTrip(t *testing.T) {
+	srcs := []string{
+		"SELECT a FROM t WHERE a = 1",
+		"SELECT a, b FROM t WHERE a BETWEEN 2 AND 9 ORDER BY a",
+		"SELECT a FROM t WHERE a IN (1, 2, 3)",
+		"SELECT a FROM t WHERE (a = 1 OR b < 2) GROUP BY a",
+		"SELECT t.a, u.c FROM t, u WHERE t.a = u.c AND t.b >= 5",
+	}
+	for _, src := range srcs {
+		stmt := parseOK(t, src)
+		again, err := ParseSelect(stmt.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", stmt.String(), err)
+		}
+		if got, want := again.Fingerprint(), stmt.Fingerprint(); got != want {
+			t.Errorf("round-trip fingerprint drifted:\n  %q\n  %q", want, got)
+		}
+	}
+}
+
+// TestFingerprintUnresolvedVsResolved: resolution qualifies column
+// references, so fingerprints are computed on resolved statements;
+// two resolved copies of the same text always agree.
+func TestFingerprintResolvedStable(t *testing.T) {
+	sc := resolveSchema(t)
+	a, err := ParseSelect("SELECT a FROM t WHERE b = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Resolve(sc); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseSelect(a.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Resolve(sc); err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("resolved fingerprints differ: %q vs %q", a.Fingerprint(), b.Fingerprint())
+	}
+}

@@ -22,18 +22,50 @@ type WorkloadQuery struct {
 // for (paper §3.1: "A workload W of queries {Q1, Q2, ... QP}").
 type Workload struct {
 	Queries []WorkloadQuery
+
+	// byText indexes Queries by canonical text so Add can fold
+	// duplicates. Rebuilt lazily whenever it disagrees with Queries, so
+	// zero-value and literal-constructed workloads keep working.
+	byText map[string]int
 }
 
-// Add appends a query with the given frequency (minimum 1).
+// Add folds the query into the workload: a statement whose canonical
+// text already appears has the frequency (minimum 1) added to the
+// existing entry instead of being appended — and costed — twice.
 func (w *Workload) Add(stmt *SelectStmt, freq float64) {
 	if freq <= 0 {
 		freq = 1
 	}
+	if w.byText == nil || len(w.byText) != len(w.Queries) {
+		w.byText = make(map[string]int, len(w.Queries)+1)
+		for i, q := range w.Queries {
+			text := q.Stmt.String()
+			if _, ok := w.byText[text]; !ok {
+				w.byText[text] = i
+			}
+		}
+	}
+	text := stmt.String()
+	if i, ok := w.byText[text]; ok {
+		w.Queries[i].Freq += freq
+		return
+	}
+	w.byText[text] = len(w.Queries)
 	w.Queries = append(w.Queries, WorkloadQuery{Stmt: stmt, Freq: freq})
 }
 
 // Len returns the number of (distinct) workload entries.
 func (w *Workload) Len() int { return len(w.Queries) }
+
+// TotalFreq returns the summed statement frequency — the number of
+// statements the workload represents, counting folded duplicates.
+func (w *Workload) TotalFreq() float64 {
+	var sum float64
+	for _, q := range w.Queries {
+		sum += q.Freq
+	}
+	return sum
+}
 
 // TablesReferenced returns all tables any query touches, sorted.
 func (w *Workload) TablesReferenced() []string {

@@ -2,6 +2,7 @@ package sql
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -11,21 +12,38 @@ func TestWorkloadAddAndLen(t *testing.T) {
 	stmt := parseOK(t, "SELECT a FROM t")
 	w.Add(stmt, 0) // clamps to 1
 	w.Add(stmt, 2.5)
-	if w.Len() != 2 {
-		t.Errorf("Len = %d", w.Len())
+	// The duplicate folds into the first entry instead of being costed
+	// twice.
+	if w.Len() != 1 {
+		t.Errorf("Len = %d, want 1", w.Len())
 	}
-	if w.Queries[0].Freq != 1 || w.Queries[1].Freq != 2.5 {
-		t.Errorf("freqs: %v, %v", w.Queries[0].Freq, w.Queries[1].Freq)
+	if w.Queries[0].Freq != 3.5 {
+		t.Errorf("folded freq = %v, want 3.5", w.Queries[0].Freq)
+	}
+	w.Add(parseOK(t, "SELECT b FROM t"), 1)
+	if w.Len() != 2 {
+		t.Errorf("distinct query did not append: Len = %d", w.Len())
+	}
+}
+
+func TestWorkloadAddFoldsIntoLiteralWorkload(t *testing.T) {
+	// Add must fold against entries that were constructed literally,
+	// without ever going through Add.
+	w := &Workload{Queries: []WorkloadQuery{{Stmt: parseOK(t, "SELECT a FROM t"), Freq: 2}}}
+	w.Add(parseOK(t, "SELECT a FROM t"), 3)
+	if w.Len() != 1 || w.Queries[0].Freq != 5 {
+		t.Errorf("Len = %d, freq = %v; want 1, 5", w.Len(), w.Queries[0].Freq)
 	}
 }
 
 func TestWorkloadCompress(t *testing.T) {
-	w := &Workload{}
-	a := parseOK(t, "SELECT a FROM t WHERE a = 1")
-	b := parseOK(t, "SELECT a FROM t WHERE a = 2")
-	w.Add(a, 1)
-	w.Add(b, 1)
-	w.Add(parseOK(t, "SELECT a FROM t WHERE a = 1"), 3) // identical to a
+	// Build duplicates literally: Add folds them on its own, but
+	// Compress must also handle workloads assembled by hand.
+	w := &Workload{Queries: []WorkloadQuery{
+		{Stmt: parseOK(t, "SELECT a FROM t WHERE a = 1"), Freq: 1},
+		{Stmt: parseOK(t, "SELECT a FROM t WHERE a = 2"), Freq: 1},
+		{Stmt: parseOK(t, "SELECT a FROM t WHERE a = 1"), Freq: 3},
+	}}
 	c := w.Compress()
 	if c.Len() != 2 {
 		t.Fatalf("compressed Len = %d, want 2", c.Len())
@@ -41,7 +59,7 @@ func TestWorkloadCompress(t *testing.T) {
 func TestWorkloadTopK(t *testing.T) {
 	w := &Workload{}
 	for i := 0; i < 5; i++ {
-		w.Add(parseOK(t, "SELECT a FROM t"), 1)
+		w.Add(parseOK(t, fmt.Sprintf("SELECT a FROM t WHERE a = %d", i)), 1)
 	}
 	// Cost by position: later queries are more expensive.
 	idx := 0

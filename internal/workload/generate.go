@@ -44,6 +44,14 @@ type Options struct {
 	// consumes extra random draws, so existing seeded streams stay
 	// byte-stable unless a caller opts in.
 	Disjunctions bool
+	// Duplication appends this many extra statements after the base
+	// queries: each repeats a zipf-chosen base query with its predicate
+	// constants re-sampled — the log-like repetition that template
+	// compression exploits. Re-sampled statements whose text collapses
+	// to an existing entry fold into its frequency. Off by default; the
+	// extra draws come from a dedicated rng, so seeded base streams are
+	// byte-stable whether or not the option is on.
+	Duplication int
 }
 
 // Generate builds a workload against the database's schema and data.
@@ -56,7 +64,11 @@ func Generate(db *engine.Database, opt Options) (*sql.Workload, error) {
 	}
 	g := newGenerator(db, opt)
 	w := &sql.Workload{}
-	for len(w.Queries) < opt.Queries {
+	// Count statements added rather than distinct entries: Add folds a
+	// duplicate text into the existing entry's frequency, and a folded
+	// draw must not trigger another generation round (which would shift
+	// the seeded rng stream relative to earlier versions).
+	for added := 0; added < opt.Queries; {
 		var stmt *sql.SelectStmt
 		var err error
 		if opt.Class == ProjectionOnly {
@@ -74,6 +86,10 @@ func Generate(db *engine.Database, opt Options) (*sql.Workload, error) {
 			return nil, fmt.Errorf("workload: generated invalid query %q: %w", stmt, err)
 		}
 		w.Add(stmt, 1)
+		added++
+	}
+	if opt.Duplication > 0 {
+		g.duplicate(w, opt.Duplication)
 	}
 	return w, nil
 }
@@ -312,6 +328,80 @@ func (g *generator) disjunction(t *catalog.Table) (sql.Predicate, bool) {
 		return sql.Predicate{}, false
 	}
 	return sql.Predicate{Col: sql.ColumnRef{Table: t.Name}, Op: sql.OpOr, Or: disj}, true
+}
+
+// duplicate appends n constant-resampled repetitions of the base
+// queries, zipf-skewed so a few templates dominate the log the way
+// repeated parameterized statements dominate production query logs.
+// The draws come from a dedicated rng so the base stream is untouched.
+func (g *generator) duplicate(w *sql.Workload, n int) {
+	base := make([]*sql.SelectStmt, len(w.Queries))
+	for i, q := range w.Queries {
+		base[i] = q.Stmt
+	}
+	rng := rand.New(rand.NewSource(g.opt.Seed*0x9E3779B9 + 0x7F4A7C15))
+	zipf := datagen.NewZipf(rng, len(base), 1.5)
+	dg := &generator{db: g.db, rng: rng, opt: g.opt, ranked: g.ranked}
+	for i := 0; i < n; i++ {
+		w.Add(dg.resample(base[zipf.Next()-1]), 1)
+	}
+}
+
+// resample deep-copies the statement with every predicate constant
+// re-drawn from live data. The copy keeps the exact shape — columns,
+// operators, IN arities — so its fingerprint matches the template's; a
+// draw that comes back NULL keeps the template's constant.
+func (g *generator) resample(src *sql.SelectStmt) *sql.SelectStmt {
+	out := &sql.SelectStmt{
+		Select:  append([]sql.SelectItem(nil), src.Select...),
+		From:    append([]string(nil), src.From...),
+		Joins:   append([]sql.JoinPred(nil), src.Joins...),
+		Where:   make([]sql.Predicate, len(src.Where)),
+		GroupBy: append([]sql.ColumnRef(nil), src.GroupBy...),
+		OrderBy: append([]sql.OrderItem(nil), src.OrderBy...),
+	}
+	for i, p := range src.Where {
+		out.Where[i] = g.resamplePred(p)
+	}
+	return out
+}
+
+// resamplePred returns a copy of the predicate with fresh constants.
+func (g *generator) resamplePred(p sql.Predicate) sql.Predicate {
+	draw := func(ref sql.ColumnRef, old value.Value) value.Value {
+		t, ok := g.db.Schema().Table(ref.Table)
+		if !ok {
+			return old
+		}
+		v := g.sampleValue(t, ref.Column)
+		if v.IsNull() {
+			return old
+		}
+		return v
+	}
+	switch p.Op {
+	case sql.OpBetween:
+		lo, hi := draw(p.Col, p.Lo), draw(p.Col, p.Hi)
+		if lo.Compare(hi) > 0 {
+			lo, hi = hi, lo
+		}
+		p.Lo, p.Hi = lo, hi
+	case sql.OpIn:
+		vals := make([]value.Value, len(p.Vals))
+		for i, v := range p.Vals {
+			vals[i] = draw(p.Col, v)
+		}
+		p.Vals = vals
+	case sql.OpOr:
+		disj := make([]sql.Predicate, len(p.Or))
+		for i, d := range p.Or {
+			disj[i] = g.resamplePred(d)
+		}
+		p.Or = disj
+	default:
+		p.Val = draw(p.Col, p.Val)
+	}
+	return p
 }
 
 // joinPredicate finds a same-type column pair linking next to one of

@@ -121,6 +121,75 @@ func TestGenerateDeterministic(t *testing.T) {
 	}
 }
 
+// TestGenerateDuplicationByteStable: turning Duplication on must not
+// perturb the base queries — the extra statements draw from their own
+// rng — and turning it off must reproduce the historical stream.
+func TestGenerateDuplicationByteStable(t *testing.T) {
+	db := genDB(t)
+	plain, err := Generate(db, Options{Class: Complex, Queries: 15, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup, err := Generate(db, Options{Class: Complex, Queries: 15, Seed: 7, Duplication: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain.Queries {
+		if plain.Queries[i].Stmt.String() != dup.Queries[i].Stmt.String() {
+			t.Fatalf("base q%d changed when Duplication was enabled", i)
+		}
+	}
+	dup2, err := Generate(db, Options{Class: Complex, Queries: 15, Seed: 7, Duplication: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup.Len() != dup2.Len() {
+		t.Fatalf("duplicated run not deterministic: %d vs %d entries", dup.Len(), dup2.Len())
+	}
+	for i := range dup.Queries {
+		if dup.Queries[i].Stmt.String() != dup2.Queries[i].Stmt.String() ||
+			dup.Queries[i].Freq != dup2.Queries[i].Freq {
+			t.Fatalf("duplicated q%d differs across same-seed runs", i)
+		}
+	}
+}
+
+// TestGenerateDuplicationRepeatsTemplates: the extra statements are
+// constant-resampled copies of base queries — every one shares a
+// fingerprint with some base query, the statement count adds up, and
+// at least some re-samples produce fresh constants (distinct texts).
+func TestGenerateDuplicationRepeatsTemplates(t *testing.T) {
+	db := genDB(t)
+	const base, extra = 15, 120
+	w, err := Generate(db, Options{Class: Complex, Queries: base, Seed: 7, Duplication: extra})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.TotalFreq(); got != base+extra {
+		t.Fatalf("TotalFreq = %v, want %d", got, base+extra)
+	}
+	baseFp := make(map[string]bool)
+	for _, q := range w.Queries[:min(base, w.Len())] {
+		baseFp[q.Stmt.Fingerprint()] = true
+	}
+	for i, q := range w.Queries {
+		if !baseFp[q.Stmt.Fingerprint()] {
+			t.Errorf("entry %d is not a repetition of any base template: %s", i, q.Stmt)
+		}
+	}
+	if w.Len() <= base {
+		t.Errorf("no re-sample produced a fresh constant: %d entries", w.Len())
+	}
+	if w.Len() == base+extra {
+		t.Errorf("no duplicate text folded: %d entries", w.Len())
+	}
+	for _, q := range w.Queries {
+		if err := q.Stmt.Resolve(db.Schema()); err != nil {
+			t.Fatalf("re-sampled statement does not resolve: %v", err)
+		}
+	}
+}
+
 func TestGeneratedJoinsAreKeyLike(t *testing.T) {
 	db := genDB(t)
 	w, err := Generate(db, Options{Class: Complex, Queries: 50, Seed: 9})

@@ -1,0 +1,364 @@
+package wscale
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"indexmerge/internal/catalog"
+	"indexmerge/internal/core"
+	"indexmerge/internal/core/costcache"
+	"indexmerge/internal/optimizer"
+)
+
+// CostServer prices one prepared query under a configuration;
+// optimizer.Optimizer satisfies it.
+type CostServer interface {
+	CostPrepared(pq *optimizer.PreparedQuery, cfg optimizer.Configuration) (float64, error)
+}
+
+// Cache-key separators, mirroring core's checker keys: '\x1f' joins
+// index keys inside an atom, '\x1d' separates the template namespace
+// prefix. Neither occurs in table or column names.
+const (
+	keySepIndex = "\x1f"
+	keySepNS    = "\x1d"
+)
+
+// maxBoundEntries caps the per-template list of exactly-costed atoms
+// kept for lower-bound pruning; older entries are overwritten
+// ring-style.
+const maxBoundEntries = 16
+
+// boundEntry is one exactly costed atom: its sorted index keys and
+// cost. By cost monotonicity (adding indexes only adds access paths,
+// and cost is a min over paths), any atom whose index set is a SUBSET
+// of an entry's costs at least the entry's cost — an admissible lower
+// bound for atoms not yet in the table.
+type boundEntry struct {
+	keys []string
+	cost float64
+}
+
+// Prepared is a compressed workload ready for decomposed costing: the
+// templates, the source workload's prepared descriptors, a relevance
+// memo, the per-(template, atom) cost table, and the pruning bounds.
+// Build once per (workload, statistics) pair — sessions build it at
+// workload registration — and share across any number of concurrent
+// searches.
+type Prepared struct {
+	C  *Compressed
+	PW *optimizer.PreparedWorkload
+
+	srv   CostServer
+	table *costcache.Cache
+
+	mu     sync.RWMutex
+	rel    map[relKey]bool
+	bounds [][]boundEntry // per template, ring-capped
+	nextBE []int          // per template, next ring slot
+
+	optCalls atomic.Int64
+}
+
+// relKey memoizes template-index relevance by definition key, which is
+// stable across searches (each search wraps defs in fresh *core.Index
+// values).
+type relKey struct {
+	t   int
+	def string
+}
+
+// Prepare pairs a compressed workload with its prepared descriptors
+// and an empty cost table. maxEntries bounds the cost table's size
+// (<= 0 means unbounded); srv prices members on table misses.
+func Prepare(c *Compressed, pw *optimizer.PreparedWorkload, srv CostServer, maxEntries int) (*Prepared, error) {
+	if len(pw.Queries) != len(c.W.Queries) {
+		return nil, fmt.Errorf("wscale: prepared workload has %d queries, compressed workload %d",
+			len(pw.Queries), len(c.W.Queries))
+	}
+	return &Prepared{
+		C:      c,
+		PW:     pw,
+		srv:    srv,
+		table:  costcache.NewBounded(0, maxEntries),
+		rel:    make(map[relKey]bool),
+		bounds: make([][]boundEntry, len(c.Templates)),
+		nextBE: make([]int, len(c.Templates)),
+	}, nil
+}
+
+// TableStats returns the cost table's hit/miss/dedup counters.
+func (p *Prepared) TableStats() (hits, misses, dedups int64) { return p.table.Stats() }
+
+// TableLen returns the number of cached (template, atom) entries.
+func (p *Prepared) TableLen() int { return p.table.Len() }
+
+// OptimizerCalls counts CostPrepared invocations made to fill the
+// table.
+func (p *Prepared) OptimizerCalls() int64 { return p.optCalls.Load() }
+
+// Relevant reports (and memoizes) whether the index can contribute any
+// access path to the template's queries. All members share the
+// fingerprint — the same tables, columns and operators — so relevance
+// is a template property, computed on the first member's descriptor.
+func (p *Prepared) Relevant(ti int, ix *core.Index) bool {
+	k := relKey{t: ti, def: ix.Key()}
+	p.mu.RLock()
+	v, ok := p.rel[k]
+	p.mu.RUnlock()
+	if ok {
+		return v
+	}
+	pq := p.PW.Queries[p.C.Templates[ti].Members[0]]
+	v = pq.IndexRelevant(ix.Def.Table, ix.Def.Columns)
+	p.mu.Lock()
+	p.rel[k] = v
+	p.mu.Unlock()
+	return v
+}
+
+// atom computes the template's atomic configuration under cfg: the
+// relevant indexes in sorted-key order (cost is a min over access
+// paths, so index order cannot change it — sorting makes the cache key
+// canonical). Returns the cache key, the defs to cost against, and the
+// sorted index keys for bound pruning.
+func (p *Prepared) atom(ti int, cfg *core.Configuration) (key string, defs []catalog.IndexDef, keys []string) {
+	t := p.C.Templates[ti]
+	var sel []*core.Index
+	for _, ix := range cfg.Indexes {
+		onTable := false
+		for _, tb := range t.Tables {
+			if ix.Def.Table == tb {
+				onTable = true
+				break
+			}
+		}
+		if onTable && p.Relevant(ti, ix) {
+			sel = append(sel, ix)
+		}
+	}
+	sort.Slice(sel, func(i, j int) bool { return sel[i].Key() < sel[j].Key() })
+	keys = make([]string, len(sel))
+	defs = make([]catalog.IndexDef, len(sel))
+	var b strings.Builder
+	b.WriteString("t")
+	b.WriteString(strconv.Itoa(ti))
+	b.WriteString(keySepNS)
+	for i, ix := range sel {
+		keys[i] = ix.Key()
+		defs[i] = ix.Def
+		b.WriteString(keys[i])
+		b.WriteString(keySepIndex)
+	}
+	return b.String(), defs, keys
+}
+
+// costAtom returns the template's weighted exact cost under the atom,
+// from the table or by summing Freq × CostPrepared over every member.
+// Exactness: an index outside the atom contributes no access path to
+// any member (optimizer.PreparedQuery.IndexRelevant), so the sum
+// equals the members' costs under the full configuration.
+func (p *Prepared) costAtom(ctx context.Context, ti int, key string, defs []catalog.IndexDef, keys []string, calls *atomic.Int64) (float64, error) {
+	if v, ok := p.table.Get(key); ok {
+		return v, nil
+	}
+	v, err := p.table.Do(key, func() (float64, error) {
+		t := p.C.Templates[ti]
+		cfg := optimizer.Configuration(defs)
+		var sum float64
+		for _, mi := range t.Members {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			c, err := p.srv.CostPrepared(p.PW.Queries[mi], cfg)
+			if err != nil {
+				return 0, err
+			}
+			p.optCalls.Add(1)
+			if calls != nil {
+				calls.Add(1)
+			}
+			sum += c * p.C.W.Queries[mi].Freq
+		}
+		return sum, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	p.recordBound(ti, keys, v)
+	return v, nil
+}
+
+// recordBound remembers an exactly costed atom for lower-bound
+// pruning.
+func (p *Prepared) recordBound(ti int, keys []string, cost float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, e := range p.bounds[ti] {
+		if stringSlicesEqual(e.keys, keys) {
+			return
+		}
+	}
+	e := boundEntry{keys: append([]string(nil), keys...), cost: cost}
+	if len(p.bounds[ti]) < maxBoundEntries {
+		p.bounds[ti] = append(p.bounds[ti], e)
+		return
+	}
+	p.bounds[ti][p.nextBE[ti]%maxBoundEntries] = e
+	p.nextBE[ti]++
+}
+
+// lowerBound returns an admissible lower bound for the atom's cost: the
+// maximum recorded cost among exactly costed SUPERSETS of its index
+// set (a subset of a configuration can never cost less than the
+// configuration), or 0 when no superset has been costed. The bound
+// inherits the degenerate caveat of the intersection arm cap
+// (maxIntersectArms) — see DESIGN.md §12 — which is why pruning only
+// ever fast-rejects; accepts are always exact.
+func (p *Prepared) lowerBound(ti int, keys []string) float64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	lb := 0.0
+	for _, e := range p.bounds[ti] {
+		if e.cost > lb && isSubset(keys, e.keys) {
+			lb = e.cost
+		}
+	}
+	return lb
+}
+
+// isSubset reports sub ⊆ super for sorted string slices.
+func isSubset(sub, super []string) bool {
+	j := 0
+	for _, s := range sub {
+		for j < len(super) && super[j] < s {
+			j++
+		}
+		if j >= len(super) || super[j] != s {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+func stringSlicesEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// WorkloadCost prices the whole workload under cfg by decomposition.
+// Totals sum in template order, so the delta and full paths of the
+// checker agree bit for bit; they can differ from the workload-order
+// summation of optimizer.WorkloadCostPrepared in the last ulp.
+func (p *Prepared) WorkloadCost(cfg *core.Configuration) (float64, error) {
+	return p.WorkloadCostContext(context.Background(), cfg)
+}
+
+// WorkloadCostContext is WorkloadCost under a context.
+func (p *Prepared) WorkloadCostContext(ctx context.Context, cfg *core.Configuration) (float64, error) {
+	costs, total, err := p.templateCosts(ctx, cfg, 1, nil)
+	_ = costs
+	return total, err
+}
+
+// templateCosts prices every template under cfg, filling table misses
+// with up to parallelism concurrent member sweeps, and returns the
+// per-template costs plus their template-order sum.
+func (p *Prepared) templateCosts(ctx context.Context, cfg *core.Configuration, parallelism int, calls *atomic.Int64) ([]float64, float64, error) {
+	n := len(p.C.Templates)
+	costs := make([]float64, n)
+	var misses []pendingAtom
+	for ti := 0; ti < n; ti++ {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
+		key, defs, keys := p.atom(ti, cfg)
+		if v, ok := p.table.Get(key); ok {
+			costs[ti] = v
+			continue
+		}
+		misses = append(misses, pendingAtom{ti: ti, key: key, defs: defs, keys: keys})
+	}
+	if err := p.fillMisses(ctx, misses, costs, parallelism, calls); err != nil {
+		return nil, 0, err
+	}
+	total := 0.0
+	for _, c := range costs {
+		total += c
+	}
+	return costs, total, nil
+}
+
+// pendingAtom is one uncached (template, atom) pair awaiting exact
+// costing.
+type pendingAtom struct {
+	ti   int
+	key  string
+	defs []catalog.IndexDef
+	keys []string
+}
+
+// fillMisses computes the pending atoms exactly, concurrently when
+// parallelism > 1.
+func (p *Prepared) fillMisses(ctx context.Context, misses []pendingAtom, costs []float64, parallelism int, calls *atomic.Int64) error {
+	if len(misses) == 0 {
+		return nil
+	}
+	eval := func(i int) error {
+		m := misses[i]
+		v, err := p.costAtom(ctx, m.ti, m.key, m.defs, m.keys, calls)
+		if err != nil {
+			return err
+		}
+		costs[m.ti] = v
+		return nil
+	}
+	if parallelism <= 1 || len(misses) == 1 {
+		for i := range misses {
+			if err := eval(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	workers := parallelism
+	if workers > len(misses) {
+		workers = len(misses)
+	}
+	errs := make([]error, len(misses))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(misses) {
+					return
+				}
+				errs[i] = eval(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

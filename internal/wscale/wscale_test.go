@@ -1,0 +1,438 @@
+package wscale
+
+import (
+	"math"
+	"testing"
+
+	"indexmerge/internal/core"
+	"indexmerge/internal/experiments"
+	"indexmerge/internal/optimizer"
+	"indexmerge/internal/sql"
+	"indexmerge/internal/workload"
+)
+
+// testRig bundles one lab with a duplicated, disjunction-bearing
+// workload compressed and prepared for decomposed costing.
+type testRig struct {
+	lab *experiments.Lab
+	w   *sql.Workload
+	c   *Compressed
+	pw  *optimizer.PreparedWorkload
+	p   *Prepared
+	cfg *core.Configuration
+}
+
+func newTestRig(t *testing.T, duplication int) *testRig {
+	t.Helper()
+	lab, err := experiments.NewSynthetic2Lab(experiments.LabOptions{Scale: 0.25, WorkloadQueries: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Disjunctions exercise the union access paths (whose arms are
+	// exempt from the seek-lead prefilter and must still land in the
+	// relevance test); Duplication exercises template folding.
+	w, err := workload.Generate(lab.DB, workload.Options{
+		Class: workload.Complex, Disjunctions: true,
+		Queries: 10, Duplication: duplication, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Compress(w)
+	pw, err := lab.Opt.PrepareWorkload(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Prepare(c, pw, lab.Opt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defs, err := lab.InitialConfiguration(w, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(defs) < 4 {
+		t.Fatalf("initial configuration too small: %d indexes", len(defs))
+	}
+	return &testRig{lab: lab, w: w, c: c, pw: pw, p: p, cfg: core.NewConfiguration(defs)}
+}
+
+// TestCompressClusters checks the clustering invariants: members share
+// their template's fingerprint, every workload entry lands in exactly
+// one template, frequencies sum, and duplication actually compresses.
+func TestCompressClusters(t *testing.T) {
+	r := newTestRig(t, 60)
+	c := r.c
+	if len(c.Templates) == 0 {
+		t.Fatal("no templates")
+	}
+	if len(c.Templates) >= c.Statements() {
+		t.Fatalf("duplication did not compress: %d templates for %d statements",
+			len(c.Templates), c.Statements())
+	}
+	seen := make(map[int]bool)
+	var freq float64
+	for _, tpl := range c.Templates {
+		if len(tpl.Members) == 0 {
+			t.Fatalf("template %q has no members", tpl.Fingerprint)
+		}
+		for _, mi := range tpl.Members {
+			if seen[mi] {
+				t.Fatalf("query %d in two templates", mi)
+			}
+			seen[mi] = true
+			if fp := c.W.Queries[mi].Stmt.Fingerprint(); fp != tpl.Fingerprint {
+				t.Fatalf("member %d fingerprint %q != template %q", mi, fp, tpl.Fingerprint)
+			}
+		}
+		freq += tpl.Freq
+	}
+	if len(seen) != c.Statements() {
+		t.Fatalf("%d of %d statements clustered", len(seen), c.Statements())
+	}
+	if math.Abs(freq-c.TotalFreq()) > 1e-9 {
+		t.Fatalf("template freq sum %v != workload total %v", freq, c.TotalFreq())
+	}
+	if c.DedupRatio() <= 1 {
+		t.Fatalf("dedup ratio %v not > 1 on duplicated workload", c.DedupRatio())
+	}
+}
+
+// TestAtomCostExactness is the subsystem's load-bearing invariant: a
+// member's cost under its template's atomic configuration must equal —
+// as float bits, not within a tolerance — its cost under the full
+// configuration. Checked across shrinking configurations, since the
+// search only ever removes indexes from the initial one.
+func TestAtomCostExactness(t *testing.T) {
+	r := newTestRig(t, 40)
+	full := r.cfg.Indexes
+	variants := [][]*core.Index{
+		full,
+		full[:len(full)/2],
+		nil, // empty configuration
+	}
+	// Every other index: exercises atoms that drop interior members.
+	var alt []*core.Index
+	for i, ix := range full {
+		if i%2 == 0 {
+			alt = append(alt, ix)
+		}
+	}
+	variants = append(variants, alt)
+	for vi, ixs := range variants {
+		cfg := &core.Configuration{Indexes: ixs}
+		fullDefs := optimizer.Configuration(cfg.Defs())
+		for ti, tpl := range r.c.Templates {
+			_, defs, _ := r.p.atom(ti, cfg)
+			atomCfg := optimizer.Configuration(defs)
+			for _, mi := range tpl.Members {
+				atomCost, err := r.lab.Opt.CostPrepared(r.pw.Queries[mi], atomCfg)
+				if err != nil {
+					t.Fatalf("variant %d template %d member %d: atom: %v", vi, ti, mi, err)
+				}
+				fullCost, err := r.lab.Opt.CostPrepared(r.pw.Queries[mi], fullDefs)
+				if err != nil {
+					t.Fatalf("variant %d template %d member %d: full: %v", vi, ti, mi, err)
+				}
+				if math.Float64bits(atomCost) != math.Float64bits(fullCost) {
+					t.Errorf("variant %d template %d member %d: atom cost %v != full cost %v (atom %d of %d indexes)",
+						vi, ti, mi, atomCost, fullCost, len(defs), len(ixs))
+				}
+			}
+		}
+	}
+}
+
+// TestWorkloadCostMatchesUncompressed compares the decomposed total
+// against optimizer.WorkloadCostPrepared. Summation order differs
+// (template order vs workload order) so equality is within a relative
+// tolerance, not bit-exact.
+func TestWorkloadCostMatchesUncompressed(t *testing.T) {
+	r := newTestRig(t, 40)
+	for _, ixs := range [][]*core.Index{r.cfg.Indexes, r.cfg.Indexes[:3], nil} {
+		cfg := &core.Configuration{Indexes: ixs}
+		got, err := r.p.WorkloadCost(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := r.lab.Opt.WorkloadCostPrepared(r.pw, optimizer.Configuration(cfg.Defs()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+			t.Errorf("%d indexes: decomposed cost %v != prepared cost %v", len(ixs), got, want)
+		}
+	}
+	// The second sweep over the same configurations must be pure table
+	// hits: no new optimizer calls.
+	calls := r.p.OptimizerCalls()
+	for _, ixs := range [][]*core.Index{r.cfg.Indexes, r.cfg.Indexes[:3], nil} {
+		if _, err := r.p.WorkloadCost(&core.Configuration{Indexes: ixs}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := r.p.OptimizerCalls(); got != calls {
+		t.Errorf("repeat costing issued %d optimizer calls; want 0", got-calls)
+	}
+	hits, _, _ := r.p.TableStats()
+	if hits == 0 {
+		t.Error("no cost-table hits after repeat costing")
+	}
+}
+
+func TestIsSubset(t *testing.T) {
+	cases := []struct {
+		sub, super []string
+		want       bool
+	}{
+		{nil, nil, true},
+		{nil, []string{"a"}, true},
+		{[]string{"a"}, nil, false},
+		{[]string{"a", "c"}, []string{"a", "b", "c"}, true},
+		{[]string{"a", "d"}, []string{"a", "b", "c"}, false},
+		{[]string{"a", "a"}, []string{"a", "b"}, false}, // sorted-unique input assumed
+		{[]string{"b"}, []string{"a", "b", "c"}, true},
+		{[]string{"a", "b", "c"}, []string{"a", "b", "c"}, true},
+	}
+	for _, c := range cases {
+		if got := isSubset(c.sub, c.super); got != c.want {
+			t.Errorf("isSubset(%v, %v) = %v, want %v", c.sub, c.super, got, c.want)
+		}
+	}
+}
+
+// TestLowerBoundAdmissible: after exact costing of a configuration and
+// its sub-configurations, the recorded bound for any smaller atom never
+// exceeds that atom's exact cost (cost is monotone non-increasing in
+// the index set).
+func TestLowerBoundAdmissible(t *testing.T) {
+	r := newTestRig(t, 20)
+	// Cost the full configuration first so its atoms are recorded as
+	// bound entries (supersets of every later atom).
+	if _, err := r.p.WorkloadCost(r.cfg); err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut <= r.cfg.Len(); cut++ {
+		cfg := &core.Configuration{Indexes: r.cfg.Indexes[:cut]}
+		for ti := range r.c.Templates {
+			key, defs, keys := r.p.atom(ti, cfg)
+			lb := r.p.lowerBound(ti, keys)
+			exact, err := r.p.costAtom(t.Context(), ti, key, defs, keys, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lb > exact {
+				t.Errorf("cut %d template %d: lower bound %v exceeds exact cost %v", cut, ti, lb, exact)
+			}
+		}
+	}
+}
+
+// TestCheckerDeltaMatchesFull drives the delta path through every
+// candidate merge of the initial configuration and proves its total is
+// bit-identical to the full decomposed costing: with U set to the
+// candidate's exact cost the delta check must accept, and with U one
+// ulp below it must reject.
+func TestCheckerDeltaMatchesFull(t *testing.T) {
+	r := newTestRig(t, 30)
+	seek, err := core.ComputeSeekCostsPrepared(r.lab.Opt, r.pw, r.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp := &core.MergePairCost{Seek: seek}
+	chk := NewChecker(r.p, 0, 0)
+	chk.SetBase(r.cfg)
+	for _, pair := range r.cfg.PairsByTable() {
+		a, b := pair[0], pair[1]
+		m, err := mp.Merge(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		next := r.cfg.ReplacePair(a, b, m)
+		exact, err := r.p.WorkloadCost(next)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deltas := chk.DeltaChecks()
+
+		chk.U = exact
+		ok, err := chk.Accepts(next, m, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("merge %s+%s: rejected at U == exact cost %v (delta total differs from full)", a.Key(), b.Key(), exact)
+		}
+		chk.U = math.Nextafter(exact, 0)
+		ok, err = chk.Accepts(next, m, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Errorf("merge %s+%s: accepted at U just below exact cost %v", a.Key(), b.Key(), exact)
+		}
+		if chk.DeltaChecks() != deltas+2 {
+			t.Fatalf("merge %s+%s: checks did not take the delta path (%d -> %d)",
+				a.Key(), b.Key(), deltas, chk.DeltaChecks())
+		}
+	}
+	if chk.FullChecks() != 0 {
+		t.Errorf("%d checks fell back to full costing; all candidates were base-derived", chk.FullChecks())
+	}
+}
+
+// TestCheckerPrunesWithoutCosting: once the base is costed, its atoms
+// bound every candidate's atoms from below, so with U far beneath the
+// base cost a candidate must be rejected by the bound alone — no
+// optimizer calls.
+func TestCheckerPrunesWithoutCosting(t *testing.T) {
+	r := newTestRig(t, 30)
+	base, err := r.p.WorkloadCost(r.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seek, err := core.ComputeSeekCostsPrepared(r.lab.Opt, r.pw, r.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp := &core.MergePairCost{Seek: seek}
+	chk := &Checker{P: r.p, U: base / 2}
+	chk.SetBase(r.cfg)
+
+	pair := r.cfg.PairsByTable()[0]
+	a, b := pair[0], pair[1]
+	m, err := mp.Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := r.cfg.ReplacePair(a, b, m)
+	calls := r.p.OptimizerCalls()
+	ok, err := chk.Accepts(next, m, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("accepted a candidate with U at half the base cost")
+	}
+	if chk.PrunedChecks() != 1 {
+		t.Fatalf("PrunedChecks = %d, want 1", chk.PrunedChecks())
+	}
+	if got := r.p.OptimizerCalls(); got != calls {
+		t.Errorf("pruned check issued %d optimizer calls; want 0", got-calls)
+	}
+}
+
+// TestCheckerStaleBaseFallsBack: a candidate that is not one merge away
+// from the current base (Exhaustive's later sibling batches after a
+// subtree re-based the checker) must be priced in full, and still
+// correctly.
+func TestCheckerStaleBaseFallsBack(t *testing.T) {
+	r := newTestRig(t, 30)
+	seek, err := core.ComputeSeekCostsPrepared(r.lab.Opt, r.pw, r.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp := &core.MergePairCost{Seek: seek}
+	pairs := r.cfg.PairsByTable()
+	if len(pairs) < 2 {
+		t.Skip("not enough merge pairs")
+	}
+	// Candidate built against r.cfg...
+	a, b := pairs[0][0], pairs[0][1]
+	m, err := mp.Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := r.cfg.ReplacePair(a, b, m)
+	// ...but the checker was re-based to a different configuration.
+	other := r.cfg.ReplacePair(pairs[1][0], pairs[1][1], mustMerge(t, mp, pairs[1][0], pairs[1][1]))
+	exact, err := r.p.WorkloadCost(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk := NewChecker(r.p, 0, 0)
+	chk.SetBase(other)
+	chk.U = exact
+	ok, err := chk.Accepts(next, m, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("stale-base full costing rejected at U == exact cost")
+	}
+	if chk.FullChecks() != 1 {
+		t.Errorf("FullChecks = %d, want 1 (stale base must fall back)", chk.FullChecks())
+	}
+	if chk.DeltaChecks() != 0 {
+		t.Errorf("DeltaChecks = %d, want 0", chk.DeltaChecks())
+	}
+}
+
+func mustMerge(t *testing.T, mp core.MergePair, a, b *core.Index) *core.Index {
+	t.Helper()
+	m, err := mp.Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestCheckerGreedyMatchesOptimizerChecker runs the same greedy search
+// under the uncompressed OptimizerChecker and the decomposed Checker:
+// on a workload with duplicated templates both must arrive at the same
+// final configuration (or provably equal cost), with the compressed run
+// issuing strictly fewer optimizer calls.
+func TestCheckerGreedyMatchesOptimizerChecker(t *testing.T) {
+	r := newTestRig(t, 40)
+	seek, err := core.ComputeSeekCostsPrepared(r.lab.Opt, r.pw, r.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseCost, err := r.lab.Opt.WorkloadCostPrepared(r.pw, optimizer.Configuration(r.cfg.Defs()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slack := 0.15
+
+	plain := core.NewOptimizerChecker(r.lab.Opt, r.w, baseCost, slack)
+	plain.Prepared = r.pw
+	resPlain, err := core.Greedy(r.cfg, &core.MergePairCost{Seek: seek}, plain, r.lab.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	compBase, err := r.p.WorkloadCost(r.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := NewChecker(r.p, compBase, slack)
+	resComp, err := core.Greedy(r.cfg, &core.MergePairCost{Seek: seek}, comp, r.lab.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if resPlain.Final.Signature() != resComp.Final.Signature() {
+		// Last-ulp differences in the two checkers' totals can flip a
+		// borderline acceptance; the runs then still must agree on cost.
+		pc, err := r.lab.Opt.WorkloadCostPrepared(r.pw, optimizer.Configuration(resPlain.Final.Defs()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cc, err := r.lab.Opt.WorkloadCostPrepared(r.pw, optimizer.Configuration(resComp.Final.Defs()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(pc-cc) > 1e-9*math.Max(1, math.Abs(pc)) {
+			t.Errorf("final configurations diverge:\n plain %s (cost %v)\n compressed %s (cost %v)",
+				resPlain.Final.Signature(), pc, resComp.Final.Signature(), cc)
+		}
+	}
+	if comp.OptimizerCalls() >= plain.OptimizerCalls() {
+		t.Errorf("compressed search issued %d optimizer calls, uncompressed %d — no savings",
+			comp.OptimizerCalls(), plain.OptimizerCalls())
+	}
+	t.Logf("greedy parity: %d vs %d optimizer calls (%.1fx), %d templates for %d statements",
+		comp.OptimizerCalls(), plain.OptimizerCalls(),
+		float64(plain.OptimizerCalls())/math.Max(1, float64(comp.OptimizerCalls())),
+		len(r.c.Templates), r.c.Statements())
+}
