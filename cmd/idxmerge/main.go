@@ -59,6 +59,7 @@ func main() {
 	parallel := flag.Int("parallel", 1, "concurrent candidate costings per search step (0 = GOMAXPROCS); results are identical for any value")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON on stdout (the idxmerged job-result schema) and progress JSON lines on stderr")
 	resilient := flag.Bool("resilient", false, "retry transient costing faults and degrade to the analytic model on persistent optimizer failure (results carry a degraded flag)")
+	workers := flag.String("workers", "", "comma-separated what-if worker base URLs (idxmergew processes serving the same -db/-scale/-seed database); cache-missed costings are batched to the pool; results are byte-identical at any worker count")
 	faultRules := flag.String("faults", "", "deterministic fault-injection rules, semicolon-separated (chaos testing; see internal/faults)")
 	flag.Parse()
 
@@ -85,7 +86,7 @@ func main() {
 		}
 	}
 
-	db, err := buildDatabase(*dbName, *scale, *seed)
+	db, err := datagen.BuildNamed(*dbName, *scale, *seed)
 	if err != nil {
 		fatal(err)
 	}
@@ -101,12 +102,28 @@ func main() {
 		fatal(err)
 	}
 	compressed := *costModel == "compressed"
+	templates := 0
 	if compressed {
 		cw, err := m.CompressedWorkload()
 		if err != nil {
 			fatal(err)
 		}
+		templates = len(cw.C.Templates)
 		human("%s\n", cw.C)
+	}
+
+	// Bind the worker pool before searching so incompatible workers
+	// (wrong database, wrong parse) fail loudly here rather than
+	// silently falling back mid-run. Failures after this point degrade
+	// to local costing.
+	var binding *indexmerge.WorkerBinding
+	if *workers != "" {
+		pool := indexmerge.NewWorkerPool(strings.Split(*workers, ","))
+		binding, err = pool.Bind(ctx, "cli", db.Fingerprint(), w, templates)
+		if err != nil {
+			fatal(fmt.Errorf("bind worker pool: %w", err))
+		}
+		human("worker pool: %d workers bound\n", pool.Size())
 	}
 
 	// Initial configuration. Under -costmodel compressed, whole-workload
@@ -149,7 +166,7 @@ func main() {
 		return
 	}
 
-	opts := indexmerge.MergeOptions{CostConstraint: *constraint, Parallelism: *parallel}
+	opts := indexmerge.MergeOptions{CostConstraint: *constraint, Parallelism: *parallel, Workers: binding}
 	if *resilient {
 		opts.Resilience = &indexmerge.ResilienceOptions{}
 	}
@@ -218,27 +235,6 @@ func emitJSON(v any) {
 	if err := enc.Encode(v); err != nil {
 		fatal(err)
 	}
-}
-
-func buildDatabase(name string, scale float64, seed int64) (*engine.Database, error) {
-	if strings.HasPrefix(name, "file:") {
-		return engine.LoadSnapshotFile(strings.TrimPrefix(name, "file:"))
-	}
-	switch name {
-	case "tpcd":
-		return datagen.BuildTPCD(datagen.ScaledTPCD(scale), seed)
-	case "synthetic1":
-		spec := datagen.Synthetic1Spec()
-		spec.RowsPer = int(float64(spec.RowsPer) * scale)
-		spec.Seed += seed
-		return datagen.BuildSynthetic(spec)
-	case "synthetic2":
-		spec := datagen.Synthetic2Spec()
-		spec.RowsPer = int(float64(spec.RowsPer) * scale)
-		spec.Seed += seed
-		return datagen.BuildSynthetic(spec)
-	}
-	return nil, fmt.Errorf("unknown database %q (want tpcd, synthetic1 or synthetic2)", name)
 }
 
 func loadWorkload(db *engine.Database, path string, queries int, seed int64, duplication int, disjunctions bool) (*sql.Workload, error) {

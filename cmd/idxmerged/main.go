@@ -10,6 +10,7 @@
 //
 //	idxmerged [-addr :7781] [-workers 2] [-queue 8] [-cache 1048576]
 //	          [-drain-timeout 30s] [-journal path] [-faults rules]
+//	          [-cost-workers http://host:7791,http://host:7792] [-pprof]
 //
 // SIGINT/SIGTERM drain gracefully: the listener stops, queued and
 // running jobs get -drain-timeout to finish, then are canceled.
@@ -29,8 +30,10 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -46,6 +49,8 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget for in-flight jobs")
 	journalPath := flag.String("journal", "", "session/job journal file (empty = no durability)")
 	faultRules := flag.String("faults", "", "fault-injection rules, semicolon-separated (chaos testing)")
+	costWorkers := flag.String("cost-workers", "", "comma-separated what-if worker base URLs (idxmergew); merge jobs batch costings to the pool, falling back locally on failure")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	log := slog.New(slog.NewJSONHandler(os.Stderr, nil))
@@ -58,20 +63,37 @@ func main() {
 		faults.Install(rules...)
 		log.Warn("fault injection armed", "rules", len(rules))
 	}
-	srv, err := server.New(server.Config{
+	cfg := server.Config{
 		Workers:         *workers,
 		QueueCap:        *queue,
 		CacheMaxEntries: *cacheMax,
 		Logger:          log,
 		JournalPath:     *journalPath,
-	})
+	}
+	if *costWorkers != "" {
+		cfg.CostWorkers = strings.Split(*costWorkers, ",")
+		log.Info("distributed costing enabled", "cost_workers", len(cfg.CostWorkers))
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		log.Error("startup", "error", err)
 		os.Exit(1)
 	}
+	handler := srv.Handler()
+	if *pprofOn {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		log.Info("pprof enabled", "path", "/debug/pprof/")
+	}
 	httpSrv := &http.Server{
 		Addr:    *addr,
-		Handler: srv.Handler(),
+		Handler: handler,
 		// Slowloris and stuck-client protection: bound how long a
 		// request may take to arrive and how long idle keep-alives
 		// hang around. No WriteTimeout — job submission is async, so

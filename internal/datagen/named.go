@@ -1,0 +1,39 @@
+package datagen
+
+import (
+	"fmt"
+	"strings"
+
+	"indexmerge/internal/engine"
+)
+
+// BuildNamed builds a database from a spec string shared by every
+// entry point (both CLIs, idxmerged sessions, and what-if workers):
+// "tpcd", "synthetic1", "synthetic2" — scaled and seeded — or
+// "file:PATH" for a saved snapshot. The build is deterministic in
+// (name, scale, seed), so a coordinator and its workers constructing
+// the same spec independently agree on data, statistics, and
+// therefore what-if costs (engine.Database.Fingerprint checks this).
+func BuildNamed(name string, scale float64, seed int64) (*engine.Database, error) {
+	if strings.HasPrefix(name, "file:") {
+		return engine.LoadSnapshotFile(strings.TrimPrefix(name, "file:"))
+	}
+	if scale <= 0 {
+		scale = 1
+	}
+	switch name {
+	case "tpcd":
+		return BuildTPCD(ScaledTPCD(scale), seed)
+	case "synthetic1":
+		spec := Synthetic1Spec()
+		spec.RowsPer = int(float64(spec.RowsPer) * scale)
+		spec.Seed += seed
+		return BuildSynthetic(spec)
+	case "synthetic2":
+		spec := Synthetic2Spec()
+		spec.RowsPer = int(float64(spec.RowsPer) * scale)
+		spec.Seed += seed
+		return BuildSynthetic(spec)
+	}
+	return nil, fmt.Errorf("unknown database %q (want tpcd, synthetic1, synthetic2 or file:PATH)", name)
+}

@@ -1,0 +1,180 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"indexmerge/internal/catalog"
+	"indexmerge/internal/value"
+)
+
+func buildCOWTestDB(t *testing.T) *Database {
+	t.Helper()
+	db := NewDatabase()
+	tbl, err := catalog.NewTable("t", []catalog.Column{
+		{Name: "a", Type: value.Int},
+		{Name: "b", Type: value.Int},
+		{Name: "s", Type: value.String, Width: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(tbl); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		r := value.Row{value.NewInt(int64(i)), value.NewInt(int64(i % 17)), value.NewString("x")}
+		if err := db.Insert("t", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.CreateIndex(catalog.IndexDef{Name: "t_a", Table: "t", Columns: []string{"a"}}); err != nil {
+		t.Fatal(err)
+	}
+	db.AnalyzeAll()
+	return db
+}
+
+func TestSnapshotFreezesOrigin(t *testing.T) {
+	db := buildCOWTestDB(t)
+	snap := db.Snapshot()
+	if snap.StatsVersion() != db.StatsVersion() {
+		t.Fatalf("snapshot version %d != db version %d", snap.StatsVersion(), db.StatsVersion())
+	}
+	if err := db.Insert("t", value.Row{value.NewInt(1), value.NewInt(1), value.NewString("x")}); !errors.Is(err, ErrFrozen) {
+		t.Fatalf("Insert on frozen origin: got %v, want ErrFrozen", err)
+	}
+	if _, err := db.DeleteWhere("t", func(value.Row) bool { return true }); !errors.Is(err, ErrFrozen) {
+		t.Fatalf("DeleteWhere on frozen origin: got %v, want ErrFrozen", err)
+	}
+	if _, err := db.CreateIndex(catalog.IndexDef{Name: "t_b", Table: "t", Columns: []string{"b"}}); !errors.Is(err, ErrFrozen) {
+		t.Fatalf("CreateIndex on frozen origin: got %v, want ErrFrozen", err)
+	}
+	if err := db.DropIndex("t(a)"); !errors.Is(err, ErrFrozen) && err == nil {
+		t.Fatalf("DropIndex on frozen origin: got %v", err)
+	}
+	if err := db.Materialize(nil); !errors.Is(err, ErrFrozen) {
+		t.Fatalf("Materialize on frozen origin: got %v, want ErrFrozen", err)
+	}
+	tbl, _ := catalog.NewTable("u", []catalog.Column{{Name: "a", Type: value.Int}})
+	if err := db.CreateTable(tbl); !errors.Is(err, ErrFrozen) {
+		t.Fatalf("CreateTable on frozen origin: got %v, want ErrFrozen", err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Analyze on frozen origin did not panic")
+			}
+		}()
+		db.Analyze("t")
+	}()
+	// The read path stays fully usable after freezing.
+	if db.TableRowCount("t") != 200 {
+		t.Fatalf("row count = %d", db.TableRowCount("t"))
+	}
+	if db.TableStats("t") == nil {
+		t.Fatal("stats gone after freeze")
+	}
+}
+
+func TestForkSharesDataAndIsolatesIndexDDL(t *testing.T) {
+	db := buildCOWTestDB(t)
+	snap := db.Snapshot()
+	f1 := snap.Fork()
+	f2 := snap.Fork()
+
+	if f1.DataBytes() != db.DataBytes() {
+		t.Fatalf("fork data bytes %d != origin %d", f1.DataBytes(), db.DataBytes())
+	}
+	if f1.StatsVersion() != snap.StatsVersion() {
+		t.Fatalf("fork stats version %d != snapshot %d", f1.StatsVersion(), snap.StatsVersion())
+	}
+	if f1.TableStats("t") != db.TableStats("t") {
+		t.Fatal("fork does not share the origin's statistics objects")
+	}
+
+	// Index DDL on one fork is invisible to the origin and siblings.
+	if _, err := f1.CreateIndex(catalog.IndexDef{Name: "t_b", Table: "t", Columns: []string{"b"}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(f1.Indexes()) != 2 {
+		t.Fatalf("f1 has %d indexes, want 2", len(f1.Indexes()))
+	}
+	if len(db.Indexes()) != 1 || len(f2.Indexes()) != 1 {
+		t.Fatalf("index DDL leaked: origin %d, sibling %d", len(db.Indexes()), len(f2.Indexes()))
+	}
+	if err := f2.Materialize([]catalog.IndexDef{{Name: "t_ba", Table: "t", Columns: []string{"b", "a"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Indexes()) != 1 {
+		t.Fatal("Materialize on fork leaked into origin")
+	}
+
+	// Row and schema mutation on a fork is rejected: heaps are shared.
+	if err := f1.Insert("t", value.Row{value.NewInt(1), value.NewInt(1), value.NewString("x")}); !errors.Is(err, ErrForkMutation) {
+		t.Fatalf("Insert on fork: got %v, want ErrForkMutation", err)
+	}
+	if err := f1.BulkLoad("t", nil); !errors.Is(err, ErrForkMutation) {
+		t.Fatalf("BulkLoad on fork: got %v, want ErrForkMutation", err)
+	}
+	tbl, _ := catalog.NewTable("u", []catalog.Column{{Name: "a", Type: value.Int}})
+	if err := f1.CreateTable(tbl); !errors.Is(err, ErrForkMutation) {
+		t.Fatalf("CreateTable on fork: got %v, want ErrForkMutation", err)
+	}
+
+	// Analyze on a fork replaces entries in its private map only.
+	f1.Analyze("t")
+	if f1.TableStats("t") == db.TableStats("t") {
+		t.Fatal("fork Analyze overwrote the shared stats object")
+	}
+	if f2.TableStats("t") != db.TableStats("t") {
+		t.Fatal("fork Analyze leaked into sibling")
+	}
+}
+
+func TestFingerprintDeterminism(t *testing.T) {
+	a := buildCOWTestDB(t)
+	b := buildCOWTestDB(t)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("identical builds fingerprint differently: %x vs %x", a.Fingerprint(), b.Fingerprint())
+	}
+	snap := a.Snapshot()
+	if snap.Fingerprint() != b.Fingerprint() {
+		t.Fatal("snapshot fingerprint differs from origin's")
+	}
+	if snap.Fork().Fingerprint() != b.Fingerprint() {
+		t.Fatal("fork fingerprint differs from origin's")
+	}
+	// Extra data changes the fingerprint.
+	if err := b.Insert("t", value.Row{value.NewInt(999), value.NewInt(0), value.NewString("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("fingerprint ignored a row-count change")
+	}
+}
+
+func TestConcurrentForks(t *testing.T) {
+	db := buildCOWTestDB(t)
+	snap := db.Snapshot()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f := snap.Fork()
+			if _, err := f.CreateIndex(catalog.IndexDef{Name: "t_b", Table: "t", Columns: []string{"b"}}); err != nil {
+				t.Error(err)
+			}
+			f.Analyze("t")
+			if f.TableRowCount("t") != 200 {
+				t.Errorf("fork sees %d rows", f.TableRowCount("t"))
+			}
+		}()
+	}
+	wg.Wait()
+	if len(db.Indexes()) != 1 {
+		t.Fatalf("concurrent fork DDL leaked: %d indexes on origin", len(db.Indexes()))
+	}
+}

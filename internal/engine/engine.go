@@ -38,6 +38,14 @@ type Database struct {
 	// query descriptors bake selectivities in at prepare time and use
 	// the version to detect staleness (optimizer.StatsVersioner).
 	statsVersion atomic.Uint64
+
+	// frozen is set permanently by Snapshot(): every mutator fails from
+	// then on, making concurrent Fork() and read-path use safe. fork
+	// marks a copy-on-write fork (set at construction, never cleared),
+	// whose row/schema mutators fail because heaps and schema are
+	// shared with the frozen origin (see cow.go).
+	frozen atomic.Bool
+	fork   bool
 }
 
 // NewDatabase creates an empty database.
@@ -59,6 +67,9 @@ func (db *Database) Schema() *catalog.Schema { return db.schema }
 
 // CreateTable registers a table and allocates its heap.
 func (db *Database) CreateTable(t *catalog.Table) error {
+	if err := db.mutableRows(); err != nil {
+		return err
+	}
 	if err := db.schema.AddTable(t); err != nil {
 		return err
 	}
@@ -78,6 +89,9 @@ func (db *Database) Heap(table string) (*storage.Heap, error) {
 // Insert appends one row, maintaining every materialized index on the
 // table. Maintenance page writes accrue to each index's counters.
 func (db *Database) Insert(table string, r value.Row) error {
+	if err := db.mutableRows(); err != nil {
+		return err
+	}
 	h, err := db.Heap(table)
 	if err != nil {
 		return err
@@ -98,6 +112,9 @@ func (db *Database) Insert(table string, r value.Row) error {
 // all indexes maintained (each index delete is charged to maintenance
 // like a ghost-record removal). It returns the number of rows deleted.
 func (db *Database) DeleteWhere(table string, match func(value.Row) bool) (int, error) {
+	if err := db.mutableRows(); err != nil {
+		return 0, err
+	}
 	h, err := db.Heap(table)
 	if err != nil {
 		return 0, err
@@ -129,6 +146,9 @@ func (db *Database) DeleteWhere(table string, match func(value.Row) bool) (int, 
 // BulkLoad appends rows without index maintenance accounting; indexes
 // created afterwards are built from the heap.
 func (db *Database) BulkLoad(table string, rows []value.Row) error {
+	if err := db.mutableRows(); err != nil {
+		return err
+	}
 	h, err := db.Heap(table)
 	if err != nil {
 		return err
@@ -151,6 +171,9 @@ func (db *Database) BulkLoad(table string, rows []value.Row) error {
 // Creating an index whose definition (table + ordered columns) already
 // exists is an error.
 func (db *Database) CreateIndex(def catalog.IndexDef) (*storage.Index, error) {
+	if err := db.mutableIndexes(); err != nil {
+		return nil, err
+	}
 	def, err := catalog.NewIndexDef(db.schema, def.Name, def.Table, def.Columns)
 	if err != nil {
 		return nil, err
@@ -170,6 +193,9 @@ func (db *Database) CreateIndex(def catalog.IndexDef) (*storage.Index, error) {
 
 // DropIndex removes the index with the given definition key.
 func (db *Database) DropIndex(defKey string) error {
+	if err := db.mutableIndexes(); err != nil {
+		return err
+	}
 	if _, ok := db.indexes[defKey]; !ok {
 		return fmt.Errorf("engine: no index on %s", defKey)
 	}
@@ -177,8 +203,13 @@ func (db *Database) DropIndex(defKey string) error {
 	return nil
 }
 
-// DropAllIndexes removes every materialized index.
+// DropAllIndexes removes every materialized index. It panics on a
+// frozen database (callers that can observe freezing use DropIndex
+// and get ErrFrozen); a fork only replaces its private map.
 func (db *Database) DropAllIndexes() {
+	if db.frozen.Load() {
+		panic("engine: DropAllIndexes on a frozen database")
+	}
 	db.indexes = make(map[string]*storage.Index)
 }
 
@@ -217,8 +248,14 @@ func (db *Database) AnalyzeAll() {
 	}
 }
 
-// Analyze rebuilds statistics for one table.
+// Analyze rebuilds statistics for one table. It panics on a frozen
+// database (a programming error — snapshots pin their statistics
+// version); on a fork it replaces entries in the fork's private stats
+// map and only reads the shared heap.
 func (db *Database) Analyze(table string) {
+	if db.frozen.Load() {
+		panic("engine: Analyze on a frozen database")
+	}
 	faults.Hit(faults.StatsSample)
 	h, err := db.Heap(table)
 	if err != nil {
@@ -296,6 +333,9 @@ func (db *Database) ConfigurationBytes(cfg []catalog.IndexDef) int64 {
 // configuration — used by experiments that need real page counts and
 // maintenance costs rather than estimates.
 func (db *Database) Materialize(cfg []catalog.IndexDef) error {
+	if err := db.mutableIndexes(); err != nil {
+		return err
+	}
 	db.DropAllIndexes()
 	for _, def := range cfg {
 		if _, err := db.CreateIndex(def); err != nil {
@@ -306,8 +346,13 @@ func (db *Database) Materialize(cfg []catalog.IndexDef) error {
 }
 
 // ResetMaintenance starts a fresh maintenance accounting window on all
-// materialized indexes.
+// materialized indexes. It panics on frozen databases and forks:
+// maintenance counters live on the index objects, which forks share
+// with their origin.
 func (db *Database) ResetMaintenance() {
+	if db.fork || db.frozen.Load() {
+		panic("engine: ResetMaintenance on a frozen database or fork")
+	}
 	for _, ix := range db.indexes {
 		ix.ResetMaintenance()
 	}

@@ -52,6 +52,9 @@ const (
 	StorageIndexSeek Point = "storage.index.seek"
 	// CostCacheDo fires on cost-cache lookup-or-compute calls.
 	CostCacheDo Point = "costcache.do"
+	// DistribRPC fires on every coordinator→worker cost-batch RPC
+	// (internal/distrib), before the request leaves the pool.
+	DistribRPC Point = "distrib.rpc"
 )
 
 // Mode selects what a rule does when it fires.

@@ -33,17 +33,32 @@ func (h *histogram) observe(v float64) {
 
 // write emits the histogram in Prometheus text exposition format.
 func (h *histogram) write(w io.Writer, name string) {
+	h.writeLabeled(w, name, "")
+}
+
+// writeLabeled emits the histogram with an extra label set (e.g.
+// `route="GET /healthz"`) merged into every series.
+func (h *histogram) writeLabeled(w io.Writer, name, labels string) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	cum := int64(0)
 	for i, b := range h.bounds {
 		cum += h.counts[i]
-		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, b, cum)
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%g\"} %d\n", name, labels, sep, b, cum)
 	}
 	cum += h.counts[len(h.bounds)]
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
-	fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
-	fmt.Fprintf(w, "%s_count %d\n", name, h.count)
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
+		fmt.Fprintf(w, "%s_count %d\n", name, h.count)
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, h.sum)
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.count)
+	}
 }
 
 // Metrics aggregates service-level observability counters, exposed in
@@ -61,6 +76,13 @@ type Metrics struct {
 	costEvaluations atomic.Int64
 	jobAllocs       atomic.Int64 // Mallocs deltas summed over finished jobs (approximate)
 
+	// Distributed-costing counters, summed over finished jobs: batches
+	// and items served by the worker pool, and batches that fell back
+	// to local costing.
+	remoteBatches   atomic.Int64
+	remoteItems     atomic.Int64
+	remoteFallbacks atomic.Int64
+
 	// Robustness counters (fault-injection, degraded mode, recovery).
 	costingRetries       atomic.Int64 // transient costing failures retried
 	costingDegraded      atomic.Int64 // constraint decisions served by the external model
@@ -74,7 +96,12 @@ type Metrics struct {
 
 	searchSeconds *histogram
 	httpSeconds   *histogram
+	routeSeconds  map[string]*histogram // per-endpoint latency, keyed by route pattern
 }
+
+// httpBounds are the latency buckets shared by the aggregate and the
+// per-endpoint HTTP histograms.
+var httpBounds = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 30}
 
 // NewMetrics builds an empty metrics registry.
 func NewMetrics() *Metrics {
@@ -82,15 +109,22 @@ func NewMetrics() *Metrics {
 		requests:      make(map[string]int64),
 		jobs:          make(map[string]int64),
 		searchSeconds: newHistogram([]float64{0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 300}),
-		httpSeconds:   newHistogram([]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 30}),
+		httpSeconds:   newHistogram(httpBounds),
+		routeSeconds:  make(map[string]*histogram),
 	}
 }
 
 func (m *Metrics) observeRequest(route string, code int, seconds float64) {
 	m.mu.Lock()
 	m.requests[fmt.Sprintf("%s|%d", route, code)]++
+	rh := m.routeSeconds[route]
+	if rh == nil {
+		rh = newHistogram(httpBounds)
+		m.routeSeconds[route] = rh
+	}
 	m.mu.Unlock()
 	m.httpSeconds.observe(seconds)
+	rh.observe(seconds)
 }
 
 func (m *Metrics) observeJobEnd(state JobState, seconds float64, optimizerCalls, costEvaluations int64) {
@@ -130,9 +164,22 @@ type JobGauges struct {
 	Running int
 }
 
+// PoolGauges snapshots the distributed-costing worker pool for the
+// metrics scrape (nil pool = the section is omitted).
+type PoolGauges struct {
+	Workers   int
+	Healthy   int
+	Batches   int64
+	Items     int64
+	RPCs      int64
+	RPCErrors int64
+	Hedges    int64
+}
+
 // Write emits every series. Gauges are gathered by the caller at
-// scrape time (sessions and the job manager own that state).
-func (m *Metrics) Write(w io.Writer, jg JobGauges, sessions []SessionGauges) {
+// scrape time (sessions, the job manager and the worker pool own that
+// state).
+func (m *Metrics) Write(w io.Writer, jg JobGauges, sessions []SessionGauges, pool *PoolGauges, snapshotReuses int64) {
 	fmt.Fprintln(w, "# TYPE idxmerged_http_requests_total counter")
 	m.mu.Lock()
 	reqKeys := make([]string, 0, len(m.requests))
@@ -223,8 +270,49 @@ func (m *Metrics) Write(w io.Writer, jg JobGauges, sessions []SessionGauges) {
 		fmt.Fprintf(w, "idxmerged_breaker_transitions_total{session=%q} %d\n", s.Name, s.BreakerTransitions)
 	}
 
+	fmt.Fprintln(w, "# TYPE idxmerged_snapshot_reuses_total counter")
+	fmt.Fprintf(w, "idxmerged_snapshot_reuses_total %d\n", snapshotReuses)
+
+	fmt.Fprintln(w, "# TYPE idxmerged_remote_batches_total counter")
+	fmt.Fprintf(w, "idxmerged_remote_batches_total %d\n", m.remoteBatches.Load())
+	fmt.Fprintln(w, "# TYPE idxmerged_remote_items_total counter")
+	fmt.Fprintf(w, "idxmerged_remote_items_total %d\n", m.remoteItems.Load())
+	fmt.Fprintln(w, "# TYPE idxmerged_remote_fallbacks_total counter")
+	fmt.Fprintf(w, "idxmerged_remote_fallbacks_total %d\n", m.remoteFallbacks.Load())
+	if pool != nil {
+		fmt.Fprintln(w, "# TYPE idxmerged_pool_workers gauge")
+		fmt.Fprintf(w, "idxmerged_pool_workers %d\n", pool.Workers)
+		fmt.Fprintln(w, "# TYPE idxmerged_pool_workers_healthy gauge")
+		fmt.Fprintf(w, "idxmerged_pool_workers_healthy %d\n", pool.Healthy)
+		fmt.Fprintln(w, "# TYPE idxmerged_pool_batches_total counter")
+		fmt.Fprintf(w, "idxmerged_pool_batches_total %d\n", pool.Batches)
+		fmt.Fprintln(w, "# TYPE idxmerged_pool_items_total counter")
+		fmt.Fprintf(w, "idxmerged_pool_items_total %d\n", pool.Items)
+		fmt.Fprintln(w, "# TYPE idxmerged_pool_rpcs_total counter")
+		fmt.Fprintf(w, "idxmerged_pool_rpcs_total %d\n", pool.RPCs)
+		fmt.Fprintln(w, "# TYPE idxmerged_pool_rpc_errors_total counter")
+		fmt.Fprintf(w, "idxmerged_pool_rpc_errors_total %d\n", pool.RPCErrors)
+		fmt.Fprintln(w, "# TYPE idxmerged_pool_hedges_total counter")
+		fmt.Fprintf(w, "idxmerged_pool_hedges_total %d\n", pool.Hedges)
+	}
+
 	fmt.Fprintln(w, "# TYPE idxmerged_search_seconds histogram")
 	m.searchSeconds.write(w, "idxmerged_search_seconds")
 	fmt.Fprintln(w, "# TYPE idxmerged_http_request_seconds histogram")
 	m.httpSeconds.write(w, "idxmerged_http_request_seconds")
+	fmt.Fprintln(w, "# TYPE idxmerged_http_route_seconds histogram")
+	m.mu.Lock()
+	routes := make([]string, 0, len(m.routeSeconds))
+	for r := range m.routeSeconds {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	hists := make([]*histogram, len(routes))
+	for i, r := range routes {
+		hists[i] = m.routeSeconds[r]
+	}
+	m.mu.Unlock()
+	for i, r := range routes {
+		hists[i].writeLabeled(w, "idxmerged_http_route_seconds", fmt.Sprintf("route=%q", r))
+	}
 }

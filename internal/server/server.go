@@ -14,6 +14,7 @@ import (
 	"indexmerge"
 	"indexmerge/internal/advisor"
 	"indexmerge/internal/catalog"
+	"indexmerge/internal/distrib"
 	"indexmerge/internal/optimizer"
 	"indexmerge/internal/sql"
 	"indexmerge/internal/workload"
@@ -40,6 +41,12 @@ type Config struct {
 	// as pollable records, and jobs interrupted by a crash are marked
 	// failed with an explicit recovery reason.
 	JournalPath string
+	// CostWorkers lists what-if worker base URLs (cmd/idxmergew
+	// processes serving the same database specs as this server's
+	// sessions). When set, merge jobs batch cache-missed costings to
+	// the pool; results are byte-identical at any worker count and any
+	// worker failure falls back to local costing.
+	CostWorkers []string
 }
 
 // Server is the idxmerged HTTP API: sessions, workloads, synchronous
@@ -51,6 +58,7 @@ type Server struct {
 	log     *slog.Logger
 	mux     *http.ServeMux
 	journal *Journal
+	pool    *distrib.Pool // nil without Config.CostWorkers
 }
 
 // New assembles a server and starts its worker pool. With a journal
@@ -70,11 +78,16 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
 	}
+	var pool *distrib.Pool
+	if len(cfg.CostWorkers) > 0 {
+		pool = distrib.NewPool(cfg.CostWorkers, distrib.Options{})
+	}
 	s := &Server{
-		reg:     NewRegistry(cfg.CacheMaxEntries),
+		reg:     NewRegistry(cfg.CacheMaxEntries, pool),
 		metrics: NewMetrics(),
 		log:     cfg.Logger,
 		mux:     http.NewServeMux(),
+		pool:    pool,
 	}
 	s.jobs = NewManager(cfg.Workers, cfg.QueueCap, s.metrics, s.log)
 
@@ -315,8 +328,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for i, sess := range sessions {
 		gauges[i] = sess.gauges()
 	}
+	var pg *PoolGauges
+	if s.pool != nil {
+		st := s.pool.PoolStats()
+		pg = &PoolGauges{
+			Workers: st.Workers, Healthy: st.Healthy, Batches: st.Batches,
+			Items: st.Items, RPCs: st.RPCs, RPCErrors: st.RPCErrors, Hedges: st.Hedges,
+		}
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.Write(w, s.jobs.Gauges(), gauges)
+	s.metrics.Write(w, s.jobs.Gauges(), gauges, pg, s.reg.SnapshotReuses())
 }
 
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
@@ -719,11 +740,19 @@ func (s *Server) buildJobRun(kind string, sess *Session, workloadName string, rw
 			// succeeds.
 			opts.Resilience.Breaker = sess.breaker
 		}
+		// Distributed costing: bound once per (session, workload). The
+		// result payload carries no remote counters — it is byte-
+		// identical at any worker count — so remote activity is
+		// aggregated into /metrics instead.
+		opts.Workers = sess.bindWorkers(ctx, workloadName, rw, s.log)
 
 		res, err := m.MergeDefsContext(ctx, defs, opts)
 		if err != nil {
 			return nil, err
 		}
+		s.metrics.remoteBatches.Add(res.RemoteBatches)
+		s.metrics.remoteItems.Add(res.RemoteItems)
+		s.metrics.remoteFallbacks.Add(res.RemoteFallbacks)
 		p := NewMergeResultPayload(res)
 		return &JobResult{Merge: &p}, nil
 	}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -13,6 +15,7 @@ import (
 	"indexmerge/internal/core"
 	"indexmerge/internal/core/costcache"
 	"indexmerge/internal/datagen"
+	"indexmerge/internal/distrib"
 	"indexmerge/internal/engine"
 	"indexmerge/internal/optimizer"
 	"indexmerge/internal/sql"
@@ -41,6 +44,8 @@ type Session struct {
 	name      string
 	dbName    string
 	db        *engine.Database
+	fp        uint64 // database fingerprint, captured at creation
+	pool      *distrib.Pool
 	cache     *costcache.Cache
 	createdAt time.Time
 	deleted   atomic.Bool
@@ -76,6 +81,39 @@ type registeredWorkload struct {
 	w          *sql.Workload
 	prepared   *optimizer.PreparedWorkload
 	compressed *wscale.Prepared
+
+	// binding is the workload's lazily-created worker-pool binding
+	// (nil without a pool, or after a failed bind — the bind is
+	// attempted once; jobs then cost locally).
+	bindOnce sync.Once
+	binding  *distrib.Binding
+}
+
+// bindWorkers returns the workload's worker-pool binding, binding on
+// first use. The binding is named session/workload so one pool serves
+// many sessions without name collisions. A failed bind is logged once
+// and never retried: jobs on this workload then run with local
+// costing, which is byte-identical anyway.
+func (s *Session) bindWorkers(ctx context.Context, name string, rw *registeredWorkload, log *slog.Logger) *distrib.Binding {
+	if s.pool == nil {
+		return nil
+	}
+	rw.bindOnce.Do(func() {
+		templates := 0
+		if rw.compressed != nil {
+			templates = len(rw.compressed.C.Templates)
+		}
+		b, err := s.pool.Bind(ctx, s.name+"/"+name, s.fp, rw.w, templates)
+		if err != nil {
+			if log != nil {
+				log.Warn("worker pool bind failed; jobs will cost locally",
+					"session", s.name, "workload", name, "err", err)
+			}
+			return
+		}
+		rw.binding = b
+	})
+	return rw.binding
 }
 
 // acquire takes the session's job slot, abandoning the wait when ctx
@@ -221,17 +259,85 @@ type Registry struct {
 	sessions map[string]*Session
 	building map[string]bool // names reserved while their DB builds
 	cacheMax int             // per-session cost cache bound (entries)
+	pool     *distrib.Pool   // shared what-if worker pool (nil = local costing)
+	snaps    snapshotCache
 }
 
 // NewRegistry creates an empty registry. cacheMax bounds each
-// session's cost cache (<= 0 means unbounded).
-func NewRegistry(cacheMax int) *Registry {
+// session's cost cache (<= 0 means unbounded); pool, when non-nil, is
+// the shared what-if worker pool sessions bind workloads against.
+func NewRegistry(cacheMax int, pool *distrib.Pool) *Registry {
 	return &Registry{
 		sessions: make(map[string]*Session),
 		building: make(map[string]bool),
 		cacheMax: cacheMax,
+		pool:     pool,
 	}
 }
+
+// snapshotCache dedupes session database construction: the first
+// session over a given spec builds (or loads) the database and freezes
+// it copy-on-write; every later session over the same spec gets a
+// cheap Fork of that one frozen snapshot — map headers are copied,
+// rows, statistics and index payloads are shared. Forks isolate index
+// DDL, so sessions cannot observe each other. File-backed specs key on
+// (path, size, mtime) so replacing the snapshot file invalidates the
+// cached build.
+type snapshotCache struct {
+	mu      sync.Mutex
+	entries map[string]*engine.Snapshot
+	reuses  atomic.Int64
+}
+
+func snapshotKey(name string, scale float64, seed int64) (string, error) {
+	if path, ok := strings.CutPrefix(name, "file:"); ok {
+		fi, err := os.Stat(path)
+		if err != nil {
+			return "", fmt.Errorf("stat snapshot %q: %w", path, err)
+		}
+		return fmt.Sprintf("file:%s|%d|%d", path, fi.Size(), fi.ModTime().UnixNano()), nil
+	}
+	return fmt.Sprintf("%s|%g|%d", name, scale, seed), nil
+}
+
+// fork returns a private copy-on-write database for one session,
+// building the underlying snapshot if this spec has not been seen.
+func (c *snapshotCache) fork(name string, scale float64, seed int64) (*engine.Database, error) {
+	key, err := snapshotKey(name, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.entries == nil {
+		c.entries = make(map[string]*engine.Snapshot)
+	}
+	snap := c.entries[key]
+	c.mu.Unlock()
+	if snap != nil {
+		c.reuses.Add(1)
+		return snap.Fork(), nil
+	}
+	db, err := datagen.BuildNamed(name, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	snap = db.Snapshot()
+	c.mu.Lock()
+	// A concurrent build of the same spec may have won; both snapshots
+	// are identical (deterministic build), keep the first.
+	if cur := c.entries[key]; cur != nil {
+		snap = cur
+		c.reuses.Add(1)
+	} else {
+		c.entries[key] = snap
+	}
+	c.mu.Unlock()
+	return snap.Fork(), nil
+}
+
+// SnapshotReuses counts sessions served from an already-built cached
+// snapshot instead of rebuilding their database.
+func (r *Registry) SnapshotReuses() int64 { return r.snaps.reuses.Load() }
 
 func validName(name string) bool {
 	if name == "" || len(name) > 64 {
@@ -268,7 +374,10 @@ func (r *Registry) Create(req CreateSessionRequest) (*Session, error) {
 	r.building[req.Name] = true
 	r.mu.Unlock()
 
-	db, err := buildSessionDB(req.DB, scale, req.Seed)
+	// Sessions over the same (db, scale, seed) share one frozen
+	// snapshot and differ only in their private index-DDL maps; the
+	// build cost (seconds at scale) is paid once per spec.
+	db, err := r.snaps.fork(req.DB, scale, req.Seed)
 
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -280,6 +389,8 @@ func (r *Registry) Create(req CreateSessionRequest) (*Session, error) {
 		name:      req.Name,
 		dbName:    req.DB,
 		db:        db,
+		fp:        db.Fingerprint(),
+		pool:      r.pool,
 		cache:     costcache.NewBounded(0, r.cacheMax),
 		tableMax:  r.cacheMax,
 		breaker:   &core.Breaker{},
@@ -289,30 +400,6 @@ func (r *Registry) Create(req CreateSessionRequest) (*Session, error) {
 	}
 	r.sessions[req.Name] = s
 	return s, nil
-}
-
-// buildSessionDB mirrors cmd/idxmerge's database construction so a
-// server session and a batch CLI run over the same (db, scale, seed)
-// operate on identical data and statistics.
-func buildSessionDB(name string, scale float64, seed int64) (*engine.Database, error) {
-	if strings.HasPrefix(name, "file:") {
-		return engine.LoadSnapshotFile(strings.TrimPrefix(name, "file:"))
-	}
-	switch name {
-	case "tpcd":
-		return datagen.BuildTPCD(datagen.ScaledTPCD(scale), seed)
-	case "synthetic1":
-		spec := datagen.Synthetic1Spec()
-		spec.RowsPer = int(float64(spec.RowsPer) * scale)
-		spec.Seed += seed
-		return datagen.BuildSynthetic(spec)
-	case "synthetic2":
-		spec := datagen.Synthetic2Spec()
-		spec.RowsPer = int(float64(spec.RowsPer) * scale)
-		spec.Seed += seed
-		return datagen.BuildSynthetic(spec)
-	}
-	return nil, fmt.Errorf("unknown database %q (want tpcd, synthetic1, synthetic2 or file:PATH)", name)
 }
 
 // Get looks up a session.
