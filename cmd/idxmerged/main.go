@@ -11,6 +11,8 @@
 //	idxmerged [-addr :7781] [-workers 2] [-queue 8] [-cache 1048576]
 //	          [-drain-timeout 30s] [-journal path] [-faults rules]
 //	          [-cost-workers http://host:7791,http://host:7792] [-pprof]
+//	          [-retune-period 0] [-window-max 32] [-decay 0.5]
+//	          [-min-weight 0.25] [-min-improvement 0.05] [-rollback-ratio 2]
 //
 // SIGINT/SIGTERM drain gracefully: the listener stops, queued and
 // running jobs get -drain-timeout to finish, then are canceled.
@@ -21,6 +23,13 @@
 // crash reappear as failed with an explicit recovery reason. -faults
 // installs deterministic fault-injection rules (see internal/faults)
 // for chaos testing.
+//
+// The -retune-period/-window-*/-min-*/-rollback-ratio flags set the
+// server-level defaults for continuous sessions (created with a
+// "continuous" block): streaming ingestion on
+// POST /v1/sessions/{name}/ingest, periodic background re-tuning, and
+// auto-apply/rollback of recommendations behind cost guardrails. A
+// session's own continuous spec overrides each default field by field.
 package main
 
 import (
@@ -51,6 +60,12 @@ func main() {
 	faultRules := flag.String("faults", "", "fault-injection rules, semicolon-separated (chaos testing)")
 	costWorkers := flag.String("cost-workers", "", "comma-separated what-if worker base URLs (idxmergew); merge jobs batch costings to the pool, falling back locally on failure")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	retunePeriod := flag.Duration("retune-period", 0, "continuous sessions: background re-tune period (0 = manual retune only)")
+	windowMax := flag.Int("window-max", 0, "continuous sessions: member reservoir bound per template (0 = built-in 32)")
+	decay := flag.Float64("decay", 0, "continuous sessions: per-cycle template weight decay factor (0 = built-in 0.5)")
+	minWeight := flag.Float64("min-weight", 0, "continuous sessions: drop templates decayed below this weight (0 = built-in 0.25)")
+	minImprovement := flag.Float64("min-improvement", 0, "continuous sessions: estimated improvement a recommendation must clear to auto-apply (0 = built-in 0.05)")
+	rollbackRatio := flag.Float64("rollback-ratio", 0, "continuous sessions: roll back when observed/estimated cost exceeds this ratio (0 = built-in 2.0)")
 	flag.Parse()
 
 	log := slog.New(slog.NewJSONHandler(os.Stderr, nil))
@@ -69,6 +84,14 @@ func main() {
 		CacheMaxEntries: *cacheMax,
 		Logger:          log,
 		JournalPath:     *journalPath,
+		Continuous: server.ContinuousSpec{
+			RetunePeriodMS: int(retunePeriod.Milliseconds()),
+			WindowMax:      *windowMax,
+			Decay:          *decay,
+			MinWeight:      *minWeight,
+			MinImprovement: *minImprovement,
+			RollbackRatio:  *rollbackRatio,
+		},
 	}
 	if *costWorkers != "" {
 		cfg.CostWorkers = strings.Split(*costWorkers, ",")

@@ -55,6 +55,11 @@ const (
 	// DistribRPC fires on every coordinator→worker cost-batch RPC
 	// (internal/distrib), before the request leaves the pool.
 	DistribRPC Point = "distrib.rpc"
+	// ContinuousObserve fires when the continuous advisor measures an
+	// ingested batch's observed cost against the applied estimate.
+	// Scale rules here inflate the observation — the deterministic way
+	// to force a guardrail rollback in chaos tests and CI.
+	ContinuousObserve Point = "continuous.observe"
 )
 
 // Mode selects what a rule does when it fires.
@@ -67,6 +72,10 @@ const (
 	ModeLatency
 	// ModePanic panics with a *Error.
 	ModePanic
+	// ModeScale multiplies a site-reported measurement by Rule.Scale.
+	// Scale rules apply only at sites that consult Factor; Inject and
+	// Hit skip them entirely (they neither fire nor consume windows).
+	ModeScale
 )
 
 func (m Mode) String() string {
@@ -77,6 +86,8 @@ func (m Mode) String() string {
 		return "latency"
 	case ModePanic:
 		return "panic"
+	case ModeScale:
+		return "scale"
 	}
 	return fmt.Sprintf("mode(%d)", int(m))
 }
@@ -104,6 +115,9 @@ type Rule struct {
 	Seed int64
 	// Latency is the added delay for ModeLatency.
 	Latency time.Duration
+	// Scale is the measurement multiplier for ModeScale (values <= 0
+	// are treated as 1, i.e. inert).
+	Scale float64
 	// Transient marks injected errors as retryable; the resilient
 	// costing path retries transient faults and treats the rest as
 	// permanent. Defaults to false (permanent).
@@ -249,6 +263,31 @@ func Hit(p Point) {
 	_ = apply(p, false)
 }
 
+// Factor is the injection hook for sites that report a measurement
+// (observed costs, latencies): matching scale rules fire and their
+// factors multiply. Returns 1 when nothing fires. Non-scale rules are
+// ignored — they neither fire nor consume their windows here.
+func Factor(p Point) float64 {
+	if !armed.Load() {
+		return 1
+	}
+	mu.RLock()
+	matched := make([]*ruleState, 0, len(rules))
+	for _, r := range rules {
+		if r.Mode == ModeScale && (r.Point == "" || r.Point == p) {
+			matched = append(matched, r)
+		}
+	}
+	mu.RUnlock()
+	f := 1.0
+	for _, r := range matched {
+		if r.Scale > 0 && r.fire() {
+			f *= r.Scale
+		}
+	}
+	return f
+}
+
 func apply(p Point, errCapable bool) error {
 	mu.RLock()
 	matched := make([]*ruleState, 0, len(rules))
@@ -261,6 +300,9 @@ func apply(p Point, errCapable bool) error {
 
 	var injected error
 	for _, r := range matched {
+		if r.Mode == ModeScale {
+			continue // only Factor consults scale rules
+		}
 		if r.Mode == ModeError && !errCapable {
 			continue
 		}
@@ -291,8 +333,9 @@ func apply(p Point, errCapable bool) error {
 //	point=storage.heap.get,mode=latency,latency=5ms
 //	mode=panic,prob=0.01,seed=7
 //
-// Recognized keys: id, point, mode (error|latency|panic), after,
-// count, prob, seed, latency (Go duration), transient, msg.
+// Recognized keys: id, point, mode (error|latency|panic|scale), after,
+// count, prob, seed, latency (Go duration), scale (multiplier),
+// transient, msg.
 func ParseRules(spec string) ([]Rule, error) {
 	var out []Rule
 	for _, rs := range strings.Split(spec, ";") {
@@ -321,8 +364,10 @@ func ParseRules(spec string) ([]Rule, error) {
 					r.Mode = ModeLatency
 				case "panic":
 					r.Mode = ModePanic
+				case "scale":
+					r.Mode = ModeScale
 				default:
-					return nil, fmt.Errorf("faults: unknown mode %q (want error, latency or panic)", val)
+					return nil, fmt.Errorf("faults: unknown mode %q (want error, latency, panic or scale)", val)
 				}
 			case "after":
 				r.After, err = strconv.ParseInt(val, 10, 64)
@@ -334,6 +379,8 @@ func ParseRules(spec string) ([]Rule, error) {
 				r.Seed, err = strconv.ParseInt(val, 10, 64)
 			case "latency":
 				r.Latency, err = time.ParseDuration(val)
+			case "scale":
+				r.Scale, err = strconv.ParseFloat(val, 64)
 			case "transient":
 				if !hasVal {
 					r.Transient = true

@@ -154,3 +154,73 @@ func TestParseRules(t *testing.T) {
 		}
 	}
 }
+
+// TestScaleMode: Factor multiplies the firing scale rules' factors,
+// respects count windows, and defaults to 1; Inject ignores scale
+// rules entirely — they neither fire nor consume their windows there.
+func TestScaleMode(t *testing.T) {
+	defer Reset()
+	if got := Factor(ContinuousObserve); got != 1 {
+		t.Fatalf("Factor with no rules = %v, want 1", got)
+	}
+	rs := Install(
+		Rule{ID: "s2", Point: ContinuousObserve, Mode: ModeScale, Scale: 2, Count: 2},
+		Rule{ID: "s3", Point: ContinuousObserve, Mode: ModeScale, Scale: 3, Count: 1},
+		Rule{ID: "other", Point: OptimizerCost, Mode: ModeScale, Scale: 100},
+	)
+
+	// Error-capable injection at the same point must not consume the
+	// scale windows (and must not inject anything).
+	for i := 0; i < 5; i++ {
+		if err := Inject(ContinuousObserve); err != nil {
+			t.Fatalf("Inject fired a scale rule: %v", err)
+		}
+	}
+	for _, id := range []string{"s2", "s3"} {
+		if n := Fired(id); n != 0 {
+			t.Fatalf("Inject consumed scale rule %s's window (%d fires)", id, n)
+		}
+	}
+
+	// Call 1: both in-window rules fire and multiply; the other-point
+	// rule never matches.
+	if got := Factor(ContinuousObserve); got != 6 {
+		t.Fatalf("Factor call 1 = %v, want 2*3 = 6", got)
+	}
+	// Call 2: s3's window (count 1) is spent.
+	if got := Factor(ContinuousObserve); got != 2 {
+		t.Fatalf("Factor call 2 = %v, want 2", got)
+	}
+	// Call 3: both spent.
+	if got := Factor(ContinuousObserve); got != 1 {
+		t.Fatalf("Factor call 3 = %v, want 1", got)
+	}
+	if Fired("s2") != 2 || Fired("s3") != 1 {
+		t.Fatalf("fired counts = %d/%d, want 2/1", Fired("s2"), Fired("s3"))
+	}
+	if rs[2].ID != "other" || Fired("other") != 0 {
+		t.Fatalf("other-point scale rule fired %d times at the wrong point", Fired("other"))
+	}
+
+	// A zero/negative scale is inert rather than zeroing measurements.
+	Reset()
+	Install(Rule{Point: ContinuousObserve, Mode: ModeScale, Scale: 0})
+	if got := Factor(ContinuousObserve); got != 1 {
+		t.Fatalf("Factor with inert scale = %v, want 1", got)
+	}
+}
+
+// TestParseRulesScale: the flag syntax round-trips scale rules.
+func TestParseRulesScale(t *testing.T) {
+	rs, err := ParseRules("point=continuous.observe,mode=scale,scale=25,count=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rs[0]
+	if r.Point != ContinuousObserve || r.Mode != ModeScale || r.Scale != 25 || r.Count != 1 {
+		t.Fatalf("scale rule parsed wrong: %+v", r)
+	}
+	if _, err := ParseRules("mode=scale,scale=zzz"); err == nil {
+		t.Error("bad scale value accepted")
+	}
+}

@@ -179,6 +179,99 @@ type CreateSessionRequest struct {
 	DB    string  `json:"db"`
 	Scale float64 `json:"scale,omitempty"` // default 1.0
 	Seed  int64   `json:"seed,omitempty"`
+	// Continuous opts the session into continuous advising: streaming
+	// ingestion, workload aging and auto-apply/rollback. Zero fields
+	// inherit the server's flag-level defaults.
+	Continuous *ContinuousSpec `json:"continuous,omitempty"`
+}
+
+// ContinuousSpec tunes a continuous session's control loop. Zero
+// fields fall back to the server defaults, then to the documented
+// built-ins.
+type ContinuousSpec struct {
+	// RetunePeriodMS runs the background re-tuner this often; 0 means
+	// manual cycles only (POST /v1/sessions/{name}/retune).
+	RetunePeriodMS int `json:"retune_period_ms,omitempty"`
+	// WindowMax bounds each template's member reservoir (default 32).
+	WindowMax int `json:"window_max,omitempty"`
+	// Decay multiplies template weights each aging round (default 0.5).
+	Decay float64 `json:"decay,omitempty"`
+	// MinWeight drops templates whose decayed weight falls below it
+	// (default 0.25).
+	MinWeight float64 `json:"min_weight,omitempty"`
+	// MinImprovement is the auto-apply guardrail: the estimated
+	// fractional improvement over the session's current configuration a
+	// recommendation must clear (default 0.05).
+	MinImprovement float64 `json:"min_improvement,omitempty"`
+	// RollbackRatio rolls the applied configuration back when a batch's
+	// observed/estimated per-weight cost ratio exceeds it (default 2.0).
+	RollbackRatio float64 `json:"rollback_ratio,omitempty"`
+	// Constraint is the re-tuner's merge cost slack (default 0.10).
+	Constraint float64 `json:"constraint,omitempty"`
+	// Seed seeds the window's reservoir sampler (deterministic replay).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// IngestRequest streams one batch of statements into a continuous
+// session's workload window: inline SQL (one query per line, optional
+// "freq|" prefix) or a generation spec.
+type IngestRequest struct {
+	SQL      string        `json:"sql,omitempty"`
+	Generate *GenerateSpec `json:"generate,omitempty"`
+}
+
+// IngestResponse acknowledges a folded batch and reports the window
+// plus the observed-cost feedback the batch contributed.
+type IngestResponse struct {
+	Batch           int64   `json:"batch"`
+	Statements      int     `json:"statements"`
+	WindowTemplates int     `json:"window_templates"`
+	WindowWeight    float64 `json:"window_weight"`
+	Generation      int64   `json:"generation"`
+	// ObservedRatio is this batch's observed/estimated per-weight cost
+	// under the applied configuration (0 when nothing is applied).
+	ObservedRatio float64 `json:"observed_ratio,omitempty"`
+	// RolledBack reports that this batch's ratio breached the guardrail
+	// and the applied configuration was rolled back.
+	RolledBack bool `json:"rolled_back,omitempty"`
+}
+
+// ContinuousInfo is the continuous loop's pollable state, embedded in
+// SessionInfo.
+type ContinuousInfo struct {
+	WindowTemplates int     `json:"window_templates"`
+	WindowMembers   int     `json:"window_members"`
+	WindowWeight    float64 `json:"window_weight"`
+	Generation      int64   `json:"generation"`
+	Batches         int64   `json:"batches"`
+	Statements      int64   `json:"statements"`
+	Applies         int64   `json:"applies"`
+	Rollbacks       int64   `json:"rollbacks"`
+	Retunes         int64   `json:"retunes"`
+	RetuneSkips     int64   `json:"retune_skips"`
+	// Applied is the auto-applied configuration (empty when none), and
+	// AppliedEst its estimated per-weight cost at apply time.
+	Applied           []IndexDefPayload `json:"applied,omitempty"`
+	AppliedEst        float64           `json:"applied_est,omitempty"`
+	LastObservedRatio float64           `json:"last_observed_ratio,omitempty"`
+}
+
+// RetuneResultPayload is a retune job's terminal payload: what the
+// cycle decided and the window it decided over.
+type RetuneResultPayload struct {
+	// Skipped means the cycle ran no search: the window was empty or
+	// its template fingerprint set was unchanged since the last search.
+	Skipped bool `json:"skipped,omitempty"`
+	// Applied means the recommendation cleared the improvement
+	// guardrail and is now the session's applied configuration.
+	Applied     bool              `json:"applied,omitempty"`
+	Improvement float64           `json:"improvement,omitempty"`
+	EstCost     float64           `json:"est_cost,omitempty"`     // window cost under the recommendation
+	CurrentCost float64           `json:"current_cost,omitempty"` // window cost under the pre-cycle configuration
+	Indexes     []IndexDefPayload `json:"indexes,omitempty"`
+	WindowTemplates int   `json:"window_templates,omitempty"`
+	Generation      int64 `json:"generation,omitempty"`
+	Dropped         int   `json:"dropped,omitempty"` // templates aged out this cycle
 }
 
 // SessionInfo describes a session.
@@ -195,6 +288,9 @@ type SessionInfo struct {
 	PreparedQueries int       `json:"prepared_queries"`
 	PreparedReuse   int64     `json:"prepared_reuse"`
 	CreatedAt       time.Time `json:"created_at"`
+	// Continuous reports the control-loop state of a continuous
+	// session (nil for request/response sessions).
+	Continuous *ContinuousInfo `json:"continuous,omitempty"`
 }
 
 // RegisterWorkloadRequest registers a named workload with a session:
@@ -204,6 +300,11 @@ type RegisterWorkloadRequest struct {
 	Name     string        `json:"name"`
 	SQL      string        `json:"sql,omitempty"`
 	Generate *GenerateSpec `json:"generate,omitempty"`
+	// Replace rebinds an existing name to these queries. The workload
+	// is re-prepared and re-compressed from scratch and every cost
+	// derived from the old queries is invalidated atomically with the
+	// swap; without it a duplicate name is a 409.
+	Replace bool `json:"replace,omitempty"`
 }
 
 // GenerateSpec generates a stochastic workload (RAGS-style).
@@ -326,14 +427,18 @@ type JobStatus struct {
 	Templates     int     `json:"templates,omitempty"`
 	DedupRatio    float64 `json:"dedup_ratio,omitempty"`
 	CostTableHits int64   `json:"cost_table_hits,omitempty"`
+	// Applied mirrors a retune job's auto-apply outcome so pollers see
+	// it without fetching the result payload.
+	Applied bool `json:"applied,omitempty"`
 }
 
 // JobResult is a terminal job's payload.
 type JobResult struct {
-	ID    string              `json:"id"`
-	State string              `json:"state"`
-	Merge *MergeResultPayload `json:"merge,omitempty"`
-	Tune  *TuneResultPayload  `json:"tune,omitempty"`
+	ID     string               `json:"id"`
+	State  string               `json:"state"`
+	Merge  *MergeResultPayload  `json:"merge,omitempty"`
+	Tune   *TuneResultPayload   `json:"tune,omitempty"`
+	Retune *RetuneResultPayload `json:"retune,omitempty"`
 }
 
 // SubmitJobResponse acknowledges an accepted job.

@@ -72,6 +72,7 @@ type Job struct {
 	templates     int
 	dedupRatio    float64
 	costTableHits int64
+	applied       bool // retune result auto-applied its recommendation
 	recovered  bool // restored from the journal, not run by this process
 	createdAt  time.Time
 	startedAt  *time.Time
@@ -115,6 +116,7 @@ func (j *Job) Status() JobStatus {
 		Templates:     j.templates,
 		DedupRatio:    j.dedupRatio,
 		CostTableHits: j.costTableHits,
+		Applied:       j.applied,
 	}
 }
 
@@ -427,6 +429,11 @@ func (m *Manager) runJob(j *Job) {
 			if mp.Degraded {
 				m.metrics.degradedJobs.Add(1)
 			}
+		}
+		if rp := result.Retune; rp != nil {
+			j.mu.Lock()
+			j.applied = rp.Applied
+			j.mu.Unlock()
 		}
 		j.finish(JobDone, "", result)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):

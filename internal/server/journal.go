@@ -24,17 +24,39 @@ const (
 	evWorkload       = "workload"
 	evJob            = "job"
 	evJobEnd         = "job_end"
+	// Continuous-mode events (journal version 2).
+	evIngest   = "ingest"
+	evAge      = "age"
+	evApply    = "apply"
+	evRollback = "rollback"
 )
 
+// journalVersion is the schema version stamped on every appended
+// record. Version history:
+//
+//	0 (absent) — the original session/workload/job events; still read.
+//	2 — adds the continuous-mode events (ingest/age/apply/rollback)
+//	    and the explicit version field itself.
+//
+// Replay accepts records at or below this version and refuses newer
+// ones loudly — a journal written by a future binary is not something
+// to guess at.
+const journalVersion = 2
+
 // journalEvent is one journal line. Exactly the fields for its type
-// are set; unknown fields from future versions are ignored on replay.
+// are set; unknown fields within a known version are ignored on
+// replay, but an unknown event TYPE fails recovery loudly (see
+// recoverFromJournal) — silently dropping state transitions would
+// replay a different history than the one acknowledged.
 type journalEvent struct {
 	T  string    `json:"t"`
+	V  int       `json:"v,omitempty"` // schema version (0 = pre-versioned)
 	At time.Time `json:"at"`
 
 	// evSession: the full creation request (deterministic rebuild).
 	Session *CreateSessionRequest `json:"session,omitempty"`
-	// evSessionDeleted / evWorkload / evJob: owning session name.
+	// evSessionDeleted / evWorkload / evJob / continuous events: owning
+	// session name.
 	SessionName string `json:"session_name,omitempty"`
 	// evWorkload: the full registration request.
 	Workload *RegisterWorkloadRequest `json:"workload,omitempty"`
@@ -46,6 +68,23 @@ type journalEvent struct {
 	// evJobEnd.
 	State string `json:"state,omitempty"`
 	Error string `json:"error,omitempty"`
+
+	// evIngest: the batch's full request — replay re-parses and re-folds
+	// it, and the seeded reservoir reproduces the exact window.
+	Ingest *IngestRequest `json:"ingest,omitempty"`
+	// evIngest: the batch sequence number (replay sanity check).
+	Batch int64 `json:"batch,omitempty"`
+	// evAge: the decay generation after aging.
+	Generation int64 `json:"generation,omitempty"`
+	// evApply / evRollback: the configuration now applied (empty on a
+	// rollback to no indexes) and its estimated per-weight cost.
+	Indexes []IndexDefPayload `json:"indexes,omitempty"`
+	Est     float64           `json:"est,omitempty"`
+	// evApply: the window weight the estimate was computed over.
+	Weight float64 `json:"weight,omitempty"`
+	// evRollback: the observed/estimated ratio that tripped the
+	// guardrail.
+	Ratio float64 `json:"ratio,omitempty"`
 }
 
 // Journal is the durable session/job log. Appends are serialized and
@@ -77,6 +116,7 @@ func (j *Journal) Append(ev journalEvent) error {
 	if ev.At.IsZero() {
 		ev.At = time.Now().UTC()
 	}
+	ev.V = journalVersion
 	line, err := json.Marshal(ev)
 	if err != nil {
 		return err
@@ -141,6 +181,10 @@ func ReadJournal(path string) ([]journalEvent, error) {
 		}
 		if badLine != 0 {
 			return nil, fmt.Errorf("journal %s: malformed line %d followed by valid events", path, badLine)
+		}
+		if ev.V > journalVersion {
+			return nil, fmt.Errorf("journal %s: line %d has version %d, newer than this binary's %d",
+				path, line, ev.V, journalVersion)
 		}
 		events = append(events, ev)
 	}

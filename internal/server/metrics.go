@@ -83,6 +83,15 @@ type Metrics struct {
 	remoteItems     atomic.Int64
 	remoteFallbacks atomic.Int64
 
+	// Continuous-mode counters: ingested batches/statements and the
+	// control loop's applies, rollbacks and re-tune cycles.
+	ingestBatches    atomic.Int64
+	ingestStatements atomic.Int64
+	contApplies      atomic.Int64
+	contRollbacks    atomic.Int64
+	contRetunes      atomic.Int64
+	contRetuneSkips  atomic.Int64
+
 	// Robustness counters (fault-injection, degraded mode, recovery).
 	costingRetries       atomic.Int64 // transient costing failures retried
 	costingDegraded      atomic.Int64 // constraint decisions served by the external model
@@ -156,6 +165,17 @@ type SessionGauges struct {
 	// Breaker snapshots the session's costing circuit breaker.
 	BreakerState       string
 	BreakerTransitions int64
+	// Continuous-loop gauges (zero for request/response sessions;
+	// Continuous gates the per-session series).
+	Continuous       bool
+	WindowTemplates  int
+	WindowMembers    int
+	WindowWeight     float64
+	WindowGeneration int64
+	AppliedIndexes   int
+	ObservedRatio    float64
+	ContApplies      int64
+	ContRollbacks    int64
 }
 
 // JobGauges is a point-in-time snapshot of non-terminal job states.
@@ -179,7 +199,7 @@ type PoolGauges struct {
 // Write emits every series. Gauges are gathered by the caller at
 // scrape time (sessions, the job manager and the worker pool own that
 // state).
-func (m *Metrics) Write(w io.Writer, jg JobGauges, sessions []SessionGauges, pool *PoolGauges, snapshotReuses int64) {
+func (m *Metrics) Write(w io.Writer, jg JobGauges, sessions []SessionGauges, pool *PoolGauges, snapshotReuses int64, residentSnapshots int) {
 	fmt.Fprintln(w, "# TYPE idxmerged_http_requests_total counter")
 	m.mu.Lock()
 	reqKeys := make([]string, 0, len(m.requests))
@@ -256,6 +276,14 @@ func (m *Metrics) Write(w io.Writer, jg JobGauges, sessions []SessionGauges, poo
 	fmt.Fprintln(w, "# TYPE idxmerged_costtable_misses_total counter")
 	fmt.Fprintln(w, "# TYPE idxmerged_breaker_state gauge")
 	fmt.Fprintln(w, "# TYPE idxmerged_breaker_transitions_total counter")
+	fmt.Fprintln(w, "# TYPE idxmerged_window_templates gauge")
+	fmt.Fprintln(w, "# TYPE idxmerged_window_members gauge")
+	fmt.Fprintln(w, "# TYPE idxmerged_window_weight gauge")
+	fmt.Fprintln(w, "# TYPE idxmerged_window_generation gauge")
+	fmt.Fprintln(w, "# TYPE idxmerged_applied_indexes gauge")
+	fmt.Fprintln(w, "# TYPE idxmerged_observed_ratio gauge")
+	fmt.Fprintln(w, "# TYPE idxmerged_session_applies_total counter")
+	fmt.Fprintln(w, "# TYPE idxmerged_session_rollbacks_total counter")
 	for _, s := range sessions {
 		fmt.Fprintf(w, "idxmerged_costcache_entries{session=%q} %d\n", s.Name, s.CacheEntries)
 		fmt.Fprintf(w, "idxmerged_costcache_hits_total{session=%q} %d\n", s.Name, s.CacheHits)
@@ -268,10 +296,35 @@ func (m *Metrics) Write(w io.Writer, jg JobGauges, sessions []SessionGauges, poo
 		fmt.Fprintf(w, "idxmerged_costtable_misses_total{session=%q} %d\n", s.Name, s.CostTableMisses)
 		fmt.Fprintf(w, "idxmerged_breaker_state{session=%q,state=%q} 1\n", s.Name, s.BreakerState)
 		fmt.Fprintf(w, "idxmerged_breaker_transitions_total{session=%q} %d\n", s.Name, s.BreakerTransitions)
+		if s.Continuous {
+			fmt.Fprintf(w, "idxmerged_window_templates{session=%q} %d\n", s.Name, s.WindowTemplates)
+			fmt.Fprintf(w, "idxmerged_window_members{session=%q} %d\n", s.Name, s.WindowMembers)
+			fmt.Fprintf(w, "idxmerged_window_weight{session=%q} %g\n", s.Name, s.WindowWeight)
+			fmt.Fprintf(w, "idxmerged_window_generation{session=%q} %d\n", s.Name, s.WindowGeneration)
+			fmt.Fprintf(w, "idxmerged_applied_indexes{session=%q} %d\n", s.Name, s.AppliedIndexes)
+			fmt.Fprintf(w, "idxmerged_observed_ratio{session=%q} %g\n", s.Name, s.ObservedRatio)
+			fmt.Fprintf(w, "idxmerged_session_applies_total{session=%q} %d\n", s.Name, s.ContApplies)
+			fmt.Fprintf(w, "idxmerged_session_rollbacks_total{session=%q} %d\n", s.Name, s.ContRollbacks)
+		}
 	}
 
 	fmt.Fprintln(w, "# TYPE idxmerged_snapshot_reuses_total counter")
 	fmt.Fprintf(w, "idxmerged_snapshot_reuses_total %d\n", snapshotReuses)
+	fmt.Fprintln(w, "# TYPE idxmerged_snapshots_resident gauge")
+	fmt.Fprintf(w, "idxmerged_snapshots_resident %d\n", residentSnapshots)
+
+	fmt.Fprintln(w, "# TYPE idxmerged_ingest_batches_total counter")
+	fmt.Fprintf(w, "idxmerged_ingest_batches_total %d\n", m.ingestBatches.Load())
+	fmt.Fprintln(w, "# TYPE idxmerged_ingest_statements_total counter")
+	fmt.Fprintf(w, "idxmerged_ingest_statements_total %d\n", m.ingestStatements.Load())
+	fmt.Fprintln(w, "# TYPE idxmerged_applies_total counter")
+	fmt.Fprintf(w, "idxmerged_applies_total %d\n", m.contApplies.Load())
+	fmt.Fprintln(w, "# TYPE idxmerged_rollbacks_total counter")
+	fmt.Fprintf(w, "idxmerged_rollbacks_total %d\n", m.contRollbacks.Load())
+	fmt.Fprintln(w, "# TYPE idxmerged_retunes_total counter")
+	fmt.Fprintf(w, "idxmerged_retunes_total %d\n", m.contRetunes.Load())
+	fmt.Fprintln(w, "# TYPE idxmerged_retune_skips_total counter")
+	fmt.Fprintf(w, "idxmerged_retune_skips_total %d\n", m.contRetuneSkips.Load())
 
 	fmt.Fprintln(w, "# TYPE idxmerged_remote_batches_total counter")
 	fmt.Fprintf(w, "idxmerged_remote_batches_total %d\n", m.remoteBatches.Load())

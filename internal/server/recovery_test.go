@@ -110,6 +110,155 @@ func TestJournalAppendAfterCloseLatches(t *testing.T) {
 	}
 }
 
+// ---- journal versioning --------------------------------------------
+
+// TestJournalMixedVersionReplay: a journal holding pre-versioning
+// (v absent = 0) records followed by current v2 records replays both —
+// old journals keep working after the schema grew.
+func TestJournalMixedVersionReplay(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "state.jsonl")
+	// Two version-0 lines, written by a binary that predates the
+	// version field.
+	v0 := func(v any) string {
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	content := v0(map[string]any{
+		"t": evSession, "session": map[string]any{"name": "old", "db": fixtureDB(t)},
+	}) + "\n" + v0(map[string]any{
+		"t": evWorkload, "session_name": "old",
+		"workload": map[string]any{"name": "w", "sql": fixtureSQL},
+	}) + "\n"
+	if err := os.WriteFile(journal, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Current-version continuous records appended after the old ones.
+	j, err := OpenJournal(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range []journalEvent{
+		{T: evSession, Session: &CreateSessionRequest{Name: "live", DB: fixtureDB(t),
+			Continuous: &ContinuousSpec{Seed: 1}}},
+		{T: evIngest, SessionName: "live", Ingest: &IngestRequest{SQL: fixtureSQL}, Batch: 1},
+	} {
+		if err := j.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	h := newTestServer(t, Config{JournalPath: journal})
+	var wls []WorkloadInfo
+	h.mustCall(t, "GET", "/v1/sessions/old/workloads", nil, &wls, http.StatusOK)
+	if len(wls) != 1 || wls[0].Name != "w" {
+		t.Fatalf("v0 session's workloads = %+v, want [w]", wls)
+	}
+	if ci := h.continuousInfo(t, "live"); ci.WindowWeight != 5 {
+		t.Fatalf("v2 ingest not replayed: %+v", ci)
+	}
+}
+
+// TestJournalFutureVersionRejected: a record stamped by a newer binary
+// fails replay loudly instead of being half-understood.
+func TestJournalFutureVersionRejected(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "state.jsonl")
+	line := `{"t":"session","v":99,"session":{"name":"s","db":"tpcd"}}` + "\n"
+	if err := os.WriteFile(journal, []byte(line), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := New(Config{JournalPath: journal})
+	if err == nil || !strings.Contains(err.Error(), "newer than this binary") {
+		t.Fatalf("future-version journal: err = %v, want a version refusal", err)
+	}
+}
+
+// TestRecoveryUnknownEventFailsLoudly: an event type this binary does
+// not know is a state transition it cannot reconstruct; startup must
+// refuse, not silently replay a partial history.
+func TestRecoveryUnknownEventFailsLoudly(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "state.jsonl")
+	valid, _ := json.Marshal(journalEvent{T: evSession, At: time.Now(),
+		Session: &CreateSessionRequest{Name: "s", DB: fixtureDB(t)}})
+	content := string(valid) + "\n" + `{"t":"frobnicate","v":2,"session_name":"s"}` + "\n"
+	if err := os.WriteFile(journal, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := New(Config{JournalPath: journal})
+	if err == nil || !strings.Contains(err.Error(), `unknown event type "frobnicate"`) {
+		t.Fatalf("unknown-event journal: err = %v, want a loud refusal", err)
+	}
+}
+
+// TestRecoveryApplyCrashOrderings hand-crafts the two journals a
+// SIGKILL between an apply decision and its fsync can leave behind.
+// If the apply record made it to disk, replay restores exactly that
+// configuration; if not, the server comes back without it and the
+// next cycle re-derives an apply — both orderings converge to an
+// applied configuration instead of wedging.
+func TestRecoveryApplyCrashOrderings(t *testing.T) {
+	applied := []IndexDefPayload{
+		{Table: "fact", Columns: []string{"d", "m1", "m2"}},
+		{Table: "fact", Columns: []string{"k", "m3"}},
+	}
+	base := []journalEvent{
+		{T: evSession, Session: &CreateSessionRequest{Name: "live", DB: fixtureDB(t),
+			Continuous: &ContinuousSpec{Seed: 5}}},
+		{T: evIngest, SessionName: "live", Ingest: &IngestRequest{SQL: fixtureSQL}, Batch: 1},
+		{T: evAge, SessionName: "live", Generation: 1},
+	}
+	applyEv := journalEvent{T: evApply, SessionName: "live", Indexes: applied, Est: 3.5, Weight: 2.5}
+
+	write := func(events []journalEvent) string {
+		path := filepath.Join(t.TempDir(), "state.jsonl")
+		j, err := OpenJournal(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range events {
+			if err := j.Append(ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+		j.Close()
+		return path
+	}
+
+	// Ordering A: the apply record was fsynced before the kill.
+	h := newTestServer(t, Config{JournalPath: write(append(append([]journalEvent{}, base...), applyEv))})
+	ci := h.continuousInfo(t, "live")
+	if ci.Applies != 1 || ci.AppliedEst != 3.5 || len(ci.Applied) != len(applied) {
+		t.Fatalf("replayed apply = %+v, want the journaled configuration", ci)
+	}
+	for i := range applied {
+		if ci.Applied[i].Table != applied[i].Table ||
+			strings.Join(ci.Applied[i].Columns, ",") != strings.Join(applied[i].Columns, ",") {
+			t.Fatalf("replayed applied[%d] = %+v, want %+v", i, ci.Applied[i], applied[i])
+		}
+	}
+	// The replayed skip hash matches the replayed window: an unchanged
+	// window does not re-search.
+	if _, res := h.retune(t, "live"); !res.Skipped {
+		t.Fatalf("retune after exact replay = %+v, want skipped", res)
+	}
+
+	// Ordering B: killed before the apply record hit disk. The server
+	// comes back pre-apply, and the next cycle re-derives and applies.
+	h2 := newTestServer(t, Config{JournalPath: write(base)})
+	if ci := h2.continuousInfo(t, "live"); ci.Applies != 0 || len(ci.Applied) != 0 {
+		t.Fatalf("lost-apply replay = %+v, want no applied configuration", ci)
+	}
+	if _, res := h2.retune(t, "live"); !res.Applied {
+		t.Fatalf("retune after lost apply = %+v, want a fresh apply", res)
+	}
+	if ci := h2.continuousInfo(t, "live"); ci.Applies != 1 || len(ci.Applied) == 0 {
+		t.Fatalf("post-recovery info = %+v, want one applied configuration", ci)
+	}
+}
+
 // ---- restart recovery ----------------------------------------------
 
 // TestRestartRecovery is the full crash/restart cycle: a journaled

@@ -47,6 +47,10 @@ type Config struct {
 	// the pool; results are byte-identical at any worker count and any
 	// worker failure falls back to local costing.
 	CostWorkers []string
+	// Continuous holds the server-level defaults for continuous
+	// sessions (flag-configurable); a session's own spec overrides them
+	// field by field.
+	Continuous ContinuousSpec
 }
 
 // Server is the idxmerged HTTP API: sessions, workloads, synchronous
@@ -83,7 +87,7 @@ func New(cfg Config) (*Server, error) {
 		pool = distrib.NewPool(cfg.CostWorkers, distrib.Options{})
 	}
 	s := &Server{
-		reg:     NewRegistry(cfg.CacheMaxEntries, pool),
+		reg:     NewRegistry(cfg.CacheMaxEntries, pool, cfg.Continuous),
 		metrics: NewMetrics(),
 		log:     cfg.Logger,
 		mux:     http.NewServeMux(),
@@ -114,6 +118,8 @@ func New(cfg Config) (*Server, error) {
 	s.handle("POST /v1/sessions/{name}/workloads", s.handleRegisterWorkload)
 	s.handle("GET /v1/sessions/{name}/workloads", s.handleListWorkloads)
 	s.handle("POST /v1/sessions/{name}/cost", s.handleCost)
+	s.handle("POST /v1/sessions/{name}/ingest", s.handleIngest)
+	s.handle("POST /v1/sessions/{name}/retune", s.handleRetune)
 	s.handle("POST /v1/sessions/{name}/jobs", s.handleSubmitJob)
 	s.handle("GET /v1/jobs", s.handleListJobs)
 	s.handle("GET /v1/jobs/{id}", s.handleGetJob)
@@ -156,6 +162,18 @@ func (s *Server) recoverFromJournal(path string) error {
 	jobs := make(map[string]*jobRec)
 	var jobOrder []string
 	var sessions, workloads int
+	// contSession resolves the continuous session an event targets;
+	// missing sessions (creation failed on replay) are logged and
+	// skipped, matching workload replay.
+	contSession := func(ev journalEvent) *Session {
+		sess, ok := s.reg.Get(ev.SessionName)
+		if !ok || sess.cont == nil {
+			s.log.Error("journal replay: continuous event for missing session",
+				"event", ev.T, "session", ev.SessionName)
+			return nil
+		}
+		return sess
+	}
 	for _, ev := range events {
 		switch ev.T {
 		case evSession:
@@ -180,13 +198,13 @@ func (s *Server) recoverFromJournal(path string) error {
 			if !ok {
 				continue
 			}
-			wl, err := buildWorkload(sess, *ev.Workload)
+			wl, err := buildWorkload(sess, ev.Workload.SQL, ev.Workload.Generate)
 			if err != nil {
 				s.log.Error("journal replay: rebuild workload failed",
 					"session", ev.SessionName, "workload", ev.Workload.Name, "err", err)
 				continue
 			}
-			if err := sess.RegisterWorkload(ev.Workload.Name, wl); err != nil {
+			if err := sess.RegisterWorkload(ev.Workload.Name, wl, ev.Workload.Replace); err != nil {
 				if !errors.Is(err, ErrWorkloadExists) {
 					s.log.Error("journal replay: register workload failed",
 						"session", ev.SessionName, "workload", ev.Workload.Name, "err", err)
@@ -207,6 +225,75 @@ func (s *Server) recoverFromJournal(path string) error {
 				end := ev
 				r.end = &end
 			}
+		case evIngest:
+			sess := contSession(ev)
+			if sess == nil || ev.Ingest == nil {
+				continue
+			}
+			// Re-parse and re-fold: the window's seeded reservoir makes
+			// this reproduce the exact pre-crash member sets. The
+			// observed-cost guardrail is NOT re-run — its outcomes are
+			// separate journal events.
+			items, err := prepareIngest(sess, *ev.Ingest)
+			if err != nil {
+				s.log.Error("journal replay: rebuild ingest batch failed",
+					"session", ev.SessionName, "batch", ev.Batch, "err", err)
+				continue
+			}
+			sess.cont.window.Ingest(items)
+		case evAge:
+			if sess := contSession(ev); sess != nil {
+				sess.cont.window.Age()
+			}
+		case evApply:
+			sess := contSession(ev)
+			if sess == nil {
+				continue
+			}
+			defs, err := resolveDefs(sess, ev.Indexes)
+			if err != nil {
+				s.log.Error("journal replay: resolve applied indexes failed",
+					"session", ev.SessionName, "err", err)
+				continue
+			}
+			c := sess.cont
+			h := c.window.FingerprintHash()
+			c.mu.Lock()
+			c.prevApplied = c.applied
+			c.applied = &appliedConfig{defs: defs, est: ev.Est, at: ev.At}
+			c.lastFPHash = h
+			c.mu.Unlock()
+			c.applies.Add(1)
+		case evRollback:
+			sess := contSession(ev)
+			if sess == nil {
+				continue
+			}
+			c := sess.cont
+			var restored *appliedConfig
+			if len(ev.Indexes) > 0 {
+				defs, err := resolveDefs(sess, ev.Indexes)
+				if err != nil {
+					s.log.Error("journal replay: resolve rollback indexes failed",
+						"session", ev.SessionName, "err", err)
+					continue
+				}
+				restored = &appliedConfig{defs: defs, est: ev.Est, at: ev.At}
+			}
+			c.mu.Lock()
+			c.applied = restored
+			c.prevApplied = nil
+			c.lastFPHash = 0
+			c.lastRatio = ev.Ratio
+			c.mu.Unlock()
+			c.rollbacks.Add(1)
+		default:
+			// An event type this binary does not know is a state
+			// transition it cannot reconstruct; replaying around it would
+			// silently resurrect a different history than the one the
+			// journal acknowledged.
+			return fmt.Errorf("journal %s: unknown event type %q (record version %d, binary supports %d); refusing partial replay",
+				path, ev.T, ev.V, journalVersion)
 		}
 	}
 	interrupted := 0
@@ -225,6 +312,10 @@ func (s *Server) recoverFromJournal(path string) error {
 	s.metrics.recoveredSessions.Add(int64(sessions))
 	s.metrics.recoveredJobs.Add(int64(len(jobOrder)))
 	s.metrics.recoveredInterrupted.Add(int64(interrupted))
+	// Recovered continuous sessions resume their background re-tuners.
+	for _, sess := range s.reg.List() {
+		s.startContinuous(sess)
+	}
 	s.log.Info("journal replayed", "path", path, "sessions", sessions,
 		"workloads", workloads, "jobs", len(jobOrder), "interrupted", interrupted)
 	return nil
@@ -337,7 +428,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.Write(w, s.jobs.Gauges(), gauges, pg, s.reg.SnapshotReuses())
+	s.metrics.Write(w, s.jobs.Gauges(), gauges, pg, s.reg.SnapshotReuses(), s.reg.ResidentSnapshots())
 }
 
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
@@ -354,6 +445,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 	default:
 		s.journalAppend(journalEvent{T: evSession, Session: &req})
+		s.startContinuous(sess)
 		writeJSON(w, http.StatusCreated, sess.Info())
 	}
 }
@@ -412,12 +504,12 @@ func (s *Server) handleRegisterWorkload(w http.ResponseWriter, r *http.Request) 
 		writeErr(w, http.StatusBadRequest, "invalid workload name %q (want [A-Za-z0-9_-]{1,64})", req.Name)
 		return
 	}
-	wl, err := buildWorkload(sess, req)
+	wl, err := buildWorkload(sess, req.SQL, req.Generate)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if err := sess.RegisterWorkload(req.Name, wl); err != nil {
+	if err := sess.RegisterWorkload(req.Name, wl, req.Replace); err != nil {
 		if errors.Is(err, ErrWorkloadExists) {
 			writeErr(w, http.StatusConflict, "%v", err)
 		} else {
@@ -434,23 +526,23 @@ func (s *Server) handleRegisterWorkload(w http.ResponseWriter, r *http.Request) 
 	writeJSON(w, http.StatusCreated, info)
 }
 
-// buildWorkload materializes a registration request against a session:
-// parsing inline SQL or generating from a spec. Shared by the handler
-// and journal replay, so a replayed workload is built by the exact
-// code path that built the original.
-func buildWorkload(sess *Session, req RegisterWorkloadRequest) (*sql.Workload, error) {
-	if (req.SQL == "") == (req.Generate == nil) {
+// buildWorkload materializes a batch of statements against a session:
+// parsing inline SQL or generating from a spec. Shared by workload
+// registration, ingest batches and journal replay, so a replayed
+// batch is built by the exact code path that built the original.
+func buildWorkload(sess *Session, sqlText string, gen *GenerateSpec) (*sql.Workload, error) {
+	if (sqlText == "") == (gen == nil) {
 		return nil, errors.New("exactly one of sql or generate is required")
 	}
 	var wl *sql.Workload
 	var err error
-	if req.SQL != "" {
-		wl, err = sql.ParseWorkload(strings.NewReader(req.SQL), sess.db.Schema())
+	if sqlText != "" {
+		wl, err = sql.ParseWorkload(strings.NewReader(sqlText), sess.db.Schema())
 		if err != nil {
 			return nil, fmt.Errorf("parse workload: %w", err)
 		}
 	} else {
-		spec := *req.Generate
+		spec := *gen
 		if spec.Queries <= 0 {
 			spec.Queries = 30
 		}
@@ -530,6 +622,57 @@ func (s *Server) handleCost(w http.ResponseWriter, r *http.Request) {
 	sess.preparedReuse.Add(1)
 	s.metrics.optimizerCalls.Add(int64(len(rw.w.Queries)))
 	writeJSON(w, http.StatusOK, CostResponse{Cost: cost})
+}
+
+// handleIngest streams one statement batch into a continuous
+// session's workload window. The whole batch parses and prepares
+// before anything folds (a bad batch is a clean 400, nothing
+// mutated); the fold is journaled; then the observed-cost guardrail
+// runs against the applied configuration.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	if sess.cont == nil {
+		writeErr(w, http.StatusBadRequest, "session %q is not continuous (create it with a continuous block)", sess.name)
+		return
+	}
+	var req IngestRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	items, err := prepareIngest(sess, req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.contIngest(sess, req, items))
+}
+
+// handleRetune submits one on-demand re-tune cycle (the same cycle
+// the background ticker runs) as an asynchronous job.
+func (s *Server) handleRetune(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	if sess.cont == nil {
+		writeErr(w, http.StatusBadRequest, "session %q is not continuous (create it with a continuous block)", sess.name)
+		return
+	}
+	job, err := s.submitRetune(sess)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeErr(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, ErrDraining):
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+	case err != nil:
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+	default:
+		writeJSON(w, http.StatusAccepted, SubmitJobResponse{ID: job.id, State: string(JobQueued)})
+	}
 }
 
 func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
@@ -727,7 +870,11 @@ func (s *Server) buildJobRun(kind string, sess *Session, workloadName string, rw
 			}
 		}
 		opts.CostCache = sess.cache
-		opts.CacheNamespace = workloadName
+		// Namespace by registration, not name: after a replace, a job
+		// that captured the old registration keeps its own namespace and
+		// can never be served costs computed for the new queries (or
+		// vice versa).
+		opts.CacheNamespace = rw.ns
 		opts.Prepared = rw.prepared
 		// Reuse the registration-time compressed form (templates + cost
 		// table): the table's entries persist across the session's jobs,

@@ -918,3 +918,104 @@ func TestGeneratedDuplicationCompresses(t *testing.T) {
 		t.Fatalf("duplicated workload did not compress: %+v", info)
 	}
 }
+
+// TestWorkloadReplaceInvalidatesCostState: re-registering a workload
+// name with Replace rebinds it to new queries and atomically
+// invalidates every cost derived from the old ones — a job over the
+// replaced workload recomputes (cost-table misses > 0) and matches a
+// fresh session registered with the new queries from the start.
+func TestWorkloadReplaceInvalidatesCostState(t *testing.T) {
+	h := newTestServer(t, Config{})
+	h.newSession(t, "a")
+
+	submit := func(session string) MergeResultPayload {
+		var sub SubmitJobResponse
+		h.mustCall(t, "POST", "/v1/sessions/"+session+"/jobs", SubmitJobRequest{
+			Workload: "w",
+			Initial:  &InitialSpec{Indexes: fixtureIndexes},
+			Options:  JobOptions{Constraint: 0.3, CostModel: "compressed"},
+		}, &sub, http.StatusAccepted)
+		st := h.waitTerminal(t, sub.ID)
+		if st.State != string(JobDone) {
+			t.Fatalf("job %s = %s (%s), want done", sub.ID, st.State, st.Error)
+		}
+		var res JobResult
+		h.mustCall(t, "GET", "/v1/jobs/"+sub.ID+"/result", nil, &res, http.StatusOK)
+		if res.Merge == nil {
+			t.Fatalf("job %s returned no merge payload", sub.ID)
+		}
+		return *res.Merge
+	}
+
+	if first := submit("a"); first.CostTableMisses == 0 {
+		t.Fatal("first job hit no cost table; the fixture has no teeth")
+	}
+
+	// Rebind "w" to different queries. Without Replace this is a 409.
+	h.mustCall(t, "POST", "/v1/sessions/a/workloads",
+		RegisterWorkloadRequest{Name: "w", SQL: driftSQL}, nil, http.StatusConflict)
+	var info WorkloadInfo
+	h.mustCall(t, "POST", "/v1/sessions/a/workloads",
+		RegisterWorkloadRequest{Name: "w", SQL: driftSQL, Replace: true}, &info, http.StatusCreated)
+	if info.Queries != 4 {
+		t.Fatalf("replaced workload info = %+v, want the 4 drift queries", info)
+	}
+
+	second := submit("a")
+	if second.CostTableMisses == 0 {
+		t.Fatal("job over the replaced workload was costed entirely from stale state")
+	}
+
+	// Reference: a fresh session whose "w" held the new queries from
+	// the start must produce the byte-identical payload.
+	h.mustCall(t, "POST", "/v1/sessions",
+		CreateSessionRequest{Name: "b", DB: fixtureDB(t)}, nil, http.StatusCreated)
+	h.mustCall(t, "POST", "/v1/sessions/b/workloads",
+		RegisterWorkloadRequest{Name: "w", SQL: driftSQL}, nil, http.StatusCreated)
+	fresh := submit("b")
+	second.ElapsedSeconds, fresh.ElapsedSeconds = 0, 0
+	gotJSON, _ := json.Marshal(second)
+	wantJSON, _ := json.Marshal(fresh)
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Errorf("replaced-workload job diverged from fresh session:\n got: %s\nwant: %s", gotJSON, wantJSON)
+	}
+}
+
+// TestSnapshotRefcountChurn: sessions over the same spec share one
+// frozen snapshot, deleting the last holder evicts it, and repeated
+// create/delete churn never accumulates resident snapshots.
+func TestSnapshotRefcountChurn(t *testing.T) {
+	h := newTestServer(t, Config{})
+	db := fixtureDB(t)
+	reg := h.srv.reg
+	if n := reg.ResidentSnapshots(); n != 0 {
+		t.Fatalf("fresh registry holds %d snapshots", n)
+	}
+	h.mustCall(t, "POST", "/v1/sessions", CreateSessionRequest{Name: "s1", DB: db}, nil, http.StatusCreated)
+	h.mustCall(t, "POST", "/v1/sessions", CreateSessionRequest{Name: "s2", DB: db}, nil, http.StatusCreated)
+	if n := reg.ResidentSnapshots(); n != 1 {
+		t.Fatalf("two same-spec sessions hold %d snapshots, want 1 shared", n)
+	}
+	if reg.SnapshotReuses() == 0 {
+		t.Error("second same-spec session did not reuse the snapshot")
+	}
+	h.mustCall(t, "DELETE", "/v1/sessions/s1", nil, nil, http.StatusOK)
+	if n := reg.ResidentSnapshots(); n != 1 {
+		t.Fatalf("snapshot evicted while still referenced (resident %d)", n)
+	}
+	h.mustCall(t, "DELETE", "/v1/sessions/s2", nil, nil, http.StatusOK)
+	if n := reg.ResidentSnapshots(); n != 0 {
+		t.Fatalf("%d snapshots leaked after the last holder was deleted", n)
+	}
+
+	for i := 0; i < 8; i++ {
+		h.mustCall(t, "POST", "/v1/sessions", CreateSessionRequest{Name: "churn", DB: db}, nil, http.StatusCreated)
+		if n := reg.ResidentSnapshots(); n != 1 {
+			t.Fatalf("cycle %d: resident %d, want 1", i, n)
+		}
+		h.mustCall(t, "DELETE", "/v1/sessions/churn", nil, nil, http.StatusOK)
+		if n := reg.ResidentSnapshots(); n != 0 {
+			t.Fatalf("cycle %d: resident %d after delete, want 0", i, n)
+		}
+	}
+}

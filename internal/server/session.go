@@ -67,7 +67,17 @@ type Session struct {
 	// table (same bound as the session cost cache; <= 0 unbounded).
 	tableMax int
 
+	// snapKey is the snapshot-cache key this session holds a reference
+	// on; Registry.Delete releases it so fully-abandoned snapshots are
+	// evicted.
+	snapKey string
+
+	// cont is the continuous-advising state (nil for request/response
+	// sessions).
+	cont *continuous
+
 	mu        sync.Mutex
+	regSeq    int // registrations performed; namespaces cache keys per binding
 	workloads map[string]*registeredWorkload
 }
 
@@ -81,6 +91,12 @@ type registeredWorkload struct {
 	w          *sql.Workload
 	prepared   *optimizer.PreparedWorkload
 	compressed *wscale.Prepared
+
+	// ns is the workload's cost-cache namespace: the name plus a
+	// per-registration sequence number, so re-registering a name can
+	// never serve what-if costs computed for the previous queries —
+	// even to a job that raced the replacement.
+	ns string
 
 	// binding is the workload's lazily-created worker-pool binding
 	// (nil without a pool, or after a failed bind — the bind is
@@ -141,10 +157,16 @@ func (s *Session) release() { <-s.lock }
 
 // RegisterWorkload adds a named workload, preparing its queries once
 // against the session's statistics; registration fails if any query
-// cannot be prepared. Names are single-assignment: the cost cache
-// namespaces keys by workload name, so rebinding a name to different
-// queries would serve stale costs.
-func (s *Session) RegisterWorkload(name string, w *sql.Workload) error {
+// cannot be prepared. A duplicate name is rejected unless replace is
+// set, in which case the name is atomically rebound: the new queries
+// get freshly-built prepared descriptors and a fresh (template, atom)
+// cost table, the shared what-if cache is reset (its keys are
+// namespaced, but a reset reclaims the dead entries), and the cache
+// namespace rolls over so nothing costed for the old queries can ever
+// answer for the new ones. Jobs already running keep the registration
+// they captured at submit — old queries with old costs, internally
+// consistent.
+func (s *Session) RegisterWorkload(name string, w *sql.Workload, replace bool) error {
 	pw, err := optimizer.PrepareWorkload(w, s.db)
 	if err != nil {
 		return fmt.Errorf("prepare workload: %w", err)
@@ -159,9 +181,16 @@ func (s *Session) RegisterWorkload(name string, w *sql.Workload) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.workloads[name]; ok {
-		return ErrWorkloadExists
+		if !replace {
+			return ErrWorkloadExists
+		}
+		s.cache.Reset()
 	}
-	s.workloads[name] = &registeredWorkload{w: w, prepared: pw, compressed: cp}
+	s.regSeq++
+	s.workloads[name] = &registeredWorkload{
+		w: w, prepared: pw, compressed: cp,
+		ns: fmt.Sprintf("%s@%d", name, s.regSeq),
+	}
 	return nil
 }
 
@@ -212,7 +241,7 @@ func (s *Session) Info() SessionInfo {
 		prepared += len(rw.prepared.Queries)
 	}
 	s.mu.Unlock()
-	return SessionInfo{
+	info := SessionInfo{
 		Name:            s.name,
 		DB:              s.dbName,
 		Tables:          len(s.db.Schema().Tables()),
@@ -223,6 +252,10 @@ func (s *Session) Info() SessionInfo {
 		PreparedReuse:   s.preparedReuse.Load(),
 		CreatedAt:       s.createdAt,
 	}
+	if s.cont != nil {
+		info.Continuous = s.cont.info()
+	}
+	return info
 }
 
 // gauges snapshots the session's cache counters for the metrics scrape.
@@ -250,28 +283,43 @@ func (s *Session) gauges() SessionGauges {
 		g.CostTableMisses += tm
 	}
 	s.mu.Unlock()
+	if s.cont != nil {
+		ci := s.cont.info()
+		g.Continuous = true
+		g.WindowTemplates = ci.WindowTemplates
+		g.WindowMembers = ci.WindowMembers
+		g.WindowWeight = ci.WindowWeight
+		g.WindowGeneration = ci.Generation
+		g.AppliedIndexes = len(ci.Applied)
+		g.ObservedRatio = ci.LastObservedRatio
+		g.ContApplies = ci.Applies
+		g.ContRollbacks = ci.Rollbacks
+	}
 	return g
 }
 
 // Registry holds the server's sessions.
 type Registry struct {
-	mu       sync.Mutex
-	sessions map[string]*Session
-	building map[string]bool // names reserved while their DB builds
-	cacheMax int             // per-session cost cache bound (entries)
-	pool     *distrib.Pool   // shared what-if worker pool (nil = local costing)
-	snaps    snapshotCache
+	mu           sync.Mutex
+	sessions     map[string]*Session
+	building     map[string]bool // names reserved while their DB builds
+	cacheMax     int             // per-session cost cache bound (entries)
+	pool         *distrib.Pool   // shared what-if worker pool (nil = local costing)
+	contDefaults ContinuousSpec  // server-level continuous-mode defaults
+	snaps        snapshotCache
 }
 
 // NewRegistry creates an empty registry. cacheMax bounds each
 // session's cost cache (<= 0 means unbounded); pool, when non-nil, is
-// the shared what-if worker pool sessions bind workloads against.
-func NewRegistry(cacheMax int, pool *distrib.Pool) *Registry {
+// the shared what-if worker pool sessions bind workloads against;
+// contDefaults fills unset fields of session continuous specs.
+func NewRegistry(cacheMax int, pool *distrib.Pool, contDefaults ContinuousSpec) *Registry {
 	return &Registry{
-		sessions: make(map[string]*Session),
-		building: make(map[string]bool),
-		cacheMax: cacheMax,
-		pool:     pool,
+		sessions:     make(map[string]*Session),
+		building:     make(map[string]bool),
+		cacheMax:     cacheMax,
+		pool:         pool,
+		contDefaults: contDefaults,
 	}
 }
 
@@ -283,10 +331,22 @@ func NewRegistry(cacheMax int, pool *distrib.Pool) *Registry {
 // DDL, so sessions cannot observe each other. File-backed specs key on
 // (path, size, mtime) so replacing the snapshot file invalidates the
 // cached build.
+//
+// Entries are refcounted by the sessions forked from them: fork takes
+// a reference, Registry.Delete releases it, and an entry whose count
+// reaches zero is evicted — session churn cannot grow the resident
+// snapshot set beyond the live sessions' distinct specs.
 type snapshotCache struct {
 	mu      sync.Mutex
-	entries map[string]*engine.Snapshot
+	entries map[string]*snapEntry
 	reuses  atomic.Int64
+}
+
+// snapEntry is one frozen snapshot plus the number of live sessions
+// forked from it.
+type snapEntry struct {
+	snap *engine.Snapshot
+	refs int
 }
 
 func snapshotKey(name string, scale float64, seed int64) (string, error) {
@@ -301,43 +361,76 @@ func snapshotKey(name string, scale float64, seed int64) (string, error) {
 }
 
 // fork returns a private copy-on-write database for one session,
-// building the underlying snapshot if this spec has not been seen.
-func (c *snapshotCache) fork(name string, scale float64, seed int64) (*engine.Database, error) {
+// building the underlying snapshot if this spec has not been seen. The
+// returned key identifies the snapshot reference the caller now holds;
+// pass it to release when the session is deleted.
+func (c *snapshotCache) fork(name string, scale float64, seed int64) (*engine.Database, string, error) {
 	key, err := snapshotKey(name, scale, seed)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	c.mu.Lock()
 	if c.entries == nil {
-		c.entries = make(map[string]*engine.Snapshot)
+		c.entries = make(map[string]*snapEntry)
 	}
-	snap := c.entries[key]
-	c.mu.Unlock()
-	if snap != nil {
+	if e := c.entries[key]; e != nil {
+		e.refs++
+		c.mu.Unlock()
 		c.reuses.Add(1)
-		return snap.Fork(), nil
+		return e.snap.Fork(), key, nil
 	}
+	c.mu.Unlock()
 	db, err := datagen.BuildNamed(name, scale, seed)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
-	snap = db.Snapshot()
+	snap := db.Snapshot()
 	c.mu.Lock()
 	// A concurrent build of the same spec may have won; both snapshots
 	// are identical (deterministic build), keep the first.
-	if cur := c.entries[key]; cur != nil {
-		snap = cur
+	e := c.entries[key]
+	if e != nil {
 		c.reuses.Add(1)
 	} else {
-		c.entries[key] = snap
+		e = &snapEntry{snap: snap}
+		c.entries[key] = e
+	}
+	e.refs++
+	snap = e.snap
+	c.mu.Unlock()
+	return snap.Fork(), key, nil
+}
+
+// release drops one session's reference on a snapshot, evicting the
+// entry when no live session forks from it anymore.
+func (c *snapshotCache) release(key string) {
+	if key == "" {
+		return
+	}
+	c.mu.Lock()
+	if e := c.entries[key]; e != nil {
+		e.refs--
+		if e.refs <= 0 {
+			delete(c.entries, key)
+		}
 	}
 	c.mu.Unlock()
-	return snap.Fork(), nil
+}
+
+// resident counts cached snapshots currently held by live sessions.
+func (c *snapshotCache) resident() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
 }
 
 // SnapshotReuses counts sessions served from an already-built cached
 // snapshot instead of rebuilding their database.
 func (r *Registry) SnapshotReuses() int64 { return r.snaps.reuses.Load() }
+
+// ResidentSnapshots counts frozen snapshots still referenced by live
+// sessions — churn through create/delete must not grow this.
+func (r *Registry) ResidentSnapshots() int { return r.snaps.resident() }
 
 func validName(name string) bool {
 	if name == "" || len(name) > 64 {
@@ -377,7 +470,7 @@ func (r *Registry) Create(req CreateSessionRequest) (*Session, error) {
 	// Sessions over the same (db, scale, seed) share one frozen
 	// snapshot and differ only in their private index-DDL maps; the
 	// build cost (seconds at scale) is paid once per spec.
-	db, err := r.snaps.fork(req.DB, scale, req.Seed)
+	db, snapKey, err := r.snaps.fork(req.DB, scale, req.Seed)
 
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -395,8 +488,12 @@ func (r *Registry) Create(req CreateSessionRequest) (*Session, error) {
 		tableMax:  r.cacheMax,
 		breaker:   &core.Breaker{},
 		createdAt: time.Now(),
+		snapKey:   snapKey,
 		lock:      make(chan struct{}, 1),
 		workloads: make(map[string]*registeredWorkload),
+	}
+	if req.Continuous != nil {
+		s.cont = newContinuous(mergeContinuousSpec(*req.Continuous, r.contDefaults), r.cacheMax)
 	}
 	r.sessions[req.Name] = s
 	return s, nil
@@ -439,7 +536,11 @@ func (r *Registry) Delete(name string) error {
 	// acquire, observe the flag and fail fast instead of searching.
 	s.deleted.Store(true)
 	s.cache.Reset()
+	if s.cont != nil {
+		s.cont.stopTicker()
+	}
 	s.release()
 	delete(r.sessions, name)
+	r.snaps.release(s.snapKey)
 	return nil
 }

@@ -208,7 +208,7 @@ func (c *Checker) AcceptsContext(ctx context.Context, cfg *core.Configuration, m
 			continue
 		}
 		key, defs, keys := c.P.atom(ti, cfg)
-		if v, ok := c.P.table.Get(key); ok {
+		if v, ok := c.P.tableGet(ti, key); ok {
 			costs[ti] = v
 			lbSum += v
 			continue

@@ -58,6 +58,16 @@ type Prepared struct {
 	srv   CostServer
 	table *costcache.Cache
 
+	// Window mode (PrepareWindowed): tplKeys replace the positional
+	// "t<i>" cache-key namespaces with fingerprint+epoch prefixes that
+	// stay stable across window snapshots, and scales multiply the
+	// table's unweighted member-cost sums by the template's current
+	// weight/members factor at read time — so ingestion and decay
+	// change costs without invalidating a single entry. Both nil in
+	// registration mode, whose keys and entries stay byte-identical.
+	tplKeys []string
+	scales  []float64
+
 	mu     sync.RWMutex
 	rel    map[relKey]bool
 	bounds [][]boundEntry // per template, ring-capped
@@ -95,6 +105,60 @@ func Prepare(c *Compressed, pw *optimizer.PreparedWorkload, srv CostServer, maxE
 		bounds: make([][]boundEntry, len(c.Templates)),
 		nextBE: make([]int, len(c.Templates)),
 	}, nil
+}
+
+// PrepareWindowed pairs a window snapshot with a PERSISTENT cost table
+// shared across snapshots: entries are keyed by the snapshot's
+// fingerprint+epoch template prefixes and store unweighted member-cost
+// sums, scaled by the template's current weight at read time. A
+// re-tune over a drifted window therefore re-prices only templates
+// whose member set changed (epoch bump) or that it has never seen —
+// everything else is a table hit, no matter how the weights moved.
+// Remote (worker-pool) filling is not supported in window mode; the
+// caller must not set a RemoteCoster.
+func PrepareWindowed(snap *WindowSnapshot, srv CostServer, table *costcache.Cache) (*Prepared, error) {
+	if len(snap.PW.Queries) != len(snap.W.Queries) {
+		return nil, fmt.Errorf("wscale: window snapshot has %d prepared queries, %d workload entries",
+			len(snap.PW.Queries), len(snap.W.Queries))
+	}
+	if len(snap.TplKeys) != len(snap.C.Templates) || len(snap.Scales) != len(snap.C.Templates) {
+		return nil, fmt.Errorf("wscale: window snapshot has %d templates, %d keys, %d scales",
+			len(snap.C.Templates), len(snap.TplKeys), len(snap.Scales))
+	}
+	if table == nil {
+		table = costcache.NewBounded(0, 0)
+	}
+	return &Prepared{
+		C:       snap.C,
+		PW:      snap.PW,
+		srv:     srv,
+		table:   table,
+		tplKeys: snap.TplKeys,
+		scales:  snap.Scales,
+		rel:     make(map[relKey]bool),
+		bounds:  make([][]boundEntry, len(snap.C.Templates)),
+		nextBE:  make([]int, len(snap.C.Templates)),
+	}, nil
+}
+
+// scale returns the template's read-time multiplier (1 in registration
+// mode, whose entries are already weighted).
+func (p *Prepared) scale(ti int) float64 {
+	if p.scales == nil {
+		return 1
+	}
+	return p.scales[ti]
+}
+
+// tableGet reads a (template, atom) entry, applying the window-mode
+// scale. All cost-table reads go through here (or costAtom) so the two
+// modes cannot mix units.
+func (p *Prepared) tableGet(ti int, key string) (float64, bool) {
+	v, ok := p.table.Get(key)
+	if !ok {
+		return 0, false
+	}
+	return v * p.scale(ti), true
 }
 
 // TableStats returns the cost table's hit/miss/dedup counters.
@@ -151,8 +215,12 @@ func (p *Prepared) atom(ti int, cfg *core.Configuration) (key string, defs []cat
 	keys = make([]string, len(sel))
 	defs = make([]catalog.IndexDef, len(sel))
 	var b strings.Builder
-	b.WriteString("t")
-	b.WriteString(strconv.Itoa(ti))
+	if p.tplKeys != nil {
+		b.WriteString(p.tplKeys[ti])
+	} else {
+		b.WriteString("t")
+		b.WriteString(strconv.Itoa(ti))
+	}
 	b.WriteString(keySepNS)
 	for i, ix := range sel {
 		keys[i] = ix.Key()
@@ -167,9 +235,12 @@ func (p *Prepared) atom(ti int, cfg *core.Configuration) (key string, defs []cat
 // from the table or by summing Freq × CostPrepared over every member.
 // Exactness: an index outside the atom contributes no access path to
 // any member (optimizer.PreparedQuery.IndexRelevant), so the sum
-// equals the members' costs under the full configuration.
+// equals the members' costs under the full configuration. In window
+// mode the table entry is the UNWEIGHTED member-cost sum and the
+// template's scale is applied on the way out, so the entry survives
+// any later weight change.
 func (p *Prepared) costAtom(ctx context.Context, ti int, key string, defs []catalog.IndexDef, keys []string, calls *atomic.Int64) (float64, error) {
-	if v, ok := p.table.Get(key); ok {
+	if v, ok := p.tableGet(ti, key); ok {
 		return v, nil
 	}
 	v, err := p.table.Do(key, func() (float64, error) {
@@ -188,13 +259,18 @@ func (p *Prepared) costAtom(ctx context.Context, ti int, key string, defs []cata
 			if calls != nil {
 				calls.Add(1)
 			}
-			sum += c * p.C.W.Queries[mi].Freq
+			if p.scales != nil {
+				sum += c
+			} else {
+				sum += c * p.C.W.Queries[mi].Freq
+			}
 		}
 		return sum, nil
 	})
 	if err != nil {
 		return 0, err
 	}
+	v *= p.scale(ti)
 	p.recordBound(ti, keys, v)
 	return v, nil
 }
@@ -298,7 +374,7 @@ func (p *Prepared) templateCosts(ctx context.Context, cfg *core.Configuration, p
 			return nil, 0, err
 		}
 		key, defs, keys := p.atom(ti, cfg)
-		if v, ok := p.table.Get(key); ok {
+		if v, ok := p.tableGet(ti, key); ok {
 			costs[ti] = v
 			continue
 		}
@@ -394,6 +470,11 @@ func (p *Prepared) RemoteStats() (batches, atoms, fallbacks int64) {
 func (p *Prepared) fillMisses(ctx context.Context, misses []pendingAtom, costs []float64, parallelism int, calls *atomic.Int64, remote RemoteCoster) error {
 	if len(misses) == 0 {
 		return nil
+	}
+	if p.scales != nil {
+		// Window mode stores unweighted sums; the remote protocol ships
+		// weighted ones. Local sweeps only.
+		remote = nil
 	}
 	if remote != nil {
 		if p.fillMissesRemote(ctx, misses, costs, calls, remote) {
