@@ -24,11 +24,21 @@
 // runs must reach the identical final configuration — distribution
 // must leave no trace in results.
 //
+// With -overload, it runs the multi-tenant isolation benchmark
+// (BENCH_overload.json): one in-process idxmerged with per-tenant
+// quotas and a global memory budget serves a quiet tenant's
+// synchronous costing while a noisy tenant storms ingest, re-tunes
+// and cross-tenant requests. The report records the quiet tenant's
+// P50/P99 latency with and without the neighbor, the noisy traffic's
+// shed rate, and the peak accounted memory against the budget; any
+// cross-tenant request that is not rejected fails the run.
+//
 // Usage:
 //
 //	benchjson [-scale 0.5] [-queries 30] [-seed 1] [-o BENCH_optimizer.json]
 //	benchjson -workload [-statements 10000] [-o BENCH_workload.json]
 //	benchjson -distrib [-distrib-workers 4] [-rtt 200us] [-o BENCH_distrib.json]
+//	benchjson -overload [-requests 200] [-o BENCH_overload.json]
 package main
 
 import (
@@ -136,6 +146,8 @@ func main() {
 	distribMode := flag.Bool("distrib", false, "run the distributed costing benchmark instead")
 	distribWorkers := flag.Int("distrib-workers", 4, "what-if worker count for -distrib")
 	rtt := flag.Duration("rtt", 200*time.Microsecond, "simulated per-optimizer-call round trip for -distrib")
+	overloadMode := flag.Bool("overload", false, "run the multi-tenant noisy-neighbor benchmark instead")
+	requests := flag.Int("requests", 200, "quiet-tenant request count per phase for -overload")
 	flag.Parse()
 
 	if *workloadMode {
@@ -148,6 +160,14 @@ func main() {
 	}
 	if *distribMode {
 		rep, err := runDistribBench(*scale, *seed, *statements, *initialN, *distribWorkers, *rtt)
+		if err != nil {
+			fatal(err)
+		}
+		writeReport(rep, *out)
+		return
+	}
+	if *overloadMode {
+		rep, err := runOverloadBench(*seed, *requests)
 		if err != nil {
 			fatal(err)
 		}

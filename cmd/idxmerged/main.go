@@ -13,6 +13,8 @@
 //	          [-cost-workers http://host:7791,http://host:7792] [-pprof]
 //	          [-retune-period 0] [-window-max 32] [-decay 0.5]
 //	          [-min-weight 0.25] [-min-improvement 0.05] [-rollback-ratio 2]
+//	          [-quota-sessions 0] [-quota-jobs 0] [-quota-ingest-rate 0]
+//	          [-quota-ingest-burst 0] [-quota-memory 0] [-memory-budget 0]
 //
 // SIGINT/SIGTERM drain gracefully: the listener stops, queued and
 // running jobs get -drain-timeout to finish, then are canceled.
@@ -30,6 +32,14 @@
 // POST /v1/sessions/{name}/ingest, periodic background re-tuning, and
 // auto-apply/rollback of recommendations behind cost guardrails. A
 // session's own continuous spec overrides each default field by field.
+//
+// The -quota-* flags set per-tenant admission limits (tenants are
+// identified by the X-Tenant header or the session creation request's
+// tenant field; zero = unlimited): live sessions, queued+running jobs,
+// ingest statements per second (token bucket), and byte-accounted
+// memory (windows + cost tables + caches). -memory-budget is the
+// GLOBAL accounted-memory budget that drives the brownout degradation
+// ladder alongside job-queue pressure.
 package main
 
 import (
@@ -48,6 +58,7 @@ import (
 
 	"indexmerge/internal/faults"
 	"indexmerge/internal/server"
+	"indexmerge/internal/server/quota"
 )
 
 func main() {
@@ -66,6 +77,12 @@ func main() {
 	minWeight := flag.Float64("min-weight", 0, "continuous sessions: drop templates decayed below this weight (0 = built-in 0.25)")
 	minImprovement := flag.Float64("min-improvement", 0, "continuous sessions: estimated improvement a recommendation must clear to auto-apply (0 = built-in 0.05)")
 	rollbackRatio := flag.Float64("rollback-ratio", 0, "continuous sessions: roll back when observed/estimated cost exceeds this ratio (0 = built-in 2.0)")
+	quotaSessions := flag.Int("quota-sessions", 0, "per-tenant live session limit (0 = unlimited)")
+	quotaJobs := flag.Int("quota-jobs", 0, "per-tenant queued+running job limit (0 = unlimited)")
+	quotaIngestRate := flag.Float64("quota-ingest-rate", 0, "per-tenant ingest statements/sec token-bucket rate (0 = unlimited)")
+	quotaIngestBurst := flag.Float64("quota-ingest-burst", 0, "per-tenant ingest token-bucket burst (0 = same as rate)")
+	quotaMemory := flag.Int64("quota-memory", 0, "per-tenant accounted-memory budget, bytes (0 = unlimited)")
+	memoryBudget := flag.Int64("memory-budget", 0, "global accounted-memory budget driving the brownout ladder, bytes (0 = queue pressure only)")
 	flag.Parse()
 
 	log := slog.New(slog.NewJSONHandler(os.Stderr, nil))
@@ -92,6 +109,14 @@ func main() {
 			MinImprovement: *minImprovement,
 			RollbackRatio:  *rollbackRatio,
 		},
+		Quota: quota.Limits{
+			MaxSessions:  *quotaSessions,
+			MaxJobs:      *quotaJobs,
+			IngestPerSec: *quotaIngestRate,
+			IngestBurst:  *quotaIngestBurst,
+			MemoryBytes:  *quotaMemory,
+		},
+		MemoryBudgetBytes: *memoryBudget,
 	}
 	if *costWorkers != "" {
 		cfg.CostWorkers = strings.Split(*costWorkers, ",")

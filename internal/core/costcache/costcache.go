@@ -54,7 +54,16 @@ type Cache struct {
 	misses    atomic.Int64
 	dedups    atomic.Int64
 	evictions atomic.Int64
+	bytes     atomic.Int64 // approximate resident bytes (entryBytes per entry)
 }
+
+// entryBytes approximates one cached entry's resident footprint beyond
+// its key text: the float64 value plus map-bucket overhead. The figure
+// is deliberately coarse — the memory quota subsystem needs a stable,
+// cheap accounting basis, not heap-exact numbers.
+const entryBytes = 16
+
+func entrySize(key string) int64 { return int64(len(key)) + entryBytes }
 
 // New creates an unbounded cache with the given shard count
 // (DefaultShards when n <= 0).
@@ -177,18 +186,50 @@ var ErrComputePanicked error = panickedError{}
 // insertLocked stores key, evicting the shard's oldest entries first
 // when the shard is at capacity. Caller holds s.mu.
 func (c *Cache) insertLocked(s *shard, key string, val float64) {
-	if _, exists := s.vals[key]; !exists && c.maxPerShard > 0 {
-		for len(s.fifo) > 0 && len(s.vals) >= c.maxPerShard {
+	if _, exists := s.vals[key]; !exists {
+		if c.maxPerShard > 0 {
+			for len(s.fifo) > 0 && len(s.vals) >= c.maxPerShard {
+				old := s.fifo[0]
+				s.fifo = s.fifo[1:]
+				if _, ok := s.vals[old]; ok {
+					delete(s.vals, old)
+					c.evictions.Add(1)
+					c.bytes.Add(-entrySize(old))
+				}
+			}
+			s.fifo = append(s.fifo, key)
+		}
+		c.bytes.Add(entrySize(key))
+	}
+	s.vals[key] = val
+}
+
+// EvictOldest removes up to n entries in FIFO insertion order (bounded
+// caches only; an unbounded cache keeps no order and evicts nothing).
+// Returns how many entries were actually dropped. The brownout ladder
+// uses this to shed cold cost state under memory pressure without
+// resetting hot entries.
+func (c *Cache) EvictOldest(n int) int {
+	dropped := 0
+	for i := range c.shards {
+		if dropped >= n {
+			break
+		}
+		s := &c.shards[i]
+		s.mu.Lock()
+		for dropped < n && len(s.fifo) > 0 {
 			old := s.fifo[0]
 			s.fifo = s.fifo[1:]
 			if _, ok := s.vals[old]; ok {
 				delete(s.vals, old)
 				c.evictions.Add(1)
+				c.bytes.Add(-entrySize(old))
+				dropped++
 			}
 		}
-		s.fifo = append(s.fifo, key)
+		s.mu.Unlock()
 	}
-	s.vals[key] = val
+	return dropped
 }
 
 // Reset discards every cached value (and pending eviction order) while
@@ -200,6 +241,9 @@ func (c *Cache) Reset() {
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
+		for key := range s.vals {
+			c.bytes.Add(-entrySize(key))
+		}
 		s.vals = make(map[string]float64)
 		s.fifo = nil
 		s.mu.Unlock()
@@ -226,3 +270,9 @@ func (c *Cache) Stats() (hits, misses, dedups int64) {
 
 // Evictions reports how many entries the size bound has pushed out.
 func (c *Cache) Evictions() int64 { return c.evictions.Load() }
+
+// Bytes reports the approximate resident footprint of the cached
+// entries (key length plus a fixed per-entry overhead). The figure is
+// maintained incrementally on insert/evict/reset, so it costs one
+// atomic load — the accounting basis for per-tenant memory budgets.
+func (c *Cache) Bytes() int64 { return c.bytes.Load() }

@@ -380,3 +380,57 @@ func TestBoundedErrorNotCachedUnderEviction(t *testing.T) {
 		t.Fatalf("recovery Do = %v, %v", v, err)
 	}
 }
+
+// TestBytesAccounting: the byte gauge tracks inserts, evictions (both
+// capacity-driven and explicit EvictOldest) and Reset exactly, and
+// EvictOldest on an unbounded cache is a no-op (it keeps no order).
+func TestBytesAccounting(t *testing.T) {
+	c := NewBounded(1, 3)
+	if c.Bytes() != 0 {
+		t.Fatalf("fresh cache Bytes = %d", c.Bytes())
+	}
+	keys := []string{"a", "bb", "ccc"}
+	var want int64
+	for _, k := range keys {
+		c.Do(k, func() (float64, error) { return 1, nil })
+		want += entrySize(k)
+	}
+	if c.Bytes() != want {
+		t.Fatalf("Bytes = %d, want %d", c.Bytes(), want)
+	}
+	// Capacity eviction swaps the oldest key's footprint for the new one.
+	c.Do("dddd", func() (float64, error) { return 1, nil })
+	want += entrySize("dddd") - entrySize("a")
+	if c.Bytes() != want {
+		t.Fatalf("Bytes after capacity eviction = %d, want %d", c.Bytes(), want)
+	}
+	if n := c.EvictOldest(2); n != 2 {
+		t.Fatalf("EvictOldest = %d, want 2", n)
+	}
+	want -= entrySize("bb") + entrySize("ccc")
+	if c.Bytes() != want || c.Len() != 1 {
+		t.Fatalf("Bytes = %d (len %d), want %d (len 1)", c.Bytes(), c.Len(), want)
+	}
+	// Evicting more than resident drains the cache and stops.
+	if n := c.EvictOldest(10); n != 1 {
+		t.Fatalf("EvictOldest on near-empty cache = %d, want 1", n)
+	}
+	if c.Bytes() != 0 {
+		t.Fatalf("Bytes after draining = %d", c.Bytes())
+	}
+
+	c.Do("x", func() (float64, error) { return 1, nil })
+	c.Reset()
+	if c.Bytes() != 0 || c.Len() != 0 {
+		t.Fatalf("Bytes after Reset = %d (len %d)", c.Bytes(), c.Len())
+	}
+
+	u := New(0)
+	u.Do("k", func() (float64, error) { return 1, nil })
+	if n := u.EvictOldest(5); n != 0 {
+		t.Fatalf("unbounded EvictOldest = %d, want 0", n)
+	}
+	if u.Bytes() != entrySize("k") {
+		t.Fatalf("unbounded Bytes = %d, want %d", u.Bytes(), entrySize("k"))
+	}
+}

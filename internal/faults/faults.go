@@ -60,6 +60,20 @@ const (
 	// Scale rules here inflate the observation — the deterministic way
 	// to force a guardrail rollback in chaos tests and CI.
 	ContinuousObserve Point = "continuous.observe"
+	// QuotaAdmit fires on every tenant admission decision (session
+	// create, job submit, ingest). An error rule here sheds the request
+	// deterministically — the chaos way to exercise 429 paths without
+	// actually saturating a quota.
+	QuotaAdmit Point = "quota.admit"
+	// QuotaMemory fires when a tenant's byte-accounted memory usage is
+	// checked against its budget. An error rule forces the memory
+	// rejection path.
+	QuotaMemory Point = "quota.memory"
+	// BrownoutStage fires when the server computes global overload
+	// pressure. Scale rules multiply the measured pressure — the
+	// deterministic way to force the brownout ladder through its stages
+	// in chaos tests and CI.
+	BrownoutStage Point = "brownout.stage"
 )
 
 // Mode selects what a rule does when it fires.

@@ -175,6 +175,10 @@ type TuneResultPayload struct {
 // built-in experimental databases (or a snapshot file).
 type CreateSessionRequest struct {
 	Name string `json:"name"`
+	// Tenant names the owning tenant for quota accounting and metrics
+	// (default "default"). The X-Tenant request header sets it when the
+	// body leaves it empty; when both are present they must agree.
+	Tenant string `json:"tenant,omitempty"`
 	// DB is tpcd | synthetic1 | synthetic2 | file:PATH.
 	DB    string  `json:"db"`
 	Scale float64 `json:"scale,omitempty"` // default 1.0
@@ -234,6 +238,11 @@ type IngestResponse struct {
 	// RolledBack reports that this batch's ratio breached the guardrail
 	// and the applied configuration was rolled back.
 	RolledBack bool `json:"rolled_back,omitempty"`
+	// Shed reports that brownout stage >= 2 dropped the batch before it
+	// reached the window: nothing was folded or journaled, but the
+	// observed-cost guardrail still ran (rollback protection stays live
+	// under overload), so ObservedRatio/RolledBack remain meaningful.
+	Shed bool `json:"shed,omitempty"`
 }
 
 // ContinuousInfo is the continuous loop's pollable state, embedded in
@@ -264,24 +273,30 @@ type RetuneResultPayload struct {
 	Skipped bool `json:"skipped,omitempty"`
 	// Applied means the recommendation cleared the improvement
 	// guardrail and is now the session's applied configuration.
-	Applied     bool              `json:"applied,omitempty"`
-	Improvement float64           `json:"improvement,omitempty"`
-	EstCost     float64           `json:"est_cost,omitempty"`     // window cost under the recommendation
-	CurrentCost float64           `json:"current_cost,omitempty"` // window cost under the pre-cycle configuration
-	Indexes     []IndexDefPayload `json:"indexes,omitempty"`
-	WindowTemplates int   `json:"window_templates,omitempty"`
-	Generation      int64 `json:"generation,omitempty"`
-	Dropped         int   `json:"dropped,omitempty"` // templates aged out this cycle
+	Applied         bool              `json:"applied,omitempty"`
+	Improvement     float64           `json:"improvement,omitempty"`
+	EstCost         float64           `json:"est_cost,omitempty"`     // window cost under the recommendation
+	CurrentCost     float64           `json:"current_cost,omitempty"` // window cost under the pre-cycle configuration
+	Indexes         []IndexDefPayload `json:"indexes,omitempty"`
+	WindowTemplates int               `json:"window_templates,omitempty"`
+	Generation      int64             `json:"generation,omitempty"`
+	Dropped         int               `json:"dropped,omitempty"` // templates aged out this cycle
 }
 
 // SessionInfo describes a session.
 type SessionInfo struct {
-	Name      string   `json:"name"`
-	DB        string   `json:"db"`
-	Tables    int      `json:"tables"`
-	DataBytes int64    `json:"data_bytes"`
-	Workloads []string `json:"workloads"`
-	CacheLen  int      `json:"cache_entries"`
+	Name string `json:"name"`
+	// Tenant is the owning tenant for quota accounting.
+	Tenant string `json:"tenant,omitempty"`
+	// AccountedBytes is the session's byte-accounted memory footprint
+	// (cost cache + workload cost tables + continuous window), the
+	// basis for the tenant memory budget.
+	AccountedBytes int64    `json:"accounted_bytes,omitempty"`
+	DB             string   `json:"db"`
+	Tables         int      `json:"tables"`
+	DataBytes      int64    `json:"data_bytes"`
+	Workloads      []string `json:"workloads"`
+	CacheLen       int      `json:"cache_entries"`
 	// PreparedQueries is the total number of query descriptors prepared
 	// at workload registration; PreparedReuse counts the costing
 	// requests and jobs that reused them instead of re-walking ASTs.
@@ -376,6 +391,10 @@ type JobOptions struct {
 	// resilience ON by default (retries, per-session breaker, degraded
 	// fallback); set {"disable": true} to fail fast instead.
 	Resilience *ResilienceSpec `json:"resilience,omitempty"`
+	// TimeoutMS bounds the job's total queued+running lifetime; expiry
+	// terminates it with state "deadline_exceeded" and frees its quota
+	// slot. 0 means no per-job deadline.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
 
 // ResilienceSpec is the wire form of indexmerge.ResilienceOptions.
@@ -405,6 +424,7 @@ type JobStatus struct {
 	Kind     string          `json:"kind"`
 	Session  string          `json:"session"`
 	Workload string          `json:"workload"`
+	Tenant   string          `json:"tenant,omitempty"`
 	State    string          `json:"state"`
 	Error    string          `json:"error,omitempty"`
 	Progress ProgressPayload `json:"progress"`
@@ -447,7 +467,17 @@ type SubmitJobResponse struct {
 	State string `json:"state"`
 }
 
-// ErrorResponse is the uniform error body.
+// ErrorResponse is the uniform error body. Rejections from admission
+// control (429/403) additionally carry the machine-readable fields:
+// a stable code, the tenant and quota dimension that tripped, the
+// configured limit and the tenant's current usage, and the suggested
+// retry delay mirrored from the Retry-After header.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error         string `json:"error"`
+	Code          string `json:"code,omitempty"`
+	Tenant        string `json:"tenant,omitempty"`
+	Quota         string `json:"quota,omitempty"`
+	Limit         int64  `json:"limit,omitempty"`
+	Current       int64  `json:"current,omitempty"`
+	RetryAfterSec int64  `json:"retry_after_sec,omitempty"`
 }

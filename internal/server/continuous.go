@@ -128,6 +128,12 @@ func (c *continuous) stopTicker() {
 	c.stopOnce.Do(func() { close(c.stop) })
 }
 
+// bytes is the loop's accounted footprint: the windowed cost table
+// plus the workload window's resident members.
+func (c *continuous) bytes() int64 {
+	return c.table.Bytes() + c.window.Bytes()
+}
+
 // info snapshots the loop for SessionInfo.
 func (c *continuous) info() *ContinuousInfo {
 	st := c.window.Stats()
@@ -179,21 +185,38 @@ func prepareIngest(sess *Session, req IngestRequest) ([]wscale.IngestItem, error
 // per-weight ratio is compared against the rollback threshold, and a
 // breach rolls the applied configuration back (journaled before the
 // in-memory swap, so replay reconstructs the same decision).
-func (s *Server) contIngest(sess *Session, req IngestRequest, items []wscale.IngestItem) IngestResponse {
+// Under brownout stage >= 2 (shed=true) the fold itself is skipped —
+// nothing enters the window, nothing is journaled — but the guardrail
+// still observes the batch, because rollback protection is the one
+// thing overload must not disable.
+func (s *Server) contIngest(sess *Session, req IngestRequest, items []wscale.IngestItem, shed bool) IngestResponse {
 	c := sess.cont
-	batch := c.window.Ingest(items)
-	s.journalAppend(journalEvent{T: evIngest, SessionName: sess.name, Ingest: &req, Batch: batch})
+	var resp IngestResponse
+	if shed {
+		st := c.window.Stats()
+		resp = IngestResponse{
+			Shed:            true,
+			Statements:      len(items),
+			WindowTemplates: st.Templates,
+			WindowWeight:    st.Weight,
+			Generation:      st.Generation,
+		}
+		s.reg.Quota().RecordIngestShed(sess.tenant, len(items))
+	} else {
+		batch := c.window.Ingest(items)
+		s.journalAppend(journalEvent{T: evIngest, SessionName: sess.name, Ingest: &req, Batch: batch})
 
-	st := c.window.Stats()
-	resp := IngestResponse{
-		Batch:           batch,
-		Statements:      len(items),
-		WindowTemplates: st.Templates,
-		WindowWeight:    st.Weight,
-		Generation:      st.Generation,
+		st := c.window.Stats()
+		resp = IngestResponse{
+			Batch:           batch,
+			Statements:      len(items),
+			WindowTemplates: st.Templates,
+			WindowWeight:    st.Weight,
+			Generation:      st.Generation,
+		}
+		s.metrics.ingestBatches.Add(1)
+		s.metrics.ingestStatements.Add(int64(len(items)))
 	}
-	s.metrics.ingestBatches.Add(1)
-	s.metrics.ingestStatements.Add(int64(len(items)))
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -210,7 +233,7 @@ func (s *Server) contIngest(sess *Session, req IngestRequest, items []wscale.Ing
 		cost, err := o.CostPrepared(it.PQ, cfg)
 		if err != nil {
 			s.log.Warn("continuous observe costing failed; skipping guardrail for batch",
-				"session", sess.name, "batch", batch, "err", err)
+				"session", sess.name, "batch", resp.Batch, "err", err)
 			return resp
 		}
 		f := it.Freq
@@ -246,17 +269,29 @@ func (s *Server) contIngest(sess *Session, req IngestRequest, items []wscale.Ing
 	c.rollbacks.Add(1)
 	s.metrics.contRollbacks.Add(1)
 	resp.RolledBack = true
-	s.log.Info("continuous rollback", "session", sess.name, "batch", batch, "ratio", ratio)
+	s.log.Info("continuous rollback", "session", sess.name, "batch", resp.Batch, "ratio", ratio)
 	return resp
 }
 
 // submitRetune queues one re-tune cycle on the session's job slot,
-// journaling it like any other job.
+// journaling it like any other job. Re-tunes are admitted below user
+// jobs on the shed ladder: brownout stage >= 2 refuses them, and they
+// consume the tenant's job quota like any other job.
 func (s *Server) submitRetune(sess *Session) (*Job, error) {
 	if sess.cont == nil {
 		return nil, errors.New("session is not continuous")
 	}
-	job, err := s.jobs.Submit("retune", sess, windowWorkloadName, s.buildRetuneRun(sess))
+	if stage := s.evalBrownout(); stage >= 2 {
+		return nil, &brownoutError{stage: stage, what: "re-tune cycle"}
+	}
+	if v := s.reg.Quota().AcquireJob(sess.tenant); !v.OK {
+		return nil, &quotaError{tenant: sess.tenant, v: v}
+	}
+	tenant := sess.tenant
+	job, err := s.jobs.Submit("retune", sess, windowWorkloadName, SubmitOpts{
+		Tenant:  tenant,
+		Release: func() { s.reg.Quota().ReleaseJob(tenant) },
+	}, s.buildRetuneRun(sess))
 	if err != nil {
 		return nil, err
 	}

@@ -29,10 +29,16 @@ const (
 	// JobCanceled: canceled by the client (or server drain) before
 	// completing. The session remains usable.
 	JobCanceled JobState = "canceled"
+	// JobDeadlineExceeded: the job's own timeout (JobOptions.TimeoutMS
+	// or a propagated request deadline) expired before the search
+	// finished. Distinct from canceled so clients can tell "I stopped
+	// it" from "it ran out of time". The session remains usable and the
+	// job's quota slot is freed.
+	JobDeadlineExceeded JobState = "deadline_exceeded"
 )
 
 func (s JobState) terminal() bool {
-	return s == JobDone || s == JobFailed || s == JobCanceled
+	return s == JobDone || s == JobFailed || s == JobCanceled || s == JobDeadlineExceeded
 }
 
 // Submission errors, mapped to HTTP statuses by the handlers.
@@ -53,30 +59,49 @@ type Job struct {
 	session     *Session
 	sessionName string
 	workload    string
+	tenant      string
 
 	ctx    context.Context
 	cancel context.CancelFunc
+	// timed marks a job running under its own deadline, so a
+	// context.DeadlineExceeded maps to deadline_exceeded rather than
+	// canceled.
+	timed bool
+	// release returns the job's tenant quota slot; releaseOnce guards it
+	// so every terminal path (worker finish, queued cancel, drain) frees
+	// the slot exactly once.
+	release func()
+	relOnce sync.Once
 
 	// run executes the search. It must honor ctx.
 	run func(ctx context.Context, j *Job) (*JobResult, error)
 
-	mu         sync.Mutex
-	state      JobState
-	errMsg     string
-	progress   ProgressPayload
-	allocs     int64 // process-wide Mallocs delta across the run; approximate
-	result     *JobResult
-	degraded   bool // result carries the Degraded flag
+	mu       sync.Mutex
+	state    JobState
+	errMsg   string
+	progress ProgressPayload
+	allocs   int64 // process-wide Mallocs delta across the run; approximate
+	result   *JobResult
+	degraded bool // result carries the Degraded flag
 	// Compression stats mirrored from a compressed-costmodel merge
 	// result so pollers see them without fetching the payload.
 	templates     int
 	dedupRatio    float64
 	costTableHits int64
 	applied       bool // retune result auto-applied its recommendation
-	recovered  bool // restored from the journal, not run by this process
-	createdAt  time.Time
-	startedAt  *time.Time
-	finishedAt *time.Time
+	recovered     bool // restored from the journal, not run by this process
+	createdAt     time.Time
+	startedAt     *time.Time
+	finishedAt    *time.Time
+}
+
+// releaseOnce frees the job's quota slot (if any) exactly once.
+func (j *Job) releaseOnce() {
+	j.relOnce.Do(func() {
+		if j.release != nil {
+			j.release()
+		}
+	})
 }
 
 // setProgress publishes a search progress snapshot for polling.
@@ -100,16 +125,17 @@ func (j *Job) Status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return JobStatus{
-		ID:         j.id,
-		Kind:       j.kind,
-		Session:    j.sessionName,
-		Workload:   j.workload,
-		State:      string(j.state),
-		Error:      j.errMsg,
-		Progress:   j.progress,
-		Allocs:     j.allocs,
-		CreatedAt:  j.createdAt,
-		StartedAt:  j.startedAt,
+		ID:            j.id,
+		Kind:          j.kind,
+		Session:       j.sessionName,
+		Workload:      j.workload,
+		Tenant:        j.tenant,
+		State:         string(j.state),
+		Error:         j.errMsg,
+		Progress:      j.progress,
+		Allocs:        j.allocs,
+		CreatedAt:     j.createdAt,
+		StartedAt:     j.startedAt,
 		FinishedAt:    j.finishedAt,
 		Degraded:      j.degraded,
 		Recovered:     j.recovered,
@@ -153,9 +179,10 @@ func (j *Job) finish(state JobState, errMsg string, result *JobResult) bool {
 // distinct sessions run in parallel (up to the worker count); jobs on
 // one session are serialized by the session lock.
 type Manager struct {
-	queue   chan *Job
-	metrics *Metrics
-	log     *slog.Logger
+	queue    chan *Job
+	queueCap int
+	metrics  *Metrics
+	log      *slog.Logger
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -193,6 +220,7 @@ func NewManager(workers, queueCap int, metrics *Metrics, log *slog.Logger) *Mana
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		queue:     make(chan *Job, queueCap),
+		queueCap:  queueCap,
 		metrics:   metrics,
 		log:       log,
 		jobs:      make(map[string]*Job),
@@ -206,20 +234,43 @@ func NewManager(workers, queueCap int, metrics *Metrics, log *slog.Logger) *Mana
 	return m
 }
 
+// SubmitOpts carries per-job admission metadata.
+type SubmitOpts struct {
+	// Tenant is surfaced in status payloads and metrics labels.
+	Tenant string
+	// Timeout, when positive, bounds the job's total queued+running
+	// lifetime; expiry terminates the job with state deadline_exceeded.
+	Timeout time.Duration
+	// Release frees the tenant's job quota slot. The manager calls it
+	// exactly once: when the job reaches a terminal state, or
+	// immediately if submission is rejected.
+	Release func()
+}
+
 // Submit registers and enqueues a job. kind and run are trusted (the
-// handler validated the request already).
-func (m *Manager) Submit(kind string, sess *Session, workloadName string,
+// handler validated the request already). On rejection opts.Release
+// (if set) is invoked before returning.
+func (m *Manager) Submit(kind string, sess *Session, workloadName string, opts SubmitOpts,
 	run func(ctx context.Context, j *Job) (*JobResult, error)) (*Job, error) {
 
-	jctx, jcancel := context.WithCancel(m.baseCtx)
+	var jctx context.Context
+	var jcancel context.CancelFunc
+	if opts.Timeout > 0 {
+		jctx, jcancel = context.WithTimeout(m.baseCtx, opts.Timeout)
+	} else {
+		jctx, jcancel = context.WithCancel(m.baseCtx)
+	}
 	j := &Job{
 		id:          fmt.Sprintf("job-%d", m.nextID.Add(1)),
 		kind:        kind,
 		session:     sess,
 		sessionName: sess.name,
 		workload:    workloadName,
+		tenant:      opts.Tenant,
 		ctx:         jctx,
 		cancel:      jcancel,
+		timed:       opts.Timeout > 0,
+		release:     opts.Release,
 		run:         run,
 		state:       JobQueued,
 		createdAt:   time.Now(),
@@ -229,6 +280,7 @@ func (m *Manager) Submit(kind string, sess *Session, workloadName string,
 	if m.draining {
 		m.mu.Unlock()
 		jcancel()
+		j.releaseOnce()
 		return nil, ErrDraining
 	}
 	select {
@@ -241,9 +293,16 @@ func (m *Manager) Submit(kind string, sess *Session, workloadName string,
 	default:
 		m.mu.Unlock()
 		jcancel()
+		j.releaseOnce()
 		m.metrics.jobsRejected.Add(1)
 		return nil, ErrQueueFull
 	}
+}
+
+// QueueDepth reports how many jobs are waiting for a worker, and the
+// queue's capacity — the queue-pressure inputs to the brownout ladder.
+func (m *Manager) QueueDepth() (queued, cap int) {
+	return len(m.queue), m.queueCap
 }
 
 // Get looks up a job by ID.
@@ -290,6 +349,7 @@ func (m *Manager) Cancel(id string) (JobStatus, bool) {
 		j.errMsg = context.Canceled.Error()
 		j.finishedAt = &now
 		j.mu.Unlock()
+		j.releaseOnce()
 		m.metrics.observeJobEnd(JobCanceled, 0, 0, 0)
 		if m.onEnd != nil {
 			m.onEnd(j.Status())
@@ -349,7 +409,21 @@ func (m *Manager) worker() {
 	}
 }
 
+// abortState maps a context error to the job's terminal state: a timed
+// job whose own deadline expired is deadline_exceeded; everything else
+// (client cancel, server drain) is canceled.
+func (j *Job) abortState(err error) JobState {
+	if j.timed && errors.Is(err, context.DeadlineExceeded) {
+		return JobDeadlineExceeded
+	}
+	return JobCanceled
+}
+
 func (m *Manager) runJob(j *Job) {
+	// Every exit path frees the job's quota slot (idempotent; Cancel may
+	// have released a queued job already).
+	defer j.releaseOnce()
+
 	// Skip jobs canceled while queued.
 	j.mu.Lock()
 	if j.state.terminal() {
@@ -359,12 +433,17 @@ func (m *Manager) runJob(j *Job) {
 	j.mu.Unlock()
 
 	// Serialize per session: wait for the session lock, abandoning the
-	// wait if the job is canceled first.
+	// wait if the job is canceled (or its deadline expires) first.
 	if err := j.session.acquire(j.ctx); err != nil {
-		if j.finish(JobCanceled, err.Error(), nil) {
-			m.metrics.observeJobEnd(JobCanceled, 0, 0, 0)
+		state := j.abortState(err)
+		if j.finish(state, err.Error(), nil) {
+			m.metrics.observeJobEnd(state, 0, 0, 0)
+			if m.onEnd != nil {
+				m.onEnd(j.Status())
+			}
 		}
-		m.log.Info("job canceled while queued", "job", j.id, "session", j.session.name)
+		m.log.Info("job aborted while queued", "job", j.id,
+			"session", j.session.name, "state", string(state))
 		return
 	}
 	defer j.session.release()
@@ -437,8 +516,8 @@ func (m *Manager) runJob(j *Job) {
 		}
 		j.finish(JobDone, "", result)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-		state = JobCanceled
-		j.finish(JobCanceled, err.Error(), nil)
+		state = j.abortState(err)
+		j.finish(state, err.Error(), nil)
 	default:
 		state = JobFailed
 		j.finish(JobFailed, err.Error(), nil)

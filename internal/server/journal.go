@@ -29,6 +29,12 @@ const (
 	evAge      = "age"
 	evApply    = "apply"
 	evRollback = "rollback"
+	// evShrink (journal version 3): a brownout shrank a session's
+	// continuous window reservoirs. Replayed before later ingests so the
+	// seeded reservoir takes the same sampling path it took live —
+	// without it, replay would rebuild a different window than the one
+	// the process acknowledged.
+	evShrink = "shrink"
 )
 
 // journalVersion is the schema version stamped on every appended
@@ -37,11 +43,14 @@ const (
 //	0 (absent) — the original session/workload/job events; still read.
 //	2 — adds the continuous-mode events (ingest/age/apply/rollback)
 //	    and the explicit version field itself.
+//	3 — adds the brownout shrink event (and tenant fields on session
+//	    creation requests, which ride along inside the journaled
+//	    request payloads).
 //
 // Replay accepts records at or below this version and refuses newer
 // ones loudly — a journal written by a future binary is not something
 // to guess at.
-const journalVersion = 2
+const journalVersion = 3
 
 // journalEvent is one journal line. Exactly the fields for its type
 // are set; unknown fields within a known version are ignored on
@@ -85,6 +94,8 @@ type journalEvent struct {
 	// evRollback: the observed/estimated ratio that tripped the
 	// guardrail.
 	Ratio float64 `json:"ratio,omitempty"`
+	// evShrink: the new per-template reservoir bound.
+	Bound int `json:"bound,omitempty"`
 }
 
 // Journal is the durable session/job log. Appends are serialized and

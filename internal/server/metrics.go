@@ -68,6 +68,7 @@ type Metrics struct {
 	mu       sync.Mutex
 	requests map[string]int64 // "route|code" -> count
 	jobs     map[string]int64 // terminal state -> count
+	shed     map[string]int64 // "reason|tenant" -> requests shed by admission control
 
 	jobsSubmitted atomic.Int64
 	jobsRejected  atomic.Int64 // backpressure 429s
@@ -103,6 +104,11 @@ type Metrics struct {
 	recoveredJobs        atomic.Int64 // job records restored from the journal
 	recoveredInterrupted atomic.Int64 // recovered jobs that were non-terminal at crash
 
+	// Tenancy / overload counters.
+	requestsAbandoned   atomic.Int64 // sync costings stopped by client disconnect
+	deadlineExceeded    atomic.Int64 // jobs terminated by their own deadline
+	brownoutTransitions atomic.Int64 // brownout ladder stage changes
+
 	searchSeconds *histogram
 	httpSeconds   *histogram
 	routeSeconds  map[string]*histogram // per-endpoint latency, keyed by route pattern
@@ -117,6 +123,7 @@ func NewMetrics() *Metrics {
 	return &Metrics{
 		requests:      make(map[string]int64),
 		jobs:          make(map[string]int64),
+		shed:          make(map[string]int64),
 		searchSeconds: newHistogram([]float64{0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 300}),
 		httpSeconds:   newHistogram(httpBounds),
 		routeSeconds:  make(map[string]*histogram),
@@ -140,9 +147,20 @@ func (m *Metrics) observeJobEnd(state JobState, seconds float64, optimizerCalls,
 	m.mu.Lock()
 	m.jobs[string(state)]++
 	m.mu.Unlock()
+	if state == JobDeadlineExceeded {
+		m.deadlineExceeded.Add(1)
+	}
 	m.searchSeconds.observe(seconds)
 	m.optimizerCalls.Add(optimizerCalls)
 	m.costEvaluations.Add(costEvaluations)
+}
+
+// observeShed counts one admission-control rejection, labeled by the
+// quota/brownout reason and the tenant it hit.
+func (m *Metrics) observeShed(reason, tenant string) {
+	m.mu.Lock()
+	m.shed[reason+"|"+tenant]++
+	m.mu.Unlock()
 }
 
 // SessionGauges is a point-in-time per-session snapshot gathered at
@@ -184,6 +202,25 @@ type JobGauges struct {
 	Running int
 }
 
+// TenantGauges is a point-in-time per-tenant snapshot gathered at
+// scrape time.
+type TenantGauges struct {
+	Tenant     string
+	Sessions   int
+	Jobs       int
+	Bytes      int64 // accounted memory across the tenant's sessions
+	IngestShed int64 // statements rejected by the ingest rate limiter
+}
+
+// OverloadGauges snapshots the admission/brownout state for the
+// metrics scrape (nil = the section is omitted).
+type OverloadGauges struct {
+	BrownoutStage  int
+	AccountedBytes int64
+	MemoryBudget   int64
+	Tenants        []TenantGauges
+}
+
 // PoolGauges snapshots the distributed-costing worker pool for the
 // metrics scrape (nil pool = the section is omitted).
 type PoolGauges struct {
@@ -199,7 +236,7 @@ type PoolGauges struct {
 // Write emits every series. Gauges are gathered by the caller at
 // scrape time (sessions, the job manager and the worker pool own that
 // state).
-func (m *Metrics) Write(w io.Writer, jg JobGauges, sessions []SessionGauges, pool *PoolGauges, snapshotReuses int64, residentSnapshots int) {
+func (m *Metrics) Write(w io.Writer, jg JobGauges, sessions []SessionGauges, pool *PoolGauges, og *OverloadGauges, snapshotReuses int64, residentSnapshots int) {
 	fmt.Fprintln(w, "# TYPE idxmerged_http_requests_total counter")
 	m.mu.Lock()
 	reqKeys := make([]string, 0, len(m.requests))
@@ -325,6 +362,49 @@ func (m *Metrics) Write(w io.Writer, jg JobGauges, sessions []SessionGauges, poo
 	fmt.Fprintf(w, "idxmerged_retunes_total %d\n", m.contRetunes.Load())
 	fmt.Fprintln(w, "# TYPE idxmerged_retune_skips_total counter")
 	fmt.Fprintf(w, "idxmerged_retune_skips_total %d\n", m.contRetuneSkips.Load())
+
+	fmt.Fprintln(w, "# TYPE idxmerged_requests_abandoned_total counter")
+	fmt.Fprintf(w, "idxmerged_requests_abandoned_total %d\n", m.requestsAbandoned.Load())
+	fmt.Fprintln(w, "# TYPE idxmerged_deadline_exceeded_total counter")
+	fmt.Fprintf(w, "idxmerged_deadline_exceeded_total %d\n", m.deadlineExceeded.Load())
+	fmt.Fprintln(w, "# TYPE idxmerged_shed_total counter")
+	m.mu.Lock()
+	shedKeys := make([]string, 0, len(m.shed))
+	for k := range m.shed {
+		shedKeys = append(shedKeys, k)
+	}
+	sort.Strings(shedKeys)
+	for _, k := range shedKeys {
+		reason, tenant := k, ""
+		for i := len(k) - 1; i >= 0; i-- {
+			if k[i] == '|' {
+				reason, tenant = k[:i], k[i+1:]
+				break
+			}
+		}
+		fmt.Fprintf(w, "idxmerged_shed_total{reason=%q,tenant=%q} %d\n", reason, tenant, m.shed[k])
+	}
+	m.mu.Unlock()
+	fmt.Fprintln(w, "# TYPE idxmerged_brownout_transitions_total counter")
+	fmt.Fprintf(w, "idxmerged_brownout_transitions_total %d\n", m.brownoutTransitions.Load())
+	if og != nil {
+		fmt.Fprintln(w, "# TYPE idxmerged_brownout_stage gauge")
+		fmt.Fprintf(w, "idxmerged_brownout_stage %d\n", og.BrownoutStage)
+		fmt.Fprintln(w, "# TYPE idxmerged_accounted_bytes gauge")
+		fmt.Fprintf(w, "idxmerged_accounted_bytes %d\n", og.AccountedBytes)
+		fmt.Fprintln(w, "# TYPE idxmerged_memory_budget_bytes gauge")
+		fmt.Fprintf(w, "idxmerged_memory_budget_bytes %d\n", og.MemoryBudget)
+		fmt.Fprintln(w, "# TYPE idxmerged_tenant_sessions gauge")
+		fmt.Fprintln(w, "# TYPE idxmerged_tenant_jobs gauge")
+		fmt.Fprintln(w, "# TYPE idxmerged_tenant_bytes gauge")
+		fmt.Fprintln(w, "# TYPE idxmerged_tenant_ingest_shed_total counter")
+		for _, t := range og.Tenants {
+			fmt.Fprintf(w, "idxmerged_tenant_sessions{tenant=%q} %d\n", t.Tenant, t.Sessions)
+			fmt.Fprintf(w, "idxmerged_tenant_jobs{tenant=%q} %d\n", t.Tenant, t.Jobs)
+			fmt.Fprintf(w, "idxmerged_tenant_bytes{tenant=%q} %d\n", t.Tenant, t.Bytes)
+			fmt.Fprintf(w, "idxmerged_tenant_ingest_shed_total{tenant=%q} %d\n", t.Tenant, t.IngestShed)
+		}
+	}
 
 	fmt.Fprintln(w, "# TYPE idxmerged_remote_batches_total counter")
 	fmt.Fprintf(w, "idxmerged_remote_batches_total %d\n", m.remoteBatches.Load())

@@ -1,0 +1,261 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"indexmerge/internal/faults"
+	"indexmerge/internal/server/quota"
+)
+
+// The brownout ladder. Global pressure is the worse of two ratios —
+// accounted memory over the configured budget, and queued jobs over
+// the queue capacity — multiplied by the brownout.stage fault factor
+// (chaos tests force the ladder deterministically through it). Each
+// stage keeps everything the previous one does and sheds more, in
+// strict priority order: synchronous costing is the cheapest work to
+// refuse, user-submitted tune/merge jobs the most valuable to keep.
+//
+//	stage 1 (>= 75%): shed sync costing; shrink continuous windows to
+//	  brownoutWindowMax members per template and evict cold cost-table
+//	  and cost-cache entries until memory is back under the stage-1
+//	  threshold.
+//	stage 2 (>= 90%): also shed ingest folds (the observed-cost
+//	  guardrail still runs — rollback protection must survive
+//	  overload), shed re-tune cycles, and force compressed costing on
+//	  new jobs (exact, recommendation parity; just cheaper).
+//	stage 3 (>= 97%): also reject new sessions, workloads and
+//	  user-submitted jobs. Applied-configuration guardrails stay live.
+const (
+	brownoutStage1 = 0.75
+	brownoutStage2 = 0.90
+	brownoutStage3 = 0.97
+	// brownoutWindowMax is the absolute reservoir bound stage >= 1
+	// shrinks continuous windows to. Absolute (not relative) so
+	// repeated evaluations are idempotent.
+	brownoutWindowMax = 8
+	// evictChunk is how many cold entries each eviction round drops
+	// from each cache/table while memory is over the stage-1 line.
+	evictChunk = 256
+)
+
+// brownoutError reports work refused by the ladder; handlers map it to
+// a 429 with Retry-After.
+type brownoutError struct {
+	stage int
+	what  string
+}
+
+func (e *brownoutError) Error() string {
+	return fmt.Sprintf("brownout stage %d: shedding %s", e.stage, e.what)
+}
+
+// evalBrownout recomputes global pressure and returns the active
+// stage, journaling window shrinks and evicting cold state on the way
+// up. Called at every admission point — the ladder reacts within one
+// request of pressure changing.
+func (s *Server) evalBrownout() int {
+	var memRatio float64
+	if s.memBudget > 0 {
+		memRatio = float64(s.reg.totalBytes()) / float64(s.memBudget)
+	}
+	queued, qcap := s.jobs.QueueDepth()
+	queueRatio := float64(queued) / float64(qcap)
+	factor := faults.Factor(faults.BrownoutStage)
+	memRatio *= factor
+	queueRatio *= factor
+
+	stageOf := func(p float64) int {
+		switch {
+		case p >= brownoutStage3:
+			return 3
+		case p >= brownoutStage2:
+			return 2
+		case p >= brownoutStage1:
+			return 1
+		}
+		return 0
+	}
+	// Queue pressure saturates at stage 2: a full queue already has its
+	// own structured rejection (queue_full, per-submission), so stage 3
+	// — refusing sessions and workloads too — is reserved for memory
+	// exhaustion, the one pressure that admission alone cannot relieve.
+	stage := stageOf(memRatio)
+	qs := stageOf(queueRatio)
+	if qs > 2 {
+		qs = 2
+	}
+	if qs > stage {
+		stage = qs
+	}
+	pressure := memRatio
+	if queueRatio > pressure {
+		pressure = queueRatio
+	}
+	prev := int(s.stage.Swap(int32(stage)))
+	if stage != prev {
+		s.metrics.brownoutTransitions.Add(1)
+		s.log.Info("brownout stage change", "from", prev, "to", stage,
+			"pressure", pressure, "mem_ratio", memRatio, "queue_ratio", queueRatio)
+	}
+	if stage >= 1 {
+		s.shedColdState()
+	}
+	return stage
+}
+
+// shedColdState is the stage-1 action: clamp continuous windows to
+// the brownout reservoir bound (journaled WAL-first so replay drives
+// the seeded reservoirs down the same sampling paths), then evict
+// cold cost-cache and cost-table entries until accounted memory is
+// back under the stage-1 threshold. Idempotent: windows already at
+// the bound and memory already under the line are left alone.
+func (s *Server) shedColdState() {
+	sessions := s.reg.List()
+	for _, sess := range sessions {
+		if sess.cont == nil || sess.cont.window.MaxPerTemplate() <= brownoutWindowMax {
+			continue
+		}
+		s.journalAppend(journalEvent{T: evShrink, SessionName: sess.name, Bound: brownoutWindowMax})
+		dropped := sess.cont.window.Shrink(brownoutWindowMax)
+		s.log.Info("brownout window shrink", "session", sess.name,
+			"bound", brownoutWindowMax, "members_dropped", dropped)
+	}
+	if s.memBudget <= 0 {
+		return
+	}
+	target := int64(float64(s.memBudget) * brownoutStage1)
+	// Bounded rounds: each round drops up to evictChunk entries per
+	// cache per session; stop once under target or nothing evictable
+	// remains (unbounded caches keep no order and never evict).
+	for round := 0; round < 1024; round++ {
+		if s.reg.totalBytes() <= target {
+			return
+		}
+		dropped := 0
+		for _, sess := range sessions {
+			dropped += sess.evictCold(evictChunk)
+		}
+		if dropped == 0 {
+			return
+		}
+	}
+}
+
+// evictCold drops up to n of the oldest entries from each of the
+// session's cost stores: the shared what-if cache, every registered
+// workload's (template, atom) cost table, and the continuous windowed
+// table. Returns how many entries went.
+func (s *Session) evictCold(n int) int {
+	dropped := s.cache.EvictOldest(n)
+	s.mu.Lock()
+	rws := make([]*registeredWorkload, 0, len(s.workloads))
+	for _, rw := range s.workloads {
+		rws = append(rws, rw)
+	}
+	s.mu.Unlock()
+	for _, rw := range rws {
+		if rw.compressed != nil {
+			dropped += rw.compressed.TableEvictOldest(n)
+		}
+	}
+	if s.cont != nil {
+		dropped += s.cont.table.EvictOldest(n)
+	}
+	return dropped
+}
+
+// requestTenant reads the caller's tenant claim from the X-Tenant
+// header ("" when absent — an unclaimed request acts on any session).
+func requestTenant(r *http.Request) string { return r.Header.Get("X-Tenant") }
+
+// checkTenant enforces tenant identity on session-scoped routes: a
+// request that claims a tenant must claim the session's owner.
+// Requests with no X-Tenant header pass (existing single-tenant
+// clients keep working).
+func (s *Server) checkTenant(w http.ResponseWriter, r *http.Request, sess *Session) bool {
+	claimed := requestTenant(r)
+	if claimed == "" || claimed == sess.tenant {
+		return true
+	}
+	s.metrics.observeShed("tenant_mismatch", claimed)
+	writeJSON(w, http.StatusForbidden, ErrorResponse{
+		Error:  fmt.Sprintf("session %q belongs to tenant %q, not %q", sess.name, sess.tenant, claimed),
+		Code:   "tenant_mismatch",
+		Tenant: claimed,
+	})
+	return false
+}
+
+// writeQuotaErr serializes a non-OK admission verdict: Retry-After on
+// 429s, plus the machine-readable body (code, tenant, quota, limit,
+// current).
+func (s *Server) writeQuotaErr(w http.ResponseWriter, tenant string, v quota.Verdict) {
+	retry := int64(v.RetryAfter / time.Second)
+	if retry < 1 {
+		retry = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(retry, 10))
+	s.metrics.observeShed(v.Code, tenant)
+	writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
+		Error:         (&quotaError{tenant: tenant, v: v}).Error(),
+		Code:          v.Code,
+		Tenant:        tenant,
+		Quota:         v.Quota,
+		Limit:         v.Limit,
+		Current:       v.Current,
+		RetryAfterSec: retry,
+	})
+}
+
+// writeQueueFull serializes the global queue-full rejection with the
+// same machine-readable shape as quota rejections (previously a bare
+// 429).
+func (s *Server) writeQueueFull(w http.ResponseWriter, tenant string, err error) {
+	queued, qcap := s.jobs.QueueDepth()
+	w.Header().Set("Retry-After", "1")
+	s.metrics.observeShed("queue_full", tenant)
+	writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
+		Error:         err.Error(),
+		Code:          "queue_full",
+		Tenant:        tenant,
+		Quota:         "job_queue",
+		Limit:         int64(qcap),
+		Current:       int64(queued),
+		RetryAfterSec: 1,
+	})
+}
+
+// writeBrownout serializes a brownout rejection (Current carries the
+// active stage).
+func (s *Server) writeBrownout(w http.ResponseWriter, tenant string, stage int, what string) {
+	w.Header().Set("Retry-After", "1")
+	s.metrics.observeShed("brownout", tenant)
+	writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
+		Error:         (&brownoutError{stage: stage, what: what}).Error(),
+		Code:          "brownout",
+		Tenant:        tenant,
+		Quota:         "brownout_stage",
+		Current:       int64(stage),
+		RetryAfterSec: 1,
+	})
+}
+
+// jobTimeout resolves a job's deadline: the per-job timeout option,
+// tightened by the HTTP request's own deadline when the serving stack
+// set one — the tighter of the two wins, so a request admitted under
+// a server-side deadline cannot park a job that outlives it.
+func jobTimeout(r *http.Request, timeoutMS int) time.Duration {
+	timeout := time.Duration(timeoutMS) * time.Millisecond
+	if dl, ok := r.Context().Deadline(); ok {
+		if until := time.Until(dl); timeout <= 0 || until < timeout {
+			timeout = until
+		}
+	}
+	if timeout < 0 {
+		timeout = time.Millisecond
+	}
+	return timeout
+}

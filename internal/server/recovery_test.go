@@ -418,7 +418,7 @@ func TestWorkerPanicFailsJobNotProcess(t *testing.T) {
 	if !ok {
 		t.Fatal("session missing")
 	}
-	job, err := h.srv.jobs.Submit("merge", sess, "w", func(ctx context.Context, j *Job) (*JobResult, error) {
+	job, err := h.srv.jobs.Submit("merge", sess, "w", SubmitOpts{}, func(ctx context.Context, j *Job) (*JobResult, error) {
 		panic("worker kaboom")
 	})
 	if err != nil {

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"runtime/debug"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"indexmerge"
@@ -16,6 +17,7 @@ import (
 	"indexmerge/internal/catalog"
 	"indexmerge/internal/distrib"
 	"indexmerge/internal/optimizer"
+	"indexmerge/internal/server/quota"
 	"indexmerge/internal/sql"
 	"indexmerge/internal/workload"
 )
@@ -51,6 +53,16 @@ type Config struct {
 	// sessions (flag-configurable); a session's own spec overrides them
 	// field by field.
 	Continuous ContinuousSpec
+	// Quota sets per-tenant admission limits (zero fields = unlimited).
+	Quota quota.Limits
+	// MemoryBudgetBytes is the GLOBAL byte-accounted memory budget
+	// (windows + cost tables + cost caches, summed over every session)
+	// that drives the brownout ladder: pressure >= 75% of it shrinks
+	// windows and evicts cold cost state, >= 90% forces compressed
+	// costing and sheds ingest/retunes, >= 97% rejects new work.
+	// <= 0 disables memory-driven brownout (queue pressure still
+	// applies).
+	MemoryBudgetBytes int64
 }
 
 // Server is the idxmerged HTTP API: sessions, workloads, synchronous
@@ -63,6 +75,13 @@ type Server struct {
 	mux     *http.ServeMux
 	journal *Journal
 	pool    *distrib.Pool // nil without Config.CostWorkers
+
+	// memBudget is the global accounted-memory budget behind the
+	// brownout ladder (<= 0 = no memory pressure); stage is the
+	// currently active brownout stage (0 = healthy), recomputed at
+	// every admission point.
+	memBudget int64
+	stage     atomic.Int32
 }
 
 // New assembles a server and starts its worker pool. With a journal
@@ -87,11 +106,12 @@ func New(cfg Config) (*Server, error) {
 		pool = distrib.NewPool(cfg.CostWorkers, distrib.Options{})
 	}
 	s := &Server{
-		reg:     NewRegistry(cfg.CacheMaxEntries, pool, cfg.Continuous),
-		metrics: NewMetrics(),
-		log:     cfg.Logger,
-		mux:     http.NewServeMux(),
-		pool:    pool,
+		reg:       NewRegistry(cfg.CacheMaxEntries, pool, cfg.Continuous, quota.NewController(cfg.Quota)),
+		metrics:   NewMetrics(),
+		log:       cfg.Logger,
+		mux:       http.NewServeMux(),
+		pool:      pool,
+		memBudget: cfg.MemoryBudgetBytes,
 	}
 	s.jobs = NewManager(cfg.Workers, cfg.QueueCap, s.metrics, s.log)
 
@@ -244,6 +264,13 @@ func (s *Server) recoverFromJournal(path string) error {
 		case evAge:
 			if sess := contSession(ev); sess != nil {
 				sess.cont.window.Age()
+			}
+		case evShrink:
+			// Replay the brownout window shrink at the same point in the
+			// fold sequence it happened live, so the seeded reservoirs
+			// walk the identical sampling path afterwards.
+			if sess := contSession(ev); sess != nil {
+				sess.cont.window.Shrink(ev.Bound)
 			}
 		case evApply:
 			sess := contSession(ev)
@@ -427,8 +454,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			Items: st.Items, RPCs: st.RPCs, RPCErrors: st.RPCErrors, Hedges: st.Hedges,
 		}
 	}
+	og := &OverloadGauges{
+		BrownoutStage:  int(s.stage.Load()),
+		AccountedBytes: s.reg.totalBytes(),
+		MemoryBudget:   s.memBudget,
+		Tenants:        s.reg.tenantGauges(),
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.Write(w, s.jobs.Gauges(), gauges, pg, s.reg.SnapshotReuses(), s.reg.ResidentSnapshots())
+	s.metrics.Write(w, s.jobs.Gauges(), gauges, pg, og, s.reg.SnapshotReuses(), s.reg.ResidentSnapshots())
 }
 
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
@@ -437,8 +470,30 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
+	// Resolve tenant identity before anything is journaled, so replay
+	// sees the same owner the live decision used.
+	if claimed := requestTenant(r); claimed != "" {
+		if req.Tenant == "" {
+			req.Tenant = claimed
+		} else if req.Tenant != claimed {
+			writeErr(w, http.StatusBadRequest,
+				"tenant mismatch: body says %q, X-Tenant header says %q", req.Tenant, claimed)
+			return
+		}
+	}
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	if stage := s.evalBrownout(); stage >= 3 {
+		s.writeBrownout(w, tenant, stage, "session creation")
+		return
+	}
 	sess, err := s.reg.Create(req)
+	var qe *quotaError
 	switch {
+	case errors.As(err, &qe):
+		s.writeQuotaErr(w, qe.tenant, qe.v)
 	case errors.Is(err, ErrSessionExists):
 		writeErr(w, http.StatusConflict, "%v", err)
 	case err != nil:
@@ -476,6 +531,9 @@ func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	if sess, ok := s.reg.Get(r.PathValue("name")); ok && !s.checkTenant(w, r, sess) {
+		return
+	}
 	err := s.reg.Delete(r.PathValue("name"))
 	switch {
 	case errors.Is(err, ErrSessionNotFound):
@@ -493,6 +551,17 @@ func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleRegisterWorkload(w http.ResponseWriter, r *http.Request) {
 	sess, ok := s.session(w, r)
 	if !ok {
+		return
+	}
+	if !s.checkTenant(w, r, sess) {
+		return
+	}
+	if stage := s.evalBrownout(); stage >= 3 {
+		s.writeBrownout(w, sess.tenant, stage, "workload registration")
+		return
+	}
+	if v := s.reg.Quota().CheckMemory(sess.tenant, s.reg.tenantBytes(sess.tenant)); !v.OK {
+		s.writeQuotaErr(w, sess.tenant, v)
 		return
 	}
 	var req RegisterWorkloadRequest
@@ -597,6 +666,15 @@ func (s *Server) handleCost(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if !s.checkTenant(w, r, sess) {
+		return
+	}
+	// Sync costing is the first load shed: it is cheap for the client
+	// to retry and every call burns optimizer CPU the job queue needs.
+	if stage := s.evalBrownout(); stage >= 1 {
+		s.writeBrownout(w, sess.tenant, stage, "synchronous costing")
+		return
+	}
 	var req CostRequest
 	if err := decodeJSON(w, r, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, "bad request: %v", err)
@@ -613,16 +691,39 @@ func (s *Server) handleCost(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Cost through the descriptors prepared at registration: no AST
-	// re-walk or histogram probing per request, identical totals.
-	cost, err := optimizer.New(sess.db).WorkloadCostPrepared(rw.prepared, optimizer.Configuration(defs))
-	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "cost: %v", err)
-		return
+	// re-walk or histogram probing per request, identical totals — the
+	// per-query loop mirrors optimizer.WorkloadCostPrepared exactly,
+	// with a cancellation check between queries so an abandoned request
+	// (client disconnect) stops burning optimizer calls mid-workload.
+	ctx := r.Context()
+	o := optimizer.New(sess.db)
+	cfg := optimizer.Configuration(defs)
+	total, costed := 0.0, 0
+	for i, q := range rw.prepared.W.Queries {
+		if ctx.Err() != nil {
+			s.metrics.requestsAbandoned.Add(1)
+			s.log.Info("cost request abandoned by client", "session", sess.name,
+				"workload", req.Workload, "costed", costed, "of", len(rw.prepared.W.Queries))
+			writeErr(w, statusClientClosedRequest, "client closed request")
+			return
+		}
+		c, err := o.CostPrepared(rw.prepared.Queries[i], cfg)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, "cost: %v", err)
+			return
+		}
+		total += c * q.Freq
+		costed++
 	}
 	sess.preparedReuse.Add(1)
 	s.metrics.optimizerCalls.Add(int64(len(rw.w.Queries)))
-	writeJSON(w, http.StatusOK, CostResponse{Cost: cost})
+	writeJSON(w, http.StatusOK, CostResponse{Cost: total})
 }
+
+// statusClientClosedRequest is the nginx-convention status for a
+// request abandoned by its client before the response was written;
+// nothing standard fits (the client is gone either way).
+const statusClientClosedRequest = 499
 
 // handleIngest streams one statement batch into a continuous
 // session's workload window. The whole batch parses and prepares
@@ -632,6 +733,9 @@ func (s *Server) handleCost(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	sess, ok := s.session(w, r)
 	if !ok {
+		return
+	}
+	if !s.checkTenant(w, r, sess) {
 		return
 	}
 	if sess.cont == nil {
@@ -648,7 +752,25 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.contIngest(sess, req, items))
+	// Admission: the per-tenant statement-rate bucket and memory budget
+	// gate the fold. Rate is charged per statement, not per batch, so a
+	// tenant cannot dodge its quota by batching harder.
+	if v := s.reg.Quota().AllowIngest(sess.tenant, len(items)); !v.OK {
+		s.writeQuotaErr(w, sess.tenant, v)
+		return
+	}
+	if v := s.reg.Quota().CheckMemory(sess.tenant, s.reg.tenantBytes(sess.tenant)); !v.OK {
+		s.writeQuotaErr(w, sess.tenant, v)
+		return
+	}
+	// Stage >= 2 sheds the fold but NOT the guardrail: the batch's
+	// observed costs still feed rollback protection (a 200 with
+	// shed=true, nothing journaled).
+	shed := s.evalBrownout() >= 2
+	if shed {
+		s.metrics.observeShed("brownout_ingest", sess.tenant)
+	}
+	writeJSON(w, http.StatusOK, s.contIngest(sess, req, items, shed))
 }
 
 // handleRetune submits one on-demand re-tune cycle (the same cycle
@@ -658,14 +780,23 @@ func (s *Server) handleRetune(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if !s.checkTenant(w, r, sess) {
+		return
+	}
 	if sess.cont == nil {
 		writeErr(w, http.StatusBadRequest, "session %q is not continuous (create it with a continuous block)", sess.name)
 		return
 	}
 	job, err := s.submitRetune(sess)
+	var be *brownoutError
+	var qe *quotaError
 	switch {
+	case errors.As(err, &be):
+		s.writeBrownout(w, sess.tenant, be.stage, be.what)
+	case errors.As(err, &qe):
+		s.writeQuotaErr(w, qe.tenant, qe.v)
 	case errors.Is(err, ErrQueueFull):
-		writeErr(w, http.StatusTooManyRequests, "%v", err)
+		s.writeQueueFull(w, sess.tenant, err)
 	case errors.Is(err, ErrDraining):
 		writeErr(w, http.StatusServiceUnavailable, "%v", err)
 	case err != nil:
@@ -678,6 +809,14 @@ func (s *Server) handleRetune(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	sess, ok := s.session(w, r)
 	if !ok {
+		return
+	}
+	if !s.checkTenant(w, r, sess) {
+		return
+	}
+	stage := s.evalBrownout()
+	if stage >= 3 {
+		s.writeBrownout(w, sess.tenant, stage, "job submission")
 		return
 	}
 	var req SubmitJobRequest
@@ -697,6 +836,13 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		writeErr(w, http.StatusNotFound, "workload %q not found", req.Workload)
 		return
+	}
+	// Stage >= 2 forces the compressed cost model on jobs that would run
+	// the full optimizer model. Compressed costing is exact with
+	// recommendation parity, so results stay byte-identical — the
+	// brownout trades optimizer calls, not quality.
+	if stage >= 2 && (req.Options.CostModel == "" || req.Options.CostModel == "opt") {
+		req.Options.CostModel = "compressed"
 	}
 	opts, err := buildMergeOptions(req.Options)
 	if err != nil {
@@ -719,11 +865,23 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// Job quota: acquired here, released exactly once from whichever
+	// terminal path the job takes (completion, failure, cancel, deadline,
+	// or queue rejection below — Submit releases on its own error paths).
+	if v := s.reg.Quota().AcquireJob(sess.tenant); !v.OK {
+		s.writeQuotaErr(w, sess.tenant, v)
+		return
+	}
 	run := s.buildJobRun(kind, sess, req.Workload, rw, initial, explicitDefs, opts, req.Options.DualBudgetFrac)
-	job, err := s.jobs.Submit(kind, sess, req.Workload, run)
+	tenant := sess.tenant
+	job, err := s.jobs.Submit(kind, sess, req.Workload, SubmitOpts{
+		Tenant:  tenant,
+		Timeout: jobTimeout(r, req.Options.TimeoutMS),
+		Release: func() { s.reg.Quota().ReleaseJob(tenant) },
+	}, run)
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		writeErr(w, http.StatusTooManyRequests, "%v", err)
+		s.writeQueueFull(w, sess.tenant, err)
 	case errors.Is(err, ErrDraining):
 		writeErr(w, http.StatusServiceUnavailable, "%v", err)
 	case err != nil:

@@ -18,9 +18,25 @@ import (
 	"indexmerge/internal/distrib"
 	"indexmerge/internal/engine"
 	"indexmerge/internal/optimizer"
+	"indexmerge/internal/server/quota"
 	"indexmerge/internal/sql"
 	"indexmerge/internal/wscale"
 )
+
+// DefaultTenant owns sessions created with no tenant named — existing
+// clients keep working and share one accounting bucket.
+const DefaultTenant = "default"
+
+// quotaError carries a non-OK admission verdict as an error so
+// handlers can serialize the machine-readable rejection body.
+type quotaError struct {
+	tenant string
+	v      quota.Verdict
+}
+
+func (e *quotaError) Error() string {
+	return fmt.Sprintf("tenant %q rejected: %s", e.tenant, e.v.String())
+}
 
 // Registry errors, mapped to HTTP statuses by the handlers.
 var (
@@ -42,6 +58,7 @@ var (
 // namespaced per workload.
 type Session struct {
 	name      string
+	tenant    string
 	dbName    string
 	db        *engine.Database
 	fp        uint64 // database fingerprint, captured at creation
@@ -243,6 +260,8 @@ func (s *Session) Info() SessionInfo {
 	s.mu.Unlock()
 	info := SessionInfo{
 		Name:            s.name,
+		Tenant:          s.tenant,
+		AccountedBytes:  s.accountedBytes(),
 		DB:              s.dbName,
 		Tables:          len(s.db.Schema().Tables()),
 		DataBytes:       s.db.DataBytes(),
@@ -256,6 +275,27 @@ func (s *Session) Info() SessionInfo {
 		info.Continuous = s.cont.info()
 	}
 	return info
+}
+
+// accountedBytes is the session's byte-accounted memory footprint:
+// the shared what-if cost cache, each registered workload's
+// (template, atom) cost table, and — for continuous sessions — the
+// windowed cost table plus the workload window itself. This is the
+// figure tenant memory budgets and the global brownout pressure are
+// computed over.
+func (s *Session) accountedBytes() int64 {
+	total := s.cache.Bytes()
+	s.mu.Lock()
+	for _, rw := range s.workloads {
+		if rw.compressed != nil {
+			total += rw.compressed.TableBytes()
+		}
+	}
+	s.mu.Unlock()
+	if s.cont != nil {
+		total += s.cont.bytes()
+	}
+	return total
 }
 
 // gauges snapshots the session's cache counters for the metrics scrape.
@@ -302,25 +342,77 @@ func (s *Session) gauges() SessionGauges {
 type Registry struct {
 	mu           sync.Mutex
 	sessions     map[string]*Session
-	building     map[string]bool // names reserved while their DB builds
-	cacheMax     int             // per-session cost cache bound (entries)
-	pool         *distrib.Pool   // shared what-if worker pool (nil = local costing)
-	contDefaults ContinuousSpec  // server-level continuous-mode defaults
+	building     map[string]bool   // names reserved while their DB builds
+	cacheMax     int               // per-session cost cache bound (entries)
+	pool         *distrib.Pool     // shared what-if worker pool (nil = local costing)
+	contDefaults ContinuousSpec    // server-level continuous-mode defaults
+	quota        *quota.Controller // per-tenant admission control
 	snaps        snapshotCache
 }
 
 // NewRegistry creates an empty registry. cacheMax bounds each
 // session's cost cache (<= 0 means unbounded); pool, when non-nil, is
 // the shared what-if worker pool sessions bind workloads against;
-// contDefaults fills unset fields of session continuous specs.
-func NewRegistry(cacheMax int, pool *distrib.Pool, contDefaults ContinuousSpec) *Registry {
+// contDefaults fills unset fields of session continuous specs; qc is
+// the per-tenant admission controller (never nil in a Server).
+func NewRegistry(cacheMax int, pool *distrib.Pool, contDefaults ContinuousSpec, qc *quota.Controller) *Registry {
+	if qc == nil {
+		qc = quota.NewController(quota.Limits{})
+	}
 	return &Registry{
 		sessions:     make(map[string]*Session),
 		building:     make(map[string]bool),
 		cacheMax:     cacheMax,
 		pool:         pool,
 		contDefaults: contDefaults,
+		quota:        qc,
 	}
+}
+
+// Quota exposes the registry's admission controller.
+func (r *Registry) Quota() *quota.Controller { return r.quota }
+
+// tenantBytes sums accounted memory across one tenant's live sessions.
+func (r *Registry) tenantBytes(tenant string) int64 {
+	var total int64
+	for _, s := range r.List() {
+		if s.tenant == tenant {
+			total += s.accountedBytes()
+		}
+	}
+	return total
+}
+
+// totalBytes sums accounted memory across every live session — the
+// global brownout pressure numerator.
+func (r *Registry) totalBytes() int64 {
+	var total int64
+	for _, s := range r.List() {
+		total += s.accountedBytes()
+	}
+	return total
+}
+
+// tenantGauges assembles the per-tenant metrics snapshot: quota usage
+// from the controller joined with per-session byte accounting.
+func (r *Registry) tenantGauges() []TenantGauges {
+	bytes := make(map[string]int64)
+	for _, s := range r.List() {
+		bytes[s.tenant] += s.accountedBytes()
+	}
+	usage := r.quota.UsageAll()
+	sort.Slice(usage, func(i, j int) bool { return usage[i].Tenant < usage[j].Tenant })
+	out := make([]TenantGauges, len(usage))
+	for i, u := range usage {
+		out[i] = TenantGauges{
+			Tenant:     u.Tenant,
+			Sessions:   u.Sessions,
+			Jobs:       u.Jobs,
+			Bytes:      bytes[u.Tenant],
+			IngestShed: u.IngestShed,
+		}
+	}
+	return out
 }
 
 // snapshotCache dedupes session database construction: the first
@@ -454,6 +546,13 @@ func (r *Registry) Create(req CreateSessionRequest) (*Session, error) {
 	if !validName(req.Name) {
 		return nil, fmt.Errorf("invalid session name %q (want [A-Za-z0-9_-]{1,64})", req.Name)
 	}
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	if !validName(tenant) {
+		return nil, fmt.Errorf("invalid tenant %q (want [A-Za-z0-9_-]{1,64})", tenant)
+	}
 	scale := req.Scale
 	if scale <= 0 {
 		scale = 1.0
@@ -467,6 +566,17 @@ func (r *Registry) Create(req CreateSessionRequest) (*Session, error) {
 	r.building[req.Name] = true
 	r.mu.Unlock()
 
+	// Admit before the (expensive) database build, so an over-quota
+	// tenant cannot burn seconds of build CPU just to be rejected.
+	// Acquire/release exactly brackets a session's life: journal replay
+	// re-drives this same path, rebuilding the accounting.
+	if v := r.quota.AcquireSession(tenant); !v.OK {
+		r.mu.Lock()
+		delete(r.building, req.Name)
+		r.mu.Unlock()
+		return nil, &quotaError{tenant: tenant, v: v}
+	}
+
 	// Sessions over the same (db, scale, seed) share one frozen
 	// snapshot and differ only in their private index-DDL maps; the
 	// build cost (seconds at scale) is paid once per spec.
@@ -476,10 +586,12 @@ func (r *Registry) Create(req CreateSessionRequest) (*Session, error) {
 	defer r.mu.Unlock()
 	delete(r.building, req.Name)
 	if err != nil {
+		r.quota.ReleaseSession(tenant)
 		return nil, err
 	}
 	s := &Session{
 		name:      req.Name,
+		tenant:    tenant,
 		dbName:    req.DB,
 		db:        db,
 		fp:        db.Fingerprint(),
@@ -542,5 +654,6 @@ func (r *Registry) Delete(name string) error {
 	s.release()
 	delete(r.sessions, name)
 	r.snaps.release(s.snapKey)
+	r.quota.ReleaseSession(s.tenant)
 	return nil
 }

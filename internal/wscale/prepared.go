@@ -167,6 +167,15 @@ func (p *Prepared) TableStats() (hits, misses, dedups int64) { return p.table.St
 // TableLen returns the number of cached (template, atom) entries.
 func (p *Prepared) TableLen() int { return p.table.Len() }
 
+// TableBytes returns the cost table's approximate resident footprint
+// (see costcache.Bytes) — the accounting basis for memory budgets.
+func (p *Prepared) TableBytes() int64 { return p.table.Bytes() }
+
+// TableEvictOldest sheds up to n of the table's oldest entries (see
+// costcache.EvictOldest); the brownout ladder uses it under memory
+// pressure.
+func (p *Prepared) TableEvictOldest(n int) int { return p.table.EvictOldest(n) }
+
 // OptimizerCalls counts CostPrepared invocations made to fill the
 // table.
 func (p *Prepared) OptimizerCalls() int64 { return p.optCalls.Load() }

@@ -193,7 +193,21 @@ type WindowStats struct {
 	Generation int64
 	Batches    int64
 	Statements int64
+	// Bytes is the window's approximate resident footprint (member
+	// texts plus fixed per-member and per-template overheads) — the
+	// accounting basis for memory budgets.
+	Bytes int64
 }
+
+// memberBytes and templateBytes are the fixed per-member/per-template
+// overhead estimates behind Bytes: statement AST, prepared descriptor
+// and map slots for a member; fingerprint, weight and bookkeeping for
+// a template. Coarse by design — the quota subsystem needs a stable
+// basis, not heap-exact numbers.
+const (
+	memberBytes   = 256
+	templateBytes = 128
+)
 
 // Stats summarizes the window.
 func (w *Window) Stats() WindowStats {
@@ -209,8 +223,58 @@ func (w *Window) Stats() WindowStats {
 		t := w.templates[fp]
 		st.Members += len(t.members)
 		st.Weight += t.weight
+		st.Bytes += int64(len(fp)) + templateBytes
+		for _, m := range t.members {
+			st.Bytes += int64(len(m.text)) + memberBytes
+		}
 	}
 	return st
+}
+
+// Bytes reports the window's approximate resident footprint; see
+// WindowStats.Bytes.
+func (w *Window) Bytes() int64 { return w.Stats().Bytes }
+
+// MaxPerTemplate reports the current reservoir bound. The server
+// consults it before journaling a shrink so no-op shrinks are not
+// recorded.
+func (w *Window) MaxPerTemplate() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.cfg.MaxPerTemplate
+}
+
+// Shrink truncates every template's member reservoir to maxPerTemplate
+// and lowers the window's bound so future ingests hold the smaller
+// reservoirs. Truncation keeps the first members (the reservoir is an
+// unbiased sample, so any subset is too) and bumps the epoch of every
+// template it touches — cost-table entries summed over the old member
+// sets invalidate exactly. Returns how many members were dropped. The
+// brownout ladder calls this under memory pressure; a maxPerTemplate
+// at or above the current bound is a no-op.
+func (w *Window) Shrink(maxPerTemplate int) (dropped int) {
+	if maxPerTemplate < 1 {
+		maxPerTemplate = 1
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if maxPerTemplate >= w.cfg.MaxPerTemplate {
+		return 0
+	}
+	w.cfg.MaxPerTemplate = maxPerTemplate
+	for _, fp := range w.order {
+		t := w.templates[fp]
+		if len(t.members) <= maxPerTemplate {
+			continue
+		}
+		for _, m := range t.members[maxPerTemplate:] {
+			delete(t.texts, m.text)
+			dropped++
+		}
+		t.members = t.members[:maxPerTemplate]
+		t.epoch++
+	}
+	return dropped
 }
 
 // WindowSnapshot is a frozen view of the window ready for costing: the

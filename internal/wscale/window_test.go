@@ -315,3 +315,89 @@ func nudgeFirstInt(s string) string {
 func isWordByte(b byte) bool {
 	return b == '_' || b == '.' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z') || (b >= '0' && b <= '9')
 }
+
+// TestWindowBytesAndShrink covers the byte accounting and the brownout
+// shrink: Bytes matches the Stats sum, Shrink clamps the reservoir
+// bound (dropping the tail members and bumping epochs), repeated and
+// looser shrinks are no-ops, and a shrink at the same point in two
+// identically-seeded ingest sequences keeps the reservoirs identical —
+// the property journal replay of brownout shrinks relies on.
+func TestWindowBytesAndShrink(t *testing.T) {
+	r := newWindowRig(t, 8, 120)
+	mk := func() *Window {
+		return NewWindow(WindowConfig{MaxPerTemplate: 12, Seed: 42})
+	}
+	w := mk()
+	half := len(r.items) / 2
+	w.Ingest(r.items[:half])
+	if got, want := w.Bytes(), w.Stats().Bytes; got != want || got <= 0 {
+		t.Fatalf("Bytes = %d, Stats.Bytes = %d; want equal and positive", got, want)
+	}
+	before := w.Stats()
+	epochs := make(map[string]int64)
+	oversized := make(map[string]bool)
+	for fp, tpl := range w.templates {
+		epochs[fp] = tpl.epoch
+		oversized[fp] = len(tpl.members) > 4
+	}
+
+	dropped := w.Shrink(4)
+	if w.MaxPerTemplate() != 4 {
+		t.Fatalf("MaxPerTemplate after Shrink = %d, want 4", w.MaxPerTemplate())
+	}
+	after := w.Stats()
+	if dropped != before.Members-after.Members {
+		t.Fatalf("dropped = %d, members went %d -> %d", dropped, before.Members, after.Members)
+	}
+	if after.Bytes >= before.Bytes && dropped > 0 {
+		t.Fatalf("bytes did not shrink: %d -> %d (dropped %d)", before.Bytes, after.Bytes, dropped)
+	}
+	if w.Bytes() != after.Bytes {
+		t.Fatalf("Bytes = %d, Stats.Bytes = %d after shrink", w.Bytes(), after.Bytes)
+	}
+	for fp, tpl := range w.templates {
+		if len(tpl.members) > 4 {
+			t.Fatalf("template %q holds %d members after Shrink(4)", fp, len(tpl.members))
+		}
+		if len(tpl.texts) != len(tpl.members) {
+			t.Fatalf("template %q: texts index out of sync after shrink", fp)
+		}
+		// Epochs bump exactly for the templates that lost members, so
+		// their stale cost-table entries invalidate and the rest survive.
+		bumped := tpl.epoch != epochs[fp]
+		if bumped != oversized[fp] {
+			t.Fatalf("template %q: epoch bumped=%v, lost members=%v", fp, bumped, oversized[fp])
+		}
+	}
+	// Idempotent, and a looser bound is a no-op.
+	if d := w.Shrink(4); d != 0 {
+		t.Fatalf("repeat Shrink dropped %d", d)
+	}
+	if d := w.Shrink(12); d != 0 || w.MaxPerTemplate() != 4 {
+		t.Fatalf("loosening Shrink dropped %d, bound %d; want no-op", d, w.MaxPerTemplate())
+	}
+
+	// Replay determinism: same seed, same sequence with the shrink at
+	// the same point -> identical reservoirs afterwards.
+	a, b := mk(), mk()
+	a.Ingest(r.items[:half])
+	b.Ingest(r.items[:half])
+	a.Shrink(4)
+	b.Shrink(4)
+	a.Ingest(r.items[half:])
+	b.Ingest(r.items[half:])
+	if a.FingerprintHash() != b.FingerprintHash() || a.Bytes() != b.Bytes() {
+		t.Fatal("shrink-interleaved ingest diverged under identical seeds")
+	}
+	for fp, t1 := range a.templates {
+		t2 := b.templates[fp]
+		if t2 == nil || len(t1.members) != len(t2.members) || t1.epoch != t2.epoch {
+			t.Fatalf("template %q diverged after shrink replay", fp)
+		}
+		for i := range t1.members {
+			if t1.members[i].text != t2.members[i].text {
+				t.Fatalf("template %q member %d diverged after shrink replay", fp, i)
+			}
+		}
+	}
+}
